@@ -1,0 +1,137 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes the results to a directory.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-out DIR] [-only NAME]
+//
+// NAME is one of fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11.
+// Without -only, every experiment runs. -quick selects scaled-down
+// configurations (minutes -> seconds); the default reproduces the paper's
+// full setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ipmgo/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run scaled-down experiment variants")
+	seed := flag.Int64("seed", 2011, "noise seed for ensemble experiments")
+	out := flag.String("out", "results", "output directory")
+	only := flag.String("only", "", "run a single experiment (fig4..fig11, table1)")
+	flag.Parse()
+
+	if err := run(*quick, *seed, *out, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, seed int64, outDir, only string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	o := experiments.Options{Quick: quick, Seed: seed}
+
+	write := func(name, content string) error {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+
+	type exp struct {
+		name string
+		fn   func() error
+	}
+	all := []exp{
+		{"fig4", func() error {
+			s, err := experiments.Fig4(o)
+			if err != nil {
+				return err
+			}
+			return write("fig4_banner_host_timing.txt", s)
+		}},
+		{"fig5", func() error {
+			s, err := experiments.Fig5(o)
+			if err != nil {
+				return err
+			}
+			return write("fig5_banner_kernel_timing.txt", s)
+		}},
+		{"fig6", func() error {
+			s, err := experiments.Fig6(o)
+			if err != nil {
+				return err
+			}
+			return write("fig6_banner_host_idle.txt", s)
+		}},
+		{"fig7", func() error {
+			s, err := experiments.Fig7(o)
+			if err != nil {
+				return err
+			}
+			return write("fig7_monitoring_timeline.txt", s)
+		}},
+		{"table1", func() error {
+			rows, err := experiments.Table1(o)
+			if err != nil {
+				return err
+			}
+			return write("table1_kernel_timing_accuracy.txt", experiments.FormatTable1(rows))
+		}},
+		{"fig8", func() error {
+			r, err := experiments.Fig8(o)
+			if err != nil {
+				return err
+			}
+			return write("fig8_hpl_dilation.txt", experiments.FormatFig8(r))
+		}},
+		{"fig9", func() error {
+			r, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			if err := write("fig9_hpl_profile.txt", experiments.FormatFig9(r)); err != nil {
+				return err
+			}
+			return write("fig9_hpl_profile.cube", r.CUBE)
+		}},
+		{"fig10", func() error {
+			rows, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			return write("fig10_paratec_scaling.txt", experiments.FormatFig10(rows))
+		}},
+		{"fig11", func() error {
+			r, err := experiments.Fig11(o)
+			if err != nil {
+				return err
+			}
+			return write("fig11_amber_profile.txt", experiments.FormatFig11(r))
+		}},
+	}
+
+	for _, e := range all {
+		if only != "" && e.name != only {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s ==\n", e.name)
+		if err := e.fn(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Command ipmrun executes one of the bundled workload models on the
+// simulated Dirac cluster under IPM monitoring and writes the profiling
+// banner to stdout and the XML profiling log to a file — the workflow of
+// running a monitored job on the real machine.
+//
+// Usage:
+//
+//	ipmrun [flags] WORKLOAD
+//
+// WORKLOAD is one of: square, blackscholes, fdtd3d, mersennetwister,
+// montecarlo, concurrentkernels, eigenvalues, quasirandomgenerator, scan,
+// hpl, paratec, paratec-mkl, amber.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/workloads"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1, "number of cluster nodes")
+	rpn := flag.Int("ranks-per-node", 1, "MPI ranks per node (share the node's GPU)")
+	kernelTiming := flag.Bool("kernel-timing", true, "enable GPU kernel timing (KTT)")
+	hostIdle := flag.Bool("host-idle", true, "enable implicit host blocking measurement")
+	fullBanner := flag.Bool("full", false, "write the full parallel banner")
+	xmlOut := flag.String("xml", "", "write the XML profiling log to this file")
+	seed := flag.Int64("seed", 2011, "noise seed")
+	iterations := flag.Int("iterations", 0, "override workload iterations/steps (0 = default)")
+	scale := flag.Float64("scale", 1.0, "duration scale for HPL")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ipmrun [flags] WORKLOAD")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	name := strings.ToLower(flag.Arg(0))
+
+	cfg := cluster.Dirac(*nodes, *rpn)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{KernelTiming: *kernelTiming, HostIdle: *hostIdle}
+	cfg.NoiseSeed = *seed
+	cfg.NoiseAmp = 0.01
+	cfg.Command = "./" + name
+
+	app, err := selectWorkload(name, &cfg, *iterations, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipmrun:", err)
+		os.Exit(2)
+	}
+
+	res, err := cluster.Run(cfg, app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipmrun:", err)
+		os.Exit(1)
+	}
+
+	if err := ipm.WriteBanner(os.Stdout, res.Profile, ipm.BannerOptions{Full: *fullBanner}); err != nil {
+		fmt.Fprintln(os.Stderr, "ipmrun: banner:", err)
+		os.Exit(1)
+	}
+	if *xmlOut != "" {
+		f, err := os.Create(*xmlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := ipm.WriteXML(f, res.Profile); err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun: xml:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "profiling log written to %s\n", *xmlOut)
+	}
+}
+
+func selectWorkload(name string, cfg *cluster.Config, iterations int, scale float64) (func(*cluster.Env), error) {
+	for _, b := range workloads.SDKSuite() {
+		if strings.ToLower(b.Name) == name {
+			bench := b
+			return func(env *cluster.Env) {
+				if err := bench.Run(env); err != nil {
+					panic(err)
+				}
+			}, nil
+		}
+	}
+	switch name {
+	case "square":
+		return func(env *cluster.Env) {
+			if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
+				panic(err)
+			}
+		}, nil
+	case "hpl":
+		h := workloads.DefaultHPL()
+		if iterations > 0 {
+			h.Iterations = iterations
+		}
+		h.Scale = scale
+		return func(env *cluster.Env) {
+			if err := workloads.HPL(env, h); err != nil {
+				panic(err)
+			}
+		}, nil
+	case "paratec", "paratec-mkl":
+		cfg.LibCostOnly = true
+		p := workloads.DefaultParatec(name == "paratec")
+		if iterations > 0 {
+			p.Iterations = iterations
+		}
+		return func(env *cluster.Env) {
+			if err := workloads.Paratec(env, p); err != nil {
+				panic(err)
+			}
+		}, nil
+	case "amber":
+		cfg.Runtime = workloads.AmberRuntimeOptions()
+		a := workloads.DefaultAmber()
+		if iterations > 0 {
+			a.Steps = iterations
+		}
+		return func(env *cluster.Env) {
+			if err := workloads.Amber(env, a); err != nil {
+				panic(err)
+			}
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}

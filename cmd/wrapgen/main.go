@@ -1,0 +1,48 @@
+// Command wrapgen emits IPM wrapper source from the built-in CUDA runtime
+// specification (see internal/wrapgen), in either the dynamic
+// (interface-decorator / LD_PRELOAD analogue) or static (ld --wrap
+// analogue) form the paper's generator supports.
+//
+// Usage:
+//
+//	wrapgen [-mode dynamic|static] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ipmgo/internal/wrapgen"
+)
+
+func main() {
+	mode := flag.String("mode", "dynamic", "wrapper style: dynamic or static")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var m wrapgen.Mode
+	switch *mode {
+	case "dynamic":
+		m = wrapgen.Dynamic
+	case "static":
+		m = wrapgen.Static
+	default:
+		fmt.Fprintf(os.Stderr, "wrapgen: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	src, err := wrapgen.Generate(wrapgen.CUDARuntimeSpec(), m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrapgen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(src)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(src), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "wrapgen:", err)
+		os.Exit(1)
+	}
+}

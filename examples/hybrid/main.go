@@ -1,0 +1,107 @@
+// Hybrid: the paper's headline scenario — one IPM profile covering every
+// level of parallelism at once. Four MPI ranks each run OpenMP-threaded
+// host physics (8 cores per Dirac node), offload a solver kernel to the
+// node's GPU, reduce across ranks, and checkpoint to the shared
+// filesystem. A single monitored run yields MPI, OpenMP, CUDA, GPU-kernel
+// and file-I/O events in one event inventory — the "holistic picture of
+// application behaviour" that single-kernel tools cannot provide.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/ipmomp"
+	"ipmgo/internal/mpisim"
+	"ipmgo/internal/perfmodel"
+)
+
+const (
+	steps    = 10
+	nthreads = 8 // cores per Dirac node
+)
+
+var solver = &cudart.Func{Name: "implicitSolve", FixedCost: perfmodel.KernelCost{Fixed: 12 * time.Millisecond}}
+
+func app(env *cluster.Env) {
+	d, err := env.CUDA.Malloc(8 << 20)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, 64<<10)
+	for step := 0; step < steps; step++ {
+		// Threaded host physics; the triangular cost profile leaves the
+		// team imbalanced, which IPM books under @OMP_IDLE.
+		if _, err := env.Parallel("physics", nthreads, func(tid int, p *des.Proc) {
+			p.Sleep(time.Duration(4+tid) * time.Millisecond)
+		}); err != nil {
+			panic(err)
+		}
+		// GPU offload.
+		if err := env.CUDA.LaunchKernel(solver, cudart.Dim3{X: 256}, cudart.Dim3{X: 128}, 0); err != nil {
+			panic(err)
+		}
+		if err := env.CUDA.Memcpy(cudart.HostPtr(buf), cudart.DevicePtr(d), int64(len(buf)), cudart.MemcpyDeviceToHost); err != nil {
+			panic(err)
+		}
+		// Global residual.
+		recv := make([]byte, 8)
+		if err := env.MPI.Allreduce(mpisim.Float64Bytes([]float64{1}), recv, mpisim.OpSum); err != nil {
+			panic(err)
+		}
+	}
+	// Rank 0 checkpoints.
+	if env.Rank == 0 {
+		f, err := env.FS.Open("/scratch/hybrid.ckpt", true)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := f.Write(make([]byte, 16<<20)); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+	}
+	env.MPI.Barrier()
+}
+
+func main() {
+	cfg := cluster.Dirac(4, 1)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{KernelTiming: true, HostIdle: true}
+	cfg.Command = "./hybrid.ipm"
+	res, err := cluster.Run(cfg, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jp := res.Profile
+
+	if err := ipm.WriteBanner(os.Stdout, jp, ipm.BannerOptions{Full: true, MaxRows: 14}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nOne profile, every level of parallelism:")
+	rows := []struct{ label, name string }{
+		{"OpenMP region", ipmomp.RegionName("physics")},
+		{"OpenMP barrier idle", ipmomp.IdleName},
+		{"GPU kernel", ipm.ExecKernelName(0, "implicitSolve")},
+		{"CUDA host idle", ipm.HostIdleName},
+		{"MPI reduction", "MPI_Allreduce"},
+		{"checkpoint write", "fwrite"},
+	}
+	for _, r := range rows {
+		s := jp.FuncSpread(r.name)
+		fmt.Printf("  %-22s %-34s %8.3fs total\n", r.label, r.name, s.Total.Seconds())
+		if s.Total == 0 {
+			log.Fatalf("expected %s to be monitored", r.name)
+		}
+	}
+}

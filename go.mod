@@ -1,0 +1,3 @@
+module ipmgo
+
+go 1.22

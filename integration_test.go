@@ -1,0 +1,149 @@
+package ipmgo
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/advisor"
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/cube"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/ipmparse"
+	"ipmgo/internal/workloads"
+)
+
+// TestEndToEndPipeline exercises the full production workflow: run a
+// monitored job on the simulated cluster, write the XML profiling log,
+// parse it back (ipm_parse), and generate every report format — asserting
+// the data stays consistent across the whole chain.
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Run monitored HPL on 4 nodes.
+	cfg := cluster.Dirac(4, 1)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{KernelTiming: true, HostIdle: true}
+	cfg.Command = "./xhpl.cuda"
+	cfg.NoiseSeed = 99
+	cfg.NoiseAmp = 0.02
+	res, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.HPL(env, workloads.HPLConfig{Iterations: 10, Scale: 0.02}); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	original := res.Profile
+
+	// 2. Write the XML log, as the monitored job does at termination.
+	var xml strings.Builder
+	if err := ipm.WriteXML(&xml, original); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Parse it back (ipm_parse).
+	parsed, err := ipmparse.Load(strings.NewReader(xml.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The parsed profile preserves the aggregate picture.
+	if parsed.NTasks() != original.NTasks() || parsed.Nodes != original.Nodes {
+		t.Fatalf("layout drifted: %d/%d vs %d/%d",
+			parsed.NTasks(), parsed.Nodes, original.NTasks(), original.Nodes)
+	}
+	if d := parsed.Wallclock() - original.Wallclock(); d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("wallclock drifted by %v", d)
+	}
+	for _, name := range []string{"cudaLaunch", "MPI_Bcast", ipm.ExecStreamName(1), "cudaEventSynchronize"} {
+		a := original.FuncSpread(name).Total
+		b := parsed.FuncSpread(name).Total
+		if d := a - b; d < -10*time.Microsecond || d > 10*time.Microsecond {
+			t.Errorf("%s drifted: %v vs %v", name, a, b)
+		}
+	}
+
+	// 4. Every report format generates and carries the headline content.
+	var banner strings.Builder
+	if err := ipmparse.WriteBanner(&banner, parsed, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(banner.String(), "mpi_tasks : 4 on 4 nodes") {
+		t.Error("banner lost job layout")
+	}
+
+	var html strings.Builder
+	if err := ipmparse.WriteHTML(&html, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html.String(), "dgemm_nn_e_kernel") {
+		t.Error("HTML lost kernel rows")
+	}
+
+	var cubeOut strings.Builder
+	if err := ipmparse.WriteCUBE(&cubeOut, parsed); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := cube.Parse(strings.NewReader(cubeOut.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.System.Machine.Nodes) != 4 {
+		t.Errorf("CUBE system tree has %d nodes", len(doc.System.Machine.Nodes))
+	}
+
+	// 5. The advisor runs on the parsed profile and, for this async-clean
+	// HPL, does not flag missed overlap.
+	findings := advisor.Analyze(parsed, advisor.Thresholds{})
+	for _, f := range findings {
+		if f.Rule == "missed-overlap" {
+			t.Errorf("async HPL flagged for missed overlap: %v", f)
+		}
+	}
+}
+
+// TestEndToEndSquareMatchesPaperBanner locks the Fig. 6 reproduction: the
+// square example's banner regenerated through the full pipeline shows the
+// paper's characteristic numbers.
+func TestEndToEndSquareMatchesPaperBanner(t *testing.T) {
+	cfg := cluster.Dirac(1, 1)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{KernelTiming: true, HostIdle: true}
+	cfg.Command = "./cuda.ipm"
+	res, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xml strings.Builder
+	if err := ipm.WriteXML(&xml, res.Profile); err != nil {
+		t.Fatal(err)
+	}
+	jp, err := ipmparse.Load(strings.NewReader(xml.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var banner strings.Builder
+	if err := ipmparse.WriteBanner(&banner, jp, false); err != nil {
+		t.Fatal(err)
+	}
+	out := banner.String()
+	// The three Fig. 6 signature rows, with the paper's magnitudes.
+	for _, want := range []string{
+		"# cudaMalloc                         1.29",
+		"# @CUDA_EXEC_STRM00                  1.15",
+		"# @CUDA_HOST_IDLE                    1.15",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("banner missing %q:\n%s", want, out)
+		}
+	}
+	// D2H separated from the implicit wait: well under 0.01 s.
+	if strings.Contains(out, "# cudaMemcpy(D2H)                    1.1") {
+		t.Error("D2H still carries the kernel wait with host-idle detection on")
+	}
+}

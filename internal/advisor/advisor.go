@@ -1,0 +1,293 @@
+// Package advisor implements the paper's third future-work item: "using
+// the derived monitoring data for performance modeling and advanced
+// guidance to users on the merits or pitfalls of accelerating their
+// applications".
+//
+// It analyses an aggregated IPM job profile with rules distilled from the
+// paper's own case studies: the implicit-host-blocking analysis of
+// Section III-C, the thunking-transfer observation of the PARATEC study,
+// the cudaThreadSynchronize and load-imbalance findings of the Amber
+// study, and the communication-scaling issue (1)-(6) checklist of the
+// introduction.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// Severity ranks findings.
+type Severity int
+
+const (
+	Info Severity = iota
+	Advice
+	Warning
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "INFO"
+	case Advice:
+		return "ADVICE"
+	case Warning:
+		return "WARNING"
+	}
+	return "?"
+}
+
+// Finding is one piece of guidance.
+type Finding struct {
+	Severity Severity
+	Rule     string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Severity, f.Rule, f.Message)
+}
+
+// Thresholds tune the rules; zero values select the defaults.
+type Thresholds struct {
+	HostIdlePct     float64 // missed-overlap alarm (default 5%)
+	SyncWaitPct     float64 // host-side synchronisation alarm (default 15%)
+	CommPct         float64 // MPI share alarm (default 25%)
+	ImbalanceFactor float64 // max/avg alarm (default 1.3)
+	TransferRatio   float64 // library transfer/compute alarm (default 1.5)
+	LowGPUPct       float64 // under-utilised accelerator (default 20%)
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&t.HostIdlePct, 5)
+	def(&t.SyncWaitPct, 15)
+	def(&t.CommPct, 25)
+	def(&t.ImbalanceFactor, 1.3)
+	def(&t.TransferRatio, 1.5)
+	def(&t.LowGPUPct, 20)
+	return t
+}
+
+// Analyze runs every rule against the profile and returns findings sorted
+// by descending severity (stable within a severity).
+func Analyze(jp *ipm.JobProfile, th Thresholds) []Finding {
+	th = th.withDefaults()
+	var out []Finding
+	rules := []func(*ipm.JobProfile, Thresholds) []Finding{
+		ruleHostIdle,
+		ruleSyncWait,
+		ruleThunkingTransfers,
+		ruleImbalance,
+		ruleCommShare,
+		ruleGPUUtilisation,
+		ruleStartupCost,
+	}
+	for _, r := range rules {
+		out = append(out, r(jp, th)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// Report renders findings as text.
+func Report(findings []Finding) string {
+	if len(findings) == 0 {
+		return "no findings: the profile shows no obvious accelerator or communication pathologies\n"
+	}
+	var sb strings.Builder
+	for _, f := range findings {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func wallOf(jp *ipm.JobProfile) time.Duration { return jp.WallclockSpread().Total }
+
+func pct(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// ruleHostIdle flags missed CPU/GPU overlap (Section III-C): significant
+// @CUDA_HOST_IDLE means synchronous transfers silently absorb kernel
+// waits.
+func ruleHostIdle(jp *ipm.JobProfile, th Thresholds) []Finding {
+	p := jp.HostIdlePercent()
+	if p < th.HostIdlePct {
+		return nil
+	}
+	return []Finding{{
+		Severity: Warning,
+		Rule:     "missed-overlap",
+		Message: fmt.Sprintf("@CUDA_HOST_IDLE is %.1f%% of wallclock: synchronous memory transfers "+
+			"implicitly block behind kernels; switch to cudaMemcpyAsync on a stream (pinned host "+
+			"memory) and overlap host work, or move MPI communication into the gap", p),
+	}}
+}
+
+// ruleSyncWait flags heavy host-side synchronisation (the Amber finding:
+// 22.5% of wallclock in cudaThreadSynchronize).
+func ruleSyncWait(jp *ipm.JobProfile, th Thresholds) []Finding {
+	var syncTime time.Duration
+	for _, name := range []string{"cudaThreadSynchronize", "cudaEventSynchronize", "cudaStreamSynchronize", "cuCtxSynchronize"} {
+		syncTime += jp.FuncSpread(name).Total
+	}
+	p := pct(syncTime, wallOf(jp))
+	if p < th.SyncWaitPct {
+		return nil
+	}
+	return []Finding{{
+		Severity: Advice,
+		Rule:     "host-sync-wait",
+		Message: fmt.Sprintf("%.1f%% of wallclock is spent waiting in explicit synchronisation calls; "+
+			"in a fully heterogeneous implementation the CPU could compute during this time", p),
+	}}
+}
+
+// ruleThunkingTransfers flags the PARATEC pattern: blocking
+// cublasSetMatrix/GetMatrix transfers dwarfing the accelerated kernels.
+func ruleThunkingTransfers(jp *ipm.JobProfile, th Thresholds) []Finding {
+	transfer := jp.FuncSpread("cublasSetMatrix").Total +
+		jp.FuncSpread("cublasGetMatrix").Total +
+		jp.FuncSpread("cublasSetVector").Total +
+		jp.FuncSpread("cublasGetVector").Total
+	if transfer == 0 {
+		return nil
+	}
+	var kernels time.Duration
+	for _, ft := range jp.FuncTotals() {
+		if strings.HasPrefix(ft.Name, "@CUDA_EXEC_STRM") && strings.Contains(ft.Name, ":") &&
+			(strings.Contains(ft.Name, "gemm") || strings.Contains(ft.Name, "trsm") ||
+				strings.Contains(ft.Name, "axpy") || strings.Contains(ft.Name, "gemv")) {
+			kernels += ft.Stats.Total
+		}
+	}
+	if kernels == 0 || float64(transfer)/float64(kernels) < th.TransferRatio {
+		return nil
+	}
+	return []Finding{{
+		Severity: Warning,
+		Rule:     "thunking-transfers",
+		Message: fmt.Sprintf("blocking CUBLAS data movement (%.1fs) dwarfs the accelerated BLAS kernels "+
+			"(%.1fs, %.1fx): the thunking wrappers re-transfer operands on every call; keep matrices "+
+			"resident on the device with the direct wrappers, or overlap with simultaneous CPU BLAS",
+			transfer.Seconds(), kernels.Seconds(), float64(transfer)/float64(kernels)),
+	}}
+}
+
+// ruleImbalance flags per-kernel and per-MPI-call load imbalance (the
+// Amber ReduceForces/ClearForces finding).
+func ruleImbalance(jp *ipm.JobProfile, th Thresholds) []Finding {
+	if jp.NTasks() < 2 {
+		return nil
+	}
+	var out []Finding
+	wall := wallOf(jp)
+	for _, ft := range jp.FuncTotals() {
+		// Only flag contributors of at least 2% wallclock.
+		if float64(ft.Stats.Total) < 0.02*float64(wall) {
+			continue
+		}
+		imb := jp.Imbalance(ft.Name)
+		if imb >= th.ImbalanceFactor {
+			out = append(out, Finding{
+				Severity: Advice,
+				Rule:     "load-imbalance",
+				Message: fmt.Sprintf("%s is imbalanced across ranks (max/avg %.2fx); redistributing "+
+					"this work would shorten the critical path", ft.Name, imb),
+			})
+		}
+	}
+	return out
+}
+
+// ruleCommShare flags MPI dominating the run (the PARATEC 256-process
+// regime).
+func ruleCommShare(jp *ipm.JobProfile, th Thresholds) []Finding {
+	p := jp.CommPercent()
+	if p < th.CommPct {
+		return nil
+	}
+	// Name the worst offender.
+	worst := ""
+	var worstT time.Duration
+	for _, ft := range jp.FuncTotals() {
+		if strings.HasPrefix(ft.Name, "MPI_") && ft.Stats.Total > worstT {
+			worst, worstT = ft.Name, ft.Stats.Total
+		}
+	}
+	return []Finding{{
+		Severity: Warning,
+		Rule:     "communication-bound",
+		Message: fmt.Sprintf("MPI consumes %.1f%% of wallclock (largest: %s at %.1fs total); the job has "+
+			"scaled past its sweet spot — fewer processes, hierarchical collectives, or communication "+
+			"overlap are indicated", p, worst, worstT.Seconds()),
+	}}
+}
+
+// ruleGPUUtilisation reports the accelerator utilisation headline and
+// flags an idle GPU.
+func ruleGPUUtilisation(jp *ipm.JobProfile, th Thresholds) []Finding {
+	p := jp.GPUPercent()
+	if p == 0 {
+		return nil // no kernel timing data
+	}
+	if p < th.LowGPUPct {
+		return []Finding{{
+			Severity: Advice,
+			Rule:     "gpu-underutilised",
+			Message: fmt.Sprintf("kernels occupy the GPU only %.1f%% of wallclock; unless transfers or "+
+				"host phases are irreducible, the accelerator mostly idles — consider larger offload "+
+				"granularity or keeping more of the pipeline on the device", p),
+		}}
+	}
+	return []Finding{{
+		Severity: Info,
+		Rule:     "gpu-utilisation",
+		Message:  fmt.Sprintf("GPU kernels cover %.1f%% of wallclock", p),
+	}}
+}
+
+// ruleStartupCost flags expensive runtime initialisation patterns (the
+// Amber cudaGetDeviceCount finding: 16.7s across 32 calls).
+func ruleStartupCost(jp *ipm.JobProfile, th Thresholds) []Finding {
+	var out []Finding
+	for _, name := range []string{"cudaGetDeviceCount", "cudaMalloc", "cuInit"} {
+		s := jp.FuncSpread(name)
+		if s.Total == 0 {
+			continue
+		}
+		var count int64
+		for _, ft := range jp.FuncTotals() {
+			if ft.Name == name {
+				count = ft.Stats.Count
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		perCall := s.Total / time.Duration(count)
+		if perCall > 100*time.Millisecond && float64(s.Total) > 0.02*float64(wallOf(jp)) {
+			out = append(out, Finding{
+				Severity: Advice,
+				Rule:     "expensive-initialisation",
+				Message: fmt.Sprintf("%s averages %.0f ms per call (%.1fs total over %d calls); runtime "+
+					"initialisation is leaking into the steady state — query once and cache",
+					name, float64(perCall)/float64(time.Millisecond), s.Total.Seconds(), count),
+			})
+		}
+	}
+	return out
+}

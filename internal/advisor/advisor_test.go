@@ -1,0 +1,177 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// profileWith builds a 2-rank job profile from per-rank entry lists.
+func profileWith(wall time.Duration, rank0, rank1 []ipm.Entry) *ipm.JobProfile {
+	return ipm.NewJobProfile("app", 2, []ipm.RankProfile{
+		{Rank: 0, Host: "n0", Wallclock: wall, Entries: rank0},
+		{Rank: 1, Host: "n1", Wallclock: wall, Entries: rank1},
+	})
+}
+
+func entry(name string, count int64, total time.Duration) ipm.Entry {
+	return ipm.Entry{
+		Sig:   ipm.Sig{Name: name},
+		Stats: ipm.Stats{Count: count, Total: total, Min: total / time.Duration(count), Max: total / time.Duration(count)},
+	}
+}
+
+func hasRule(fs []Finding, rule string) bool {
+	for _, f := range fs {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHostIdleRule(t *testing.T) {
+	es := []ipm.Entry{
+		entry(ipm.HostIdleName, 10, 3*time.Second),
+		entry(ipm.ExecStreamName(0), 10, 4*time.Second),
+	}
+	jp := profileWith(10*time.Second, es, es)
+	fs := Analyze(jp, Thresholds{})
+	if !hasRule(fs, "missed-overlap") {
+		t.Errorf("missing missed-overlap: %v", fs)
+	}
+	// Below threshold: no finding.
+	quiet := []ipm.Entry{entry(ipm.HostIdleName, 10, 100*time.Millisecond)}
+	if fs := Analyze(profileWith(10*time.Second, quiet, quiet), Thresholds{}); hasRule(fs, "missed-overlap") {
+		t.Error("missed-overlap fired below threshold")
+	}
+}
+
+func TestSyncWaitRule(t *testing.T) {
+	es := []ipm.Entry{entry("cudaThreadSynchronize", 1000, 2300*time.Millisecond)}
+	jp := profileWith(10*time.Second, es, es)
+	if fs := Analyze(jp, Thresholds{}); !hasRule(fs, "host-sync-wait") {
+		t.Errorf("missing host-sync-wait: %v", fs)
+	}
+}
+
+func TestThunkingRule(t *testing.T) {
+	es := []ipm.Entry{
+		entry("cublasSetMatrix", 100, 6*time.Second),
+		entry("cublasGetMatrix", 100, 3*time.Second),
+		entry(ipm.ExecKernelName(0, "zgemm_kernel"), 100, time.Second),
+	}
+	jp := profileWith(20*time.Second, es, es)
+	fs := Analyze(jp, Thresholds{})
+	if !hasRule(fs, "thunking-transfers") {
+		t.Errorf("missing thunking-transfers: %v", fs)
+	}
+	// Balanced transfers: silent.
+	ok := []ipm.Entry{
+		entry("cublasSetMatrix", 100, time.Second),
+		entry(ipm.ExecKernelName(0, "zgemm_kernel"), 100, 5*time.Second),
+	}
+	if fs := Analyze(profileWith(20*time.Second, ok, ok), Thresholds{}); hasRule(fs, "thunking-transfers") {
+		t.Error("thunking-transfers fired on healthy ratio")
+	}
+}
+
+func TestImbalanceRule(t *testing.T) {
+	heavy := entry(ipm.ExecKernelName(0, "ReduceForces"), 100, 4*time.Second)
+	light := entry(ipm.ExecKernelName(0, "ReduceForces"), 100, 1*time.Second)
+	jp := profileWith(10*time.Second, []ipm.Entry{heavy}, []ipm.Entry{light})
+	fs := Analyze(jp, Thresholds{})
+	if !hasRule(fs, "load-imbalance") {
+		t.Errorf("missing load-imbalance: %v", fs)
+	}
+	// Tiny contributors are ignored even if imbalanced.
+	h2 := entry("MPI_Send", 1, 50*time.Millisecond)
+	l2 := entry("MPI_Send", 1, 1*time.Millisecond)
+	if fs := Analyze(profileWith(10*time.Second, []ipm.Entry{h2}, []ipm.Entry{l2}), Thresholds{}); hasRule(fs, "load-imbalance") {
+		t.Error("load-imbalance fired on a negligible contributor")
+	}
+	// Single-rank profiles cannot be imbalanced.
+	single := ipm.NewJobProfile("app", 1, []ipm.RankProfile{{Rank: 0, Wallclock: time.Second, Entries: []ipm.Entry{heavy}}})
+	if fs := Analyze(single, Thresholds{}); hasRule(fs, "load-imbalance") {
+		t.Error("load-imbalance fired on single rank")
+	}
+}
+
+func TestCommShareRule(t *testing.T) {
+	es := []ipm.Entry{
+		entry("MPI_Gather", 20, 3*time.Second),
+		entry("MPI_Allreduce", 20, 500*time.Millisecond),
+	}
+	jp := profileWith(10*time.Second, es, es)
+	fs := Analyze(jp, Thresholds{})
+	if !hasRule(fs, "communication-bound") {
+		t.Fatalf("missing communication-bound: %v", fs)
+	}
+	for _, f := range fs {
+		if f.Rule == "communication-bound" && !strings.Contains(f.Message, "MPI_Gather") {
+			t.Errorf("worst offender not named: %s", f.Message)
+		}
+	}
+}
+
+func TestGPUUtilisationRule(t *testing.T) {
+	busy := []ipm.Entry{entry(ipm.ExecStreamName(0), 100, 5*time.Second)}
+	jp := profileWith(10*time.Second, busy, busy)
+	fs := Analyze(jp, Thresholds{})
+	if !hasRule(fs, "gpu-utilisation") || hasRule(fs, "gpu-underutilised") {
+		t.Errorf("healthy GPU misreported: %v", fs)
+	}
+	idle := []ipm.Entry{entry(ipm.ExecStreamName(0), 100, 500*time.Millisecond)}
+	fs = Analyze(profileWith(10*time.Second, idle, idle), Thresholds{})
+	if !hasRule(fs, "gpu-underutilised") {
+		t.Errorf("idle GPU not flagged: %v", fs)
+	}
+	// No kernel timing at all: silent.
+	none := []ipm.Entry{entry("cudaMalloc", 1, time.Millisecond)}
+	fs = Analyze(profileWith(10*time.Second, none, none), Thresholds{})
+	if hasRule(fs, "gpu-utilisation") || hasRule(fs, "gpu-underutilised") {
+		t.Errorf("GPU rules fired without kernel data: %v", fs)
+	}
+}
+
+func TestStartupCostRule(t *testing.T) {
+	es := []ipm.Entry{entry("cudaGetDeviceCount", 2, time.Second)}
+	jp := profileWith(10*time.Second, es, es)
+	if fs := Analyze(jp, Thresholds{}); !hasRule(fs, "expensive-initialisation") {
+		t.Errorf("missing expensive-initialisation: %v", fs)
+	}
+	// Cheap per-call initialisation: silent.
+	ok := []ipm.Entry{entry("cudaGetDeviceCount", 1000, time.Second)}
+	if fs := Analyze(profileWith(10*time.Second, ok, ok), Thresholds{}); hasRule(fs, "expensive-initialisation") {
+		t.Error("expensive-initialisation fired on cheap calls")
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	es := []ipm.Entry{
+		entry(ipm.HostIdleName, 10, 3*time.Second),        // warning
+		entry(ipm.ExecStreamName(0), 10, 5*time.Second),   // info (utilisation)
+		entry("cudaThreadSynchronize", 10, 2*time.Second), // advice
+	}
+	fs := Analyze(profileWith(10*time.Second, es, es), Thresholds{})
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Severity > fs[i-1].Severity {
+			t.Fatalf("findings not sorted: %v", fs)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	if out := Report(nil); !strings.Contains(out, "no findings") {
+		t.Error("empty report wrong")
+	}
+	fs := []Finding{{Severity: Warning, Rule: "x", Message: "y"}}
+	if out := Report(fs); !strings.Contains(out, "[WARNING] x: y") {
+		t.Errorf("report = %q", out)
+	}
+	if Severity(42).String() != "?" {
+		t.Error("unknown severity")
+	}
+}

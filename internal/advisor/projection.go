@@ -1,0 +1,113 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// Projection is a what-if estimate: the wallclock the job would reach if
+// one pathology the profile exposes were fixed — the "performance
+// modeling" half of the paper's third future-work item. Estimates are
+// first-order (Amdahl-style): the targeted time is removed from the
+// critical path, everything else is assumed unchanged.
+type Projection struct {
+	Scenario  string
+	Current   time.Duration // per-job wallclock now
+	Projected time.Duration // estimated wallclock after the fix
+	Speedup   float64
+	Detail    string
+}
+
+// Projections evaluates the standard what-if scenarios against the
+// profile, sorted by descending speedup. Scenarios that do not apply
+// (nothing to reclaim) are omitted.
+func Projections(jp *ipm.JobProfile) []Projection {
+	wall := jp.Wallclock()
+	if wall == 0 {
+		return nil
+	}
+	nt := time.Duration(jp.NTasks())
+	var out []Projection
+	add := func(scenario string, reclaimedPerRank time.Duration, detail string) {
+		if reclaimedPerRank <= 0 {
+			return
+		}
+		projected := wall - reclaimedPerRank
+		if projected < wall/100 {
+			projected = wall / 100
+		}
+		out = append(out, Projection{
+			Scenario:  scenario,
+			Current:   wall,
+			Projected: projected,
+			Speedup:   float64(wall) / float64(projected),
+			Detail:    detail,
+		})
+	}
+
+	// 1. Overlap the implicit host blocking (Section III-C's tuning
+	// opportunity): @CUDA_HOST_IDLE disappears from the host timeline.
+	idle := jp.FuncSpread(ipm.HostIdleName)
+	add("overlap-blocking-transfers", idle.Avg,
+		fmt.Sprintf("@CUDA_HOST_IDLE averages %.2fs per rank; asynchronous transfers reclaim it", idle.Avg.Seconds()))
+
+	// 2. Keep operands device-resident: the thunking transfers vanish
+	// (the PARATEC direct-wrapper scenario).
+	transfers := jp.FuncSpread("cublasSetMatrix").Total + jp.FuncSpread("cublasGetMatrix").Total
+	add("device-resident-blas", transfers/nt,
+		fmt.Sprintf("cublasSet/GetMatrix average %.2fs per rank; direct wrappers avoid re-transfers",
+			(transfers/nt).Seconds()))
+
+	// 3. Perfect load balance: every imbalanced function shrinks from the
+	// max-rank time to the average (the critical path follows the max).
+	var reclaim time.Duration
+	var worst string
+	var worstGain time.Duration
+	for _, ft := range jp.FuncTotals() {
+		if ft.Stats.Total < wall/50 { // ignore noise contributors
+			continue
+		}
+		s := jp.FuncSpread(ft.Name)
+		if gain := s.Max - s.Avg; gain > 0 && float64(s.Max) > 1.15*float64(s.Avg) {
+			reclaim += gain
+			if gain > worstGain {
+				worstGain, worst = gain, ft.Name
+			}
+		}
+	}
+	if worst != "" {
+		add("perfect-load-balance", reclaim,
+			fmt.Sprintf("largest contributor %s (max-avg %.2fs)", worst, worstGain.Seconds()))
+	}
+
+	// 4. Use the CPU during host-side synchronisation waits (the Amber
+	// heterogeneous-implementation suggestion).
+	var syncTotal time.Duration
+	for _, name := range []string{"cudaThreadSynchronize", "cudaEventSynchronize", "cudaStreamSynchronize"} {
+		syncTotal += jp.FuncSpread(name).Total
+	}
+	add("compute-during-sync", syncTotal/nt,
+		fmt.Sprintf("synchronisation waits average %.2fs per rank; a heterogeneous implementation computes through them",
+			(syncTotal/nt).Seconds()))
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Speedup > out[j].Speedup })
+	return out
+}
+
+// FormatProjections renders the projections as text.
+func FormatProjections(ps []Projection) string {
+	if len(ps) == 0 {
+		return "no applicable what-if scenarios\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("What-if projections (first-order estimates):\n")
+	for _, p := range ps {
+		fmt.Fprintf(&sb, "  %-28s %8.2fs -> %8.2fs (%.2fx)  %s\n",
+			p.Scenario, p.Current.Seconds(), p.Projected.Seconds(), p.Speedup, p.Detail)
+	}
+	return sb.String()
+}

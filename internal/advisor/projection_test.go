@@ -1,0 +1,122 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+func TestProjectionHostIdle(t *testing.T) {
+	es := []ipm.Entry{entry(ipm.HostIdleName, 10, 4*time.Second)}
+	jp := profileWith(10*time.Second, es, es)
+	ps := Projections(jp)
+	if len(ps) == 0 {
+		t.Fatal("no projections")
+	}
+	p := ps[0]
+	if p.Scenario != "overlap-blocking-transfers" {
+		t.Fatalf("top scenario = %s", p.Scenario)
+	}
+	// 10s wall, 4s per-rank idle reclaimed -> 6s, speedup 1.67.
+	if p.Projected != 6*time.Second {
+		t.Errorf("projected = %v, want 6s", p.Projected)
+	}
+	if p.Speedup < 1.66 || p.Speedup > 1.68 {
+		t.Errorf("speedup = %.3f", p.Speedup)
+	}
+}
+
+func TestProjectionDeviceResidentBLAS(t *testing.T) {
+	es := []ipm.Entry{
+		entry("cublasSetMatrix", 100, 3*time.Second),
+		entry("cublasGetMatrix", 100, 1*time.Second),
+	}
+	jp := profileWith(10*time.Second, es, es)
+	ps := Projections(jp)
+	found := false
+	for _, p := range ps {
+		if p.Scenario == "device-resident-blas" {
+			found = true
+			if p.Projected != 6*time.Second { // (3+1)s per rank reclaimed
+				t.Errorf("projected = %v", p.Projected)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("missing device-resident-blas: %v", ps)
+	}
+}
+
+func TestProjectionLoadBalance(t *testing.T) {
+	heavy := entry(ipm.ExecKernelName(0, "ReduceForces"), 10, 6*time.Second)
+	light := entry(ipm.ExecKernelName(0, "ReduceForces"), 10, 2*time.Second)
+	jp := profileWith(10*time.Second, []ipm.Entry{heavy}, []ipm.Entry{light})
+	ps := Projections(jp)
+	for _, p := range ps {
+		if p.Scenario == "perfect-load-balance" {
+			// max 6, avg 4 -> reclaim 2s.
+			if p.Projected != 8*time.Second {
+				t.Errorf("projected = %v, want 8s", p.Projected)
+			}
+			if !strings.Contains(p.Detail, "ReduceForces") {
+				t.Errorf("detail = %s", p.Detail)
+			}
+			return
+		}
+	}
+	t.Errorf("missing perfect-load-balance: %v", ps)
+}
+
+func TestProjectionSyncCompute(t *testing.T) {
+	es := []ipm.Entry{entry("cudaThreadSynchronize", 100, 3*time.Second)}
+	jp := profileWith(10*time.Second, es, es)
+	ps := Projections(jp)
+	for _, p := range ps {
+		if p.Scenario == "compute-during-sync" {
+			if p.Projected != 7*time.Second {
+				t.Errorf("projected = %v", p.Projected)
+			}
+			return
+		}
+	}
+	t.Errorf("missing compute-during-sync: %v", ps)
+}
+
+func TestProjectionsSortedAndBounded(t *testing.T) {
+	es := []ipm.Entry{
+		entry(ipm.HostIdleName, 10, 9900*time.Millisecond), // nearly the whole wall
+		entry("cudaThreadSynchronize", 10, time.Second),
+	}
+	jp := profileWith(10*time.Second, es, es)
+	ps := Projections(jp)
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Speedup > ps[i-1].Speedup {
+			t.Fatal("projections not sorted")
+		}
+	}
+	// Projection never collapses below 1% of current wallclock.
+	for _, p := range ps {
+		if p.Projected < jp.Wallclock()/100 {
+			t.Errorf("%s projected below floor: %v", p.Scenario, p.Projected)
+		}
+	}
+}
+
+func TestProjectionsEmptyProfile(t *testing.T) {
+	if ps := Projections(ipm.NewJobProfile("x", 1, nil)); ps != nil {
+		t.Errorf("empty profile projections = %v", ps)
+	}
+	clean := []ipm.Entry{entry("cudaLaunch", 10, time.Millisecond)}
+	jp := profileWith(10*time.Second, clean, clean)
+	if ps := Projections(jp); len(ps) != 0 {
+		t.Errorf("clean profile projections = %v", ps)
+	}
+	if out := FormatProjections(nil); !strings.Contains(out, "no applicable") {
+		t.Error("empty format wrong")
+	}
+	if out := FormatProjections([]Projection{{Scenario: "s", Speedup: 2}}); !strings.Contains(out, "What-if") {
+		t.Error("format missing header")
+	}
+}

@@ -1,0 +1,293 @@
+// Package cluster wires the simulated substrates into a GPU cluster and
+// runs MPI+CUDA applications on it, with or without IPM monitoring. It
+// models NERSC's Dirac cluster, the evaluation platform of the paper: 48
+// nodes, two quad-core Xeon 5530s and one Tesla C2050 per node, QDR
+// InfiniBand, CUDA 3.1.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"ipmgo/internal/cublas"
+	"ipmgo/internal/cudaprof"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/cufft"
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpucounters"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/iosim"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmblas"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/ipmio"
+	"ipmgo/internal/ipmmpi"
+	"ipmgo/internal/ipmomp"
+	"ipmgo/internal/mpisim"
+	"ipmgo/internal/noise"
+	"ipmgo/internal/ompsim"
+	"ipmgo/internal/perfmodel"
+)
+
+// Config describes one simulated job.
+type Config struct {
+	// Nodes is the number of cluster nodes used (each with one GPU).
+	Nodes int
+	// RanksPerNode is the number of MPI tasks per node; they share the
+	// node's GPU (the paper's shared-GPU scenario when > 1).
+	RanksPerNode int
+
+	GPU perfmodel.GPUSpec
+	Net perfmodel.NetSpec
+	// FS models the shared parallel filesystem.
+	FS iosim.Spec
+	// Runtime tunes the CUDA runtime's host-side costs.
+	Runtime cudart.Options
+
+	// Monitor enables IPM; CUDA selects the CUDA-layer features.
+	Monitor bool
+	CUDA    ipmcuda.Options
+	// TableSize overrides IPM's hash table capacity (0 = default).
+	TableSize int
+
+	// CUDAProfile attaches the simulated CUDA profiler to every device
+	// (the CUDA_PROFILE=1 baseline of Table I).
+	CUDAProfile bool
+
+	// Counters attaches the PAPI-style GPU counter component to every
+	// device (the paper's future-work item 1).
+	Counters bool
+
+	// LibCostOnly disables the functional payloads of CUBLAS and CUFFT
+	// (timing only), so large workload models stay cheap to simulate.
+	LibCostOnly bool
+
+	// Command is the command line recorded in the profile.
+	Command string
+	// NoiseSeed/NoiseAmp configure run-to-run variability (amp 0 = none).
+	NoiseSeed int64
+	NoiseAmp  float64
+
+	// Horizon bounds the simulation (default 10h of virtual time).
+	Horizon time.Duration
+}
+
+// Dirac returns the evaluation platform's configuration for a job on the
+// given number of nodes.
+func Dirac(nodes, ranksPerNode int) Config {
+	return Config{
+		Nodes:        nodes,
+		RanksPerNode: ranksPerNode,
+		GPU:          perfmodel.TeslaC2050(),
+		Net:          perfmodel.QDRInfiniBand(),
+		FS:           iosim.GPFSScratch(),
+		Command:      "./a.out",
+	}
+}
+
+// Env is the per-rank execution environment handed to the application:
+// exactly the handles a real MPI+CUDA process holds. When monitoring is
+// enabled every handle is the IPM-interposed variant; the application
+// cannot tell the difference.
+type Env struct {
+	Rank  int
+	Size  int
+	Node  int
+	Proc  *des.Proc
+	CUDA  cudart.API
+	MPI   mpisim.Comm
+	BLAS  cublas.BLAS
+	FFT   cufft.FFT
+	FS    FileSystem
+	Noise *noise.Model
+
+	// IPM is non-nil when monitoring is enabled.
+	IPM *ipm.Monitor
+	// Dev is the rank's (possibly shared) GPU.
+	Dev *gpusim.Device
+
+	cudaMon *ipmcuda.Monitor
+	ompMon  *ipmomp.Monitor
+}
+
+// Parallel runs an OpenMP-style fork/join region on the rank's cores,
+// monitored when IPM is enabled.
+func (e *Env) Parallel(name string, nthreads int, body func(tid int, p *des.Proc)) (ompsim.RegionStats, error) {
+	if e.ompMon != nil {
+		return e.ompMon.Parallel(e.Proc, name, nthreads, body)
+	}
+	return ompsim.Parallel(e.Proc, nthreads, body)
+}
+
+// ParallelFor runs a monitored statically scheduled parallel loop.
+func (e *Env) ParallelFor(name string, nthreads, n int, iterCost func(i int) time.Duration) (ompsim.RegionStats, error) {
+	if e.ompMon != nil {
+		return e.ompMon.For(e.Proc, name, nthreads, n, iterCost)
+	}
+	return ompsim.For(e.Proc, nthreads, n, iterCost)
+}
+
+// Compute models host computation of duration d, perturbed by the noise
+// model.
+func (e *Env) Compute(d time.Duration) { e.Proc.Sleep(e.Noise.Perturb(d)) }
+
+// File is an open file on the shared filesystem, from the rank's (possibly
+// monitored) point of view.
+type File interface {
+	Write(data []byte) (int, error)
+	Read(buf []byte) (int, error)
+	SeekTo(offset int64) error
+	Close() error
+	Size() int64
+	Name() string
+}
+
+// FileSystem is the per-rank view of the shared parallel filesystem.
+type FileSystem interface {
+	Open(name string, create bool) (File, error)
+	Unlink(name string) error
+}
+
+// bareFS adapts iosim.FS to the per-rank FileSystem view.
+type bareFS struct {
+	fs   *iosim.FS
+	proc *des.Proc
+}
+
+func (b bareFS) Open(name string, create bool) (File, error) {
+	h, err := b.fs.Open(b.proc, name, create)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+func (b bareFS) Unlink(name string) error { return b.fs.Unlink(b.proc, name) }
+
+// monFS adapts the IPM-monitored ipmio.FS.
+type monFS struct {
+	fs   *ipmio.FS
+	proc *des.Proc
+}
+
+func (m monFS) Open(name string, create bool) (File, error) {
+	h, err := m.fs.Open(m.proc, name, create)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+func (m monFS) Unlink(name string) error { return m.fs.Unlink(m.proc, name) }
+
+// Result is the outcome of one job run.
+type Result struct {
+	Wallclock time.Duration
+	// Profile is the aggregated IPM job profile (nil when unmonitored).
+	Profile *ipm.JobProfile
+	// Profilers holds one CUDA profiler per node when CUDAProfile is set.
+	Profilers []*cudaprof.Profiler
+	// Counters holds one counter component per node when Counters is set.
+	Counters []*gpucounters.Component
+}
+
+// Run executes app once on the configured cluster and returns the result.
+func Run(cfg Config, app func(env *Env)) (*Result, error) {
+	if cfg.Nodes <= 0 || cfg.RanksPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: bad layout %d nodes x %d ranks", cfg.Nodes, cfg.RanksPerNode)
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = 10 * time.Hour
+	}
+	size := cfg.Nodes * cfg.RanksPerNode
+	eng := des.NewEngine()
+
+	devices := make([]*gpusim.Device, cfg.Nodes)
+	profilers := make([]*cudaprof.Profiler, 0, cfg.Nodes)
+	counters := make([]*gpucounters.Component, 0, cfg.Nodes)
+	for i := range devices {
+		devices[i] = gpusim.NewDevice(eng, cfg.GPU)
+		if cfg.CUDAProfile {
+			profilers = append(profilers, cudaprof.Attach(devices[i]))
+		}
+		if cfg.Counters {
+			counters = append(counters, gpucounters.Attach(devices[i]))
+		}
+	}
+
+	world, err := mpisim.NewWorld(eng, mpisim.Config{Size: size, Net: cfg.Net, RanksPerNode: cfg.RanksPerNode})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.FS.BandwidthGBs == 0 {
+		cfg.FS = iosim.GPFSScratch()
+	}
+	sharedFS := iosim.NewFS(eng, cfg.FS)
+
+	monitors := make([]*ipm.Monitor, size)
+	for rank := 0; rank < size; rank++ {
+		rank := rank
+		node := world.NodeOf(rank)
+		eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *des.Proc) {
+			env := &Env{
+				Rank:  rank,
+				Size:  size,
+				Node:  node,
+				Proc:  p,
+				Dev:   devices[node],
+				Noise: noise.New(cfg.NoiseSeed*1000003+int64(rank), cfg.NoiseAmp),
+			}
+			rt := cudart.NewRuntime(p, devices[node], cfg.Runtime)
+			comm, err := world.Attach(rank, p)
+			if err != nil {
+				panic(err)
+			}
+			env.CUDA = rt
+			env.MPI = comm
+			env.FS = bareFS{fs: sharedFS, proc: p}
+			if cfg.Monitor {
+				host := fmt.Sprintf("dirac%d", node+1)
+				mon := ipm.NewMonitor(rank, host, cfg.Command, p.Now, cfg.TableSize)
+				mon.Start()
+				monitors[rank] = mon
+				env.IPM = mon
+				env.cudaMon = ipmcuda.Wrap(rt, mon, p, cfg.CUDA)
+				env.CUDA = env.cudaMon
+				env.MPI = ipmmpi.Wrap(comm, mon)
+				env.FS = monFS{fs: ipmio.Wrap(sharedFS, mon), proc: p}
+				env.ompMon = ipmomp.Wrap(mon)
+			}
+			h := cublas.NewHandle(env.CUDA)
+			h.SetCostOnly(cfg.LibCostOnly)
+			env.BLAS = h
+			fftLib := cufft.New(env.CUDA)
+			fftLib.SetCostOnly(cfg.LibCostOnly)
+			env.FFT = fftLib
+			if cfg.Monitor {
+				env.BLAS = ipmblas.WrapBLAS(h, monitors[rank])
+				env.FFT = ipmblas.WrapFFT(env.FFT, monitors[rank])
+			}
+
+			app(env)
+
+			if env.cudaMon != nil {
+				env.cudaMon.Flush()
+			}
+			if monitors[rank] != nil {
+				monitors[rank].Stop()
+			}
+		})
+	}
+
+	if err := eng.RunFor(cfg.Horizon); err != nil {
+		return nil, fmt.Errorf("cluster: run: %w", err)
+	}
+
+	res := &Result{Wallclock: eng.Now(), Profilers: profilers, Counters: counters}
+	if cfg.Monitor {
+		ranks := make([]ipm.RankProfile, size)
+		for i, m := range monitors {
+			ranks[i] = ipm.Snapshot(m)
+		}
+		res.Profile = ipm.NewJobProfile(cfg.Command, cfg.Nodes, ranks)
+	}
+	return res, nil
+}

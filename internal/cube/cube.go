@@ -1,0 +1,225 @@
+// Package cube converts IPM job profiles to the CUBE format used by the
+// Scalasca tool set (paper Section II: ipm_parse can emit CUBE for
+// interactive exploration, the view shown in Fig. 9).
+//
+// The writer emits the CUBE 3.0 XML structure: a metric tree (time and
+// call counts), a program tree (one region/cnode per monitored function,
+// grouped under their IPM region), a system tree (machine -> node ->
+// process), and the severity matrix holding, for every (metric, cnode,
+// process) triple, that rank's value — which is exactly the per-kernel,
+// per-stream, per-rank breakdown the paper uses to spot imbalance.
+package cube
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ipmgo/internal/ipm"
+)
+
+// Doc is the CUBE 3.0 document.
+type Doc struct {
+	XMLName xml.Name `xml:"cube"`
+	Version string   `xml:"version,attr"`
+	Attrs   []Attr   `xml:"attr"`
+	Metrics []Metric `xml:"metrics>metric"`
+	Regions []Region `xml:"program>region"`
+	Cnodes  []Cnode  `xml:"program>cnode"`
+	System  System   `xml:"system"`
+	Matrix  []Matrix `xml:"severity>matrix"`
+}
+
+// Attr is a document attribute.
+type Attr struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// Metric describes one measured quantity.
+type Metric struct {
+	ID       int    `xml:"id,attr"`
+	DispName string `xml:"disp_name"`
+	UniqName string `xml:"uniq_name"`
+	DType    string `xml:"dtype"`
+	UOM      string `xml:"uom"`
+}
+
+// Region is a source-level region (here: a monitored function).
+type Region struct {
+	ID   int    `xml:"id,attr"`
+	Name string `xml:"name"`
+	Mod  string `xml:"mod"`
+}
+
+// Cnode is a call-tree node referencing a region.
+type Cnode struct {
+	ID       int     `xml:"id,attr"`
+	CalleeID int     `xml:"calleeId,attr"`
+	Children []Cnode `xml:"cnode"`
+}
+
+// System is the machine/node/process tree.
+type System struct {
+	Machine Machine `xml:"machine"`
+}
+
+// Machine is the cluster.
+type Machine struct {
+	Name  string `xml:"name"`
+	Nodes []Node `xml:"node"`
+}
+
+// Node is one cluster node hosting processes.
+type Node struct {
+	Name  string    `xml:"name"`
+	Procs []Process `xml:"process"`
+}
+
+// Process is one MPI rank.
+type Process struct {
+	Rank int    `xml:"rank"`
+	Name string `xml:"name"`
+}
+
+// Matrix holds one metric's severity rows.
+type Matrix struct {
+	MetricID int   `xml:"metricId,attr"`
+	Rows     []Row `xml:"row"`
+}
+
+// Row holds one cnode's per-process values, newline separated as in CUBE.
+type Row struct {
+	CnodeID int    `xml:"cnodeId,attr"`
+	Values  string `xml:",chardata"`
+}
+
+// FromProfile converts a job profile into a CUBE document. Functions are
+// grouped per IPM region; each distinct function name becomes one region
+// and one cnode.
+func FromProfile(jp *ipm.JobProfile) *Doc {
+	doc := &Doc{
+		Version: "3.0",
+		Attrs: []Attr{
+			{Key: "CUBE_CT_AGGR", Value: "NONE"},
+			{Key: "command", Value: jp.Command},
+		},
+		Metrics: []Metric{
+			{ID: 0, DispName: "Time", UniqName: "time", DType: "FLOAT", UOM: "sec"},
+			{ID: 1, DispName: "Visits", UniqName: "visits", DType: "INTEGER", UOM: "occ"},
+		},
+	}
+
+	// Collect the distinct (region, name) pairs across all ranks, sorted
+	// for a deterministic document.
+	type key struct{ region, name string }
+	seen := make(map[key]bool)
+	var keys []key
+	for _, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			k := key{e.Sig.Region, e.Sig.Name}
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].region != keys[j].region {
+			return keys[i].region < keys[j].region
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	cnodeOf := make(map[key]int, len(keys))
+	for i, k := range keys {
+		mod := k.region
+		if mod == "" {
+			mod = "ipm_global"
+		}
+		doc.Regions = append(doc.Regions, Region{ID: i, Name: k.name, Mod: mod})
+		doc.Cnodes = append(doc.Cnodes, Cnode{ID: i, CalleeID: i})
+		cnodeOf[k] = i
+	}
+
+	// System tree: group ranks by host.
+	hostRanks := make(map[string][]int)
+	var hosts []string
+	for _, r := range jp.Ranks {
+		if _, ok := hostRanks[r.Host]; !ok {
+			hosts = append(hosts, r.Host)
+		}
+		hostRanks[r.Host] = append(hostRanks[r.Host], r.Rank)
+	}
+	sort.Strings(hosts)
+	doc.System.Machine.Name = "Dirac (simulated)"
+	for _, h := range hosts {
+		n := Node{Name: h}
+		for _, rank := range hostRanks[h] {
+			n.Procs = append(n.Procs, Process{Rank: rank, Name: fmt.Sprintf("rank %d", rank)})
+		}
+		doc.System.Machine.Nodes = append(doc.System.Machine.Nodes, n)
+	}
+
+	// Severity matrices: time (seconds) and visits, one value per rank in
+	// rank order.
+	nt := len(jp.Ranks)
+	times := make([][]float64, len(keys))
+	visits := make([][]int64, len(keys))
+	for i := range keys {
+		times[i] = make([]float64, nt)
+		visits[i] = make([]int64, nt)
+	}
+	for ri, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			i := cnodeOf[key{e.Sig.Region, e.Sig.Name}]
+			times[i][ri] += e.Stats.Total.Seconds()
+			visits[i][ri] += e.Stats.Count
+		}
+	}
+	timeM := Matrix{MetricID: 0}
+	visitM := Matrix{MetricID: 1}
+	for i := range keys {
+		var tb, vb strings.Builder
+		for ri := 0; ri < nt; ri++ {
+			if ri > 0 {
+				tb.WriteByte('\n')
+				vb.WriteByte('\n')
+			}
+			fmt.Fprintf(&tb, "%.9f", times[i][ri])
+			fmt.Fprintf(&vb, "%d", visits[i][ri])
+		}
+		timeM.Rows = append(timeM.Rows, Row{CnodeID: i, Values: tb.String()})
+		visitM.Rows = append(visitM.Rows, Row{CnodeID: i, Values: vb.String()})
+	}
+	doc.Matrix = []Matrix{timeM, visitM}
+	return doc
+}
+
+// Write emits the profile as CUBE XML.
+func Write(w io.Writer, jp *ipm.JobProfile) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(FromProfile(jp)); err != nil {
+		return fmt.Errorf("cube: encode: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Parse reads a CUBE document (used by tests and tooling round trips).
+func Parse(r io.Reader) (*Doc, error) {
+	var doc Doc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("cube: parse: %w", err)
+	}
+	return &doc, nil
+}

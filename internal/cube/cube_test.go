@@ -1,0 +1,110 @@
+package cube
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+func sampleProfile() *ipm.JobProfile {
+	mk := func(rank int, host string, kernelTime time.Duration) ipm.RankProfile {
+		return ipm.RankProfile{
+			Rank:      rank,
+			Host:      host,
+			Wallclock: 10 * time.Second,
+			Entries: []ipm.Entry{
+				{Sig: ipm.Sig{Name: "@CUDA_EXEC_STRM00:dgemm_nn_e_kernel"},
+					Stats: ipm.Stats{Count: 5, Total: kernelTime, Min: time.Millisecond, Max: time.Second}},
+				{Sig: ipm.Sig{Name: "MPI_Allreduce", Bytes: 64},
+					Stats: ipm.Stats{Count: 3, Total: 300 * time.Millisecond, Min: 100 * time.Millisecond, Max: 100 * time.Millisecond}},
+			},
+		}
+	}
+	return ipm.NewJobProfile("xhpl.cuda", 2, []ipm.RankProfile{
+		mk(0, "dirac1", 2*time.Second),
+		mk(1, "dirac2", 3*time.Second),
+	})
+}
+
+func TestFromProfileStructure(t *testing.T) {
+	doc := FromProfile(sampleProfile())
+	if doc.Version != "3.0" {
+		t.Errorf("version = %s", doc.Version)
+	}
+	if len(doc.Metrics) != 2 || doc.Metrics[0].UniqName != "time" || doc.Metrics[1].UniqName != "visits" {
+		t.Errorf("metrics = %+v", doc.Metrics)
+	}
+	if len(doc.Regions) != 2 || len(doc.Cnodes) != 2 {
+		t.Fatalf("regions/cnodes = %d/%d, want 2/2", len(doc.Regions), len(doc.Cnodes))
+	}
+	if len(doc.System.Machine.Nodes) != 2 {
+		t.Errorf("system nodes = %d", len(doc.System.Machine.Nodes))
+	}
+	if len(doc.Matrix) != 2 {
+		t.Fatalf("matrices = %d", len(doc.Matrix))
+	}
+	// Every cnode has a row with one value per rank.
+	for _, m := range doc.Matrix {
+		if len(m.Rows) != 2 {
+			t.Fatalf("metric %d rows = %d", m.MetricID, len(m.Rows))
+		}
+		for _, row := range m.Rows {
+			if n := len(strings.Split(row.Values, "\n")); n != 2 {
+				t.Errorf("row %d has %d values, want 2", row.CnodeID, n)
+			}
+		}
+	}
+}
+
+func TestSeverityValuesPerRank(t *testing.T) {
+	doc := FromProfile(sampleProfile())
+	// Find the kernel cnode (sorted: @CUDA... before MPI_...).
+	if doc.Regions[0].Name != "@CUDA_EXEC_STRM00:dgemm_nn_e_kernel" {
+		t.Fatalf("region order: %+v", doc.Regions)
+	}
+	row := doc.Matrix[0].Rows[0]
+	vals := strings.Split(row.Values, "\n")
+	if vals[0] != "2.000000000" || vals[1] != "3.000000000" {
+		t.Errorf("per-rank kernel times = %v", vals)
+	}
+	visits := strings.Split(doc.Matrix[1].Rows[0].Values, "\n")
+	if visits[0] != "5" || visits[1] != "5" {
+		t.Errorf("per-rank visits = %v", visits)
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := Write(&sb, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "<cube version=\"3.0\">") {
+		t.Error("missing cube root")
+	}
+	doc, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Regions) != 2 || len(doc.Matrix) != 2 {
+		t.Errorf("round trip lost structure: %d regions, %d matrices", len(doc.Regions), len(doc.Matrix))
+	}
+	if _, err := Parse(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b strings.Builder
+	if err := Write(&a, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("nondeterministic CUBE output")
+	}
+}

@@ -1,0 +1,229 @@
+package cublas
+
+import (
+	"fmt"
+	"math"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/perfmodel"
+)
+
+// Level-1 and level-2 BLAS. These kernels are memory-bandwidth bound; the
+// cost models charge the bytes each touches at an achievable fraction of
+// peak bandwidth (CUBLAS level-1 kernels typically reach ~70-80%).
+
+const l1Eff = 0.75
+
+func vecCost(bytes int64) perfmodel.KernelCost {
+	return perfmodel.KernelCost{MemBytes: float64(bytes), Efficiency: l1Eff, Floor: 3e3} // 3us floor
+}
+
+func checkVec(n, incx, incy int) error {
+	if n < 0 {
+		return fmt.Errorf("cublas: negative length %d", n)
+	}
+	if incx != 1 || incy != 1 {
+		return fmt.Errorf("cublas: only unit strides supported (incx=%d incy=%d)", incx, incy)
+	}
+	return nil
+}
+
+// Daxpy computes y += alpha*x (cublasDaxpy).
+func (h *Handle) Daxpy(n int, alpha float64, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
+	if err := checkVec(n, incx, incy); err != nil {
+		return err
+	}
+	fn := &cudart.Func{
+		Name:      "daxpy_kernel",
+		FixedCost: vecCost(int64(n) * 24), // read x, read y, write y
+		Body: func(ctx cudart.LaunchContext) {
+			xv, err1 := f64(ctx.Dev, x, n)
+			yv, err2 := f64(ctx.Dev, y, n)
+			if err1 != nil || err2 != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				yv.Set(i, yv.At(i)+alpha*xv.At(i))
+			}
+		},
+	}
+	return h.launch(fn, n, 1)
+}
+
+// Dscal computes x *= alpha (cublasDscal).
+func (h *Handle) Dscal(n int, alpha float64, x cudart.DevPtr, incx int) error {
+	if err := checkVec(n, incx, 1); err != nil {
+		return err
+	}
+	fn := &cudart.Func{
+		Name:      "dscal_kernel",
+		FixedCost: vecCost(int64(n) * 16),
+		Body: func(ctx cudart.LaunchContext) {
+			xv, err := f64(ctx.Dev, x, n)
+			if err != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				xv.Set(i, alpha*xv.At(i))
+			}
+		},
+	}
+	return h.launch(fn, n, 1)
+}
+
+// Dcopy copies x into y (cublasDcopy).
+func (h *Handle) Dcopy(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
+	if err := checkVec(n, incx, incy); err != nil {
+		return err
+	}
+	fn := &cudart.Func{
+		Name:      "dcopy_kernel",
+		FixedCost: vecCost(int64(n) * 16),
+		Body: func(ctx cudart.LaunchContext) {
+			xv, err1 := f64(ctx.Dev, x, n)
+			yv, err2 := f64(ctx.Dev, y, n)
+			if err1 != nil || err2 != nil {
+				return
+			}
+			for i := 0; i < n; i++ {
+				yv.Set(i, xv.At(i))
+			}
+		},
+	}
+	return h.launch(fn, n, 1)
+}
+
+// Ddot returns x . y (cublasDdot). The result is produced on the device
+// and fetched with a blocking transfer, so the call synchronises like the
+// real library.
+func (h *Handle) Ddot(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) (float64, error) {
+	if err := checkVec(n, incx, incy); err != nil {
+		return 0, err
+	}
+	fn := &cudart.Func{
+		Name:      "ddot_kernel",
+		FixedCost: vecCost(int64(n) * 16),
+		Body: func(ctx cudart.LaunchContext) {
+			out := ctx.Args.Arg(len(ctx.Args) - 1).(cudart.DevPtr)
+			xv, err1 := f64(ctx.Dev, x, n)
+			yv, err2 := f64(ctx.Dev, y, n)
+			ov, err3 := f64(ctx.Dev, out, 1)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return
+			}
+			var s float64
+			for i := 0; i < n; i++ {
+				s += xv.At(i) * yv.At(i)
+			}
+			ov.Set(0, s)
+		},
+	}
+	return h.scalarResult(fn)
+}
+
+// Dnrm2 returns the Euclidean norm of x (cublasDnrm2).
+func (h *Handle) Dnrm2(n int, x cudart.DevPtr, incx int) (float64, error) {
+	if err := checkVec(n, incx, 1); err != nil {
+		return 0, err
+	}
+	fn := &cudart.Func{
+		Name:      "dnrm2_kernel",
+		FixedCost: vecCost(int64(n) * 8),
+		Body: func(ctx cudart.LaunchContext) {
+			out := ctx.Args.Arg(len(ctx.Args) - 1).(cudart.DevPtr)
+			xv, err1 := f64(ctx.Dev, x, n)
+			ov, err2 := f64(ctx.Dev, out, 1)
+			if err1 != nil || err2 != nil {
+				return
+			}
+			var s float64
+			for i := 0; i < n; i++ {
+				v := xv.At(i)
+				s += v * v
+			}
+			ov.Set(0, math.Sqrt(s))
+		},
+	}
+	return h.scalarResult(fn)
+}
+
+// Idamax returns the 1-based index of the element of maximum absolute
+// value (cublasIdamax), following the BLAS convention.
+func (h *Handle) Idamax(n int, x cudart.DevPtr, incx int) (int, error) {
+	if err := checkVec(n, incx, 1); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	fn := &cudart.Func{
+		Name:      "idamax_kernel",
+		FixedCost: vecCost(int64(n) * 8),
+		Body: func(ctx cudart.LaunchContext) {
+			out := ctx.Args.Arg(len(ctx.Args) - 1).(cudart.DevPtr)
+			xv, err1 := f64(ctx.Dev, x, n)
+			ov, err2 := f64(ctx.Dev, out, 1)
+			if err1 != nil || err2 != nil {
+				return
+			}
+			best, bestIdx := math.Abs(xv.At(0)), 0
+			for i := 1; i < n; i++ {
+				if a := math.Abs(xv.At(i)); a > best {
+					best, bestIdx = a, i
+				}
+			}
+			ov.Set(0, float64(bestIdx+1))
+		},
+	}
+	v, err := h.scalarResult(fn)
+	return int(v), err
+}
+
+// Dgemv computes y = alpha*op(A)*x + beta*y (cublasDgemv), column-major.
+func (h *Handle) Dgemv(trans byte, m, n int, alpha float64, a cudart.DevPtr, lda int,
+	x cudart.DevPtr, incx int, beta float64, y cudart.DevPtr, incy int) error {
+	if lda != m {
+		return fmt.Errorf("cublas: dgemv requires lda == m")
+	}
+	if err := checkVec(m, incx, incy); err != nil {
+		return err
+	}
+	if trans != 'N' && trans != 'T' {
+		return fmt.Errorf("cublas: dgemv trans %q", trans)
+	}
+	rows, cols := m, n
+	if trans == 'T' {
+		rows, cols = n, m
+	}
+	fn := &cudart.Func{
+		Name: "dgemv_kernel",
+		FixedCost: perfmodel.KernelCost{
+			FLOPs:      2 * float64(m) * float64(n),
+			MemBytes:   8 * float64(m) * float64(n),
+			Efficiency: l1Eff,
+			Floor:      5e3,
+		},
+		Body: func(ctx cudart.LaunchContext) {
+			av, err1 := f64(ctx.Dev, a, m*n)
+			xv, err2 := f64(ctx.Dev, x, cols)
+			yv, err3 := f64(ctx.Dev, y, rows)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return
+			}
+			for i := 0; i < rows; i++ {
+				var s float64
+				for j := 0; j < cols; j++ {
+					var aij float64
+					if trans == 'N' {
+						aij = av.At(i + j*m) // A[i,j]
+					} else {
+						aij = av.At(j + i*m) // A[j,i]
+					}
+					s += aij * xv.At(j)
+				}
+				yv.Set(i, alpha*s+beta*yv.At(i))
+			}
+		},
+	}
+	return h.launch(fn, rows, 1)
+}

@@ -1,0 +1,218 @@
+package cublas
+
+import (
+	"fmt"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/perfmodel"
+)
+
+// Level-3 BLAS. Matrix-matrix kernels are compute bound; Fermi-generation
+// CUBLAS dgemm reaches ~55-60% of double-precision peak, zgemm a bit more.
+
+const gemmEff = 0.58
+
+// dgemmKernelName mirrors the kernel naming of Fermi CUBLAS (the paper's
+// Fig. 9 lists dgemm_nn_e_kernel and dgemm_nt_tex_kernel inside HPL).
+func dgemmKernelName(ta, tb byte) string {
+	suffix := func(t byte) string {
+		if t == 'T' || t == 'C' {
+			return "t"
+		}
+		return "n"
+	}
+	return "dgemm_" + suffix(ta) + suffix(tb) + "_kernel"
+}
+
+func checkTrans(t byte) error {
+	switch t {
+	case 'N', 'T', 'C':
+		return nil
+	}
+	return fmt.Errorf("cublas: invalid transpose option %q", t)
+}
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C (cublasDgemm),
+// column-major: op(A) is m x k, op(B) is k x n, C is m x n.
+func (h *Handle) Dgemm(ta, tb byte, m, n, k int, alpha float64, a cudart.DevPtr, lda int,
+	b cudart.DevPtr, ldb int, beta float64, c cudart.DevPtr, ldc int) error {
+	if err := checkTrans(ta); err != nil {
+		return err
+	}
+	if err := checkTrans(tb); err != nil {
+		return err
+	}
+	arows, brows := m, k
+	if ta != 'N' {
+		arows = k
+	}
+	if tb != 'N' {
+		brows = n
+	}
+	if lda != arows || ldb != brows || ldc != m {
+		return fmt.Errorf("cublas: dgemm requires contiguous leading dimensions")
+	}
+	fn := &cudart.Func{
+		Name: dgemmKernelName(ta, tb),
+		FixedCost: perfmodel.KernelCost{
+			FLOPs:      2 * float64(m) * float64(n) * float64(k),
+			MemBytes:   8 * (float64(m)*float64(k) + float64(k)*float64(n) + 2*float64(m)*float64(n)),
+			Efficiency: gemmEff,
+			Floor:      10e3,
+		},
+		Body: func(ctx cudart.LaunchContext) {
+			acols := k
+			if ta != 'N' {
+				acols = m
+			}
+			bcols := n
+			if tb != 'N' {
+				bcols = k
+			}
+			A, e1 := f64(ctx.Dev, a, arows*acols)
+			B, e2 := f64(ctx.Dev, b, brows*bcols)
+			C, e3 := f64(ctx.Dev, c, m*n)
+			if e1 != nil || e2 != nil || e3 != nil {
+				return
+			}
+			at := func(i, l int) float64 { // op(A)[i,l]
+				if ta == 'N' {
+					return A.At(i + l*arows)
+				}
+				return A.At(l + i*arows)
+			}
+			bt := func(l, j int) float64 { // op(B)[l,j]
+				if tb == 'N' {
+					return B.At(l + j*brows)
+				}
+				return B.At(j + l*brows)
+			}
+			for j := 0; j < n; j++ {
+				for i := 0; i < m; i++ {
+					var s float64
+					for l := 0; l < k; l++ {
+						s += at(i, l) * bt(l, j)
+					}
+					C.Set(i+j*m, alpha*s+beta*C.At(i+j*m))
+				}
+			}
+		},
+	}
+	return h.launch(fn, m, n)
+}
+
+// Dtrsm solves op(A)*X = alpha*B (side 'L') or X*op(A) = alpha*B (side
+// 'R') for X, overwriting B (cublasDtrsm). A is triangular (uplo 'U' or
+// 'L'), optionally unit-diagonal (diag 'U').
+func (h *Handle) Dtrsm(side, uplo, trans, diag byte, m, n int, alpha float64,
+	a cudart.DevPtr, lda int, b cudart.DevPtr, ldb int) error {
+	if side != 'L' && side != 'R' {
+		return fmt.Errorf("cublas: dtrsm side %q", side)
+	}
+	if uplo != 'U' && uplo != 'L' {
+		return fmt.Errorf("cublas: dtrsm uplo %q", uplo)
+	}
+	if err := checkTrans(trans); err != nil {
+		return err
+	}
+	if diag != 'U' && diag != 'N' {
+		return fmt.Errorf("cublas: dtrsm diag %q", diag)
+	}
+	asize := m
+	if side == 'R' {
+		asize = n
+	}
+	if lda != asize || ldb != m {
+		return fmt.Errorf("cublas: dtrsm requires contiguous leading dimensions")
+	}
+	fn := &cudart.Func{
+		Name: "dtrsm_gpu_64_mm", // the HPL kernel name from the paper's Fig. 9
+		FixedCost: perfmodel.KernelCost{
+			FLOPs:      float64(asize) * float64(asize) * float64(m*n) / float64(asize),
+			MemBytes:   8 * (float64(asize)*float64(asize)/2 + 2*float64(m)*float64(n)),
+			Efficiency: gemmEff * 0.7, // trsm runs below gemm efficiency
+			Floor:      10e3,
+		},
+		Body: func(ctx cudart.LaunchContext) {
+			A, e1 := f64(ctx.Dev, a, asize*asize)
+			B, e2 := f64(ctx.Dev, b, m*n)
+			if e1 != nil || e2 != nil {
+				return
+			}
+			// Effective element access with transpose folded in.
+			at := func(i, j int) float64 {
+				if trans == 'N' {
+					return A.At(i + j*asize)
+				}
+				return A.At(j + i*asize)
+			}
+			// lower reports whether the *effective* matrix is lower
+			// triangular (transposing flips it).
+			lower := uplo == 'L'
+			if trans != 'N' {
+				lower = !lower
+			}
+			unit := diag == 'U'
+			if side == 'L' {
+				// Solve op(A) X = alpha B column by column.
+				for j := 0; j < n; j++ {
+					col := func(i int) float64 { return B.At(i + j*m) }
+					setc := func(i int, v float64) { B.Set(i+j*m, v) }
+					if lower {
+						for i := 0; i < m; i++ {
+							s := alpha * col(i)
+							for l := 0; l < i; l++ {
+								s -= at(i, l) * col(l)
+							}
+							if !unit {
+								s /= at(i, i)
+							}
+							setc(i, s)
+						}
+					} else {
+						for i := m - 1; i >= 0; i-- {
+							s := alpha * col(i)
+							for l := i + 1; l < m; l++ {
+								s -= at(i, l) * col(l)
+							}
+							if !unit {
+								s /= at(i, i)
+							}
+							setc(i, s)
+						}
+					}
+				}
+			} else {
+				// Solve X op(A) = alpha B row by row over columns of X.
+				if lower {
+					for j := n - 1; j >= 0; j-- {
+						for i := 0; i < m; i++ {
+							s := alpha * B.At(i+j*m)
+							for l := j + 1; l < n; l++ {
+								s -= B.At(i+l*m) * at(l, j)
+							}
+							if !unit {
+								s /= at(j, j)
+							}
+							B.Set(i+j*m, s)
+						}
+					}
+				} else {
+					for j := 0; j < n; j++ {
+						for i := 0; i < m; i++ {
+							s := alpha * B.At(i+j*m)
+							for l := 0; l < j; l++ {
+								s -= B.At(i+l*m) * at(l, j)
+							}
+							if !unit {
+								s /= at(j, j)
+							}
+							B.Set(i+j*m, s)
+						}
+					}
+				}
+			}
+		},
+	}
+	return h.launch(fn, m, n)
+}

@@ -1,0 +1,200 @@
+// Package cublas simulates NVIDIA's CUBLAS library (the CUDA-3.x v1 API
+// the paper monitors: cublasInit, cublasSetMatrix, cublasDgemm, ...) on
+// top of the simulated CUDA runtime.
+//
+// The library is functional: matrices really live in simulated device
+// memory (column-major, as in BLAS/Fortran) and the kernels really
+// compute, while execution time comes from roofline cost models of the
+// Fermi-generation CUBLAS kernels. All device work is issued through a
+// cudart.API value, so when IPM interposes on the runtime the library's
+// internal transfers and launches are monitored exactly as on a real
+// system; interposing on the library itself is internal/ipmblas.
+package cublas
+
+import (
+	"fmt"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/gpusim"
+)
+
+// BLAS is the CUBLAS call surface applications and the thunking wrappers
+// program against — the interposition seam for internal/ipmblas.
+type BLAS interface {
+	// Memory helpers (cublasAlloc / cublasFree).
+	Alloc(n, elemSize int) (cudart.DevPtr, error)
+	Free(p cudart.DevPtr) error
+
+	// Blocking host<->device data movement.
+	SetMatrix(rows, cols, elemSize int, src []byte, lda int, dst cudart.DevPtr, ldb int) error
+	GetMatrix(rows, cols, elemSize int, src cudart.DevPtr, lda int, dst []byte, ldb int) error
+	SetVector(n, elemSize int, src []byte, incx int, dst cudart.DevPtr, incy int) error
+	GetVector(n, elemSize int, src cudart.DevPtr, incx int, dst []byte, incy int) error
+
+	// Level 1.
+	Daxpy(n int, alpha float64, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error
+	Dscal(n int, alpha float64, x cudart.DevPtr, incx int) error
+	Dcopy(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error
+	Ddot(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) (float64, error)
+	Dnrm2(n int, x cudart.DevPtr, incx int) (float64, error)
+	Idamax(n int, x cudart.DevPtr, incx int) (int, error)
+
+	// Level 2.
+	Dgemv(trans byte, m, n int, alpha float64, a cudart.DevPtr, lda int,
+		x cudart.DevPtr, incx int, beta float64, y cudart.DevPtr, incy int) error
+
+	// Level 3.
+	Dgemm(ta, tb byte, m, n, k int, alpha float64, a cudart.DevPtr, lda int,
+		b cudart.DevPtr, ldb int, beta float64, c cudart.DevPtr, ldc int) error
+	Zgemm(ta, tb byte, m, n, k int, alpha complex128, a cudart.DevPtr, lda int,
+		b cudart.DevPtr, ldb int, beta complex128, c cudart.DevPtr, ldc int) error
+	Dtrsm(side, uplo, trans, diag byte, m, n int, alpha float64,
+		a cudart.DevPtr, lda int, b cudart.DevPtr, ldb int) error
+
+	// Shutdown releases the library (cublasShutdown).
+	Shutdown() error
+}
+
+// Handle is the concrete CUBLAS implementation.
+type Handle struct {
+	api      cudart.API
+	costOnly bool
+}
+
+var _ BLAS = (*Handle)(nil)
+
+// NewHandle creates a CUBLAS handle without touching the device; the CUDA
+// context is initialised lazily by the first real call, as applications
+// observe (the paper's Fig. 4 shows the cost inside the first cudaMalloc).
+func NewHandle(api cudart.API) *Handle { return &Handle{api: api} }
+
+// Init initialises CUBLAS on the runtime (cublasInit), eagerly touching
+// the device so context creation is paid here.
+func Init(api cudart.API) (*Handle, error) {
+	if _, _, err := api.MemGetInfo(); err != nil {
+		return nil, fmt.Errorf("cublas: init: %w", err)
+	}
+	return NewHandle(api), nil
+}
+
+// Shutdown releases the library.
+func (h *Handle) Shutdown() error { return nil }
+
+// SetCostOnly disables the functional payload of subsequent kernels: the
+// timing model still runs, but no arithmetic is performed. Large workload
+// models use this to keep simulation cost independent of problem size.
+func (h *Handle) SetCostOnly(v bool) { h.costOnly = v }
+
+// Alloc allocates an n-element device buffer (cublasAlloc).
+func (h *Handle) Alloc(n, elemSize int) (cudart.DevPtr, error) {
+	if n < 0 || elemSize <= 0 {
+		return cudart.DevPtr{}, fmt.Errorf("cublas: bad alloc %d x %d", n, elemSize)
+	}
+	return h.api.Malloc(int64(n) * int64(elemSize))
+}
+
+// Free releases a device buffer (cublasFree).
+func (h *Handle) Free(p cudart.DevPtr) error { return h.api.Free(p) }
+
+func checkLD(rows, lda, ldb int) error {
+	if lda != rows || ldb != rows {
+		return fmt.Errorf("cublas: only contiguous leading dimensions supported (rows=%d lda=%d ldb=%d)", rows, lda, ldb)
+	}
+	return nil
+}
+
+// SetMatrix copies a host matrix to the device (cublasSetMatrix) — a
+// blocking transfer, and the dominant cost of the thunking path the paper
+// measures for PARATEC.
+func (h *Handle) SetMatrix(rows, cols, elemSize int, src []byte, lda int, dst cudart.DevPtr, ldb int) error {
+	if err := checkLD(rows, lda, ldb); err != nil {
+		return err
+	}
+	n := int64(rows) * int64(cols) * int64(elemSize)
+	return h.api.Memcpy(cudart.DevicePtr(dst), cudart.HostPtr(src), n, cudart.MemcpyHostToDevice)
+}
+
+// GetMatrix copies a device matrix to the host (cublasGetMatrix).
+func (h *Handle) GetMatrix(rows, cols, elemSize int, src cudart.DevPtr, lda int, dst []byte, ldb int) error {
+	if err := checkLD(rows, lda, ldb); err != nil {
+		return err
+	}
+	n := int64(rows) * int64(cols) * int64(elemSize)
+	return h.api.Memcpy(cudart.HostPtr(dst), cudart.DevicePtr(src), n, cudart.MemcpyDeviceToHost)
+}
+
+// SetVector copies a host vector to the device (cublasSetVector).
+func (h *Handle) SetVector(n, elemSize int, src []byte, incx int, dst cudart.DevPtr, incy int) error {
+	if incx != 1 || incy != 1 {
+		return fmt.Errorf("cublas: only unit strides supported")
+	}
+	return h.api.Memcpy(cudart.DevicePtr(dst), cudart.HostPtr(src), int64(n)*int64(elemSize), cudart.MemcpyHostToDevice)
+}
+
+// GetVector copies a device vector to the host (cublasGetVector).
+func (h *Handle) GetVector(n, elemSize int, src cudart.DevPtr, incx int, dst []byte, incy int) error {
+	if incx != 1 || incy != 1 {
+		return fmt.Errorf("cublas: only unit strides supported")
+	}
+	return h.api.Memcpy(cudart.HostPtr(dst), cudart.DevicePtr(src), int64(n)*int64(elemSize), cudart.MemcpyDeviceToHost)
+}
+
+// f64 returns a float64 view of n elements of device memory at p.
+func f64(dev *gpusim.Device, p cudart.DevPtr, n int) (gpusim.F64View, error) {
+	b, err := dev.Bytes(p, gpusim.F64Bytes(n))
+	if err != nil {
+		return gpusim.F64View{}, err
+	}
+	return gpusim.Float64s(b), nil
+}
+
+// c128 returns a complex128 view of n elements of device memory at p.
+func c128(dev *gpusim.Device, p cudart.DevPtr, n int) (gpusim.C128View, error) {
+	b, err := dev.Bytes(p, gpusim.C128Bytes(n))
+	if err != nil {
+		return gpusim.C128View{}, err
+	}
+	return gpusim.Complex128s(b), nil
+}
+
+// launch submits a CUBLAS kernel on the NULL stream through the runtime.
+func (h *Handle) launch(fn *cudart.Func, m, n int) error {
+	if h.costOnly {
+		stripped := *fn
+		stripped.Body = nil
+		fn = &stripped
+	}
+	grid := cudart.Dim3{X: (m + 63) / 64, Y: (n + 15) / 16}
+	if grid.X < 1 {
+		grid.X = 1
+	}
+	if grid.Y < 1 {
+		grid.Y = 1
+	}
+	return h.api.LaunchKernel(fn, grid, cudart.Dim3{X: 64}, 0)
+}
+
+// scalarResult launches a reduction kernel that leaves its float64 result
+// in a temporary device word, then reads it back with a blocking D2H copy
+// (this is why Ddot and friends synchronise the stream, as on real CUBLAS).
+func (h *Handle) scalarResult(fn *cudart.Func) (float64, error) {
+	tmp, err := h.api.Malloc(8)
+	if err != nil {
+		return 0, err
+	}
+	defer h.api.Free(tmp)
+	fnWithOut := *fn
+	inner := fn.Body
+	fnWithOut.Body = func(ctx cudart.LaunchContext) {
+		ctx.Args = append(ctx.Args, tmp)
+		inner(ctx)
+	}
+	if err := h.launch(&fnWithOut, 1, 1); err != nil {
+		return 0, err
+	}
+	out := make([]byte, 8)
+	if err := h.api.Memcpy(cudart.HostPtr(out), cudart.DevicePtr(tmp), 8, cudart.MemcpyDeviceToHost); err != nil {
+		return 0, err
+	}
+	return gpusim.Float64s(out).At(0), nil
+}

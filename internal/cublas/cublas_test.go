@@ -1,0 +1,409 @@
+package cublas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+func fastSpec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.ContextInit = 0
+	s.APICallCost = 0
+	return s
+}
+
+// withHandle runs fn in a host process with a fresh CUBLAS handle.
+func withHandle(t *testing.T, fn func(h *Handle, rt *cudart.Runtime)) time.Duration {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, fastSpec())
+	e.Spawn("host", func(p *des.Proc) {
+		rt := cudart.NewRuntime(p, dev, cudart.Options{})
+		h, err := Init(rt)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer h.Shutdown()
+		fn(h, rt)
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now()
+}
+
+// upload allocates and fills a device buffer with float64 data.
+func upload(t *testing.T, h *Handle, xs []float64) cudart.DevPtr {
+	t.Helper()
+	p, err := h.Alloc(len(xs), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetVector(len(xs), 8, F64ToBytes(xs), 1, p, 1); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func download(t *testing.T, h *Handle, p cudart.DevPtr, n int) []float64 {
+	t.Helper()
+	b := make([]byte, gpusim.F64Bytes(n))
+	if err := h.GetVector(n, 8, p, 1, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, n)
+	BytesToF64(b, out)
+	return out
+}
+
+// refDgemm is the host reference implementation (column-major).
+func refDgemm(ta, tb byte, m, n, k int, alpha float64, a []float64, b []float64, beta float64, c []float64) {
+	arows, brows := m, k
+	if ta != 'N' {
+		arows = k
+	}
+	if tb != 'N' {
+		brows = n
+	}
+	at := func(i, l int) float64 {
+		if ta == 'N' {
+			return a[i+l*arows]
+		}
+		return a[l+i*arows]
+	}
+	bt := func(l, j int) float64 {
+		if tb == 'N' {
+			return b[l+j*brows]
+		}
+		return b[j+l*brows]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += at(i, l) * bt(l, j)
+			}
+			c[i+j*m] = alpha*s + beta*c[i+j*m]
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		if x := math.Abs(a[i] - b[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestDgemmAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n, k = 7, 5, 6
+	for _, ta := range []byte{'N', 'T'} {
+		for _, tb := range []byte{'N', 'T'} {
+			a := randSlice(rng, m*k)
+			b := randSlice(rng, k*n)
+			c := randSlice(rng, m*n)
+			want := append([]float64(nil), c...)
+			refDgemm(ta, tb, m, n, k, 1.5, a, b, -0.5, want)
+			arows, brows := m, k
+			if ta != 'N' {
+				arows = k
+			}
+			if tb != 'N' {
+				brows = n
+			}
+			withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+				da, db, dc := upload(t, h, a), upload(t, h, b), upload(t, h, c)
+				if err := h.Dgemm(ta, tb, m, n, k, 1.5, da, arows, db, brows, -0.5, dc, m); err != nil {
+					t.Fatalf("%c%c: %v", ta, tb, err)
+				}
+				got := download(t, h, dc, m*n)
+				if d := maxAbsDiff(got, want); d > 1e-12 {
+					t.Errorf("dgemm %c%c: max diff %g", ta, tb, d)
+				}
+			})
+		}
+	}
+}
+
+func TestZgemmWithConjugate(t *testing.T) {
+	const m, n, k = 4, 3, 5
+	rng := rand.New(rand.NewSource(2))
+	mk := func(n int) []complex128 {
+		xs := make([]complex128, n)
+		for i := range xs {
+			xs[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		return xs
+	}
+	a, b, c := mk(m*k), mk(k*n), mk(m*n)
+	alpha, beta := complex(1.2, -0.3), complex(0.5, 0.1)
+	// Reference with ta='C' (conj transpose of A stored k x m), tb='N'.
+	want := append([]complex128(nil), c...)
+	aStored := mk(k * m) // A stored as k x m for 'C'
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s complex128
+			for l := 0; l < k; l++ {
+				av := aStored[l+i*k]
+				s += complex(real(av), -imag(av)) * b[l+j*k]
+			}
+			want[i+j*m] = alpha*s + beta*want[i+j*m]
+		}
+	}
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		da, _ := h.Alloc(k*m, 16)
+		db, _ := h.Alloc(k*n, 16)
+		dc, _ := h.Alloc(m*n, 16)
+		h.SetVector(k*m, 16, C128ToBytes(aStored), 1, da, 1)
+		h.SetVector(k*n, 16, C128ToBytes(b), 1, db, 1)
+		h.SetVector(m*n, 16, C128ToBytes(c), 1, dc, 1)
+		if err := h.Zgemm('C', 'N', m, n, k, alpha, da, k, db, k, beta, dc, m); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, gpusim.C128Bytes(m*n))
+		h.GetVector(m*n, 16, dc, 1, out, 1)
+		got := make([]complex128, m*n)
+		BytesToC128(out, got)
+		for i := range got {
+			if math.Abs(real(got[i]-want[i])) > 1e-12 || math.Abs(imag(got[i]-want[i])) > 1e-12 {
+				t.Fatalf("zgemm C/N elem %d: %v vs %v", i, got[i], want[i])
+			}
+		}
+	})
+	_ = a
+	_ = c
+}
+
+func TestDtrsmSolvesSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n = 6, 4
+	for _, side := range []byte{'L', 'R'} {
+		for _, uplo := range []byte{'U', 'L'} {
+			for _, trans := range []byte{'N', 'T'} {
+				for _, diag := range []byte{'N', 'U'} {
+					asize := m
+					if side == 'R' {
+						asize = n
+					}
+					// Well-conditioned triangular A.
+					a := make([]float64, asize*asize)
+					for j := 0; j < asize; j++ {
+						for i := 0; i < asize; i++ {
+							if (uplo == 'L' && i >= j) || (uplo == 'U' && i <= j) {
+								a[i+j*asize] = rng.NormFloat64() * 0.3
+							}
+							if i == j {
+								a[i+j*asize] = 2 + rng.Float64()
+							}
+						}
+					}
+					b := randSlice(rng, m*n)
+					const alpha = 1.25
+					var got []float64
+					withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+						da, dbp := upload(t, h, a), upload(t, h, b)
+						if err := h.Dtrsm(side, uplo, trans, diag, m, n, alpha, da, asize, dbp, m); err != nil {
+							t.Fatalf("%c%c%c%c: %v", side, uplo, trans, diag, err)
+						}
+						got = download(t, h, dbp, m*n)
+					})
+					// Verify op(A)*X = alpha*B (or X*op(A) for side R) by
+					// multiplying back with the effective diagonal.
+					eff := append([]float64(nil), a...)
+					if diag == 'U' {
+						for i := 0; i < asize; i++ {
+							eff[i+i*asize] = 1
+						}
+					}
+					check := make([]float64, m*n)
+					if side == 'L' {
+						refDgemm(trans, 'N', m, n, m, 1, eff, got, 0, check)
+					} else {
+						refDgemm('N', trans, m, n, n, 1, got, eff, 0, check)
+					}
+					for i := range check {
+						if math.Abs(check[i]-alpha*b[i]) > 1e-9 {
+							t.Fatalf("dtrsm %c%c%c%c: residual %g at %d",
+								side, uplo, trans, diag, check[i]-alpha*b[i], i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLevel1Routines(t *testing.T) {
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		x := upload(t, h, []float64{1, -2, 3, -4})
+		y := upload(t, h, []float64{10, 20, 30, 40})
+		if err := h.Daxpy(4, 2, x, 1, y, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := download(t, h, y, 4); got[0] != 12 || got[3] != 32 {
+			t.Errorf("daxpy = %v", got)
+		}
+		if err := h.Dscal(4, -1, x, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := download(t, h, x, 4); got[1] != 2 {
+			t.Errorf("dscal = %v", got)
+		}
+		if err := h.Dcopy(4, x, 1, y, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := download(t, h, y, 4); got[2] != -3 {
+			t.Errorf("dcopy = %v", got)
+		}
+		// x is now {-1, 2, -3, 4}; dot(x,x) = 1+4+9+16 = 30.
+		dot, err := h.Ddot(4, x, 1, x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dot != 30 {
+			t.Errorf("ddot = %v, want 30", dot)
+		}
+		nrm, err := h.Dnrm2(4, x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nrm-math.Sqrt(30)) > 1e-12 {
+			t.Errorf("dnrm2 = %v", nrm)
+		}
+		idx, err := h.Idamax(4, x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 4 { // 1-based index of |4|
+			t.Errorf("idamax = %d, want 4", idx)
+		}
+	})
+}
+
+func TestDgemv(t *testing.T) {
+	const m, n = 3, 2
+	a := []float64{1, 2, 3, 4, 5, 6} // 3x2 col-major: col0={1,2,3}, col1={4,5,6}
+	x := []float64{1, -1}
+	y := []float64{10, 10, 10}
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		da, dx, dy := upload(t, h, a), upload(t, h, x), upload(t, h, y)
+		// y = 2*A*x + 1*y = 2*{-3,-3,-3} + {10,10,10} = {4,4,4}
+		if err := h.Dgemv('N', m, n, 2, da, m, dx, 1, 1, dy, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := download(t, h, dy, 3); got[0] != 4 || got[2] != 4 {
+			t.Errorf("dgemv N = %v", got)
+		}
+		// Transposed: z = A^T * w, w={1,1,1}: {6, 15}.
+		dw := upload(t, h, []float64{1, 1, 1})
+		dz := upload(t, h, []float64{0, 0})
+		if err := h.Dgemv('T', m, n, 1, da, m, dw, 1, 0, dz, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := download(t, h, dz, 2); got[0] != 6 || got[1] != 15 {
+			t.Errorf("dgemv T = %v", got)
+		}
+	})
+}
+
+func TestThunkingWrappers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const m, n, k = 8, 6, 7
+	a, b, c := randSlice(rng, m*k), randSlice(rng, k*n), randSlice(rng, m*n)
+	want := append([]float64(nil), c...)
+	refDgemm('N', 'N', m, n, k, 1, a, b, 0.25, want)
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		if err := DgemmThunk(h, 'N', 'N', m, n, k, 1, a, m, b, k, 0.25, c, m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if d := maxAbsDiff(c, want); d > 1e-12 {
+		t.Errorf("thunk dgemm max diff %g", d)
+	}
+
+	// Zgemm thunk.
+	za := []complex128{1 + 1i, 2, 3, 4i} // 2x2
+	zb := []complex128{1, 1i, -1i, 1}    // 2x2
+	zc := []complex128{0, 0, 0, 0}       // 2x2
+	wantZ := make([]complex128, 4)       // A*B
+	for j := 0; j < 2; j++ {             // reference
+		for i := 0; i < 2; i++ {
+			var s complex128
+			for l := 0; l < 2; l++ {
+				s += za[i+l*2] * zb[l+j*2]
+			}
+			wantZ[i+j*2] = s
+		}
+	}
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		if err := ZgemmThunk(h, 'N', 'N', 2, 2, 2, 1, za, 2, zb, 2, 0, zc, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for i := range zc {
+		if zc[i] != wantZ[i] {
+			t.Errorf("thunk zgemm elem %d = %v, want %v", i, zc[i], wantZ[i])
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+		d, _ := h.Alloc(16, 8)
+		if err := h.Dgemm('X', 'N', 2, 2, 2, 1, d, 2, d, 2, 0, d, 2); err == nil {
+			t.Error("bad transpose accepted")
+		}
+		if err := h.Dgemm('N', 'N', 2, 2, 2, 1, d, 3, d, 2, 0, d, 2); err == nil {
+			t.Error("bad lda accepted")
+		}
+		if err := h.Daxpy(4, 1, d, 2, d, 1); err == nil {
+			t.Error("non-unit stride accepted")
+		}
+		if err := h.Dtrsm('X', 'U', 'N', 'N', 2, 2, 1, d, 2, d, 2); err == nil {
+			t.Error("bad side accepted")
+		}
+		if err := h.SetMatrix(2, 2, 8, make([]byte, 32), 3, d, 2); err == nil {
+			t.Error("bad SetMatrix lda accepted")
+		}
+		if _, err := h.Alloc(-1, 8); err == nil {
+			t.Error("negative alloc accepted")
+		}
+	})
+}
+
+func TestGemmTimeScalesWithSize(t *testing.T) {
+	timeFor := func(sz int) time.Duration {
+		return withHandle(t, func(h *Handle, rt *cudart.Runtime) {
+			a := make([]float64, sz*sz)
+			da, db, dc := upload(t, h, a), upload(t, h, a), upload(t, h, a)
+			if err := h.Dgemm('N', 'N', sz, sz, sz, 1, da, sz, db, sz, 0, dc, sz); err != nil {
+				t.Fatal(err)
+			}
+			rt.ThreadSynchronize()
+		})
+	}
+	small, big := timeFor(32), timeFor(64)
+	if big <= small {
+		t.Errorf("64^3 gemm (%v) not slower than 32^3 (%v)", big, small)
+	}
+}

@@ -1,0 +1,88 @@
+package cublas
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/perfmodel"
+)
+
+// Zgemm computes C = alpha*op(A)*op(B) + beta*C in double complex
+// (cublasZgemm) — the dominant BLAS routine of the paper's PARATEC runs.
+// 'C' requests the conjugate transpose.
+func (h *Handle) Zgemm(ta, tb byte, m, n, k int, alpha complex128, a cudart.DevPtr, lda int,
+	b cudart.DevPtr, ldb int, beta complex128, c cudart.DevPtr, ldc int) error {
+	if err := checkTrans(ta); err != nil {
+		return err
+	}
+	if err := checkTrans(tb); err != nil {
+		return err
+	}
+	arows, brows := m, k
+	if ta != 'N' {
+		arows = k
+	}
+	if tb != 'N' {
+		brows = n
+	}
+	if lda != arows || ldb != brows || ldc != m {
+		return fmt.Errorf("cublas: zgemm requires contiguous leading dimensions")
+	}
+	fn := &cudart.Func{
+		Name: "zgemm_kernel",
+		FixedCost: perfmodel.KernelCost{
+			// One complex multiply-add is 8 real flops.
+			FLOPs:      8 * float64(m) * float64(n) * float64(k),
+			MemBytes:   16 * (float64(m)*float64(k) + float64(k)*float64(n) + 2*float64(m)*float64(n)),
+			Efficiency: gemmEff * 1.1, // zgemm runs slightly above dgemm efficiency
+			Floor:      10e3,
+		},
+		Body: func(ctx cudart.LaunchContext) {
+			acols := k
+			if ta != 'N' {
+				acols = m
+			}
+			bcols := n
+			if tb != 'N' {
+				bcols = k
+			}
+			A, e1 := c128(ctx.Dev, a, arows*acols)
+			B, e2 := c128(ctx.Dev, b, brows*bcols)
+			C, e3 := c128(ctx.Dev, c, m*n)
+			if e1 != nil || e2 != nil || e3 != nil {
+				return
+			}
+			at := func(i, l int) complex128 {
+				switch ta {
+				case 'N':
+					return A.At(i + l*arows)
+				case 'T':
+					return A.At(l + i*arows)
+				default:
+					return cmplx.Conj(A.At(l + i*arows))
+				}
+			}
+			bt := func(l, j int) complex128 {
+				switch tb {
+				case 'N':
+					return B.At(l + j*brows)
+				case 'T':
+					return B.At(j + l*brows)
+				default:
+					return cmplx.Conj(B.At(j + l*brows))
+				}
+			}
+			for j := 0; j < n; j++ {
+				for i := 0; i < m; i++ {
+					var s complex128
+					for l := 0; l < k; l++ {
+						s += at(i, l) * bt(l, j)
+					}
+					C.Set(i+j*m, alpha*s+beta*C.At(i+j*m))
+				}
+			}
+		},
+	}
+	return h.launch(fn, m, n)
+}

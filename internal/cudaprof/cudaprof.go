@@ -1,0 +1,114 @@
+// Package cudaprof simulates the NVIDIA CUDA profiler (the
+// CUDA_PROFILE=1 command-line profiler of the CUDA 3.x toolkit): it
+// records the exact execution interval of every kernel straight from the
+// device simulator and writes a text trace in the profiler's log format.
+//
+// In the paper's Table I this profiler is the ground-truth baseline that
+// IPM's event-bracketed kernel timing is compared against. Here the
+// profiler sees the simulator's exact kernel intervals, so the comparison
+// measures precisely the overhead IPM's event mechanism adds.
+package cudaprof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ipmgo/internal/gpusim"
+)
+
+// Profiler accumulates exact kernel execution records from one device.
+type Profiler struct {
+	records []gpusim.KernelRecord
+}
+
+// Attach registers the profiler on the device, chaining any previously
+// installed completion callback.
+func Attach(dev *gpusim.Device) *Profiler {
+	p := &Profiler{}
+	prev := dev.OnKernelComplete
+	dev.OnKernelComplete = func(r gpusim.KernelRecord) {
+		if prev != nil {
+			prev(r)
+		}
+		p.records = append(p.records, r)
+	}
+	return p
+}
+
+// Records returns all kernel records in completion order.
+func (p *Profiler) Records() []gpusim.KernelRecord { return p.records }
+
+// KernelStat summarises all invocations of one kernel.
+type KernelStat struct {
+	Name        string
+	Invocations int
+	Total       time.Duration
+	Min, Max    time.Duration
+}
+
+// Stats aggregates records per kernel name, sorted by descending total
+// time (ties broken by name).
+func (p *Profiler) Stats() []KernelStat {
+	byName := make(map[string]*KernelStat)
+	for _, r := range p.records {
+		d := r.Duration()
+		s, ok := byName[r.Name]
+		if !ok {
+			s = &KernelStat{Name: r.Name, Min: d, Max: d}
+			byName[r.Name] = s
+		}
+		s.Invocations++
+		s.Total += d
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	out := make([]KernelStat, 0, len(byName))
+	for _, s := range byName {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalKernelTime sums the exact execution time over all invocations of
+// all kernels — the quantity Table I compares.
+func (p *Profiler) TotalKernelTime() time.Duration {
+	var t time.Duration
+	for _, r := range p.records {
+		t += r.Duration()
+	}
+	return t
+}
+
+// Invocations returns the number of kernel invocations recorded.
+func (p *Profiler) Invocations() int { return len(p.records) }
+
+// WriteLog writes the trace in the CUDA 3.x command-line profiler's text
+// format (gputime in microseconds, as the real tool reports).
+func (p *Profiler) WriteLog(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# CUDA_PROFILE_LOG_VERSION 2.0"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# CUDA_DEVICE 0 Tesla C2050 (simulated)"); err != nil {
+		return err
+	}
+	for _, r := range p.records {
+		us := float64(r.Duration()) / float64(time.Microsecond)
+		if _, err := fmt.Fprintf(w, "method=[ %s ] gputime=[ %.3f ] streamid=[ %d ]\n",
+			r.Name, us, r.Stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package cudaprof
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+func spec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.KernelDispatch = 0
+	s.ContextInit = 0
+	return s
+}
+
+func runKernels(t *testing.T, durations map[string][]time.Duration) *Profiler {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	p := Attach(dev)
+	e.Spawn("host", func(proc *des.Proc) {
+		s := dev.CreateStream()
+		var last *gpusim.Op
+		// Deterministic order: sort names.
+		names := make([]string, 0, len(durations))
+		for n := range durations {
+			names = append(names, n)
+		}
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] < names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		for _, n := range names {
+			for _, d := range durations[n] {
+				last = dev.LaunchKernel(s, n, perfmodel.KernelCost{Fixed: d}, [3]int{}, [3]int{}, nil)
+			}
+		}
+		if last != nil {
+			proc.Wait(last.Done())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStatsAggregation(t *testing.T) {
+	p := runKernels(t, map[string][]time.Duration{
+		"a": {time.Millisecond, 3 * time.Millisecond},
+		"b": {10 * time.Millisecond},
+	})
+	if p.Invocations() != 3 {
+		t.Fatalf("invocations = %d, want 3", p.Invocations())
+	}
+	if p.TotalKernelTime() != 14*time.Millisecond {
+		t.Errorf("total = %v, want 14ms", p.TotalKernelTime())
+	}
+	stats := p.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	// Sorted by total desc: b first.
+	if stats[0].Name != "b" || stats[0].Total != 10*time.Millisecond {
+		t.Errorf("stats[0] = %+v", stats[0])
+	}
+	if stats[1].Name != "a" || stats[1].Invocations != 2 ||
+		stats[1].Min != time.Millisecond || stats[1].Max != 3*time.Millisecond {
+		t.Errorf("stats[1] = %+v", stats[1])
+	}
+}
+
+func TestWriteLogFormat(t *testing.T) {
+	p := runKernels(t, map[string][]time.Duration{"square": {1153376 * time.Nanosecond}})
+	var sb strings.Builder
+	if err := p.WriteLog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# CUDA_PROFILE_LOG_VERSION 2.0") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "method=[ square ] gputime=[ 1153.376 ]") {
+		t.Errorf("unexpected log:\n%s", out)
+	}
+}
+
+func TestChainsPreviousCallback(t *testing.T) {
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	var prior int
+	dev.OnKernelComplete = func(gpusim.KernelRecord) { prior++ }
+	p := Attach(dev)
+	e.Spawn("host", func(proc *des.Proc) {
+		op := dev.LaunchKernel(dev.DefaultStream(), "k", perfmodel.KernelCost{Fixed: time.Millisecond}, [3]int{}, [3]int{}, nil)
+		proc.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prior != 1 || p.Invocations() != 1 {
+		t.Errorf("chain broken: prior=%d profiler=%d", prior, p.Invocations())
+	}
+}
+
+func TestEmptyProfiler(t *testing.T) {
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	p := Attach(dev)
+	if p.TotalKernelTime() != 0 || len(p.Stats()) != 0 || p.Invocations() != 0 {
+		t.Error("empty profiler not empty")
+	}
+	var sb strings.Builder
+	if err := p.WriteLog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "#") {
+		t.Error("empty log missing header")
+	}
+}

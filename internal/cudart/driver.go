@@ -1,0 +1,57 @@
+package cudart
+
+// Driver is the CUDA driver API surface (cuXxx symbols). It overlaps the
+// runtime API in functionality, as the paper notes; library and middleware
+// code prefers it. IPM interposes on both. The simulated Runtime
+// implements Driver by delegation onto the same device context.
+type Driver interface {
+	CuInit() error
+	CuMemAlloc(n int64) (DevPtr, error)
+	CuMemFree(p DevPtr) error
+	CuMemcpyHtoD(dst DevPtr, src []byte) error
+	CuMemcpyDtoH(dst []byte, src DevPtr) error
+	CuMemsetD8(p DevPtr, value byte, n int64) error
+	CuLaunchKernel(fn *Func, grid, block Dim3, s Stream, args ...any) error
+	CuStreamSynchronize(s Stream) error
+	CuCtxSynchronize() error
+}
+
+var _ Driver = (*Runtime)(nil)
+
+// CuInit initialises the driver (and, in this model, the context).
+func (r *Runtime) CuInit() error {
+	r.ensureInit()
+	r.base()
+	return nil
+}
+
+// CuMemAlloc allocates device memory through the driver API.
+func (r *Runtime) CuMemAlloc(n int64) (DevPtr, error) { return r.Malloc(n) }
+
+// CuMemFree frees device memory through the driver API.
+func (r *Runtime) CuMemFree(p DevPtr) error { return r.Free(p) }
+
+// CuMemcpyHtoD is the synchronous host-to-device copy of the driver API.
+func (r *Runtime) CuMemcpyHtoD(dst DevPtr, src []byte) error {
+	return r.Memcpy(DevicePtr(dst), HostPtr(src), int64(len(src)), MemcpyHostToDevice)
+}
+
+// CuMemcpyDtoH is the synchronous device-to-host copy of the driver API.
+func (r *Runtime) CuMemcpyDtoH(dst []byte, src DevPtr) error {
+	return r.Memcpy(HostPtr(dst), DevicePtr(src), int64(len(dst)), MemcpyDeviceToHost)
+}
+
+// CuMemsetD8 fills device memory; like cudaMemset it does not implicitly
+// block the host.
+func (r *Runtime) CuMemsetD8(p DevPtr, value byte, n int64) error { return r.Memset(p, value, n) }
+
+// CuLaunchKernel launches a kernel through the driver API.
+func (r *Runtime) CuLaunchKernel(fn *Func, grid, block Dim3, s Stream, args ...any) error {
+	return r.LaunchKernel(fn, grid, block, s, args...)
+}
+
+// CuStreamSynchronize waits for a stream to drain.
+func (r *Runtime) CuStreamSynchronize(s Stream) error { return r.StreamSynchronize(s) }
+
+// CuCtxSynchronize waits for the whole context (device) to go idle.
+func (r *Runtime) CuCtxSynchronize() error { return r.ThreadSynchronize() }

@@ -1,0 +1,266 @@
+// Package cudart provides a CUDA-3.1-era runtime and driver API on top of
+// the simulated GPU in internal/gpusim.
+//
+// Applications program against the API interface, never a concrete type.
+// This is the interposition seam: in a real deployment IPM interposes on
+// the dynamically linked libcudart symbols (LD_PRELOAD); here
+// internal/ipmcuda wraps an API value with a decorator implementing the
+// same interface. Application code is byte-identical with and without
+// monitoring, exactly as the paper requires ("no source code changes,
+// recompilation, or even re-linking").
+//
+// The launch interface is the CUDA 3.x triple the paper profiles:
+// ConfigureCall pushes an execution configuration, SetupArgument appends
+// kernel arguments, and Launch submits the kernel asynchronously.
+package cudart
+
+import (
+	"fmt"
+	"time"
+
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+// Code is a cudaError_t-style status code.
+type Code int
+
+// Status codes, mirroring the CUDA runtime's cudaError enum (subset).
+const (
+	CodeSuccess Code = iota
+	CodeMemoryAllocation
+	CodeInitializationError
+	CodeInvalidValue
+	CodeInvalidDevicePointer
+	CodeInvalidMemcpyDirection
+	CodeInvalidConfiguration
+	CodeInvalidResourceHandle
+	CodeLaunchFailure
+	CodeNotReady
+	CodeInvalidSymbol
+)
+
+var codeNames = map[Code]string{
+	CodeSuccess:                "cudaSuccess",
+	CodeMemoryAllocation:       "cudaErrorMemoryAllocation",
+	CodeInitializationError:    "cudaErrorInitializationError",
+	CodeInvalidValue:           "cudaErrorInvalidValue",
+	CodeInvalidDevicePointer:   "cudaErrorInvalidDevicePointer",
+	CodeInvalidMemcpyDirection: "cudaErrorInvalidMemcpyDirection",
+	CodeInvalidConfiguration:   "cudaErrorInvalidConfiguration",
+	CodeInvalidResourceHandle:  "cudaErrorInvalidResourceHandle",
+	CodeLaunchFailure:          "cudaErrorLaunchFailure",
+	CodeNotReady:               "cudaErrorNotReady",
+	CodeInvalidSymbol:          "cudaErrorInvalidSymbol",
+}
+
+func (c Code) String() string {
+	if s, ok := codeNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("cudaError(%d)", int(c))
+}
+
+// Error is a CUDA status error. A nil error means cudaSuccess.
+type Error struct {
+	Code   Code
+	Detail string
+}
+
+func (e *Error) Error() string {
+	if e.Detail == "" {
+		return e.Code.String()
+	}
+	return e.Code.String() + ": " + e.Detail
+}
+
+// Is makes errors.Is match on the status code, so callers can test
+// errors.Is(err, cudart.ErrNotReady) against wrapped errors.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Code == e.Code
+}
+
+func errCode(c Code, format string, args ...any) *Error {
+	return &Error{Code: c, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Sentinel errors for errors.Is tests.
+var (
+	ErrNotReady         = &Error{Code: CodeNotReady}
+	ErrMemoryAllocation = &Error{Code: CodeMemoryAllocation}
+	ErrInvalidValue     = &Error{Code: CodeInvalidValue}
+)
+
+// DevPtr is a device memory pointer (re-exported from gpusim so
+// applications only import cudart).
+type DevPtr = gpusim.DevPtr
+
+// Stream is a stream handle. The zero Stream is the legacy NULL stream.
+type Stream int
+
+// Event is an event handle created by EventCreate.
+type Event int
+
+// Dim3 is a CUDA dim3 launch dimension. Zero components are treated as 1.
+type Dim3 struct{ X, Y, Z int }
+
+func (d Dim3) norm() [3]int {
+	n := [3]int{d.X, d.Y, d.Z}
+	for i := range n {
+		if n[i] <= 0 {
+			n[i] = 1
+		}
+	}
+	return n
+}
+
+// Count returns the total number of elements in the dimension.
+func (d Dim3) Count() int {
+	n := d.norm()
+	return n[0] * n[1] * n[2]
+}
+
+// MemcpyKind is the direction argument of Memcpy, mirroring
+// cudaMemcpyKind.
+type MemcpyKind int
+
+const (
+	MemcpyHostToHost MemcpyKind = iota
+	MemcpyHostToDevice
+	MemcpyDeviceToHost
+	MemcpyDeviceToDevice
+)
+
+func (k MemcpyKind) String() string {
+	switch k {
+	case MemcpyHostToHost:
+		return "H2H"
+	case MemcpyHostToDevice:
+		return "H2D"
+	case MemcpyDeviceToHost:
+		return "D2H"
+	case MemcpyDeviceToDevice:
+		return "D2D"
+	}
+	return "?"
+}
+
+// Ptr is the void*-style argument of Memcpy: either a host buffer or a
+// device pointer. Construct with HostPtr, PinnedPtr or DevicePtr.
+type Ptr struct {
+	Host   []byte
+	Dev    DevPtr
+	IsDev  bool
+	Pinned bool
+}
+
+// HostPtr wraps a pageable host buffer.
+func HostPtr(b []byte) Ptr { return Ptr{Host: b} }
+
+// PinnedPtr wraps a page-locked host buffer (from HostAlloc), which
+// transfers at the pinned PCIe rate and allows true async copies.
+func PinnedPtr(b []byte) Ptr { return Ptr{Host: b, Pinned: true} }
+
+// DevicePtr wraps a device pointer.
+func DevicePtr(p DevPtr) Ptr { return Ptr{Dev: p, IsDev: true} }
+
+// KernelArgs carries the argument list accumulated by SetupArgument into
+// the kernel body.
+type KernelArgs []any
+
+// Arg returns the i-th argument, or nil when out of range.
+func (a KernelArgs) Arg(i int) any {
+	if i < 0 || i >= len(a) {
+		return nil
+	}
+	return a[i]
+}
+
+// LaunchContext is passed to a kernel's functional body at execution time.
+type LaunchContext struct {
+	Dev   *gpusim.Device
+	Grid  Dim3
+	Block Dim3
+	Args  KernelArgs
+}
+
+// Func describes a kernel: its name (as the profiler reports it), a cost
+// model evaluated at launch time, and an optional functional body run at
+// the kernel's completion time in virtual time order.
+type Func struct {
+	Name string
+	// Cost computes the kernel's resource demand from the launch
+	// configuration. If nil, FixedCost is used.
+	Cost func(grid, block Dim3, args KernelArgs) perfmodel.KernelCost
+	// FixedCost is used when Cost is nil.
+	FixedCost perfmodel.KernelCost
+	// Body, if non-nil, executes the kernel functionally.
+	Body func(ctx LaunchContext)
+}
+
+func (f *Func) cost(grid, block Dim3, args KernelArgs) perfmodel.KernelCost {
+	if f.Cost != nil {
+		return f.Cost(grid, block, args)
+	}
+	return f.FixedCost
+}
+
+// DeviceProp mirrors the interesting fields of cudaDeviceProp.
+type DeviceProp struct {
+	Name                 string
+	TotalGlobalMem       int64
+	MultiProcessorCount  int
+	ClockRateKHz         int
+	ConcurrentKernels    int
+	MemoryBandwidthGBs   float64
+	PeakDPGFlops         float64
+	PeakSPGFlops         float64
+	ECCEnabled           bool
+	ComputeCapabilityMaj int
+	ComputeCapabilityMin int
+}
+
+// API is the CUDA runtime API surface applications program against, and
+// the seam IPM interposes on. Method names map one-to-one to the
+// cudaXxx symbols of the CUDA 3.1 runtime.
+type API interface {
+	// Memory management.
+	Malloc(n int64) (DevPtr, error)
+	Free(p DevPtr) error
+	HostAlloc(n int64) ([]byte, error)
+	Memcpy(dst, src Ptr, n int64, kind MemcpyKind) error
+	MemcpyAsync(dst, src Ptr, n int64, kind MemcpyKind, s Stream) error
+	MemcpyToSymbol(symbol string, src []byte) error
+	Memset(p DevPtr, value byte, n int64) error
+	MemGetInfo() (free, total int64, err error)
+
+	// Kernel launch (CUDA 3.x execution configuration triple).
+	ConfigureCall(grid, block Dim3, sharedMem int64, s Stream) error
+	SetupArgument(arg any, size, offset int64) error
+	Launch(fn *Func) error
+	// LaunchKernel is the <<<grid, block, 0, stream>>> convenience form;
+	// implementations expand it to the triple above.
+	LaunchKernel(fn *Func, grid, block Dim3, s Stream, args ...any) error
+
+	// Streams.
+	StreamCreate() (Stream, error)
+	StreamDestroy(s Stream) error
+	StreamSynchronize(s Stream) error
+
+	// Events.
+	EventCreate() (Event, error)
+	EventRecord(ev Event, s Stream) error
+	EventQuery(ev Event) error
+	EventSynchronize(ev Event) error
+	EventElapsedTime(start, stop Event) (time.Duration, error)
+	EventDestroy(ev Event) error
+
+	// Device management and synchronisation.
+	ThreadSynchronize() error
+	GetDeviceCount() (int, error)
+	GetDeviceProperties() (DeviceProp, error)
+	GetDevice() (int, error)
+	SetDevice(dev int) error
+	GetLastError() error
+}

@@ -1,0 +1,240 @@
+// Package cufft simulates NVIDIA's CUFFT library (the CUDA-3.x API: plan
+// creation, cufftExecZ2Z, plan destruction) over the simulated runtime.
+//
+// Transforms are functional: ExecZ2Z really computes the DFT of the data
+// in simulated device memory (iterative radix-2 Cooley-Tukey for
+// power-of-two lengths, direct DFT otherwise), following CUFFT's
+// convention of unnormalised transforms. Execution time follows a
+// 5*N*log2(N) flop model at FFT-typical efficiency.
+package cufft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+// Transform directions, matching CUFFT_FORWARD / CUFFT_INVERSE.
+const (
+	Forward = -1
+	Inverse = 1
+)
+
+// Plan is a CUFFT plan handle.
+type Plan int
+
+// FFT is the CUFFT call surface — the interposition seam for
+// internal/ipmblas.
+type FFT interface {
+	Plan1d(nx, batch int) (Plan, error)
+	Plan2d(nx, ny int) (Plan, error)
+	ExecZ2Z(plan Plan, idata, odata cudart.DevPtr, direction int) error
+	Destroy(plan Plan) error
+}
+
+type planInfo struct {
+	nx, ny int // ny == 0 for 1D plans
+	batch  int
+}
+
+// Lib is the concrete CUFFT implementation.
+type Lib struct {
+	api      cudart.API
+	plans    map[Plan]planInfo
+	next     Plan
+	costOnly bool
+}
+
+// SetCostOnly disables the functional transform of subsequent executions
+// (the timing model still runs), keeping large workload models cheap.
+func (l *Lib) SetCostOnly(v bool) { l.costOnly = v }
+
+var _ FFT = (*Lib)(nil)
+
+// New creates a CUFFT library instance over the runtime.
+func New(api cudart.API) *Lib {
+	return &Lib{api: api, plans: make(map[Plan]planInfo), next: 1}
+}
+
+// Plan1d creates a 1D double-complex plan for batch transforms of length
+// nx (cufftPlan1d with CUFFT_Z2Z).
+func (l *Lib) Plan1d(nx, batch int) (Plan, error) {
+	if nx <= 0 || batch <= 0 {
+		return 0, fmt.Errorf("cufft: invalid plan1d nx=%d batch=%d", nx, batch)
+	}
+	p := l.next
+	l.next++
+	l.plans[p] = planInfo{nx: nx, batch: batch}
+	return p, nil
+}
+
+// Plan2d creates a 2D double-complex plan of nx rows by ny columns
+// (cufftPlan2d, row-major with ny the fastest-varying dimension, as in
+// CUFFT).
+func (l *Lib) Plan2d(nx, ny int) (Plan, error) {
+	if nx <= 0 || ny <= 0 {
+		return 0, fmt.Errorf("cufft: invalid plan2d %dx%d", nx, ny)
+	}
+	p := l.next
+	l.next++
+	l.plans[p] = planInfo{nx: nx, ny: ny, batch: 1}
+	return p, nil
+}
+
+// Destroy releases a plan (cufftDestroy).
+func (l *Lib) Destroy(plan Plan) error {
+	if _, ok := l.plans[plan]; !ok {
+		return fmt.Errorf("cufft: invalid plan %d", plan)
+	}
+	delete(l.plans, plan)
+	return nil
+}
+
+// fftFlops is the standard 5 N log2 N operation count per transform.
+func fftFlops(n int) float64 {
+	if n < 2 {
+		return float64(n)
+	}
+	return 5 * float64(n) * math.Log2(float64(n))
+}
+
+// ExecZ2Z executes the plan on device data (cufftExecZ2Z). In-place
+// operation (idata == odata) is supported, as in CUFFT.
+func (l *Lib) ExecZ2Z(plan Plan, idata, odata cudart.DevPtr, direction int) error {
+	info, ok := l.plans[plan]
+	if !ok {
+		return fmt.Errorf("cufft: invalid plan %d", plan)
+	}
+	if direction != Forward && direction != Inverse {
+		return fmt.Errorf("cufft: invalid direction %d", direction)
+	}
+	var total int
+	var flops float64
+	if info.ny == 0 {
+		total = info.nx * info.batch
+		flops = float64(info.batch) * fftFlops(info.nx)
+	} else {
+		total = info.nx * info.ny
+		flops = float64(info.ny)*fftFlops(info.nx) + float64(info.nx)*fftFlops(info.ny)
+	}
+	fn := &cudart.Func{
+		Name: "cufft_z2z_kernel",
+		FixedCost: perfmodel.KernelCost{
+			FLOPs:      flops,
+			MemBytes:   float64(32 * total), // read+write complex128 twice
+			Efficiency: 0.35,
+			Floor:      5e3,
+		},
+	}
+	if !l.costOnly {
+		fn.Body = func(ctx cudart.LaunchContext) {
+			in, err1 := view(ctx.Dev, idata, total)
+			out, err2 := view(ctx.Dev, odata, total)
+			if err1 != nil || err2 != nil {
+				return
+			}
+			buf := make([]complex128, total)
+			in.CopyOut(buf)
+			if info.ny == 0 {
+				for b := 0; b < info.batch; b++ {
+					seg := buf[b*info.nx : (b+1)*info.nx]
+					fft(seg, direction)
+				}
+			} else {
+				fft2d(buf, info.nx, info.ny, direction)
+			}
+			out.CopyIn(buf)
+		}
+	}
+	grid := cudart.Dim3{X: (total + 255) / 256}
+	if grid.X < 1 {
+		grid.X = 1
+	}
+	return l.api.LaunchKernel(fn, grid, cudart.Dim3{X: 256}, 0)
+}
+
+func view(dev *gpusim.Device, p cudart.DevPtr, n int) (gpusim.C128View, error) {
+	b, err := dev.Bytes(p, gpusim.C128Bytes(n))
+	if err != nil {
+		return gpusim.C128View{}, err
+	}
+	return gpusim.Complex128s(b), nil
+}
+
+// fft computes the unnormalised DFT of x in place. Power-of-two lengths
+// use iterative radix-2 Cooley-Tukey; other lengths use the direct DFT.
+func fft(x []complex128, direction int) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	sign := float64(direction) // CUFFT_FORWARD=-1 gives exp(-2πi k/N)
+	if n&(n-1) == 0 {
+		radix2(x, sign)
+		return
+	}
+	dft(x, sign)
+}
+
+func radix2(x []complex128, sign float64) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+func dft(x []complex128, sign float64) {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = s
+	}
+	copy(x, out)
+}
+
+// fft2d transforms an nx-by-ny row-major array: all rows (length ny),
+// then all columns (length nx).
+func fft2d(x []complex128, nx, ny, direction int) {
+	for r := 0; r < nx; r++ {
+		fft(x[r*ny:(r+1)*ny], direction)
+	}
+	col := make([]complex128, nx)
+	for c := 0; c < ny; c++ {
+		for r := 0; r < nx; r++ {
+			col[r] = x[r*ny+c]
+		}
+		fft(col, direction)
+		for r := 0; r < nx; r++ {
+			x[r*ny+c] = col[r]
+		}
+	}
+}

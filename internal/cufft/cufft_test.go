@@ -1,0 +1,282 @@
+package cufft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+func fastSpec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.ContextInit = 0
+	s.APICallCost = 0
+	return s
+}
+
+func withLib(t *testing.T, fn func(l *Lib, rt *cudart.Runtime)) {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, fastSpec())
+	e.Spawn("host", func(p *des.Proc) {
+		rt := cudart.NewRuntime(p, dev, cudart.Options{})
+		fn(New(rt), rt)
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runZ2Z uploads data, executes the plan in place, and returns the result.
+func runZ2Z(t *testing.T, l *Lib, rt *cudart.Runtime, plan Plan, data []complex128, dir int) []complex128 {
+	t.Helper()
+	n := len(data)
+	d, err := rt.Malloc(gpusim.C128Bytes(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Free(d)
+	buf := make([]byte, gpusim.C128Bytes(n))
+	gpusim.Complex128s(buf).CopyIn(data)
+	if err := rt.Memcpy(cudart.DevicePtr(d), cudart.HostPtr(buf), int64(len(buf)), cudart.MemcpyHostToDevice); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ExecZ2Z(plan, d, d, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Memcpy(cudart.HostPtr(buf), cudart.DevicePtr(d), int64(len(buf)), cudart.MemcpyDeviceToHost); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]complex128, n)
+	gpusim.Complex128s(buf).CopyOut(out)
+	return out
+}
+
+// refDFT is the direct O(n^2) reference.
+func refDFT(x []complex128, sign float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			out[k] += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+	}
+	return out
+}
+
+func close2(a, b []complex128, tol float64) bool {
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesDFTPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]complex128, 16)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := refDFT(data, -1)
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		plan, err := l.Plan1d(16, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runZ2Z(t, l, rt, plan, data, Forward)
+		if !close2(got, want, 1e-9) {
+			t.Errorf("fft16 mismatch:\n got %v\nwant %v", got, want)
+		}
+		l.Destroy(plan)
+	})
+}
+
+func TestFFTNonPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]complex128, 12)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := refDFT(data, -1)
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		plan, _ := l.Plan1d(12, 1)
+		got := runZ2Z(t, l, rt, plan, data, Forward)
+		if !close2(got, want, 1e-9) {
+			t.Error("non-pow2 fft mismatch")
+		}
+	})
+}
+
+func TestFFTDeltaIsConstant(t *testing.T) {
+	// DFT of a delta impulse is all ones.
+	data := make([]complex128, 8)
+	data[0] = 1
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		plan, _ := l.Plan1d(8, 1)
+		got := runZ2Z(t, l, rt, plan, data, Forward)
+		for i, v := range got {
+			if cmplx.Abs(v-1) > 1e-12 {
+				t.Errorf("delta fft[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+// Property: forward then inverse equals the original scaled by N
+// (CUFFT transforms are unnormalised).
+func TestPropRoundTripScalesByN(t *testing.T) {
+	prop := func(seed int64, pow uint8) bool {
+		n := 1 << (pow%6 + 1) // 2..64
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]complex128, n)
+		for i := range data {
+			data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		ok := true
+		withLib(t, func(l *Lib, rt *cudart.Runtime) {
+			plan, _ := l.Plan1d(n, 1)
+			fwd := runZ2Z(t, l, rt, plan, data, Forward)
+			back := runZ2Z(t, l, rt, plan, fwd, Inverse)
+			for i := range data {
+				if cmplx.Abs(back[i]-complex(float64(n), 0)*data[i]) > 1e-8*float64(n) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: linearity — FFT(a*x + y) = a*FFT(x) + FFT(y).
+func TestPropLinearity(t *testing.T) {
+	prop := func(seed int64) bool {
+		const n = 32
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		z := make([]complex128, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			z[i] = a*x[i] + y[i]
+		}
+		ok := true
+		withLib(t, func(l *Lib, rt *cudart.Runtime) {
+			plan, _ := l.Plan1d(n, 1)
+			fx := runZ2Z(t, l, rt, plan, x, Forward)
+			fy := runZ2Z(t, l, rt, plan, y, Forward)
+			fz := runZ2Z(t, l, rt, plan, z, Forward)
+			for i := range fz {
+				if cmplx.Abs(fz[i]-(a*fx[i]+fy[i])) > 1e-8 {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchedTransforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nx, batch = 8, 3
+	data := make([]complex128, nx*batch)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), 0)
+	}
+	var want []complex128
+	for b := 0; b < batch; b++ {
+		want = append(want, refDFT(data[b*nx:(b+1)*nx], -1)...)
+	}
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		plan, _ := l.Plan1d(nx, batch)
+		got := runZ2Z(t, l, rt, plan, data, Forward)
+		if !close2(got, want, 1e-9) {
+			t.Error("batched fft mismatch")
+		}
+	})
+}
+
+func TestPlan2d(t *testing.T) {
+	// 2D delta -> all ones.
+	const nx, ny = 4, 8
+	data := make([]complex128, nx*ny)
+	data[0] = 1
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		plan, err := l.Plan2d(nx, ny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runZ2Z(t, l, rt, plan, data, Forward)
+		for i, v := range got {
+			if cmplx.Abs(v-1) > 1e-12 {
+				t.Errorf("2d delta fft[%d] = %v", i, v)
+			}
+		}
+	})
+}
+
+func TestPlanErrors(t *testing.T) {
+	withLib(t, func(l *Lib, rt *cudart.Runtime) {
+		if _, err := l.Plan1d(0, 1); err == nil {
+			t.Error("zero-length plan accepted")
+		}
+		if _, err := l.Plan1d(8, 0); err == nil {
+			t.Error("zero batch accepted")
+		}
+		if _, err := l.Plan2d(-1, 4); err == nil {
+			t.Error("negative 2d plan accepted")
+		}
+		if err := l.ExecZ2Z(Plan(99), cudart.DevPtr{}, cudart.DevPtr{}, Forward); err == nil {
+			t.Error("invalid plan accepted")
+		}
+		plan, _ := l.Plan1d(8, 1)
+		if err := l.ExecZ2Z(plan, cudart.DevPtr{}, cudart.DevPtr{}, 0); err == nil {
+			t.Error("invalid direction accepted")
+		}
+		if err := l.Destroy(plan); err != nil {
+			t.Error(err)
+		}
+		if err := l.Destroy(plan); err == nil {
+			t.Error("double destroy accepted")
+		}
+	})
+}
+
+func TestFFTTimeScalesWithSize(t *testing.T) {
+	timeFor := func(n int) time.Duration {
+		e := des.NewEngine()
+		dev := gpusim.NewDevice(e, fastSpec())
+		e.Spawn("host", func(p *des.Proc) {
+			rt := cudart.NewRuntime(p, dev, cudart.Options{})
+			l := New(rt)
+			plan, _ := l.Plan1d(n, 1)
+			d, _ := rt.Malloc(gpusim.C128Bytes(n))
+			l.ExecZ2Z(plan, d, d, Forward)
+			rt.ThreadSynchronize()
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if small, big := timeFor(1<<10), timeFor(1<<18); big <= small {
+		t.Errorf("FFT 2^18 (%v) not slower than 2^10 (%v)", big, small)
+	}
+}

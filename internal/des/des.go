@@ -1,0 +1,182 @@
+// Package des implements a deterministic discrete-event simulation engine
+// with virtual time and cooperatively scheduled processes.
+//
+// The engine owns a monotone virtual clock and a priority queue of events.
+// Simulated actors (MPI ranks, host threads) run as processes: goroutines
+// that the engine schedules cooperatively so that exactly one process
+// executes at any moment. This gives race-free, fully deterministic
+// simulations whose outcome depends only on the event timestamps (with
+// FIFO sequence numbers breaking ties), never on wall-clock timing.
+//
+// All timestamps are time.Duration offsets from the start of the run.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Engine is a discrete-event simulation kernel. The zero value is not
+// usable; create engines with NewEngine.
+//
+// An Engine is not safe for concurrent use from multiple goroutines.
+// Processes spawned on the engine may freely use the engine because the
+// engine guarantees only one of them runs at a time.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{}
+	live   int // processes that have been spawned and not yet finished
+	nextID int
+	err    error // first process panic, sticky
+
+	blocked map[*Proc]string // blocked process -> reason, for deadlock reports
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() time.Duration { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Schedule registers fn to run at virtual time at. Times before the current
+// clock are clamped to the current clock (the event runs "immediately",
+// after already-queued events with the same timestamp).
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter registers fn to run d from now. Negative d is clamped to 0.
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) *Event {
+	return e.Schedule(e.now+d, fn)
+}
+
+// DeadlockError is returned by Run when no events remain but processes are
+// still blocked.
+type DeadlockError struct {
+	Now     time.Duration
+	Blocked []string // "name: reason" per blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("des: deadlock at %v: %d process(es) blocked: %v", d.Now, len(d.Blocked), d.Blocked)
+}
+
+// HorizonError is returned by RunFor when the horizon is reached with work
+// still pending.
+type HorizonError struct {
+	Horizon time.Duration
+	Pending int
+}
+
+func (h *HorizonError) Error() string {
+	return fmt.Sprintf("des: horizon %v reached with %d event(s) pending", h.Horizon, h.Pending)
+}
+
+// Run executes events until the queue is empty and all processes have
+// finished. It returns a *DeadlockError if processes remain blocked with no
+// pending events, or the panic value of the first process that panicked.
+func (e *Engine) Run() error { return e.run(-1) }
+
+// RunFor executes events like Run but stops with a *HorizonError once the
+// clock would exceed horizon. It is a safety net for workloads under test.
+func (e *Engine) RunFor(horizon time.Duration) error { return e.run(horizon) }
+
+func (e *Engine) run(horizon time.Duration) error {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		ev.index = -1
+		if ev.cancelled {
+			continue
+		}
+		if horizon >= 0 && ev.at > horizon {
+			heap.Push(&e.queue, ev) // put back for inspection
+			return &HorizonError{Horizon: horizon, Pending: e.queue.Len()}
+		}
+		e.now = ev.at
+		ev.fn()
+		if e.err != nil {
+			return e.err
+		}
+	}
+	if e.live > 0 {
+		var blocked []string
+		for p, reason := range e.blocked {
+			blocked = append(blocked, p.name+": "+reason)
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Pending reports the number of queued (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (time, sequence number).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,336 @@
+package des
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 3) })
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.Schedule(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.Schedule(time.Second, func() {
+		e.Schedule(0, func() { at = e.Now() }) // in the past
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != time.Second {
+		t.Errorf("past event ran at %v, want clamped to 1s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(time.Second, func() { ran = true })
+	ev.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Now() != 0 {
+		t.Errorf("clock advanced to %v for cancelled event", e.Now())
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var marks []time.Duration
+	e.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * time.Millisecond)
+			marks = append(marks, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestSignalWakesWaiters(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("done")
+	var wakeA, wakeB time.Duration
+	e.Spawn("a", func(p *Proc) { p.Wait(s); wakeA = p.Now() })
+	e.Spawn("b", func(p *Proc) { p.Wait(s); wakeB = p.Now() })
+	e.Spawn("firer", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		s.Fire()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakeA != 5*time.Millisecond || wakeB != 5*time.Millisecond {
+		t.Errorf("wake times = %v, %v; want 5ms", wakeA, wakeB)
+	}
+}
+
+func TestWaitOnFiredSignalReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("pre")
+	e.Spawn("p", func(p *Proc) {
+		s.Fire()
+		before := p.Now()
+		p.Wait(s)
+		if p.Now() != before {
+			t.Errorf("Wait on fired signal advanced clock %v -> %v", before, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFireAt(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("later")
+	s.FireAt(42 * time.Millisecond)
+	var woke time.Duration
+	e.Spawn("p", func(p *Proc) { p.Wait(s); woke = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 42*time.Millisecond {
+		t.Errorf("woke at %v, want 42ms", woke)
+	}
+}
+
+func TestOnFireCallbackOrder(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("cb")
+	var order []string
+	s.OnFire(func() { order = append(order, "cb") })
+	e.Spawn("waiter", func(p *Proc) { p.Wait(s); order = append(order, "waiter") })
+	e.Spawn("firer", func(p *Proc) { p.Sleep(time.Millisecond); s.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "cb" || order[1] != "waiter" {
+		t.Errorf("order = %v, want [cb waiter]", order)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := NewEngine()
+	s := e.NewSignal("never")
+	e.Spawn("stuck", func(p *Proc) { p.Wait(s) })
+	err := e.Run()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(dl.Blocked) != 1 {
+		t.Errorf("blocked = %v, want 1 entry", dl.Blocked)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) { panic("boom") })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("looper", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+		}
+	})
+	err := e.RunFor(10 * time.Second)
+	var h *HorizonError
+	if !errors.As(err, &h) {
+		t.Fatalf("err = %v, want HorizonError", err)
+	}
+	// The blocked process goroutine leaks by design; the engine is dead.
+}
+
+func TestWaitAll(t *testing.T) {
+	e := NewEngine()
+	s1 := e.NewSignal("s1")
+	s2 := e.NewSignal("s2")
+	s1.FireAt(10 * time.Millisecond)
+	s2.FireAt(30 * time.Millisecond)
+	var woke time.Duration
+	e.Spawn("p", func(p *Proc) { p.WaitAll(s1, s2); woke = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 30*time.Millisecond {
+		t.Errorf("woke at %v, want 30ms", woke)
+	}
+}
+
+func TestManyProcsDeterministic(t *testing.T) {
+	run := func(seed int64) []string {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var log []string
+		for i := 0; i < 50; i++ {
+			i := i
+			d := time.Duration(rng.Intn(1000)) * time.Microsecond
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				log = append(log, fmt.Sprintf("%d@%v", i, p.Now()))
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a := run(7)
+	b := run(7)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of event times, events execute in nondecreasing
+// time order and the final clock equals the max event time.
+func TestPropEventOrdering(t *testing.T) {
+	prop := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		var max time.Duration
+		for _, o := range offsets {
+			at := time.Duration(o) * time.Microsecond
+			if at > max {
+				max = at
+			}
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		if len(offsets) > 0 && e.Now() != max {
+			return false
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sleeping a sequence of durations accumulates exactly.
+func TestPropSleepAccumulates(t *testing.T) {
+	prop := func(ds []uint16) bool {
+		e := NewEngine()
+		var total time.Duration
+		ok := true
+		e.Spawn("p", func(p *Proc) {
+			for _, d := range ds {
+				dur := time.Duration(d) * time.Nanosecond
+				total += dur
+				p.Sleep(dur)
+				if p.Now() != total {
+					ok = false
+				}
+			}
+		})
+		return e.Run() == nil && ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	ev := e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package des
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by the
+// engine. At most one process runs at any moment, and it runs only while
+// the engine is blocked waiting for it to yield, so processes may use the
+// engine and each other's data without locking.
+type Proc struct {
+	e      *Engine
+	id     int
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current virtual time. fn receives the process handle; when fn returns the
+// process terminates.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{})}
+	e.nextID++
+	e.live++
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if p.e.err == nil {
+					p.e.err = fmt.Errorf("des: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			p.e.live--
+			delete(p.e.blocked, p)
+			p.e.yield <- struct{}{}
+		}()
+		<-p.resume
+		fn(p)
+	}()
+	e.Schedule(e.now, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p and waits for it to yield (block or finish).
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	delete(e.blocked, p)
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// block parks the calling process until the engine resumes it.
+// reason is recorded for deadlock diagnostics.
+func (p *Proc) block(reason string) {
+	p.e.blocked[p] = reason
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's unique id within its engine.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.e.now }
+
+// Sleep advances the process by d of simulated time (e.g. host
+// computation). Non-positive d yields without advancing the clock, letting
+// other same-timestamp events run first.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.e.Schedule(p.e.now+d, func() { p.e.step(p) })
+	p.block(fmt.Sprintf("sleeping %v", d))
+}
+
+// Wait blocks the process until the signal fires. If the signal has
+// already fired, Wait returns immediately without consuming virtual time.
+func (p *Proc) Wait(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block("waiting on " + s.name)
+}
+
+// WaitAll blocks until every signal has fired.
+func (p *Proc) WaitAll(sigs ...*Signal) {
+	for _, s := range sigs {
+		p.Wait(s)
+	}
+}

@@ -1,0 +1,65 @@
+package des
+
+import "time"
+
+// Signal is a one-shot completion notification in virtual time. It starts
+// unfired; Fire marks it fired and wakes every waiting process. Signals are
+// the basic building block for modelling asynchronous completions (GPU
+// operations, MPI requests).
+type Signal struct {
+	e       *Engine
+	name    string
+	fired   bool
+	firedAt time.Duration
+	waiters []*Proc
+	andThen []func()
+}
+
+// NewSignal creates an unfired signal. The name appears in deadlock
+// diagnostics.
+func (e *Engine) NewSignal(name string) *Signal {
+	return &Signal{e: e, name: name}
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// FiredAt returns the virtual time the signal fired at. It is only
+// meaningful once Fired reports true.
+func (s *Signal) FiredAt() time.Duration { return s.firedAt }
+
+// Name returns the diagnostic name.
+func (s *Signal) Name() string { return s.name }
+
+// Fire marks the signal fired at the current virtual time and schedules
+// every waiter to resume (at the same timestamp, in wait order). Firing an
+// already-fired signal is a no-op.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	s.firedAt = s.e.now
+	for _, p := range s.waiters {
+		p := p
+		s.e.Schedule(s.e.now, func() { s.e.step(p) })
+	}
+	s.waiters = nil
+	for _, fn := range s.andThen {
+		fn()
+	}
+	s.andThen = nil
+}
+
+// FireAt schedules the signal to fire at virtual time at.
+func (s *Signal) FireAt(at time.Duration) { s.e.Schedule(at, s.Fire) }
+
+// OnFire registers fn to run when the signal fires (immediately if it has
+// already fired). Callbacks run in engine context, before waiters resume.
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		fn()
+		return
+	}
+	s.andThen = append(s.andThen, fn)
+}

@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section IV) plus the illustrative outputs of Section III.
+// Each experiment returns both structured results and a formatted text
+// rendering; cmd/experiments writes them to disk and bench_test.go wraps
+// them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/workloads"
+)
+
+// Options selects the experiment scale.
+type Options struct {
+	// Quick runs scaled-down variants (fewer iterations, ensemble
+	// members, ranks) for tests and CI; the full variants reproduce the
+	// paper's configuration.
+	Quick bool
+	// Seed varies the noise seeds of ensemble experiments.
+	Seed int64
+}
+
+// monitoringFor maps the paper's three monitoring levels (Figs. 4-6) to
+// wrapper options.
+func monitoringFor(kernelTiming, hostIdle bool) ipmcuda.Options {
+	return ipmcuda.Options{KernelTiming: kernelTiming, HostIdle: hostIdle}
+}
+
+// runSquare executes the Fig. 3 program on one Dirac node with the given
+// monitoring level and returns the job profile.
+func runSquare(opts ipmcuda.Options) (*ipm.JobProfile, error) {
+	cfg := cluster.Dirac(1, 1)
+	cfg.Monitor = true
+	cfg.CUDA = opts
+	cfg.Command = "./cuda.ipm"
+	res, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Profile, nil
+}
+
+func bannerOf(jp *ipm.JobProfile) (string, error) {
+	var sb strings.Builder
+	if err := ipm.WriteBanner(&sb, jp, ipm.BannerOptions{}); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// Fig4 reproduces the banner with host-side timing only.
+func Fig4(o Options) (string, error) {
+	jp, err := runSquare(monitoringFor(false, false))
+	if err != nil {
+		return "", err
+	}
+	return bannerOf(jp)
+}
+
+// Fig5 reproduces the banner with GPU kernel timing enabled.
+func Fig5(o Options) (string, error) {
+	jp, err := runSquare(monitoringFor(true, false))
+	if err != nil {
+		return "", err
+	}
+	return bannerOf(jp)
+}
+
+// Fig6 reproduces the banner with kernel timing and implicit host
+// blocking identification enabled.
+func Fig6(o Options) (string, error) {
+	jp, err := runSquare(monitoringFor(true, true))
+	if err != nil {
+		return "", err
+	}
+	return bannerOf(jp)
+}
+
+// Fig7 reproduces the monitoring-timeline schematic as an event trace:
+// the (a)...(h) steps of the paper's figure, with virtual timestamps and
+// the layer (app / ipm / gpu) each step occurs in.
+func Fig7(o Options) (string, error) {
+	var events []ipmcuda.TraceEvent
+	cfg := cluster.Dirac(1, 1)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{
+		KernelTiming: true,
+		HostIdle:     true,
+		Trace:        func(ev ipmcuda.TraceEvent) { events = append(events, ev) },
+	}
+	cfg.Command = "./cuda.ipm"
+	_, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 7: IPM CUDA monitoring timeline (square kernel)\n")
+	fmt.Fprintf(&sb, "%-14s %-5s %s\n", "t", "layer", "step")
+	for _, ev := range events {
+		fmt.Fprintf(&sb, "%-14v %-5s %s\n", ev.At, ev.Layer, ev.What)
+	}
+	return sb.String(), nil
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

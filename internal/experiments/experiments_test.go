@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var quick = Options{Quick: true, Seed: 1}
+
+func TestFig456BannersShowProgressiveMetrics(t *testing.T) {
+	fig4, err := Fig4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := Fig5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := Fig6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 4: host timing only — no pseudo entries.
+	if strings.Contains(fig4, "@CUDA_EXEC_STRM00") || strings.Contains(fig4, "@CUDA_HOST_IDLE") {
+		t.Errorf("fig4 has pseudo entries:\n%s", fig4)
+	}
+	if !strings.Contains(fig4, "cudaMemcpy(D2H)") || !strings.Contains(fig4, "cudaMalloc") {
+		t.Errorf("fig4 missing rows:\n%s", fig4)
+	}
+	// Fig 5: kernel timing appears.
+	if !strings.Contains(fig5, "@CUDA_EXEC_STRM00") {
+		t.Errorf("fig5 missing kernel timing:\n%s", fig5)
+	}
+	if strings.Contains(fig5, "@CUDA_HOST_IDLE") {
+		t.Errorf("fig5 should not have host idle:\n%s", fig5)
+	}
+	// Fig 6: host idle appears too.
+	if !strings.Contains(fig6, "@CUDA_HOST_IDLE") || !strings.Contains(fig6, "@CUDA_EXEC_STRM00") {
+		t.Errorf("fig6 missing pseudo entries:\n%s", fig6)
+	}
+}
+
+func TestFig7Timeline(t *testing.T) {
+	out, err := Fig7(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, step := range []string{"launch (a)", "record start event (b)", "record stop event (c)",
+		"cudaMemcpy (f)", "transfer done (g)", "KTT flush square (h)"} {
+		if !strings.Contains(out, step) {
+			t.Errorf("fig7 missing step %q:\n%s", step, out)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		// IPM's event-bracketed timing always exceeds the profiler.
+		if r.IPM <= r.Profiler {
+			t.Errorf("%s: IPM %v <= profiler %v", r.Benchmark, r.IPM, r.Profiler)
+		}
+		if r.DiffPercent <= 0 || r.DiffPercent > 3 {
+			t.Errorf("%s: diff %.3f%% out of range (0, 3]", r.Benchmark, r.DiffPercent)
+		}
+	}
+	// Shorter kernels suffer larger relative error: scan (0.43 ms) vs
+	// eigenvalues (17.8 ms).
+	if byName["scan"].DiffPercent <= byName["eigenvalues"].DiffPercent {
+		t.Errorf("scan diff %.3f%% should exceed eigenvalues %.3f%%",
+			byName["scan"].DiffPercent, byName["eigenvalues"].DiffPercent)
+	}
+	txt := FormatTable1(rows)
+	if !strings.Contains(txt, "BlackScholes") || !strings.Contains(txt, "Diff (%)") {
+		t.Error("FormatTable1 output incomplete")
+	}
+}
+
+func TestFig8DilationBelowVariability(t *testing.T) {
+	r, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bare) != r.Runs || len(r.Monitored) != r.Runs {
+		t.Fatalf("ensemble sizes: %d/%d", len(r.Bare), len(r.Monitored))
+	}
+	if r.DilationPct < 0 {
+		t.Errorf("negative dilation %.4f%%", r.DilationPct)
+	}
+	if r.DilationPct > 0.5 {
+		t.Errorf("dilation %.4f%% too large", r.DilationPct)
+	}
+	if !r.BelowOneSigma {
+		t.Error("dilation not below run-to-run variability")
+	}
+	if txt := FormatFig8(r); !strings.Contains(txt, "runtime dilation") {
+		t.Error("FormatFig8 output incomplete")
+	}
+}
+
+func TestFig9Breakdown(t *testing.T) {
+	r, err := Fig9(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"dgemm_nn_e_kernel", "dgemm_nt_tex_kernel", "dtrsm_gpu_64_mm", "transpose"} {
+		times, ok := r.KernelTimes[k]
+		if !ok {
+			t.Fatalf("kernel %s missing", k)
+		}
+		if len(times) != r.Profile.NTasks() {
+			t.Errorf("kernel %s has %d rank entries", k, len(times))
+		}
+	}
+	// dgemm_nn dominates.
+	sum := func(k string) (t_ int64) {
+		for _, d := range r.KernelTimes[k] {
+			t_ += int64(d)
+		}
+		return
+	}
+	if sum("dgemm_nn_e_kernel") <= sum("dgemm_nt_tex_kernel") {
+		t.Error("dgemm_nn should dominate")
+	}
+	if r.HostIdlePct > 0.5 {
+		t.Errorf("host idle %.3f%%, want ~0", r.HostIdlePct)
+	}
+	if !strings.Contains(r.CUBE, "<cube version=\"3.0\">") {
+		t.Error("CUBE output missing")
+	}
+	if txt := FormatFig9(r); !strings.Contains(txt, "cudaEventSynchronize per rank") {
+		t.Error("FormatFig9 output incomplete")
+	}
+}
+
+func TestFig10ScalingShape(t *testing.T) {
+	rows, err := Fig10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || rows[0].Library != "MKL" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	mkl, base := rows[0], rows[1]
+	// CUBLAS beats MKL at the base process count by roughly a third.
+	speedup := (float64(mkl.Wallclock) - float64(base.Wallclock)) / float64(mkl.Wallclock)
+	if speedup < 0.15 || speedup > 0.60 {
+		t.Errorf("CUBLAS speedup = %.2f, want ~0.35", speedup)
+	}
+	// Thunking transfers dwarf the zgemm call.
+	if base.SetMatrix+base.GetMatrix <= base.Zgemm {
+		t.Errorf("transfers %v should dwarf zgemm %v", base.SetMatrix+base.GetMatrix, base.Zgemm)
+	}
+	// MPI_Gather per rank grows super-linearly with process count.
+	first, last := rows[1], rows[len(rows)-1]
+	procRatio := float64(last.Procs) / float64(first.Procs)
+	gatherRatio := float64(last.Gather) / float64(first.Gather)
+	if gatherRatio < 2*procRatio {
+		t.Errorf("gather grew %.1fx over %.0fx procs; want super-linear", gatherRatio, procRatio)
+	}
+	// CUBLAS time stays within a factor ~2 across the sweep (the paper:
+	// "relatively constant").
+	if r := float64(last.CUBLAS) / float64(first.CUBLAS); r > 2.5 || r < 0.4 {
+		t.Errorf("CUBLAS time ratio across sweep = %.2f, want ~constant", r)
+	}
+	// Wallclock at the largest count turns upward vs the mid-range.
+	if rows[len(rows)-1].Wallclock <= rows[len(rows)-2].Wallclock {
+		t.Error("largest run should show the MPI blow-up")
+	}
+	if txt := FormatFig10(rows); !strings.Contains(txt, "MKL -> CUBLAS") {
+		t.Error("FormatFig10 output incomplete")
+	}
+}
+
+func TestFig11Metrics(t *testing.T) {
+	r, err := Fig11(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GPUPct < 25 || r.GPUPct > 45 {
+		t.Errorf("GPU%% = %.2f, want ~36", r.GPUPct)
+	}
+	if r.ThreadSyncPct < 12 || r.ThreadSyncPct > 30 {
+		t.Errorf("threadSync%% = %.2f, want ~22.5", r.ThreadSyncPct)
+	}
+	if r.HostIdlePct > 0.5 {
+		t.Errorf("host idle %% = %.2f, want ~0", r.HostIdlePct)
+	}
+	if r.DistinctKerns != 39 {
+		t.Errorf("kernels = %d, want 39", r.DistinctKerns)
+	}
+	// Kernel shares ordered as published.
+	shares := r.KernelShare
+	if !(shares["CalculatePMEOrthogonalNonbondForces"] > shares["ReduceForces"] &&
+		shares["ReduceForces"] > shares["PMEShake"] &&
+		shares["PMEShake"] > shares["ClearForces"] &&
+		shares["ClearForces"] > shares["PMEUpdate"]) {
+		t.Errorf("kernel share ordering wrong: %+v", shares)
+	}
+	if shares["CalculatePMEOrthogonalNonbondForces"] < 30 || shares["CalculatePMEOrthogonalNonbondForces"] > 44 {
+		t.Errorf("nonbond share = %.2f, want ~37", shares["CalculatePMEOrthogonalNonbondForces"])
+	}
+	if imb := r.Imbalance["ReduceForces"]; imb < 1.3 || imb > 1.8 {
+		t.Errorf("ReduceForces imbalance = %.2f, want ~1.55", imb)
+	}
+	if imb := r.Imbalance["PMEShake"]; imb > 1.1 {
+		t.Errorf("PMEShake imbalance = %.2f, want balanced", imb)
+	}
+	if !strings.Contains(r.Banner, "##IPMv2.0") {
+		t.Error("banner missing")
+	}
+	if txt := FormatFig11(r); !strings.Contains(txt, "Derived metrics") {
+		t.Error("FormatFig11 output incomplete")
+	}
+}

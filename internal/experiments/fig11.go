@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/workloads"
+)
+
+// Fig11Result holds the Amber PMEMD profile and the headline metrics the
+// paper reads off it.
+type Fig11Result struct {
+	Profile *ipm.JobProfile
+	Banner  string
+
+	GPUPct        float64 // paper: 35.96
+	ThreadSyncPct float64 // paper: 22.50
+	HostIdlePct   float64 // paper: 0.08
+	DistinctKerns int     // paper: 39
+	// Top kernel shares of total GPU time, by name.
+	KernelShare map[string]float64
+	// Imbalance (max/avg across ranks) of selected kernels.
+	Imbalance map[string]float64
+}
+
+// amberGPUTime sums the per-stream exec pseudo entries.
+func amberGPUTime(jp *ipm.JobProfile) time.Duration {
+	var g time.Duration
+	for _, ft := range jp.FuncTotals() {
+		if strings.HasPrefix(ft.Name, "@CUDA_EXEC_STRM") && !strings.Contains(ft.Name, ":") {
+			g += ft.Stats.Total
+		}
+	}
+	return g
+}
+
+// Fig11 runs the Amber model (16 nodes, 10000 steps; quick: 4 nodes, 500
+// steps) under full monitoring and extracts the paper's metrics.
+func Fig11(o Options) (*Fig11Result, error) {
+	nodes, steps := 16, 10000
+	if o.Quick {
+		// Enough steps that startup (context init, device queries) does
+		// not distort the steady-state percentages too far.
+		nodes, steps = 4, 2500
+	}
+	cfg := cluster.Dirac(nodes, 1)
+	cfg.Monitor = true
+	cfg.CUDA = monitoringFor(true, true)
+	cfg.Runtime = workloads.AmberRuntimeOptions()
+	cfg.Command = "pmemd.cuda_MPI -O -i mdin -c inpcrd.equil"
+	cfg.NoiseSeed = o.Seed + 7
+	cfg.NoiseAmp = 0.01
+	res, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.Amber(env, workloads.AmberConfig{Steps: steps}); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	jp := res.Profile
+	jp.Start = "Tue Sep 28 12:35:09 2010"
+	jp.Stop = "Tue Sep 28 12:35:55 2010"
+
+	wall := jp.WallclockSpread().Total
+	gpu := amberGPUTime(jp)
+
+	out := &Fig11Result{
+		Profile:     jp,
+		GPUPct:      pct(gpu, wall),
+		HostIdlePct: jp.HostIdlePercent(),
+		KernelShare: make(map[string]float64),
+		Imbalance:   make(map[string]float64),
+	}
+	out.ThreadSyncPct = pct(jp.FuncSpread("cudaThreadSynchronize").Total, wall)
+
+	kernels := make(map[string]time.Duration)
+	for _, ft := range jp.FuncTotals() {
+		if i := strings.Index(ft.Name, ":"); i >= 0 && strings.HasPrefix(ft.Name, "@CUDA_EXEC_STRM") {
+			k := ft.Name[i+1:]
+			if k != "cufft_z2z_kernel" {
+				kernels[k] += ft.Stats.Total
+			}
+		}
+	}
+	out.DistinctKerns = len(kernels)
+	for _, k := range []string{"CalculatePMEOrthogonalNonbondForces", "ReduceForces", "PMEShake", "ClearForces", "PMEUpdate"} {
+		out.KernelShare[k] = pct(kernels[k], gpu)
+		out.Imbalance[k] = jp.Imbalance(ipm.ExecKernelName(0, k))
+	}
+
+	var sb strings.Builder
+	if err := ipm.WriteBanner(&sb, jp, ipm.BannerOptions{Full: true, MaxRows: 20}); err != nil {
+		return nil, err
+	}
+	out.Banner = sb.String()
+	return out, nil
+}
+
+// FormatFig11 renders the banner plus the derived metrics compared to the
+// paper's values.
+func FormatFig11(r *Fig11Result) string {
+	var sb strings.Builder
+	sb.WriteString(r.Banner)
+	fmt.Fprintf(&sb, "\nDerived metrics (paper values in parentheses):\n")
+	fmt.Fprintf(&sb, "  GPU utilisation        : %6.2f %%  (35.96 %%)\n", r.GPUPct)
+	fmt.Fprintf(&sb, "  cudaThreadSynchronize  : %6.2f %%  (22.50 %%)\n", r.ThreadSyncPct)
+	fmt.Fprintf(&sb, "  host idle              : %6.2f %%  (0.08 %%)\n", r.HostIdlePct)
+	fmt.Fprintf(&sb, "  distinct GPU kernels   : %6d    (39)\n", r.DistinctKerns)
+	fmt.Fprintf(&sb, "  kernel shares of GPU time:\n")
+	for _, k := range []string{"CalculatePMEOrthogonalNonbondForces", "ReduceForces", "PMEShake", "ClearForces", "PMEUpdate"} {
+		fmt.Fprintf(&sb, "    %-38s %6.2f %%   imbalance %.2fx\n", k, r.KernelShare[k], r.Imbalance[k])
+	}
+	fmt.Fprintf(&sb, "  (paper shares: 37/18/10/8/7 %%; ReduceForces/ClearForces imbalance up to 1.55x)\n")
+	return sb.String()
+}

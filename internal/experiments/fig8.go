@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/workloads"
+)
+
+// Fig8Result summarises the runtime-dilation ensemble: the distribution
+// of HPL runtimes with and without IPM monitoring.
+type Fig8Result struct {
+	Runs          int
+	Bare          []time.Duration
+	Monitored     []time.Duration
+	MeanBare      time.Duration
+	MeanMon       time.Duration
+	StddevBare    time.Duration
+	StddevMon     time.Duration
+	DilationPct   float64 // (meanMon-meanBare)/meanBare * 100
+	BelowOneSigma bool    // dilation below the bare run-to-run sigma
+}
+
+func meanStd(xs []time.Duration) (time.Duration, time.Duration) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		v += d * d
+	}
+	v /= float64(len(xs))
+	return time.Duration(mean), time.Duration(math.Sqrt(v))
+}
+
+// Fig8 runs the HPL ensemble (paper: 120 monitored + 120 bare runs on 16
+// nodes) and measures the application-level runtime dilation of
+// monitoring. Quick mode uses 12+12 runs at reduced scale.
+func Fig8(o Options) (*Fig8Result, error) {
+	runs, nodes := 120, 16
+	hpl := workloads.DefaultHPL()
+	if o.Quick {
+		runs, nodes = 12, 4
+		hpl.Iterations = 12
+		hpl.Scale = 0.05
+	}
+	res := &Fig8Result{Runs: runs}
+	for i := 0; i < runs; i++ {
+		for _, monitored := range []bool{false, true} {
+			cfg := cluster.Dirac(nodes, 1)
+			cfg.Monitor = monitored
+			cfg.CUDA = monitoringFor(true, true)
+			cfg.Command = "./xhpl.cuda"
+			cfg.NoiseSeed = o.Seed + int64(i) + 1
+			cfg.NoiseAmp = 0.03
+			r, err := cluster.Run(cfg, func(env *cluster.Env) {
+				if err := workloads.HPL(env, hpl); err != nil {
+					panic(err)
+				}
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig8 run %d: %w", i, err)
+			}
+			if monitored {
+				res.Monitored = append(res.Monitored, r.Wallclock)
+			} else {
+				res.Bare = append(res.Bare, r.Wallclock)
+			}
+		}
+	}
+	res.MeanBare, res.StddevBare = meanStd(res.Bare)
+	res.MeanMon, res.StddevMon = meanStd(res.Monitored)
+	res.DilationPct = 100 * float64(res.MeanMon-res.MeanBare) / float64(res.MeanBare)
+	res.BelowOneSigma = res.MeanMon-res.MeanBare < res.StddevBare
+	return res, nil
+}
+
+// FormatFig8 renders the result with an ASCII histogram like the paper's
+// Fig. 8.
+func FormatFig8(r *Fig8Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 8: HPL runtime with and without IPM (%d runs each)\n", r.Runs)
+	fmt.Fprintf(&sb, "mean without IPM : %10.3f s  (sigma %.3f s)\n", r.MeanBare.Seconds(), r.StddevBare.Seconds())
+	fmt.Fprintf(&sb, "mean with IPM    : %10.3f s  (sigma %.3f s)\n", r.MeanMon.Seconds(), r.StddevMon.Seconds())
+	fmt.Fprintf(&sb, "runtime dilation : %10.4f %%  (paper: 0.21 %%)\n", r.DilationPct)
+	fmt.Fprintf(&sb, "below run-to-run variability: %v\n\n", r.BelowOneSigma)
+
+	// Shared histogram over both distributions.
+	all := append(append([]time.Duration(nil), r.Bare...), r.Monitored...)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	lo, hi := all[0], all[len(all)-1]
+	const bins = 16
+	width := (hi - lo) / bins
+	if width <= 0 {
+		width = 1
+	}
+	binOf := func(d time.Duration) int {
+		b := int((d - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		return b
+	}
+	var hb, hm [bins]int
+	for _, d := range r.Bare {
+		hb[binOf(d)]++
+	}
+	for _, d := range r.Monitored {
+		hm[binOf(d)]++
+	}
+	fmt.Fprintf(&sb, "%-12s %-24s %-24s\n", "runtime (s)", "without IPM", "with IPM")
+	for b := 0; b < bins; b++ {
+		center := lo + width*time.Duration(b) + width/2
+		fmt.Fprintf(&sb, "%-12.3f %-24s %-24s\n", center.Seconds(),
+			strings.Repeat("#", hb[b]), strings.Repeat("*", hm[b]))
+	}
+	return sb.String()
+}

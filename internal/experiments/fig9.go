@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/cube"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/workloads"
+)
+
+// Fig9Result holds the CUDA+MPI profile of the CUDA-accelerated HPL run:
+// the per-kernel, per-stream, per-rank kernel-time breakdown shown in the
+// paper's CUBE screenshot, plus the CUBE document itself.
+type Fig9Result struct {
+	Profile *ipm.JobProfile
+	CUBE    string
+	// KernelTimes[kernel][rank] is the GPU time of the kernel on the rank.
+	KernelTimes map[string][]time.Duration
+	// EventSyncPerRank is cudaEventSynchronize time per rank (the paper:
+	// two to five seconds per MPI task).
+	EventSyncPerRank []time.Duration
+	HostIdlePct      float64
+}
+
+// Fig9 runs monitored CUDA HPL on 16 nodes and extracts the breakdown.
+func Fig9(o Options) (*Fig9Result, error) {
+	nodes := 16
+	hpl := workloads.DefaultHPL()
+	if o.Quick {
+		nodes = 4
+		hpl.Iterations = 12
+		hpl.Scale = 0.05
+	}
+	cfg := cluster.Dirac(nodes, 1)
+	cfg.Monitor = true
+	cfg.CUDA = monitoringFor(true, true)
+	cfg.Command = "./xhpl.cuda"
+	cfg.NoiseSeed = o.Seed + 42
+	cfg.NoiseAmp = 0.02
+	res, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.HPL(env, hpl); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	jp := res.Profile
+
+	out := &Fig9Result{
+		Profile:     jp,
+		KernelTimes: make(map[string][]time.Duration),
+		HostIdlePct: jp.HostIdlePercent(),
+	}
+	for _, r := range jp.Ranks {
+		out.EventSyncPerRank = append(out.EventSyncPerRank, r.FuncTime("cudaEventSynchronize"))
+		for _, e := range r.Entries {
+			name := e.Sig.Name
+			if !strings.HasPrefix(name, "@CUDA_EXEC_STRM") || !strings.Contains(name, ":") {
+				continue
+			}
+			kernel := name[strings.Index(name, ":")+1:]
+			if out.KernelTimes[kernel] == nil {
+				out.KernelTimes[kernel] = make([]time.Duration, jp.NTasks())
+			}
+			out.KernelTimes[kernel][r.Rank] += e.Stats.Total
+		}
+	}
+	var sb strings.Builder
+	if err := cube.Write(&sb, jp); err != nil {
+		return nil, err
+	}
+	out.CUBE = sb.String()
+	return out, nil
+}
+
+// FormatFig9 renders the per-kernel per-rank table.
+func FormatFig9(r *Fig9Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fig. 9: CUDA+MPI profile of CUDA-accelerated HPL (%d ranks)\n", r.Profile.NTasks())
+	fmt.Fprintf(&sb, "wallclock %.2f s, host idle %.4f %% (async transfers)\n\n",
+		r.Profile.Wallclock().Seconds(), r.HostIdlePct)
+
+	kernels := make([]string, 0, len(r.KernelTimes))
+	for k := range r.KernelTimes {
+		kernels = append(kernels, k)
+	}
+	sort.Slice(kernels, func(i, j int) bool {
+		var ti, tj time.Duration
+		for _, d := range r.KernelTimes[kernels[i]] {
+			ti += d
+		}
+		for _, d := range r.KernelTimes[kernels[j]] {
+			tj += d
+		}
+		return ti > tj
+	})
+	fmt.Fprintf(&sb, "%-22s %10s %10s %10s %10s\n", "GPU kernel", "total(s)", "min(s)", "max(s)", "max/avg")
+	for _, k := range kernels {
+		times := r.KernelTimes[k]
+		var total, min, max time.Duration
+		min = times[0]
+		for _, d := range times {
+			total += d
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		avg := total / time.Duration(len(times))
+		imb := 0.0
+		if avg > 0 {
+			imb = float64(max) / float64(avg)
+		}
+		fmt.Fprintf(&sb, "%-22s %10.2f %10.2f %10.2f %10.3f\n",
+			k, total.Seconds(), min.Seconds(), max.Seconds(), imb)
+	}
+
+	var syncTotal time.Duration
+	minS, maxS := r.EventSyncPerRank[0], r.EventSyncPerRank[0]
+	for _, d := range r.EventSyncPerRank {
+		syncTotal += d
+		if d < minS {
+			minS = d
+		}
+		if d > maxS {
+			maxS = d
+		}
+	}
+	fmt.Fprintf(&sb, "\ncudaEventSynchronize per rank: min %.2f s, max %.2f s (paper: 2-5 s)\n",
+		minS.Seconds(), maxS.Seconds())
+	return sb.String()
+}

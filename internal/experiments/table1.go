@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/workloads"
+)
+
+// Table1Row is one line of the paper's Table I: the GPU kernel execution
+// time of one SDK benchmark as measured by the (simulated) CUDA profiler
+// and by IPM's event-based timing, and their relative difference.
+type Table1Row struct {
+	Benchmark   string
+	Invocations int
+	Profiler    time.Duration
+	IPM         time.Duration
+	DiffPercent float64
+}
+
+// Table1 runs the eight SDK benchmarks with both the CUDA profiler and
+// IPM attached and compares total kernel times, reproducing Table I.
+func Table1(o Options) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, b := range workloads.SDKSuite() {
+		cfg := cluster.Dirac(1, 1)
+		cfg.Monitor = true
+		cfg.CUDA = monitoringFor(true, true)
+		cfg.CUDAProfile = true
+		cfg.Command = "./" + b.Name
+		bench := b
+		res, err := cluster.Run(cfg, func(env *cluster.Env) {
+			if err := bench.Run(env); err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", b.Name, err)
+		}
+		profiler := res.Profilers[0].TotalKernelTime()
+		var ipmTime time.Duration
+		for _, ft := range res.Profile.FuncTotals() {
+			if strings.HasPrefix(ft.Name, "@CUDA_EXEC_STRM") && !strings.Contains(ft.Name, ":") {
+				ipmTime += ft.Stats.Total
+			}
+		}
+		rows = append(rows, Table1Row{
+			Benchmark:   b.Name,
+			Invocations: b.Invocations,
+			Profiler:    profiler,
+			IPM:         ipmTime,
+			DiffPercent: 100 * float64(ipmTime-profiler) / float64(profiler),
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows like the paper's Table I.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: GPU kernel execution time, CUDA profiler vs IPM\n")
+	fmt.Fprintf(&sb, "%-22s %12s %16s %16s %12s\n",
+		"Benchmark", "Invocations", "Profiler (s)", "IPM (s)", "Diff (%)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-22s %12d %16.6f %16.6f %12.2f\n",
+			r.Benchmark, r.Invocations, r.Profiler.Seconds(), r.IPM.Seconds(), r.DiffPercent)
+	}
+	return sb.String()
+}

@@ -1,0 +1,209 @@
+package gpucounters
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+func spec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.ContextInit = 0
+	s.KernelDispatch = 0
+	return s
+}
+
+// runKernel launches one kernel with the given cost and geometry and
+// returns the attached component.
+func runKernel(t *testing.T, cost perfmodel.KernelCost, grid, block [3]int, register bool) *Component {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	c := Attach(dev)
+	if register {
+		c.RegisterKernel("k", cost)
+	}
+	e.Spawn("host", func(p *des.Proc) {
+		op := dev.LaunchKernel(dev.DefaultStream(), "k", cost, grid, block, nil)
+		p.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDerivedCountersFromCostModel(t *testing.T) {
+	cost := perfmodel.KernelCost{FLOPs: 1e9, MemBytes: 1e8}
+	c := runKernel(t, cost, [3]int{100, 1, 1}, [3]int{128, 1, 1}, true)
+	if len(c.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(c.Samples()))
+	}
+	s := c.Samples()[0]
+	if s.Values[FlopCountDP] != 1e9 {
+		t.Errorf("flop_count_dp = %d, want 1e9", s.Values[FlopCountDP])
+	}
+	if s.Values[FlopCountSP] != 0 {
+		t.Errorf("flop_count_sp = %d, want 0 for DP kernel", s.Values[FlopCountSP])
+	}
+	if got := s.Values[DramReadBytes] + s.Values[DramWriteB]; got != 1e8 {
+		t.Errorf("dram traffic = %d, want 1e8", got)
+	}
+	// 100 blocks x 128 threads = 12800 threads = 400 warps.
+	if s.Values[WarpsLaunched] != 400 {
+		t.Errorf("warps = %d, want 400", s.Values[WarpsLaunched])
+	}
+	if s.Values[KernelCount] != 1 {
+		t.Errorf("kernel count = %d", s.Values[KernelCount])
+	}
+	if s.Values[ActiveCycles] == 0 {
+		t.Error("active cycles zero")
+	}
+}
+
+func TestSPCounter(t *testing.T) {
+	c := runKernel(t, perfmodel.KernelCost{FLOPs: 5e8, SP: true}, [3]int{1, 1, 1}, [3]int{32, 1, 1}, true)
+	s := c.Samples()[0]
+	if s.Values[FlopCountSP] != 5e8 || s.Values[FlopCountDP] != 0 {
+		t.Errorf("SP/DP = %d/%d", s.Values[FlopCountSP], s.Values[FlopCountDP])
+	}
+}
+
+func TestUnregisteredKernelEstimates(t *testing.T) {
+	// Fixed-duration kernel without a registered cost still yields
+	// nonzero, duration-derived counters.
+	c := runKernel(t, perfmodel.KernelCost{Fixed: 10 * time.Millisecond}, [3]int{1, 1, 1}, [3]int{64, 1, 1}, false)
+	s := c.Samples()[0]
+	if s.Values[FlopCountDP] == 0 {
+		t.Error("estimated flops zero")
+	}
+	if s.Values[ActiveCycles] == 0 {
+		t.Error("active cycles zero")
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	// A tiny launch has low occupancy; a huge one saturates at 100%.
+	small := runKernel(t, perfmodel.KernelCost{FLOPs: 1}, [3]int{1, 1, 1}, [3]int{32, 1, 1}, true)
+	big := runKernel(t, perfmodel.KernelCost{FLOPs: 1}, [3]int{1024, 1, 1}, [3]int{256, 1, 1}, true)
+	so := small.Samples()[0].Values[Occupancy]
+	bo := big.Samples()[0].Values[Occupancy]
+	if so >= bo {
+		t.Errorf("occupancy small %d >= big %d", so, bo)
+	}
+	if bo != 100*100 {
+		t.Errorf("big occupancy = %d, want 10000 (100%%)", bo)
+	}
+}
+
+func TestEventSetLifecycle(t *testing.T) {
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	c := Attach(dev)
+	cost := perfmodel.KernelCost{FLOPs: 1e6}
+	c.RegisterKernel("k", cost)
+
+	es, err := c.NewEventSet(FlopCountDP, KernelCount, Occupancy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Read(); err == nil {
+		t.Error("read before start accepted")
+	}
+	if err := es.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := es.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+
+	e.Spawn("host", func(p *des.Proc) {
+		for i := 0; i < 3; i++ {
+			op := dev.LaunchKernel(dev.DefaultStream(), "k", cost, [3]int{4, 1, 1}, [3]int{64, 1, 1}, nil)
+			p.Wait(op.Done())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	vals, err := es.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 3e6 {
+		t.Errorf("flops = %d, want 3e6", vals[0])
+	}
+	if vals[1] != 3 {
+		t.Errorf("kernel count = %d, want 3", vals[1])
+	}
+	if vals[2] == 0 || vals[2] > 10000 {
+		t.Errorf("avg occupancy = %d out of range", vals[2])
+	}
+	if _, err := es.Read(); err == nil {
+		t.Error("read after stop accepted")
+	}
+}
+
+func TestEventSetValidation(t *testing.T) {
+	e := des.NewEngine()
+	c := Attach(gpusim.NewDevice(e, spec()))
+	if _, err := c.NewEventSet(); err == nil {
+		t.Error("empty event set accepted")
+	}
+	if _, err := c.NewEventSet(Counter("bogus")); err == nil {
+		t.Error("unknown counter accepted")
+	}
+}
+
+func TestPerKernelTotals(t *testing.T) {
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	c := Attach(dev)
+	ca := perfmodel.KernelCost{FLOPs: 1e6}
+	cb := perfmodel.KernelCost{FLOPs: 2e6}
+	c.RegisterKernel("a", ca)
+	c.RegisterKernel("b", cb)
+	e.Spawn("host", func(p *des.Proc) {
+		var op *gpusim.Op
+		for i := 0; i < 2; i++ {
+			op = dev.LaunchKernel(dev.DefaultStream(), "a", ca, [3]int{1, 1, 1}, [3]int{32, 1, 1}, nil)
+		}
+		op = dev.LaunchKernel(dev.DefaultStream(), "b", cb, [3]int{1, 1, 1}, [3]int{32, 1, 1}, nil)
+		p.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	totals := c.PerKernelTotals()
+	if len(totals) != 2 || totals[0].Kernel != "a" || totals[1].Kernel != "b" {
+		t.Fatalf("totals = %+v", totals)
+	}
+	if totals[0].Invocations != 2 || totals[0].Values[FlopCountDP] != 2e6 {
+		t.Errorf("kernel a: %+v", totals[0])
+	}
+	if totals[1].Values[FlopCountDP] != 2e6 {
+		t.Errorf("kernel b: %+v", totals[1])
+	}
+}
+
+func TestChainsPriorCallback(t *testing.T) {
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	var prior int
+	dev.OnKernelComplete = func(gpusim.KernelRecord) { prior++ }
+	c := Attach(dev)
+	e.Spawn("host", func(p *des.Proc) {
+		op := dev.LaunchKernel(dev.DefaultStream(), "k", perfmodel.KernelCost{Fixed: time.Millisecond}, [3]int{}, [3]int{}, nil)
+		p.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prior != 1 || len(c.Samples()) != 1 {
+		t.Errorf("chain broken: prior=%d samples=%d", prior, len(c.Samples()))
+	}
+}

@@ -1,0 +1,160 @@
+// Package gpusim simulates a CUDA-capable GPU device in virtual time.
+//
+// The device executes operations (kernels, memory copies, memsets, event
+// records) enqueued on streams. Scheduling follows the CUDA 3.x execution
+// model the paper's monitoring layer observes:
+//
+//   - operations within one stream execute in order;
+//   - the legacy NULL stream (stream 0) is a barrier: a NULL-stream
+//     operation waits for all previously enqueued work on every stream, and
+//     operations enqueued later on any stream wait for it;
+//   - kernels from different streams may overlap up to
+//     GPUSpec.MaxConcurrent (16 on Fermi);
+//   - host-to-device and device-to-host copies use separate copy engines
+//     (the C2050 has one DMA engine per direction), each serial;
+//   - the first operation that touches the device pays the context
+//     initialisation cost (visible in the paper's Fig. 4 as a 2.4 s
+//     cudaMalloc).
+//
+// Operations may carry a functional payload that runs at completion time in
+// virtual time order, so simulated kernels can perform real data movement
+// and arithmetic on simulated device memory.
+package gpusim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// Device is a simulated GPU. Create devices with NewDevice. A Device is
+// driven from DES process context (the simulated host); it is not safe for
+// use outside the owning engine.
+type Device struct {
+	eng  *des.Engine
+	spec perfmodel.GPUSpec
+
+	streams      map[int]*Stream
+	nextStreamID int
+
+	h2dTail  time.Duration // copy engine availability, host-to-device
+	d2hTail  time.Duration // copy engine availability, device-to-host
+	active   endHeap       // end times of scheduled kernels (concurrency limit)
+	allTail  time.Duration // completion of the latest op on any stream
+	nullTail time.Duration // completion of the latest NULL-stream op
+	lastOp   *Op           // op with the latest completion time
+
+	mem *memPool
+
+	busyKernel time.Duration // accumulated kernel execution time
+	nOps       int
+
+	// OnKernelComplete, if set, is invoked at each kernel's completion
+	// time with its exact execution record. The CUDA-profiler substrate
+	// (internal/cudaprof) registers here; chains are the caller's job.
+	OnKernelComplete func(KernelRecord)
+}
+
+// KernelRecord is the exact ground-truth execution record of one kernel,
+// as the real CUDA profiler would log it. Cost carries the launch's
+// resource model so counter components can derive hardware-counter values
+// without separate registration.
+type KernelRecord struct {
+	Name     string
+	Stream   int
+	Start    time.Duration // device timestamp at which execution began
+	End      time.Duration
+	GridDim  [3]int
+	BlockDim [3]int
+	Cost     perfmodel.KernelCost
+}
+
+// Duration returns the exact kernel execution time.
+func (r KernelRecord) Duration() time.Duration { return r.End - r.Start }
+
+// NewDevice creates a device with the given specification attached to the
+// engine.
+func NewDevice(eng *des.Engine, spec perfmodel.GPUSpec) *Device {
+	d := &Device{
+		eng:     eng,
+		spec:    spec,
+		streams: make(map[int]*Stream),
+		mem:     newMemPool(spec.MemBytes),
+	}
+	d.streams[0] = &Stream{id: 0, dev: d}
+	d.nextStreamID = 1
+	return d
+}
+
+// Spec returns the device specification.
+func (d *Device) Spec() perfmodel.GPUSpec { return d.spec }
+
+// Engine returns the owning DES engine.
+func (d *Device) Engine() *des.Engine { return d.eng }
+
+// DefaultStream returns the legacy NULL stream.
+func (d *Device) DefaultStream() *Stream { return d.streams[0] }
+
+// CreateStream creates a new non-NULL stream.
+func (d *Device) CreateStream() *Stream {
+	s := &Stream{id: d.nextStreamID, dev: d}
+	d.nextStreamID++
+	d.streams[s.id] = s
+	return s
+}
+
+// DestroyStream removes the stream. Pending work is unaffected (it has
+// already been scheduled). Destroying the NULL stream is an error.
+func (d *Device) DestroyStream(s *Stream) error {
+	if s.id == 0 {
+		return fmt.Errorf("gpusim: cannot destroy the NULL stream")
+	}
+	delete(d.streams, s.id)
+	return nil
+}
+
+// StreamByID returns the stream with the given id, or nil.
+func (d *Device) StreamByID(id int) *Stream { return d.streams[id] }
+
+// LastOp returns the operation with the latest completion time enqueued so
+// far, or nil if the device is idle since creation. Waiting on its Done
+// signal is equivalent to cudaDeviceSynchronize.
+func (d *Device) LastOp() *Op { return d.lastOp }
+
+// BusyKernelTime returns the accumulated kernel execution time (summed per
+// kernel, so overlapping kernels count multiply).
+func (d *Device) BusyKernelTime() time.Duration { return d.busyKernel }
+
+// Ops returns the number of operations enqueued so far.
+func (d *Device) Ops() int { return d.nOps }
+
+// endHeap is a min-heap of kernel end times, used to enforce the
+// MaxConcurrent kernel limit.
+type endHeap []time.Duration
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x any)         { *h = append(*h, x.(time.Duration)) }
+func (h *endHeap) Pop() any           { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+func (h endHeap) peek() time.Duration { return h[0] }
+
+// kernelStart returns the start time for a kernel that is ready at t,
+// respecting the device-wide concurrency limit, and registers its end time.
+func (d *Device) kernelStart(t, dur time.Duration) time.Duration {
+	for d.active.Len() > 0 && d.active.peek() <= t {
+		heap.Pop(&d.active)
+	}
+	start := t
+	if d.active.Len() >= d.spec.MaxConcurrent {
+		start = heap.Pop(&d.active).(time.Duration)
+		if start < t {
+			start = t
+		}
+	}
+	heap.Push(&d.active, start+dur)
+	return start
+}

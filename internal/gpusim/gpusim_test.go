@@ -1,0 +1,437 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// testSpec returns a spec with round numbers that make timing assertions
+// easy: dispatch 0, event cost 0, 1 GB/s everywhere, no init cost.
+func testSpec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.KernelDispatch = 0
+	s.EventRecordCost = 0
+	s.PCIeLatency = 0
+	s.PCIeH2DGBs = 1
+	s.PCIeD2HGBs = 1
+	s.ContextInit = 0
+	return s
+}
+
+func fixed(d time.Duration) perfmodel.KernelCost { return perfmodel.KernelCost{Fixed: d} }
+
+func TestKernelCompletionTime(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var done time.Duration
+	e.Spawn("host", func(p *des.Proc) {
+		op := d.LaunchKernel(d.DefaultStream(), "k", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil)
+		p.Wait(op.Done())
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 10*time.Millisecond {
+		t.Errorf("kernel done at %v, want 10ms", done)
+	}
+}
+
+func TestSameStreamSerializes(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var ops []*Op
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		for i := 0; i < 3; i++ {
+			ops = append(ops, d.LaunchKernel(s, "k", fixed(5*time.Millisecond), [3]int{}, [3]int{}, nil))
+		}
+		p.Wait(ops[2].Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if ops[i].Start < ops[i-1].End {
+			t.Errorf("op %d starts at %v before predecessor ends %v", i, ops[i].Start, ops[i-1].End)
+		}
+	}
+	if ops[2].End != 15*time.Millisecond {
+		t.Errorf("third kernel ends at %v, want 15ms", ops[2].End)
+	}
+}
+
+func TestDifferentStreamsOverlap(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var a, b *Op
+	e.Spawn("host", func(p *des.Proc) {
+		s1, s2 := d.CreateStream(), d.CreateStream()
+		a = d.LaunchKernel(s1, "a", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil)
+		b = d.LaunchKernel(s2, "b", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil)
+		p.Wait(a.Done())
+		p.Wait(b.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 0 || b.Start != 0 {
+		t.Errorf("kernels should start together: a=%v b=%v", a.Start, b.Start)
+	}
+}
+
+func TestConcurrencyLimit(t *testing.T) {
+	spec := testSpec()
+	spec.MaxConcurrent = 2
+	e := des.NewEngine()
+	d := NewDevice(e, spec)
+	var ops []*Op
+	e.Spawn("host", func(p *des.Proc) {
+		for i := 0; i < 4; i++ {
+			s := d.CreateStream()
+			ops = append(ops, d.LaunchKernel(s, "k", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil))
+		}
+		for _, op := range ops {
+			p.Wait(op.Done())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With 2 slots and 4 equal kernels: two waves.
+	if ops[0].Start != 0 || ops[1].Start != 0 {
+		t.Errorf("first wave should start at 0: %v %v", ops[0].Start, ops[1].Start)
+	}
+	if ops[2].Start != 10*time.Millisecond || ops[3].Start != 10*time.Millisecond {
+		t.Errorf("second wave should start at 10ms: %v %v", ops[2].Start, ops[3].Start)
+	}
+}
+
+func TestNullStreamBarrier(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var a, null, b *Op
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		a = d.LaunchKernel(s, "a", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil)
+		null = d.LaunchKernel(d.DefaultStream(), "null", fixed(5*time.Millisecond), [3]int{}, [3]int{}, nil)
+		b = d.LaunchKernel(s, "b", fixed(5*time.Millisecond), [3]int{}, [3]int{}, nil)
+		p.Wait(b.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if null.Start < a.End {
+		t.Errorf("NULL-stream op started %v before prior work ended %v", null.Start, a.End)
+	}
+	if b.Start < null.End {
+		t.Errorf("op after NULL-stream op started %v before it ended %v", b.Start, null.End)
+	}
+}
+
+func TestCopyEnginesSerializePerDirection(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var h1, h2, d1 *Op
+	e.Spawn("host", func(p *des.Proc) {
+		s1, s2, s3 := d.CreateStream(), d.CreateStream(), d.CreateStream()
+		h1 = d.EnqueueCopy(s1, perfmodel.HostToDevice, 1e9, false, nil) // 1s at 1GB/s
+		h2 = d.EnqueueCopy(s2, perfmodel.HostToDevice, 1e9, false, nil)
+		d1 = d.EnqueueCopy(s3, perfmodel.DeviceToHost, 1e9, false, nil)
+		p.Wait(h2.Done())
+		p.Wait(d1.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if h2.Start < h1.End {
+		t.Errorf("second H2D copy started %v before first ended %v", h2.Start, h1.End)
+	}
+	if d1.Start != 0 {
+		t.Errorf("D2H copy should overlap H2D: started at %v", d1.Start)
+	}
+}
+
+func TestEventElapsedBracketsKernel(t *testing.T) {
+	e := des.NewEngine()
+	spec := testSpec()
+	spec.EventRecordCost = 2 * time.Microsecond
+	d := NewDevice(e, spec)
+	var elapsed time.Duration
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		start, stop := d.NewEvent(), d.NewEvent()
+		start.Record(s)
+		op := d.LaunchKernel(s, "k", fixed(10*time.Millisecond), [3]int{}, [3]int{}, nil)
+		stop.Record(s)
+		p.Wait(stop.Done())
+		var err error
+		elapsed, err = start.Elapsed(stop)
+		if err != nil {
+			t.Error(err)
+		}
+		_ = op
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Event-bracketed time = kernel + one event record cost; always >= kernel.
+	if elapsed < 10*time.Millisecond {
+		t.Errorf("elapsed %v < kernel duration", elapsed)
+	}
+	if elapsed > 10*time.Millisecond+10*time.Microsecond {
+		t.Errorf("elapsed %v too far above kernel duration", elapsed)
+	}
+}
+
+func TestEventErrors(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	ev := d.NewEvent()
+	if ev.Query() {
+		t.Error("unrecorded event reports ready")
+	}
+	if _, err := ev.Timestamp(); !errors.Is(err, ErrEventNotRecorded) {
+		t.Errorf("Timestamp err = %v, want ErrEventNotRecorded", err)
+	}
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		d.LaunchKernel(s, "k", fixed(time.Millisecond), [3]int{}, [3]int{}, nil)
+		ev.Record(s)
+		if ev.Query() {
+			t.Error("event ready immediately after record")
+		}
+		if _, err := ev.Timestamp(); !errors.Is(err, ErrEventNotReady) {
+			t.Errorf("Timestamp err = %v, want ErrEventNotReady", err)
+		}
+		p.Wait(ev.Done())
+		if !ev.Query() {
+			t.Error("event not ready after waiting")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionalPayloadRuns(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var out []byte
+	e.Spawn("host", func(p *des.Proc) {
+		ptr, err := d.Alloc(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := d.DefaultStream()
+		op := d.LaunchKernel(s, "fill", fixed(time.Millisecond), [3]int{}, [3]int{}, func() {
+			b, _ := d.Bytes(ptr, 4)
+			copy(b, []byte{1, 2, 3, 4})
+		})
+		p.Wait(op.Done())
+		b, _ := d.Bytes(ptr, 4)
+		out = append(out, b...)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || out[3] != 4 {
+		t.Errorf("payload did not run: %v", out)
+	}
+}
+
+func TestMemoryAllocFree(t *testing.T) {
+	e := des.NewEngine()
+	spec := testSpec()
+	spec.MemBytes = 100
+	d := NewDevice(e, spec)
+	p1, err := d.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(60); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("overcommit err = %v, want ErrOutOfMemory", err)
+	}
+	free, total := d.MemInfo()
+	if free != 40 || total != 100 {
+		t.Errorf("MemInfo = %d/%d, want 40/100", free, total)
+	}
+	if err := d.Free(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(p1); err == nil {
+		t.Error("double free not detected")
+	}
+	if err := d.Free(DevPtr{}); err != nil {
+		t.Errorf("freeing null pointer: %v", err)
+	}
+	if err := d.Free(p1.Offset(3)); err == nil {
+		// p1 freed already, but interior check comes first
+		t.Error("interior free not detected")
+	}
+}
+
+func TestBytesBoundsChecks(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	p, _ := d.Alloc(10)
+	if _, err := d.Bytes(p, 11); err == nil {
+		t.Error("overflow read not detected")
+	}
+	if _, err := d.Bytes(p.Offset(5), 6); err == nil {
+		t.Error("offset overflow not detected")
+	}
+	if b, err := d.Bytes(p.Offset(5), 5); err != nil || len(b) != 5 {
+		t.Errorf("interior view: %v len=%d", err, len(b))
+	}
+	if _, err := d.Bytes(DevPtr{alloc: 999}, 1); err == nil {
+		t.Error("bad alloc id not detected")
+	}
+}
+
+func TestKernelCompleteCallback(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	var recs []KernelRecord
+	d.OnKernelComplete = func(r KernelRecord) { recs = append(recs, r) }
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		op := d.LaunchKernel(s, "k1", fixed(3*time.Millisecond), [3]int{8, 1, 1}, [3]int{128, 1, 1}, nil)
+		p.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "k1" || r.Duration() != 3*time.Millisecond || r.GridDim[0] != 8 {
+		t.Errorf("bad record: %+v", r)
+	}
+}
+
+func TestStreamLifecycle(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	s := d.CreateStream()
+	if d.StreamByID(s.ID()) != s {
+		t.Error("StreamByID lookup failed")
+	}
+	if err := d.DestroyStream(s); err != nil {
+		t.Fatal(err)
+	}
+	if d.StreamByID(s.ID()) != nil {
+		t.Error("destroyed stream still present")
+	}
+	if err := d.DestroyStream(d.DefaultStream()); err == nil {
+		t.Error("destroying NULL stream should fail")
+	}
+}
+
+func TestBusyKernelTimeAccumulates(t *testing.T) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		op := d.LaunchKernel(s, "a", fixed(3*time.Millisecond), [3]int{}, [3]int{}, nil)
+		op = d.LaunchKernel(s, "b", fixed(4*time.Millisecond), [3]int{}, [3]int{}, nil)
+		p.Wait(op.Done())
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.BusyKernelTime() != 7*time.Millisecond {
+		t.Errorf("busy time = %v, want 7ms", d.BusyKernelTime())
+	}
+	if d.Ops() != 2 {
+		t.Errorf("ops = %d, want 2", d.Ops())
+	}
+}
+
+// Property: on a single stream, ops never overlap and respect enqueue
+// order, for any mix of kernels and copies.
+func TestPropSingleStreamNoOverlap(t *testing.T) {
+	prop := func(kinds []bool, durs []uint16) bool {
+		n := len(kinds)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		if n == 0 {
+			return true
+		}
+		e := des.NewEngine()
+		d := NewDevice(e, testSpec())
+		var ops []*Op
+		e.Spawn("host", func(p *des.Proc) {
+			s := d.CreateStream()
+			for i := 0; i < n; i++ {
+				dur := time.Duration(durs[i]+1) * time.Microsecond
+				if kinds[i] {
+					ops = append(ops, d.LaunchKernel(s, "k", fixed(dur), [3]int{}, [3]int{}, nil))
+				} else {
+					ops = append(ops, d.EnqueueCopy(s, perfmodel.HostToDevice, int64(durs[i])*1000, false, nil))
+				}
+			}
+			p.Wait(ops[len(ops)-1].Done())
+		})
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(ops); i++ {
+			if ops[i].Start < ops[i-1].End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alloc/free bookkeeping always balances.
+func TestPropAllocFreeBalance(t *testing.T) {
+	prop := func(sizes []uint16) bool {
+		e := des.NewEngine()
+		d := NewDevice(e, testSpec())
+		var ptrs []DevPtr
+		for _, s := range sizes {
+			p, err := d.Alloc(int64(s))
+			if err != nil {
+				return false
+			}
+			ptrs = append(ptrs, p)
+		}
+		for _, p := range ptrs {
+			if err := d.Free(p); err != nil {
+				return false
+			}
+		}
+		free, total := d.MemInfo()
+		return free == total && d.AllocCount() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLaunchKernelScheduling(b *testing.B) {
+	e := des.NewEngine()
+	d := NewDevice(e, testSpec())
+	e.Spawn("host", func(p *des.Proc) {
+		s := d.CreateStream()
+		for i := 0; i < b.N; i++ {
+			d.LaunchKernel(s, "k", fixed(time.Microsecond), [3]int{}, [3]int{}, nil)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

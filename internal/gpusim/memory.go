@@ -1,0 +1,113 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DevPtr is an opaque handle to simulated device memory: an allocation id
+// plus a byte offset, supporting pointer arithmetic within an allocation.
+// The zero DevPtr is the null device pointer.
+type DevPtr struct {
+	alloc int
+	off   int64
+}
+
+// IsNull reports whether the pointer is the null device pointer.
+func (p DevPtr) IsNull() bool { return p.alloc == 0 }
+
+// Offset returns the pointer advanced by n bytes.
+func (p DevPtr) Offset(n int64) DevPtr { return DevPtr{alloc: p.alloc, off: p.off + n} }
+
+func (p DevPtr) String() string { return fmt.Sprintf("dev<%d>+%d", p.alloc, p.off) }
+
+// ErrOutOfMemory is returned by Alloc when the device memory capacity is
+// exceeded.
+var ErrOutOfMemory = errors.New("gpusim: out of device memory")
+
+// ErrBadDevPtr is returned for accesses through invalid device pointers.
+var ErrBadDevPtr = errors.New("gpusim: invalid device pointer")
+
+// allocation backs one device buffer. The data slice is materialised
+// lazily on first functional access, so cost-only simulations (no kernel
+// bodies, nil host buffers) carry no memory proportional to the modelled
+// problem size.
+type allocation struct {
+	size int64
+	data []byte
+}
+
+func (a *allocation) bytes() []byte {
+	if a.data == nil && a.size > 0 {
+		a.data = make([]byte, a.size)
+	}
+	return a.data
+}
+
+type memPool struct {
+	capacity int64
+	used     int64
+	next     int
+	allocs   map[int]*allocation
+}
+
+func newMemPool(capacity int64) *memPool {
+	return &memPool{capacity: capacity, next: 1, allocs: make(map[int]*allocation)}
+}
+
+// Alloc reserves n bytes of device memory with backing storage for
+// functional execution.
+func (d *Device) Alloc(n int64) (DevPtr, error) {
+	if n < 0 {
+		return DevPtr{}, fmt.Errorf("gpusim: negative allocation size %d", n)
+	}
+	m := d.mem
+	if m.used+n > m.capacity {
+		return DevPtr{}, fmt.Errorf("%w: want %d, %d of %d in use", ErrOutOfMemory, n, m.used, m.capacity)
+	}
+	id := m.next
+	m.next++
+	m.allocs[id] = &allocation{size: n}
+	m.used += n
+	return DevPtr{alloc: id}, nil
+}
+
+// Free releases the allocation containing p. Freeing the null pointer is a
+// no-op, as in CUDA; freeing an interior pointer or an already-freed
+// pointer is an error.
+func (d *Device) Free(p DevPtr) error {
+	if p.IsNull() {
+		return nil
+	}
+	if p.off != 0 {
+		return fmt.Errorf("%w: free of interior pointer %v", ErrBadDevPtr, p)
+	}
+	a, ok := d.mem.allocs[p.alloc]
+	if !ok {
+		return fmt.Errorf("%w: double free or invalid %v", ErrBadDevPtr, p)
+	}
+	d.mem.used -= a.size
+	delete(d.mem.allocs, p.alloc)
+	return nil
+}
+
+// Bytes returns a mutable view of n bytes of device memory at p, for
+// functional payloads and data verification.
+func (d *Device) Bytes(p DevPtr, n int64) ([]byte, error) {
+	a, ok := d.mem.allocs[p.alloc]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrBadDevPtr, p)
+	}
+	if p.off < 0 || p.off+n > a.size {
+		return nil, fmt.Errorf("%w: range [%d,%d) outside allocation of %d bytes", ErrBadDevPtr, p.off, p.off+n, a.size)
+	}
+	return a.bytes()[p.off : p.off+n], nil
+}
+
+// MemInfo returns (free, total) device memory, like cudaMemGetInfo.
+func (d *Device) MemInfo() (free, total int64) {
+	return d.mem.capacity - d.mem.used, d.mem.capacity
+}
+
+// AllocCount returns the number of live allocations (for leak tests).
+func (d *Device) AllocCount() int { return len(d.mem.allocs) }

@@ -1,0 +1,182 @@
+package gpusim
+
+import (
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// Stream is an in-order execution queue on a device. Stream 0 is the
+// legacy NULL stream with barrier semantics (see package docs).
+type Stream struct {
+	id   int
+	dev  *Device
+	tail time.Duration // completion of the latest op on this stream
+	last *Op
+}
+
+// ID returns the stream identifier (0 for the NULL stream).
+func (s *Stream) ID() int { return s.id }
+
+// Last returns the most recently enqueued operation on the stream, or nil.
+// Waiting on its Done signal is equivalent to cudaStreamSynchronize for a
+// non-NULL stream.
+func (s *Stream) Last() *Op { return s.last }
+
+// Tail returns the virtual time at which all currently enqueued work on
+// the stream completes.
+func (s *Stream) Tail() time.Duration { return s.tail }
+
+// OpKind classifies device operations.
+type OpKind int
+
+const (
+	OpKernel OpKind = iota
+	OpCopy
+	OpMemset
+	OpEventRecord
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpKernel:
+		return "kernel"
+	case OpCopy:
+		return "copy"
+	case OpMemset:
+		return "memset"
+	case OpEventRecord:
+		return "event"
+	}
+	return "?"
+}
+
+// Op is a scheduled device operation. Its timing is fixed at enqueue time
+// (the simulator schedules greedily in enqueue order, which is exact for a
+// non-preemptive device) and its Done signal fires at completion.
+type Op struct {
+	Kind   OpKind
+	Name   string
+	Stream int
+	Start  time.Duration
+	End    time.Duration
+	done   *des.Signal
+}
+
+// Done returns the completion signal.
+func (o *Op) Done() *des.Signal { return o.done }
+
+// Duration returns the operation's execution time.
+func (o *Op) Duration() time.Duration { return o.End - o.Start }
+
+// earliest returns the earliest time an op enqueued now on stream s may
+// begin, honouring stream order and NULL-stream barrier semantics.
+func (d *Device) earliest(s *Stream) time.Duration {
+	t := d.eng.Now()
+	if s.tail > t {
+		t = s.tail
+	}
+	if s.id == 0 {
+		// NULL-stream op waits for everything enqueued so far.
+		if d.allTail > t {
+			t = d.allTail
+		}
+	} else if d.nullTail > t {
+		// Other streams wait for prior NULL-stream ops.
+		t = d.nullTail
+	}
+	return t
+}
+
+// enqueue finalises scheduling of an op that is ready at `start` and runs
+// for dur, registering the payload to run at completion.
+func (d *Device) enqueue(s *Stream, kind OpKind, name string, start, dur time.Duration, payload func()) *Op {
+	end := start + dur
+	op := &Op{
+		Kind:   kind,
+		Name:   name,
+		Stream: s.id,
+		Start:  start,
+		End:    end,
+		done:   d.eng.NewSignal(kind.String() + ":" + name),
+	}
+	s.tail = end
+	s.last = op
+	if end > d.allTail {
+		d.allTail = end
+	}
+	if s.id == 0 {
+		d.nullTail = end
+	}
+	if d.lastOp == nil || end > d.lastOp.End {
+		d.lastOp = op
+	}
+	d.nOps++
+	d.eng.Schedule(end, func() {
+		if payload != nil {
+			payload()
+		}
+		op.done.Fire()
+	})
+	return op
+}
+
+// LaunchKernel enqueues a kernel with the given cost model on the stream.
+// fn, if non-nil, is the kernel's functional payload, executed at the
+// kernel's completion time. grid and block describe the launch
+// configuration for profiling records; pass zero values when irrelevant.
+func (d *Device) LaunchKernel(s *Stream, name string, cost perfmodel.KernelCost, grid, block [3]int, fn func()) *Op {
+	ready := d.earliest(s)
+	// The device-side dispatch gap separates launch from execution; it is
+	// the constant the paper's event-based timing cannot separate from the
+	// kernel itself.
+	ready += d.spec.KernelDispatch
+	dur := cost.Duration(d.spec)
+	start := d.kernelStart(ready, dur)
+	op := d.enqueue(s, OpKernel, name, start, dur, fn)
+	d.busyKernel += dur
+	if cb := d.OnKernelComplete; cb != nil {
+		rec := KernelRecord{Name: name, Stream: s.id, Start: start, End: op.End, GridDim: grid, BlockDim: block, Cost: cost}
+		d.eng.Schedule(op.End, func() { cb(rec) })
+	}
+	return op
+}
+
+// EnqueueCopy enqueues a PCIe (or intra-device) copy of n bytes. The copy
+// contends for the per-direction copy engine. fn runs at completion (the
+// functional data movement).
+func (d *Device) EnqueueCopy(s *Stream, dir perfmodel.TransferDir, n int64, pinned bool, fn func()) *Op {
+	ready := d.earliest(s)
+	switch dir {
+	case perfmodel.HostToDevice:
+		if d.h2dTail > ready {
+			ready = d.h2dTail
+		}
+	case perfmodel.DeviceToHost:
+		if d.d2hTail > ready {
+			ready = d.d2hTail
+		}
+	}
+	dur := perfmodel.TransferCost(d.spec, dir, n, pinned)
+	op := d.enqueue(s, OpCopy, "memcpy("+dir.String()+")", ready, dur, fn)
+	switch dir {
+	case perfmodel.HostToDevice:
+		d.h2dTail = op.End
+	case perfmodel.DeviceToHost:
+		d.d2hTail = op.End
+	}
+	return op
+}
+
+// EnqueueMemset enqueues a device memset of n bytes (memory-bandwidth
+// bound, no copy engine involved).
+func (d *Device) EnqueueMemset(s *Stream, n int64, fn func()) *Op {
+	ready := d.earliest(s)
+	sec := float64(n) / (d.spec.MemBandwidthGBs * 1e9)
+	dur := time.Duration(sec * float64(time.Second))
+	if dur < time.Microsecond {
+		dur = time.Microsecond
+	}
+	return d.enqueue(s, OpMemset, "memset", ready, dur, fn)
+}

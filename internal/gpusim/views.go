@@ -1,0 +1,84 @@
+package gpusim
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// F64View interprets a byte slice (host or device memory) as a vector of
+// little-endian float64 values, letting functional kernel bodies operate
+// on simulated device memory without unsafe casts.
+type F64View struct{ b []byte }
+
+// Float64s wraps a byte slice as a float64 view.
+func Float64s(b []byte) F64View { return F64View{b} }
+
+// F64Bytes returns the number of bytes n float64 elements occupy.
+func F64Bytes(n int) int64 { return int64(n) * 8 }
+
+// Len returns the number of complete float64 elements in the view.
+func (v F64View) Len() int { return len(v.b) / 8 }
+
+// At returns element i.
+func (v F64View) At(i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v.b[i*8:]))
+}
+
+// Set stores x at element i.
+func (v F64View) Set(i int, x float64) {
+	binary.LittleEndian.PutUint64(v.b[i*8:], math.Float64bits(x))
+}
+
+// CopyIn copies a host float64 slice into the view starting at element 0.
+func (v F64View) CopyIn(src []float64) {
+	for i, x := range src {
+		v.Set(i, x)
+	}
+}
+
+// CopyOut copies the first len(dst) elements out of the view.
+func (v F64View) CopyOut(dst []float64) {
+	for i := range dst {
+		dst[i] = v.At(i)
+	}
+}
+
+// C128View interprets a byte slice as a vector of little-endian complex128
+// values (real part first, as in Fortran/CUBLAS storage).
+type C128View struct{ b []byte }
+
+// Complex128s wraps a byte slice as a complex128 view.
+func Complex128s(b []byte) C128View { return C128View{b} }
+
+// C128Bytes returns the number of bytes n complex128 elements occupy.
+func C128Bytes(n int) int64 { return int64(n) * 16 }
+
+// Len returns the number of complete complex128 elements in the view.
+func (v C128View) Len() int { return len(v.b) / 16 }
+
+// At returns element i.
+func (v C128View) At(i int) complex128 {
+	re := math.Float64frombits(binary.LittleEndian.Uint64(v.b[i*16:]))
+	im := math.Float64frombits(binary.LittleEndian.Uint64(v.b[i*16+8:]))
+	return complex(re, im)
+}
+
+// Set stores x at element i.
+func (v C128View) Set(i int, x complex128) {
+	binary.LittleEndian.PutUint64(v.b[i*16:], math.Float64bits(real(x)))
+	binary.LittleEndian.PutUint64(v.b[i*16+8:], math.Float64bits(imag(x)))
+}
+
+// CopyIn copies a host complex128 slice into the view.
+func (v C128View) CopyIn(src []complex128) {
+	for i, x := range src {
+		v.Set(i, x)
+	}
+}
+
+// CopyOut copies the first len(dst) elements out of the view.
+func (v C128View) CopyOut(dst []complex128) {
+	for i := range dst {
+		dst[i] = v.At(i)
+	}
+}

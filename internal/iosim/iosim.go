@@ -1,0 +1,184 @@
+// Package iosim simulates a parallel file system for file-I/O
+// monitoring. IPM's event inventory covers POSIX I/O alongside MPI and
+// CUDA (paper Section II: "recently been extended to cover a number of
+// other domains such as OpenMP and file-I/O"); this package provides the
+// substrate: a shared filesystem with metadata latency, per-client
+// streaming bandwidth, and server-side contention when many ranks do I/O
+// at once — the behaviour of the GPFS scratch system on a Dirac-class
+// cluster.
+//
+// Files are functional (bytes written can be read back) and all
+// operations consume virtual time on the calling process.
+package iosim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ipmgo/internal/des"
+)
+
+// Spec models the filesystem's performance characteristics.
+type Spec struct {
+	Name         string
+	MetadataLat  time.Duration // open/close/stat round trip
+	BandwidthGBs float64       // per-stream bandwidth
+	// ContentionFactor divides effective bandwidth by
+	// 1 + ContentionFactor*(activeStreams-1).
+	ContentionFactor float64
+}
+
+// GPFSScratch returns parameters representative of a mid-2010s GPFS
+// scratch filesystem.
+func GPFSScratch() Spec {
+	return Spec{
+		Name:             "gpfs-scratch",
+		MetadataLat:      500 * time.Microsecond,
+		BandwidthGBs:     1.2,
+		ContentionFactor: 0.5,
+	}
+}
+
+// FS is a simulated shared filesystem. All ranks of a job share one FS
+// value.
+type FS struct {
+	eng    *des.Engine
+	spec   Spec
+	files  map[string]*file
+	active int // concurrently transferring streams
+}
+
+type file struct {
+	data []byte
+}
+
+// Handle is an open file descriptor bound to one process.
+type Handle struct {
+	fs     *FS
+	proc   *des.Proc
+	name   string
+	f      *file
+	offset int64
+	closed bool
+}
+
+// NewFS creates a filesystem on the engine.
+func NewFS(eng *des.Engine, spec Spec) *FS {
+	return &FS{eng: eng, spec: spec, files: make(map[string]*file)}
+}
+
+// Spec returns the filesystem's performance model.
+func (fs *FS) Spec() Spec { return fs.spec }
+
+// Files lists existing paths, sorted.
+func (fs *FS) Files() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open opens a file for reading and writing, creating it if create is
+// set. It charges the metadata round trip.
+func (fs *FS) Open(proc *des.Proc, name string, create bool) (*Handle, error) {
+	proc.Sleep(fs.spec.MetadataLat)
+	f, ok := fs.files[name]
+	if !ok {
+		if !create {
+			return nil, fmt.Errorf("iosim: open %s: no such file", name)
+		}
+		f = &file{}
+		fs.files[name] = f
+	}
+	return &Handle{fs: fs, proc: proc, name: name, f: f}, nil
+}
+
+// Unlink removes a file (metadata cost).
+func (fs *FS) Unlink(proc *des.Proc, name string) error {
+	proc.Sleep(fs.spec.MetadataLat)
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("iosim: unlink %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// transfer charges the time for moving n bytes under the current
+// contention level.
+func (fs *FS) transfer(proc *des.Proc, n int64) {
+	fs.active++
+	bw := fs.spec.BandwidthGBs / (1 + fs.spec.ContentionFactor*float64(fs.active-1))
+	d := time.Duration(float64(n) / (bw * 1e9) * float64(time.Second))
+	proc.Sleep(d)
+	fs.active--
+}
+
+func (h *Handle) check() error {
+	if h.closed {
+		return fmt.Errorf("iosim: %s: file closed", h.name)
+	}
+	return nil
+}
+
+// Write appends/overwrites at the current offset and advances it.
+func (h *Handle) Write(data []byte) (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	end := h.offset + int64(len(data))
+	if int64(len(h.f.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.f.data)
+		h.f.data = grown
+	}
+	copy(h.f.data[h.offset:end], data)
+	h.offset = end
+	h.fs.transfer(h.proc, int64(len(data)))
+	return len(data), nil
+}
+
+// Read fills buf from the current offset and advances it. Returns the
+// byte count read (possibly short at EOF).
+func (h *Handle) Read(buf []byte) (int, error) {
+	if err := h.check(); err != nil {
+		return 0, err
+	}
+	if h.offset >= int64(len(h.f.data)) {
+		return 0, nil // EOF
+	}
+	n := copy(buf, h.f.data[h.offset:])
+	h.offset += int64(n)
+	h.fs.transfer(h.proc, int64(n))
+	return n, nil
+}
+
+// SeekTo sets the offset (no I/O cost).
+func (h *Handle) SeekTo(offset int64) error {
+	if err := h.check(); err != nil {
+		return err
+	}
+	if offset < 0 {
+		return fmt.Errorf("iosim: %s: negative offset %d", h.name, offset)
+	}
+	h.offset = offset
+	return nil
+}
+
+// Size returns the current file size.
+func (h *Handle) Size() int64 { return int64(len(h.f.data)) }
+
+// Close closes the handle (metadata cost).
+func (h *Handle) Close() error {
+	if err := h.check(); err != nil {
+		return err
+	}
+	h.closed = true
+	h.proc.Sleep(h.fs.spec.MetadataLat)
+	return nil
+}
+
+// Name returns the file path.
+func (h *Handle) Name() string { return h.name }

@@ -1,0 +1,165 @@
+package iosim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipmgo/internal/des"
+)
+
+func run(t *testing.T, fn func(fs *FS, p *des.Proc)) time.Duration {
+	t.Helper()
+	e := des.NewEngine()
+	fs := NewFS(e, GPFSScratch())
+	e.Spawn("rank0", func(p *des.Proc) { fn(fs, p) })
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	run(t, func(fs *FS, p *des.Proc) {
+		h, err := fs.Open(p, "/scratch/out.dat", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, err := h.Write([]byte("hello world")); err != nil || n != 11 {
+			t.Fatalf("write = %d, %v", n, err)
+		}
+		if err := h.SeekTo(6); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 16)
+		n, err := h.Read(buf)
+		if err != nil || n != 5 || string(buf[:5]) != "world" {
+			t.Fatalf("read = %d %q %v", n, buf[:n], err)
+		}
+		// At EOF.
+		if n, _ := h.Read(buf); n != 0 {
+			t.Errorf("EOF read = %d", n)
+		}
+		if h.Size() != 11 {
+			t.Errorf("size = %d", h.Size())
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write(nil); err == nil {
+			t.Error("write after close accepted")
+		}
+	})
+}
+
+func TestOpenSemantics(t *testing.T) {
+	run(t, func(fs *FS, p *des.Proc) {
+		if _, err := fs.Open(p, "/missing", false); err == nil {
+			t.Error("open of missing file without create accepted")
+		}
+		h, err := fs.Open(p, "/a", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Write([]byte{1, 2, 3})
+		h.Close()
+		// Reopen sees the data; two handles share the file.
+		h2, err := fs.Open(p, "/a", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 3)
+		if n, _ := h2.Read(buf); n != 3 || buf[2] != 3 {
+			t.Errorf("reopen read = %d %v", n, buf)
+		}
+		if got := fs.Files(); len(got) != 1 || got[0] != "/a" {
+			t.Errorf("files = %v", got)
+		}
+		if err := fs.Unlink(p, "/a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(p, "/a"); err == nil {
+			t.Error("double unlink accepted")
+		}
+	})
+}
+
+func TestIOTimeScalesWithBytes(t *testing.T) {
+	timeFor := func(n int) time.Duration {
+		return run(t, func(fs *FS, p *des.Proc) {
+			h, _ := fs.Open(p, "/f", true)
+			h.Write(make([]byte, n))
+			h.Close()
+		})
+	}
+	small, big := timeFor(1<<10), timeFor(1<<26)
+	if big <= small {
+		t.Errorf("64MiB write (%v) not slower than 1KiB (%v)", big, small)
+	}
+	// 64 MiB at 1.2 GB/s ~ 56 ms.
+	if big < 40*time.Millisecond || big > 100*time.Millisecond {
+		t.Errorf("64MiB write = %v, want ~56ms", big)
+	}
+}
+
+func TestContentionSlowsConcurrentWriters(t *testing.T) {
+	runN := func(writers int) time.Duration {
+		e := des.NewEngine()
+		fs := NewFS(e, GPFSScratch())
+		for i := 0; i < writers; i++ {
+			i := i
+			e.Spawn("w", func(p *des.Proc) {
+				h, _ := fs.Open(p, "/f"+string(rune('a'+i)), true)
+				h.Write(make([]byte, 8<<20))
+				h.Close()
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Now()
+	}
+	if one, four := runN(1), runN(4); four <= one {
+		t.Errorf("4 concurrent writers (%v) not slower than 1 (%v)", four, one)
+	}
+}
+
+func TestSeekValidation(t *testing.T) {
+	run(t, func(fs *FS, p *des.Proc) {
+		h, _ := fs.Open(p, "/f", true)
+		if err := h.SeekTo(-1); err == nil {
+			t.Error("negative seek accepted")
+		}
+		if h.Name() != "/f" {
+			t.Errorf("name = %s", h.Name())
+		}
+	})
+}
+
+// Property: data written at any offset reads back identically.
+func TestPropWriteReadAtOffset(t *testing.T) {
+	prop := func(off uint16, data []byte) bool {
+		ok := true
+		run(t, func(fs *FS, p *des.Proc) {
+			h, _ := fs.Open(p, "/p", true)
+			h.SeekTo(int64(off))
+			h.Write(data)
+			h.SeekTo(int64(off))
+			buf := make([]byte, len(data))
+			n, _ := h.Read(buf)
+			if n != len(data) {
+				ok = len(data) == 0
+				return
+			}
+			for i := range data {
+				if buf[i] != data[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

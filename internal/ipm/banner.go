@@ -1,0 +1,155 @@
+package ipm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// BannerOptions controls the profiling banner written to stdout at program
+// termination.
+type BannerOptions struct {
+	// Full selects the parallel-job banner with the total/avg/min/max
+	// summary block (paper Fig. 11). The default compact form is the
+	// single-process banner of Figs. 4-6.
+	Full bool
+	// MaxRows truncates the per-function table (0 = all rows).
+	MaxRows int
+	// MinTime drops rows whose total time is below the threshold.
+	MinTime time.Duration
+	// PerKernel includes the per-kernel pseudo entries
+	// (@CUDA_EXEC_STRMxx:name). By default the banner shows only the
+	// per-stream summary, as in the paper; the per-kernel breakdown
+	// lives in the XML log.
+	PerKernel bool
+}
+
+const bannerWidth = 70
+
+func sec(d time.Duration) float64 { return d.Seconds() }
+
+func hrule(w io.Writer, lead string) {
+	line := lead
+	for len(line) < bannerWidth {
+		line += "#"
+	}
+	fmt.Fprintln(w, line)
+}
+
+// WriteBanner writes the IPM profiling banner for the job.
+func WriteBanner(w io.Writer, jp *JobProfile, opts BannerOptions) error {
+	bw := &errWriter{w: w}
+	hrule(bw, "##IPMv2.0")
+	fmt.Fprintln(bw, "#")
+	fmt.Fprintf(bw, "# command   : %s\n", jp.Command)
+	if opts.Full {
+		writeFullHeader(bw, jp)
+	} else {
+		host := ""
+		if len(jp.Ranks) > 0 {
+			host = jp.Ranks[0].Host
+		}
+		fmt.Fprintf(bw, "# host      : %s\n", host)
+		fmt.Fprintf(bw, "# wallclock : %.2f\n", sec(jp.Wallclock()))
+	}
+	fmt.Fprintln(bw, "#")
+	writeFuncTable(bw, jp, opts)
+	fmt.Fprintln(bw, "#")
+	hrule(bw, "")
+	return bw.err
+}
+
+func writeFullHeader(bw io.Writer, jp *JobProfile) {
+	host := ""
+	if len(jp.Ranks) > 0 {
+		host = jp.Ranks[0].Host
+	}
+	fmt.Fprintf(bw, "# start     : %-24s host      : %s\n", jp.Start, host)
+	fmt.Fprintf(bw, "# stop      : %-24s wallclock : %.2f\n", jp.Stop, sec(jp.Wallclock()))
+	fmt.Fprintf(bw, "# mpi_tasks : %-24s %%comm     : %.2f\n",
+		fmt.Sprintf("%d on %d nodes", jp.NTasks(), jp.Nodes), jp.CommPercent())
+	fmt.Fprintf(bw, "# gpu       : %-24s %%gpu      : %.2f\n",
+		fmt.Sprintf("%d devices", jp.Nodes), jp.GPUPercent())
+	fmt.Fprintln(bw, "#")
+
+	fmt.Fprintf(bw, "# %-10s: %12s %12s %12s %12s\n", "", "[total]", "<avg>", "min", "max")
+	ws := jp.WallclockSpread()
+	fmt.Fprintf(bw, "# %-10s: %12.2f %12.2f %12.2f %12.2f\n", "wallclock",
+		sec(ws.Total), sec(ws.Avg), sec(ws.Min), sec(ws.Max))
+	for _, d := range []Domain{DomainMPI, DomainCUDA, DomainCUBLAS, DomainCUFFT} {
+		s := jp.DomainSpread(d)
+		if s.Total == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# %-10s: %12.2f %12.2f %12.2f %12.2f\n", d.String(),
+			sec(s.Total), sec(s.Avg), sec(s.Min), sec(s.Max))
+	}
+
+	fmt.Fprintln(bw, "#")
+	fmt.Fprintf(bw, "# %-10s:\n", "%wall")
+	for _, d := range []Domain{DomainMPI, DomainCUDA, DomainCUBLAS, DomainCUFFT} {
+		s := jp.DomainSpread(d)
+		if s.Total == 0 {
+			continue
+		}
+		pct := func(x time.Duration, wall time.Duration) float64 {
+			if wall == 0 {
+				return 0
+			}
+			return 100 * float64(x) / float64(wall)
+		}
+		fmt.Fprintf(bw, "# %-10s: %12s %12.2f %12.2f %12.2f\n", d.String(), "",
+			pct(s.Avg, ws.Avg), pct(s.Min, ws.Max), pct(s.Max, ws.Min))
+	}
+
+	fmt.Fprintln(bw, "#")
+	fmt.Fprintf(bw, "# %-10s:\n", "#calls")
+	for _, d := range []Domain{DomainMPI, DomainCUDA, DomainCUBLAS, DomainCUFFT} {
+		n := jp.CallCounts(d)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(bw, "# %-10s: %12d %12d\n", d.String(), n, n/int64(jp.NTasks()))
+	}
+}
+
+func writeFuncTable(bw io.Writer, jp *JobProfile, opts BannerOptions) {
+	fmt.Fprintf(bw, "# %-28s %10s %11s %9s\n", "", "[time]", "[count]", "<%wall>")
+	wall := jp.WallclockSpread().Total
+	rows := 0
+	for _, ft := range jp.FuncTotals() {
+		if opts.MaxRows > 0 && rows >= opts.MaxRows {
+			break
+		}
+		if ft.Stats.Total < opts.MinTime {
+			continue
+		}
+		if !opts.PerKernel && strings.Contains(ft.Name, ":") &&
+			(strings.HasPrefix(ft.Name, "@CUDA_EXEC_STRM") || strings.HasPrefix(ft.Name, "@CL_EXEC_QUEUE")) {
+			continue
+		}
+		pct := 0.0
+		if wall > 0 {
+			pct = 100 * float64(ft.Stats.Total) / float64(wall)
+		}
+		fmt.Fprintf(bw, "# %-28s %10.2f %11d %9.2f\n", ft.Name, sec(ft.Stats.Total), ft.Stats.Count, pct)
+		rows++
+	}
+}
+
+// errWriter latches the first write error, so the banner code can stay
+// free of per-line error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	ew.err = err
+	return n, err
+}

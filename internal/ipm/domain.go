@@ -1,0 +1,81 @@
+package ipm
+
+import "strings"
+
+// Domain classifies monitored events by the subsystem they belong to, for
+// the %comm / CUDA / CUFFT summary block of the full banner.
+type Domain int
+
+const (
+	DomainOther Domain = iota
+	DomainMPI
+	DomainCUDA // runtime + driver API host calls
+	DomainCUBLAS
+	DomainCUFFT
+	DomainPseudo // @-entries: device-side or derived metrics
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainMPI:
+		return "MPI"
+	case DomainCUDA:
+		return "CUDA"
+	case DomainCUBLAS:
+		return "CUBLAS"
+	case DomainCUFFT:
+		return "CUFFT"
+	case DomainPseudo:
+		return "pseudo"
+	}
+	return "other"
+}
+
+// Classify maps an event name to its domain, mirroring how IPM organises
+// its metric hierarchy.
+func Classify(name string) Domain {
+	switch {
+	case strings.HasPrefix(name, "@"):
+		return DomainPseudo
+	case strings.HasPrefix(name, "MPI_"):
+		return DomainMPI
+	case strings.HasPrefix(name, "cublas"):
+		return DomainCUBLAS
+	case strings.HasPrefix(name, "cufft"):
+		return DomainCUFFT
+	case strings.HasPrefix(name, "cuda"), strings.HasPrefix(name, "cu"):
+		return DomainCUDA
+	}
+	return DomainOther
+}
+
+// Pseudo-function entry names used by the CUDA monitoring layer.
+const (
+	HostIdleName = "@CUDA_HOST_IDLE"
+)
+
+// ExecStreamName returns the pseudo-function name for kernel execution
+// time in a stream, e.g. "@CUDA_EXEC_STRM00".
+func ExecStreamName(stream int) string {
+	const digits = "0123456789"
+	if stream < 0 {
+		stream = 0
+	}
+	if stream < 100 {
+		return "@CUDA_EXEC_STRM" + string([]byte{digits[stream/10], digits[stream%10]})
+	}
+	// Streams beyond 99 are rare; fall back to multi-digit form.
+	s := ""
+	for stream > 0 {
+		s = string(digits[stream%10]) + s
+		stream /= 10
+	}
+	return "@CUDA_EXEC_STRM" + s
+}
+
+// ExecKernelName returns the pseudo-function name for per-kernel execution
+// time, used in the XML log's per-kernel breakdown,
+// e.g. "@CUDA_EXEC_STRM00:square".
+func ExecKernelName(stream int, kernel string) string {
+	return ExecStreamName(stream) + ":" + kernel
+}

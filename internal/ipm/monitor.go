@@ -1,0 +1,128 @@
+package ipm
+
+import (
+	"time"
+)
+
+// Clock abstracts the time source so the monitor runs identically against
+// the DES virtual clock (in this reproduction) and a real clock.
+type Clock func() time.Duration
+
+// GlobalRegion is the implicit region covering the whole execution.
+const GlobalRegion = ""
+
+// Monitor is the per-rank IPM instance: a thin layer holding the hash
+// table, the wallclock bracket, and the user-region stack
+// (MPI_Pcontrol-style). Wrapper layers (internal/ipmcuda, internal/ipmmpi,
+// internal/ipmblas) feed it observations.
+type Monitor struct {
+	rank    int
+	host    string
+	command string
+	clock   Clock
+
+	table   *Table
+	start   time.Duration
+	stop    time.Duration
+	started bool
+	stopped bool
+
+	regions []string
+}
+
+// NewMonitor creates a monitor for one rank. capacity <= 0 selects the
+// default hash table size.
+func NewMonitor(rank int, host, command string, clock Clock, capacity int) *Monitor {
+	return &Monitor{
+		rank:    rank,
+		host:    host,
+		command: command,
+		clock:   clock,
+		table:   NewTable(capacity),
+	}
+}
+
+// Rank returns the monitored rank.
+func (m *Monitor) Rank() int { return m.rank }
+
+// Host returns the host name.
+func (m *Monitor) Host() string { return m.host }
+
+// Command returns the monitored command line.
+func (m *Monitor) Command() string { return m.command }
+
+// Now returns the monitor's current clock reading.
+func (m *Monitor) Now() time.Duration { return m.clock() }
+
+// Start brackets the beginning of the monitored execution (MPI_Init /
+// first CUDA call in the real tool).
+func (m *Monitor) Start() {
+	if !m.started {
+		m.started = true
+		m.start = m.clock()
+	}
+}
+
+// Stop brackets the end of the monitored execution.
+func (m *Monitor) Stop() {
+	if m.started && !m.stopped {
+		m.stopped = true
+		m.stop = m.clock()
+	}
+}
+
+// Wallclock returns the bracketed execution time (running total if Stop
+// has not been called).
+func (m *Monitor) Wallclock() time.Duration {
+	if !m.started {
+		return 0
+	}
+	if m.stopped {
+		return m.stop - m.start
+	}
+	return m.clock() - m.start
+}
+
+// EnterRegion pushes a user region; observations recorded until the
+// matching ExitRegion carry its name in their signature.
+func (m *Monitor) EnterRegion(name string) { m.regions = append(m.regions, name) }
+
+// ExitRegion pops the current user region. Popping the global region is a
+// no-op.
+func (m *Monitor) ExitRegion() {
+	if len(m.regions) > 0 {
+		m.regions = m.regions[:len(m.regions)-1]
+	}
+}
+
+// CurrentRegion returns the active region name (GlobalRegion outside any).
+func (m *Monitor) CurrentRegion() string {
+	if len(m.regions) == 0 {
+		return GlobalRegion
+	}
+	return m.regions[len(m.regions)-1]
+}
+
+// Observe records one completed event with the given operand size.
+func (m *Monitor) Observe(name string, bytes int64, d time.Duration) {
+	m.table.Update(Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()},
+		Stats{Count: 1, Total: d, Min: d, Max: d})
+}
+
+// ObserveN records a pre-aggregated statistic (used by pseudo-entries that
+// batch several completions, e.g. kernel timings flushed together).
+func (m *Monitor) ObserveN(name string, bytes int64, s Stats) {
+	m.table.Update(Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()}, s)
+}
+
+// Timed measures fn with the monitor's clock and records it — the Go
+// rendering of the paper's Fig. 2 wrapper anatomy.
+func (m *Monitor) Timed(name string, bytes int64, fn func()) {
+	begin := m.clock()
+	fn()
+	m.Observe(name, bytes, m.clock()-begin)
+}
+
+// Table exposes the hash table (read-mostly; the wrapper layers update it
+// through Observe).
+func (m *Monitor) Table() *Table { return m.table }

@@ -1,0 +1,231 @@
+package ipm
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// RankProfile is the immutable snapshot of one rank's monitor after the
+// run, the unit of cross-rank aggregation.
+type RankProfile struct {
+	Rank      int
+	Host      string
+	Wallclock time.Duration
+	Entries   []Entry
+	MemGB     float64 // resident memory high-water mark, if modelled
+}
+
+// Snapshot freezes a monitor into a RankProfile.
+func Snapshot(m *Monitor) RankProfile {
+	return RankProfile{
+		Rank:      m.rank,
+		Host:      m.host,
+		Wallclock: m.Wallclock(),
+		Entries:   m.table.Entries(),
+	}
+}
+
+// DomainTime sums the rank's host time in a domain. Pseudo-entries are
+// excluded from host-time domains and reported via PseudoTime.
+func (rp RankProfile) DomainTime(d Domain) time.Duration {
+	var t time.Duration
+	for _, e := range rp.Entries {
+		if Classify(e.Sig.Name) == d {
+			t += e.Stats.Total
+		}
+	}
+	return t
+}
+
+// FuncTime sums the rank's time in one function name across byte sizes
+// and regions.
+func (rp RankProfile) FuncTime(name string) time.Duration {
+	var t time.Duration
+	for _, e := range rp.Entries {
+		if e.Sig.Name == name {
+			t += e.Stats.Total
+		}
+	}
+	return t
+}
+
+// JobProfile aggregates the per-rank profiles of one run — what rank 0
+// assembles at finalisation in the real tool.
+type JobProfile struct {
+	Command string
+	Start   string // human-readable timestamps for the banner header
+	Stop    string
+	Nodes   int
+	Ranks   []RankProfile
+}
+
+// NewJobProfile assembles a job profile from rank snapshots, sorted by
+// rank.
+func NewJobProfile(command string, nodes int, ranks []RankProfile) *JobProfile {
+	sorted := append([]RankProfile(nil), ranks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Rank < sorted[j].Rank })
+	return &JobProfile{Command: command, Nodes: nodes, Ranks: sorted}
+}
+
+// NTasks returns the number of ranks.
+func (jp *JobProfile) NTasks() int { return len(jp.Ranks) }
+
+// Wallclock returns the job wallclock: the maximum over ranks.
+func (jp *JobProfile) Wallclock() time.Duration {
+	var w time.Duration
+	for _, r := range jp.Ranks {
+		if r.Wallclock > w {
+			w = r.Wallclock
+		}
+	}
+	return w
+}
+
+// Spread holds a total/avg/min/max summary over ranks.
+type Spread struct {
+	Total time.Duration
+	Avg   time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+func spreadOf(vals []time.Duration) Spread {
+	if len(vals) == 0 {
+		return Spread{}
+	}
+	s := Spread{Min: vals[0], Max: vals[0]}
+	for _, v := range vals {
+		s.Total += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Avg = s.Total / time.Duration(len(vals))
+	return s
+}
+
+// WallclockSpread summarises wallclock across ranks.
+func (jp *JobProfile) WallclockSpread() Spread {
+	vals := make([]time.Duration, len(jp.Ranks))
+	for i, r := range jp.Ranks {
+		vals[i] = r.Wallclock
+	}
+	return spreadOf(vals)
+}
+
+// DomainSpread summarises one domain's host time across ranks.
+func (jp *JobProfile) DomainSpread(d Domain) Spread {
+	vals := make([]time.Duration, len(jp.Ranks))
+	for i, r := range jp.Ranks {
+		vals[i] = r.DomainTime(d)
+	}
+	return spreadOf(vals)
+}
+
+// FuncSpread summarises one function's time across ranks.
+func (jp *JobProfile) FuncSpread(name string) Spread {
+	vals := make([]time.Duration, len(jp.Ranks))
+	for i, r := range jp.Ranks {
+		vals[i] = r.FuncTime(name)
+	}
+	return spreadOf(vals)
+}
+
+// FuncTotal is a per-function aggregate over all ranks, byte sizes and
+// regions, the unit of the banner's function table.
+type FuncTotal struct {
+	Name  string
+	Stats Stats
+}
+
+// FuncTotals merges entries by function name across ranks, sorted by
+// descending total time.
+func (jp *JobProfile) FuncTotals() []FuncTotal {
+	byName := make(map[string]*Stats)
+	for _, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			s, ok := byName[e.Sig.Name]
+			if !ok {
+				s = &Stats{}
+				byName[e.Sig.Name] = s
+			}
+			s.Merge(e.Stats)
+		}
+	}
+	out := make([]FuncTotal, 0, len(byName))
+	for n, s := range byName {
+		out = append(out, FuncTotal{Name: n, Stats: *s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stats.Total != out[j].Stats.Total {
+			return out[i].Stats.Total > out[j].Stats.Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CallCounts returns the total number of calls per domain across ranks.
+func (jp *JobProfile) CallCounts(d Domain) int64 {
+	var n int64
+	for _, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			if Classify(e.Sig.Name) == d {
+				n += e.Stats.Count
+			}
+		}
+	}
+	return n
+}
+
+// CommPercent returns MPI host time as a percentage of total wallclock
+// (IPM's headline %comm metric).
+func (jp *JobProfile) CommPercent() float64 {
+	wall := jp.WallclockSpread().Total
+	if wall == 0 {
+		return 0
+	}
+	return 100 * float64(jp.DomainSpread(DomainMPI).Total) / float64(wall)
+}
+
+// GPUPercent returns on-GPU kernel execution time (@CUDA_EXEC_* pseudo
+// entries) as a percentage of total wallclock — the paper's GPU
+// utilisation metric (35.96% for Amber).
+func (jp *JobProfile) GPUPercent() float64 {
+	wall := jp.WallclockSpread().Total
+	if wall == 0 {
+		return 0
+	}
+	var gpu time.Duration
+	for _, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			if strings.HasPrefix(e.Sig.Name, "@CUDA_EXEC_STRM") && !strings.Contains(e.Sig.Name, ":") {
+				gpu += e.Stats.Total
+			}
+		}
+	}
+	return 100 * float64(gpu) / float64(wall)
+}
+
+// HostIdlePercent returns @CUDA_HOST_IDLE as a percentage of wallclock.
+func (jp *JobProfile) HostIdlePercent() float64 {
+	wall := jp.WallclockSpread().Total
+	if wall == 0 {
+		return 0
+	}
+	return 100 * float64(jp.FuncSpread(HostIdleName).Total) / float64(wall)
+}
+
+// Imbalance returns max/avg for one function across ranks — the paper's
+// load-balance measure (ReduceForces imbalance "up to a factor of 55%").
+func (jp *JobProfile) Imbalance(name string) float64 {
+	s := jp.FuncSpread(name)
+	if s.Avg == 0 {
+		return 0
+	}
+	return float64(s.Max) / float64(s.Avg)
+}

@@ -1,0 +1,74 @@
+// Package ipm implements the core of the IPM (Integrated Performance
+// Monitoring) tool described in the paper: the performance-data hash table
+// keyed by event signatures, the per-rank monitor, cross-rank aggregation,
+// the banner report written at program termination, and the XML profiling
+// log consumed by ipm_parse.
+//
+// IPM's guiding design goals, which this package preserves, are (a) a
+// complete runtime event inventory rather than a trace, (b) bounded memory
+// via a fixed-size open-addressing hash table, and (c) per-event overhead
+// small enough that monitoring can stay enabled for every job on a
+// production machine.
+package ipm
+
+import "time"
+
+// Stats accumulates the per-signature statistics IPM stores in each hash
+// table entry: the number of calls and the total, minimum and maximum
+// duration (the paper stores the average, which is Total/Count).
+type Stats struct {
+	Count int64
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Add folds one observation into the statistics.
+func (s *Stats) Add(d time.Duration) {
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Count++
+	s.Total += d
+}
+
+// Merge folds another accumulator into s (used for cross-rank and
+// cross-signature aggregation).
+func (s *Stats) Merge(o Stats) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 || o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	s.Count += o.Count
+	s.Total += o.Total
+}
+
+// Avg returns the mean duration, or zero when empty.
+func (s Stats) Avg() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Sig is an event signature — the hash key of the performance data table.
+// It combines the monitored call's name with the attributes IPM folds into
+// the key: the operand size in bytes and the active user region. Names
+// beginning with '@' are pseudo-functions that do not correspond to a host
+// call (e.g. @CUDA_EXEC_STRM00 for on-GPU execution time).
+type Sig struct {
+	Name   string
+	Bytes  int64
+	Region string
+}
+
+// Pseudo reports whether the signature is a pseudo-function entry.
+func (s Sig) Pseudo() bool { return len(s.Name) > 0 && s.Name[0] == '@' }

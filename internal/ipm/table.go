@@ -1,0 +1,165 @@
+package ipm
+
+import (
+	"sort"
+)
+
+// DefaultTableSize is the default capacity of the performance data hash
+// table (IPM's MAXSIZE_HASH is of this order).
+const DefaultTableSize = 8192
+
+// Table is IPM's central performance data hash table: fixed-capacity open
+// addressing with linear probing, so per-event cost is a hash plus a short
+// probe and memory stays bounded for arbitrarily long runs. If the fixed
+// region fills up, entries spill to an overflow map and the spill is
+// counted — a monitored run can then report its own degraded fidelity.
+type Table struct {
+	mask     uint64
+	entries  []entry
+	used     int
+	overflow map[Sig]*Stats
+	probes   uint64 // total probe steps, for diagnostics/benchmarks
+}
+
+type entry struct {
+	inUse bool
+	sig   Sig
+	stats Stats
+}
+
+// NewTable creates a table with the given capacity rounded up to a power
+// of two. capacity <= 0 selects DefaultTableSize.
+func NewTable(capacity int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultTableSize
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Table{
+		mask:    uint64(n - 1),
+		entries: make([]entry, n),
+	}
+}
+
+// hash is FNV-1a over the signature fields.
+func hashSig(s Sig) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s.Name); i++ {
+		h ^= uint64(s.Name[i])
+		h *= prime
+	}
+	for i := 0; i < len(s.Region); i++ {
+		h ^= uint64(s.Region[i])
+		h *= prime
+	}
+	b := uint64(s.Bytes)
+	for i := 0; i < 8; i++ {
+		h ^= (b >> (8 * i)) & 0xFF
+		h *= prime
+	}
+	return h
+}
+
+// Update folds one observation into the signature's entry, creating it on
+// first use.
+func (t *Table) Update(sig Sig, d Stats) {
+	// Fast path: fixed open-addressing region.
+	idx := hashSig(sig) & t.mask
+	for i := uint64(0); i <= t.mask; i++ {
+		e := &t.entries[(idx+i)&t.mask]
+		t.probes++
+		if e.inUse {
+			if e.sig == sig {
+				e.stats.Merge(d)
+				return
+			}
+			continue
+		}
+		// Leave one slot of headroom so probes of absent keys terminate.
+		if t.used < len(t.entries)-1 {
+			e.inUse = true
+			e.sig = sig
+			e.stats = d
+			t.used++
+			return
+		}
+		break
+	}
+	// Spill path.
+	if t.overflow == nil {
+		t.overflow = make(map[Sig]*Stats)
+	}
+	if s, ok := t.overflow[sig]; ok {
+		s.Merge(d)
+	} else {
+		c := d
+		t.overflow[sig] = &c
+	}
+}
+
+// Observe is the common single-observation form of Update.
+func (t *Table) Observe(sig Sig, d Stats) { t.Update(sig, d) }
+
+// Lookup returns the statistics for a signature and whether it exists.
+func (t *Table) Lookup(sig Sig) (Stats, bool) {
+	idx := hashSig(sig) & t.mask
+	for i := uint64(0); i <= t.mask; i++ {
+		e := &t.entries[(idx+i)&t.mask]
+		if !e.inUse {
+			break
+		}
+		if e.sig == sig {
+			return e.stats, true
+		}
+	}
+	if s, ok := t.overflow[sig]; ok {
+		return *s, true
+	}
+	return Stats{}, false
+}
+
+// Len returns the number of distinct signatures stored.
+func (t *Table) Len() int { return t.used + len(t.overflow) }
+
+// Overflowed returns the number of signatures that spilled out of the
+// fixed region.
+func (t *Table) Overflowed() int { return len(t.overflow) }
+
+// Probes returns the accumulated probe count (a load-factor diagnostic).
+func (t *Table) Probes() uint64 { return t.probes }
+
+// Entry is a flattened (signature, statistics) pair.
+type Entry struct {
+	Sig   Sig
+	Stats Stats
+}
+
+// Entries returns all entries sorted by descending total time, ties broken
+// by name then bytes — the order the banner reports.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, t.Len())
+	for i := range t.entries {
+		if t.entries[i].inUse {
+			out = append(out, Entry{t.entries[i].sig, t.entries[i].stats})
+		}
+	}
+	for sig, s := range t.overflow {
+		out = append(out, Entry{sig, *s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stats.Total != out[j].Stats.Total {
+			return out[i].Stats.Total > out[j].Stats.Total
+		}
+		if out[i].Sig.Name != out[j].Sig.Name {
+			return out[i].Sig.Name < out[j].Sig.Name
+		}
+		return out[i].Sig.Bytes < out[j].Sig.Bytes
+	})
+	return out
+}

@@ -1,0 +1,221 @@
+package ipm
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func obs(d time.Duration) Stats { return Stats{Count: 1, Total: d, Min: d, Max: d} }
+
+func TestStatsAdd(t *testing.T) {
+	var s Stats
+	s.Add(5 * time.Millisecond)
+	s.Add(2 * time.Millisecond)
+	s.Add(9 * time.Millisecond)
+	if s.Count != 3 || s.Total != 16*time.Millisecond {
+		t.Errorf("count/total = %d/%v", s.Count, s.Total)
+	}
+	if s.Min != 2*time.Millisecond || s.Max != 9*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Avg() != 16*time.Millisecond/3 {
+		t.Errorf("avg = %v", s.Avg())
+	}
+	if (Stats{}).Avg() != 0 {
+		t.Error("empty avg not zero")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	var a, b Stats
+	a.Add(time.Millisecond)
+	a.Add(3 * time.Millisecond)
+	b.Add(2 * time.Millisecond)
+	b.Add(10 * time.Millisecond)
+	a.Merge(b)
+	if a.Count != 4 || a.Total != 16*time.Millisecond || a.Min != time.Millisecond || a.Max != 10*time.Millisecond {
+		t.Errorf("merged = %+v", a)
+	}
+	var empty Stats
+	a.Merge(empty) // no-op
+	if a.Count != 4 {
+		t.Error("merging empty changed stats")
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Error("merge into empty should copy")
+	}
+}
+
+func TestTableUpdateLookup(t *testing.T) {
+	tb := NewTable(64)
+	sig := Sig{Name: "cudaMemcpy(D2H)", Bytes: 1024}
+	tb.Update(sig, obs(time.Millisecond))
+	tb.Update(sig, obs(3*time.Millisecond))
+	s, ok := tb.Lookup(sig)
+	if !ok || s.Count != 2 || s.Total != 4*time.Millisecond {
+		t.Errorf("lookup = %+v, %v", s, ok)
+	}
+	if _, ok := tb.Lookup(Sig{Name: "missing"}); ok {
+		t.Error("lookup of missing key succeeded")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("len = %d", tb.Len())
+	}
+}
+
+func TestTableDistinguishesAttributes(t *testing.T) {
+	tb := NewTable(64)
+	tb.Update(Sig{Name: "MPI_Send", Bytes: 8}, obs(time.Millisecond))
+	tb.Update(Sig{Name: "MPI_Send", Bytes: 16}, obs(time.Millisecond))
+	tb.Update(Sig{Name: "MPI_Send", Bytes: 8, Region: "solver"}, obs(time.Millisecond))
+	if tb.Len() != 3 {
+		t.Errorf("len = %d, want 3 distinct signatures", tb.Len())
+	}
+}
+
+func TestTableOverflowSpills(t *testing.T) {
+	tb := NewTable(8) // 8 slots, 7 usable
+	for i := 0; i < 20; i++ {
+		tb.Update(Sig{Name: fmt.Sprintf("f%d", i)}, obs(time.Millisecond))
+	}
+	if tb.Len() != 20 {
+		t.Errorf("len = %d, want 20", tb.Len())
+	}
+	if tb.Overflowed() == 0 {
+		t.Error("expected overflow")
+	}
+	// All keys still retrievable and updatable.
+	for i := 0; i < 20; i++ {
+		sig := Sig{Name: fmt.Sprintf("f%d", i)}
+		tb.Update(sig, obs(time.Millisecond))
+		s, ok := tb.Lookup(sig)
+		if !ok || s.Count != 2 {
+			t.Fatalf("key f%d lost after overflow: %+v %v", i, s, ok)
+		}
+	}
+}
+
+func TestTableEntriesSorted(t *testing.T) {
+	tb := NewTable(64)
+	tb.Update(Sig{Name: "small"}, obs(time.Millisecond))
+	tb.Update(Sig{Name: "big"}, obs(time.Second))
+	tb.Update(Sig{Name: "mid"}, obs(time.Millisecond*500))
+	es := tb.Entries()
+	if len(es) != 3 || es[0].Sig.Name != "big" || es[2].Sig.Name != "small" {
+		t.Errorf("entries order: %v", es)
+	}
+}
+
+func TestTableCapacityRounding(t *testing.T) {
+	tb := NewTable(100)
+	if len(tb.entries) != 128 {
+		t.Errorf("capacity = %d, want 128", len(tb.entries))
+	}
+	if NewTable(0).Len() != 0 {
+		t.Error("default table not empty")
+	}
+}
+
+// Property: updating signature-by-signature matches a reference map, for
+// any update sequence (including heavy collisions in a tiny table).
+func TestPropTableMatchesMap(t *testing.T) {
+	prop := func(names []uint8, durs []uint16) bool {
+		n := len(names)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		tb := NewTable(16)
+		ref := make(map[Sig]*Stats)
+		for i := 0; i < n; i++ {
+			sig := Sig{Name: fmt.Sprintf("f%d", names[i]%40), Bytes: int64(names[i] % 3)}
+			d := time.Duration(durs[i]) * time.Microsecond
+			tb.Update(sig, obs(d))
+			if s, ok := ref[sig]; ok {
+				s.Add(d)
+			} else {
+				c := obs(d)
+				ref[sig] = &c
+			}
+		}
+		if tb.Len() != len(ref) {
+			return false
+		}
+		for sig, want := range ref {
+			got, ok := tb.Lookup(sig)
+			if !ok || got != *want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge is order-insensitive for totals/min/max/count.
+func TestPropMergeCommutative(t *testing.T) {
+	prop := func(a, b []uint16) bool {
+		mk := func(ds []uint16) Stats {
+			var s Stats
+			for _, d := range ds {
+				s.Add(time.Duration(d) * time.Microsecond)
+			}
+			return s
+		}
+		x, y := mk(a), mk(b)
+		xy, yx := x, y
+		xy.Merge(y)
+		yx.Merge(x)
+		return xy == yx
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTableUpdateHit(b *testing.B) {
+	tb := NewTable(DefaultTableSize)
+	sig := Sig{Name: "cudaLaunch"}
+	o := obs(time.Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Update(sig, o)
+	}
+}
+
+func BenchmarkTableUpdateManyKeys(b *testing.B) {
+	tb := NewTable(DefaultTableSize)
+	sigs := make([]Sig, 512)
+	for i := range sigs {
+		sigs[i] = Sig{Name: fmt.Sprintf("MPI_Send"), Bytes: int64(i * 8)}
+	}
+	o := obs(time.Microsecond)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Update(sigs[i&511], o)
+	}
+}
+
+// BenchmarkMapUpdateManyKeys is the ablation baseline: a plain Go map in
+// place of the fixed open-addressing table.
+func BenchmarkMapUpdateManyKeys(b *testing.B) {
+	m := make(map[Sig]*Stats)
+	sigs := make([]Sig, 512)
+	for i := range sigs {
+		sigs[i] = Sig{Name: "MPI_Send", Bytes: int64(i * 8)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig := sigs[i&511]
+		if s, ok := m[sig]; ok {
+			s.Add(time.Microsecond)
+		} else {
+			c := obs(time.Microsecond)
+			m[sig] = &c
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package ipm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The XML profiling log is IPM's detailed output: the full hash table of
+// every task, organised by region. ipm_parse (cmd/ipmparse) consumes it to
+// regenerate the banner, produce HTML, or convert to the CUBE format.
+
+// XMLLog is the document root.
+type XMLLog struct {
+	XMLName   xml.Name  `xml:"ipm_log"`
+	Version   string    `xml:"version,attr"`
+	Command   string    `xml:"command,attr"`
+	NTasks    int       `xml:"ntasks,attr"`
+	NHosts    int       `xml:"nhosts,attr"`
+	Start     string    `xml:"start,attr,omitempty"`
+	Stop      string    `xml:"stop,attr,omitempty"`
+	Wallclock float64   `xml:"wallclock,attr"`
+	Tasks     []XMLTask `xml:"task"`
+}
+
+// XMLTask is one rank's profile.
+type XMLTask struct {
+	Rank      int         `xml:"mpi_rank,attr"`
+	Host      string      `xml:"host,attr"`
+	Wallclock float64     `xml:"wallclock,attr"`
+	Regions   []XMLRegion `xml:"region"`
+}
+
+// XMLRegion groups hash table entries by user region.
+type XMLRegion struct {
+	Name  string    `xml:"name,attr"`
+	Funcs []XMLFunc `xml:"func"`
+}
+
+// XMLFunc is one hash table entry.
+type XMLFunc struct {
+	Name  string  `xml:"name,attr"`
+	Bytes int64   `xml:"bytes,attr"`
+	Count int64   `xml:"count,attr"`
+	TTot  float64 `xml:"ttot,attr"`
+	TMin  float64 `xml:"tmin,attr"`
+	TMax  float64 `xml:"tmax,attr"`
+}
+
+// globalRegionName is how the implicit whole-program region appears in the
+// log, following IPM's convention.
+const globalRegionName = "ipm_global"
+
+func regionLabel(r string) string {
+	if r == GlobalRegion {
+		return globalRegionName
+	}
+	return r
+}
+
+func regionFromLabel(l string) string {
+	if l == globalRegionName {
+		return GlobalRegion
+	}
+	return l
+}
+
+// ToXML converts a job profile to its XML document form.
+func ToXML(jp *JobProfile) *XMLLog {
+	doc := &XMLLog{
+		Version:   "2.0",
+		Command:   jp.Command,
+		NTasks:    jp.NTasks(),
+		NHosts:    jp.Nodes,
+		Start:     jp.Start,
+		Stop:      jp.Stop,
+		Wallclock: jp.Wallclock().Seconds(),
+	}
+	for _, r := range jp.Ranks {
+		task := XMLTask{Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds()}
+		// Group entries by region, preserving the sorted entry order.
+		regionIdx := make(map[string]int)
+		for _, e := range r.Entries {
+			label := regionLabel(e.Sig.Region)
+			i, ok := regionIdx[label]
+			if !ok {
+				i = len(task.Regions)
+				regionIdx[label] = i
+				task.Regions = append(task.Regions, XMLRegion{Name: label})
+			}
+			task.Regions[i].Funcs = append(task.Regions[i].Funcs, XMLFunc{
+				Name:  e.Sig.Name,
+				Bytes: e.Sig.Bytes,
+				Count: e.Stats.Count,
+				TTot:  e.Stats.Total.Seconds(),
+				TMin:  e.Stats.Min.Seconds(),
+				TMax:  e.Stats.Max.Seconds(),
+			})
+		}
+		doc.Tasks = append(doc.Tasks, task)
+	}
+	return doc
+}
+
+// WriteXML writes the job profile as an IPM XML log.
+func WriteXML(w io.Writer, jp *JobProfile) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(ToXML(jp)); err != nil {
+		return fmt.Errorf("ipm: encoding XML log: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+func secsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
+
+// FromXML converts a parsed XML document back to a JobProfile.
+func FromXML(doc *XMLLog) *JobProfile {
+	ranks := make([]RankProfile, 0, len(doc.Tasks))
+	for _, t := range doc.Tasks {
+		rp := RankProfile{Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock)}
+		for _, reg := range t.Regions {
+			for _, f := range reg.Funcs {
+				rp.Entries = append(rp.Entries, Entry{
+					Sig: Sig{Name: f.Name, Bytes: f.Bytes, Region: regionFromLabel(reg.Name)},
+					Stats: Stats{
+						Count: f.Count,
+						Total: secsToDuration(f.TTot),
+						Min:   secsToDuration(f.TMin),
+						Max:   secsToDuration(f.TMax),
+					},
+				})
+			}
+		}
+		ranks = append(ranks, rp)
+	}
+	jp := NewJobProfile(doc.Command, doc.NHosts, ranks)
+	jp.Start, jp.Stop = doc.Start, doc.Stop
+	return jp
+}
+
+// ParseXML reads an IPM XML log.
+func ParseXML(r io.Reader) (*JobProfile, error) {
+	var doc XMLLog
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ipm: parsing XML log: %w", err)
+	}
+	if doc.XMLName.Local != "ipm_log" {
+		return nil, fmt.Errorf("ipm: unexpected root element %q", doc.XMLName.Local)
+	}
+	return FromXML(&doc), nil
+}

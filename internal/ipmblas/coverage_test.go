@@ -1,0 +1,108 @@
+package ipmblas
+
+import (
+	"testing"
+
+	"ipmgo/internal/cublas"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/cufft"
+	"ipmgo/internal/ipm"
+)
+
+// TestEveryBLASWrapperRecords drives each wrapped library entry point and
+// checks its event lands in the hash table under the cublas*/cufft* name.
+func TestEveryBLASWrapperRecords(t *testing.T) {
+	mon := harness(t, func(b cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		const n = 8
+		x, err := b.Alloc(n*n, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, _ := b.Alloc(n*n, 8)
+		z, _ := b.Alloc(n*n, 16)
+
+		host := make([]byte, n*n*8)
+		b.SetMatrix(n, n, 8, host, n, x, n)
+		b.GetMatrix(n, n, 8, x, n, host, n)
+		b.SetVector(n, 8, host[:n*8], 1, y, 1)
+		b.GetVector(n, 8, y, 1, host[:n*8], 1)
+
+		b.Daxpy(n, 1.5, x, 1, y, 1)
+		b.Dscal(n, 2, x, 1)
+		b.Dcopy(n, x, 1, y, 1)
+		if _, err := b.Ddot(n, x, 1, y, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Dnrm2(n, x, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Idamax(n, x, 1); err != nil {
+			t.Fatal(err)
+		}
+		b.Dgemv('N', n, n, 1, x, n, y, 1, 0, y, 1)
+		b.Dgemm('N', 'N', n, n, n, 1, x, n, y, n, 0, x, n)
+		b.Zgemm('N', 'N', 4, 4, 4, 1, z, 4, z, 4, 0, z, 4)
+		b.Dtrsm('L', 'L', 'N', 'U', n, n, 1, x, n, y, n)
+		b.Free(z)
+		b.Shutdown()
+
+		plan2, err := f.Plan2d(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := b.Alloc(16, 16)
+		f.ExecZ2Z(plan2, g, g, cufft.Forward)
+		f.Destroy(plan2)
+	})
+	want := []string{
+		"cublasAlloc", "cublasFree", "cublasSetMatrix", "cublasGetMatrix",
+		"cublasSetVector", "cublasGetVector",
+		"cublasDaxpy", "cublasDscal", "cublasDcopy", "cublasDdot", "cublasDnrm2",
+		"cublasIdamax", "cublasDgemv", "cublasDgemm", "cublasZgemm", "cublasDtrsm",
+		"cublasShutdown",
+		"cufftPlan2d", "cufftExecZ2Z", "cufftDestroy",
+	}
+	for _, name := range want {
+		if s, _ := entry(mon, name); s.Count == 0 {
+			t.Errorf("wrapper %s recorded nothing", name)
+		}
+	}
+	// Every monitored library call classifies into its library domain.
+	for _, name := range want {
+		var wantDom ipm.Domain
+		switch {
+		case name[:6] == "cublas":
+			wantDom = ipm.DomainCUBLAS
+		default:
+			wantDom = ipm.DomainCUFFT
+		}
+		if got := ipm.Classify(name); got != wantDom {
+			t.Errorf("Classify(%s) = %v", name, got)
+		}
+	}
+}
+
+// TestBLASWrapperErrorPassThrough checks error propagation and recording.
+func TestBLASWrapperErrorPassThrough(t *testing.T) {
+	mon := harness(t, func(b cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		if _, err := b.Alloc(-1, 8); err == nil {
+			t.Error("negative alloc accepted through wrapper")
+		}
+		d, _ := b.Alloc(8, 8)
+		if err := b.Dgemm('X', 'N', 1, 1, 1, 1, d, 1, d, 1, 0, d, 1); err == nil {
+			t.Error("bad transpose accepted through wrapper")
+		}
+		if err := f.ExecZ2Z(cufft.Plan(99), cudart.DevPtr{}, cudart.DevPtr{}, cufft.Forward); err == nil {
+			t.Error("bad plan accepted through wrapper")
+		}
+		if _, err := f.Plan1d(0, 0); err == nil {
+			t.Error("bad plan1d accepted through wrapper")
+		}
+	})
+	if s, _ := entry(mon, "cublasDgemm"); s.Count != 1 {
+		t.Errorf("failed dgemm not recorded: %+v", s)
+	}
+	if s, _ := entry(mon, "cufftExecZ2Z"); s.Count != 1 {
+		t.Errorf("failed exec not recorded: %+v", s)
+	}
+}

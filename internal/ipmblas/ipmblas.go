@@ -1,0 +1,235 @@
+// Package ipmblas implements IPM's monitoring layer for accelerated
+// numerical libraries (paper Section III-D): decorators for the CUBLAS
+// and CUFFT interfaces that time every library call and record the size
+// of the operation in the bytes attribute of the event signature, so that
+// later analysis can correlate achieved performance with operand size.
+//
+// There are two monitoring levels on a real system: the library calls
+// themselves (these wrappers, cublasDgemm etc.) and the CUDA runtime calls
+// the library issues internally (covered by internal/ipmcuda when the
+// library's runtime handle is wrapped). Both compose here exactly as with
+// LD_PRELOAD.
+package ipmblas
+
+import (
+	"ipmgo/internal/cublas"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/cufft"
+	"ipmgo/internal/ipm"
+)
+
+// BLAS wraps a cublas.BLAS with IPM monitoring.
+type BLAS struct {
+	inner cublas.BLAS
+	mon   *ipm.Monitor
+}
+
+var _ cublas.BLAS = (*BLAS)(nil)
+
+// WrapBLAS interposes IPM between the application and CUBLAS.
+func WrapBLAS(inner cublas.BLAS, mon *ipm.Monitor) *BLAS {
+	return &BLAS{inner: inner, mon: mon}
+}
+
+func (b *BLAS) timed(name string, bytes int64, fn func()) {
+	begin := b.mon.Now()
+	fn()
+	b.mon.Observe(name, bytes, b.mon.Now()-begin)
+}
+
+// Alloc wraps cublasAlloc.
+func (b *BLAS) Alloc(n, elemSize int) (cudart.DevPtr, error) {
+	var p cudart.DevPtr
+	var err error
+	b.timed("cublasAlloc", int64(n)*int64(elemSize), func() { p, err = b.inner.Alloc(n, elemSize) })
+	return p, err
+}
+
+// Free wraps cublasFree.
+func (b *BLAS) Free(p cudart.DevPtr) error {
+	var err error
+	b.timed("cublasFree", 0, func() { err = b.inner.Free(p) })
+	return err
+}
+
+// SetMatrix wraps cublasSetMatrix.
+func (b *BLAS) SetMatrix(rows, cols, elemSize int, src []byte, lda int, dst cudart.DevPtr, ldb int) error {
+	var err error
+	n := int64(rows) * int64(cols) * int64(elemSize)
+	b.timed("cublasSetMatrix", n, func() { err = b.inner.SetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
+	return err
+}
+
+// GetMatrix wraps cublasGetMatrix.
+func (b *BLAS) GetMatrix(rows, cols, elemSize int, src cudart.DevPtr, lda int, dst []byte, ldb int) error {
+	var err error
+	n := int64(rows) * int64(cols) * int64(elemSize)
+	b.timed("cublasGetMatrix", n, func() { err = b.inner.GetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
+	return err
+}
+
+// SetVector wraps cublasSetVector.
+func (b *BLAS) SetVector(n, elemSize int, src []byte, incx int, dst cudart.DevPtr, incy int) error {
+	var err error
+	b.timed("cublasSetVector", int64(n)*int64(elemSize), func() { err = b.inner.SetVector(n, elemSize, src, incx, dst, incy) })
+	return err
+}
+
+// GetVector wraps cublasGetVector.
+func (b *BLAS) GetVector(n, elemSize int, src cudart.DevPtr, incx int, dst []byte, incy int) error {
+	var err error
+	b.timed("cublasGetVector", int64(n)*int64(elemSize), func() { err = b.inner.GetVector(n, elemSize, src, incx, dst, incy) })
+	return err
+}
+
+// Daxpy wraps cublasDaxpy.
+func (b *BLAS) Daxpy(n int, alpha float64, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
+	var err error
+	b.timed("cublasDaxpy", int64(n)*8, func() { err = b.inner.Daxpy(n, alpha, x, incx, y, incy) })
+	return err
+}
+
+// Dscal wraps cublasDscal.
+func (b *BLAS) Dscal(n int, alpha float64, x cudart.DevPtr, incx int) error {
+	var err error
+	b.timed("cublasDscal", int64(n)*8, func() { err = b.inner.Dscal(n, alpha, x, incx) })
+	return err
+}
+
+// Dcopy wraps cublasDcopy.
+func (b *BLAS) Dcopy(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
+	var err error
+	b.timed("cublasDcopy", int64(n)*8, func() { err = b.inner.Dcopy(n, x, incx, y, incy) })
+	return err
+}
+
+// Ddot wraps cublasDdot.
+func (b *BLAS) Ddot(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) (float64, error) {
+	var v float64
+	var err error
+	b.timed("cublasDdot", int64(n)*8, func() { v, err = b.inner.Ddot(n, x, incx, y, incy) })
+	return v, err
+}
+
+// Dnrm2 wraps cublasDnrm2.
+func (b *BLAS) Dnrm2(n int, x cudart.DevPtr, incx int) (float64, error) {
+	var v float64
+	var err error
+	b.timed("cublasDnrm2", int64(n)*8, func() { v, err = b.inner.Dnrm2(n, x, incx) })
+	return v, err
+}
+
+// Idamax wraps cublasIdamax.
+func (b *BLAS) Idamax(n int, x cudart.DevPtr, incx int) (int, error) {
+	var v int
+	var err error
+	b.timed("cublasIdamax", int64(n)*8, func() { v, err = b.inner.Idamax(n, x, incx) })
+	return v, err
+}
+
+// Dgemv wraps cublasDgemv.
+func (b *BLAS) Dgemv(trans byte, m, n int, alpha float64, a cudart.DevPtr, lda int,
+	x cudart.DevPtr, incx int, beta float64, y cudart.DevPtr, incy int) error {
+	var err error
+	b.timed("cublasDgemv", int64(m)*int64(n)*8, func() {
+		err = b.inner.Dgemv(trans, m, n, alpha, a, lda, x, incx, beta, y, incy)
+	})
+	return err
+}
+
+// Dgemm wraps cublasDgemm. The bytes attribute records the operand
+// footprint so performance can be correlated with operation size.
+func (b *BLAS) Dgemm(ta, tb byte, m, n, k int, alpha float64, a cudart.DevPtr, lda int,
+	bb cudart.DevPtr, ldb int, beta float64, c cudart.DevPtr, ldc int) error {
+	var err error
+	bytes := 8 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
+	b.timed("cublasDgemm", bytes, func() {
+		err = b.inner.Dgemm(ta, tb, m, n, k, alpha, a, lda, bb, ldb, beta, c, ldc)
+	})
+	return err
+}
+
+// Zgemm wraps cublasZgemm.
+func (b *BLAS) Zgemm(ta, tb byte, m, n, k int, alpha complex128, a cudart.DevPtr, lda int,
+	bb cudart.DevPtr, ldb int, beta complex128, c cudart.DevPtr, ldc int) error {
+	var err error
+	bytes := 16 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
+	b.timed("cublasZgemm", bytes, func() {
+		err = b.inner.Zgemm(ta, tb, m, n, k, alpha, a, lda, bb, ldb, beta, c, ldc)
+	})
+	return err
+}
+
+// Dtrsm wraps cublasDtrsm.
+func (b *BLAS) Dtrsm(side, uplo, trans, diag byte, m, n int, alpha float64,
+	a cudart.DevPtr, lda int, bb cudart.DevPtr, ldb int) error {
+	var err error
+	b.timed("cublasDtrsm", int64(m)*int64(n)*8, func() {
+		err = b.inner.Dtrsm(side, uplo, trans, diag, m, n, alpha, a, lda, bb, ldb)
+	})
+	return err
+}
+
+// Shutdown wraps cublasShutdown.
+func (b *BLAS) Shutdown() error {
+	var err error
+	b.timed("cublasShutdown", 0, func() { err = b.inner.Shutdown() })
+	return err
+}
+
+// FFT wraps a cufft.FFT with IPM monitoring.
+type FFT struct {
+	inner cufft.FFT
+	mon   *ipm.Monitor
+	sizes map[cufft.Plan]int64 // transform footprint per plan for bytes
+}
+
+var _ cufft.FFT = (*FFT)(nil)
+
+// WrapFFT interposes IPM between the application and CUFFT.
+func WrapFFT(inner cufft.FFT, mon *ipm.Monitor) *FFT {
+	return &FFT{inner: inner, mon: mon, sizes: make(map[cufft.Plan]int64)}
+}
+
+func (f *FFT) timed(name string, bytes int64, fn func()) {
+	begin := f.mon.Now()
+	fn()
+	f.mon.Observe(name, bytes, f.mon.Now()-begin)
+}
+
+// Plan1d wraps cufftPlan1d.
+func (f *FFT) Plan1d(nx, batch int) (cufft.Plan, error) {
+	var p cufft.Plan
+	var err error
+	f.timed("cufftPlan1d", int64(nx)*int64(batch)*16, func() { p, err = f.inner.Plan1d(nx, batch) })
+	if err == nil {
+		f.sizes[p] = int64(nx) * int64(batch) * 16
+	}
+	return p, err
+}
+
+// Plan2d wraps cufftPlan2d.
+func (f *FFT) Plan2d(nx, ny int) (cufft.Plan, error) {
+	var p cufft.Plan
+	var err error
+	f.timed("cufftPlan2d", int64(nx)*int64(ny)*16, func() { p, err = f.inner.Plan2d(nx, ny) })
+	if err == nil {
+		f.sizes[p] = int64(nx) * int64(ny) * 16
+	}
+	return p, err
+}
+
+// ExecZ2Z wraps cufftExecZ2Z.
+func (f *FFT) ExecZ2Z(plan cufft.Plan, idata, odata cudart.DevPtr, direction int) error {
+	var err error
+	f.timed("cufftExecZ2Z", f.sizes[plan], func() { err = f.inner.ExecZ2Z(plan, idata, odata, direction) })
+	return err
+}
+
+// Destroy wraps cufftDestroy.
+func (f *FFT) Destroy(plan cufft.Plan) error {
+	var err error
+	f.timed("cufftDestroy", 0, func() { err = f.inner.Destroy(plan) })
+	delete(f.sizes, plan)
+	return err
+}

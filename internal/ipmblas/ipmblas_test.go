@@ -1,0 +1,178 @@
+package ipmblas
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/cublas"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/cufft"
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/perfmodel"
+)
+
+func spec() perfmodel.GPUSpec {
+	s := perfmodel.TeslaC2050()
+	s.ContextInit = 0
+	s.APICallCost = 0
+	return s
+}
+
+// harness runs fn with a fully monitored stack: IPM wraps the CUDA runtime
+// (ipmcuda) AND the libraries (ipmblas), as on a real deployment.
+func harness(t *testing.T, fn func(b cublas.BLAS, f cufft.FFT, mon *ipm.Monitor)) *ipm.Monitor {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, spec())
+	var mon *ipm.Monitor
+	e.Spawn("host", func(p *des.Proc) {
+		rt := cudart.NewRuntime(p, dev, cudart.Options{})
+		mon = ipm.NewMonitor(0, "dirac1", "paratec", p.Now, 0)
+		mon.Start()
+		api := ipmcuda.Wrap(rt, mon, p, ipmcuda.Options{KernelTiming: true, HostIdle: true})
+		h, err := cublas.Init(api)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fn(WrapBLAS(h, mon), WrapFFT(cufft.New(api), mon), mon)
+		api.Flush()
+		mon.Stop()
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+func entry(mon *ipm.Monitor, name string) (ipm.Stats, int64) {
+	var s ipm.Stats
+	var bytes int64
+	for _, e := range mon.Table().Entries() {
+		if e.Sig.Name == name {
+			s.Merge(e.Stats)
+			bytes = e.Sig.Bytes
+		}
+	}
+	return s, bytes
+}
+
+func TestThunkingGemmFullyMonitored(t *testing.T) {
+	const m, n, k = 16, 16, 16
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = 1
+	}
+	for i := range b {
+		b[i] = 2
+	}
+	mon := harness(t, func(bl cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		if err := cublas.DgemmThunk(bl, 'N', 'N', m, n, k, 1, a, m, b, k, 0, c, m); err != nil {
+			t.Error(err)
+		}
+	})
+	// Result correct through the double-monitored stack.
+	for i := range c {
+		if c[i] != 32 { // 16 * 1 * 2
+			t.Fatalf("c[%d] = %v, want 32", i, c[i])
+		}
+	}
+	// Library-level events present with byte attributes.
+	if s, bytes := entry(mon, "cublasSetMatrix"); s.Count != 3 || bytes != m*k*8 {
+		t.Errorf("cublasSetMatrix = %+v bytes=%d", s, bytes)
+	}
+	if s, _ := entry(mon, "cublasGetMatrix"); s.Count != 1 {
+		t.Errorf("cublasGetMatrix = %+v", s)
+	}
+	if s, bytes := entry(mon, "cublasDgemm"); s.Count != 1 || bytes != 8*(m*k+k*n+m*n) {
+		t.Errorf("cublasDgemm = %+v bytes=%d", s, bytes)
+	}
+	// Runtime-level events from inside the library also present.
+	if s, _ := entry(mon, "cudaMemcpy(H2D)"); s.Count != 3 {
+		t.Errorf("inner cudaMemcpy(H2D) = %+v", s)
+	}
+	// The dgemm kernel was timed on the GPU.
+	if s, _ := entry(mon, ipm.ExecKernelName(0, "dgemm_nn_kernel")); s.Count != 1 {
+		t.Errorf("kernel timing entry = %+v", s)
+	}
+}
+
+func TestLibraryTimeIncludesTransferDominance(t *testing.T) {
+	// For a small gemm the paper's observation holds: transfer time dwarfs
+	// compute. Use a matrix large enough to be measurable.
+	const m, n, k = 64, 64, 64
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	c := make([]float64, m*n)
+	mon := harness(t, func(bl cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		if err := cublas.DgemmThunk(bl, 'N', 'N', m, n, k, 1, a, m, b, k, 0, c, m); err != nil {
+			t.Error(err)
+		}
+	})
+	set, _ := entry(mon, "cublasSetMatrix")
+	get, _ := entry(mon, "cublasGetMatrix")
+	gemm, _ := entry(mon, "cublasDgemm")
+	transfer := set.Total + get.Total
+	if transfer <= gemm.Total {
+		t.Errorf("transfers (%v) should dominate launch-side gemm time (%v) for 64^3", transfer, gemm.Total)
+	}
+}
+
+func TestFFTMonitored(t *testing.T) {
+	mon := harness(t, func(bl cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		plan, err := f.Plan1d(256, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		d, err := bl.Alloc(256*2, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.ExecZ2Z(plan, d, d, cufft.Forward); err != nil {
+			t.Error(err)
+		}
+		if err := f.Destroy(plan); err != nil {
+			t.Error(err)
+		}
+	})
+	if s, bytes := entry(mon, "cufftExecZ2Z"); s.Count != 1 || bytes != 256*2*16 {
+		t.Errorf("cufftExecZ2Z = %+v bytes=%d", s, bytes)
+	}
+	if s, _ := entry(mon, "cufftPlan1d"); s.Count != 1 {
+		t.Errorf("cufftPlan1d = %+v", s)
+	}
+	if s, _ := entry(mon, "cufftDestroy"); s.Count != 1 {
+		t.Errorf("cufftDestroy = %+v", s)
+	}
+	// CUFFT kernel timed on device.
+	if s, _ := entry(mon, ipm.ExecKernelName(0, "cufft_z2z_kernel")); s.Count != 1 {
+		t.Errorf("fft kernel timing = %+v", s)
+	}
+}
+
+func TestDomainClassificationOfLibraryCalls(t *testing.T) {
+	mon := harness(t, func(bl cublas.BLAS, f cufft.FFT, mon *ipm.Monitor) {
+		d, _ := bl.Alloc(64, 8)
+		bl.Dscal(64, 2, d, 1)
+		plan, _ := f.Plan1d(64, 1)
+		dd, _ := bl.Alloc(64, 16)
+		f.ExecZ2Z(plan, dd, dd, cufft.Forward)
+	})
+	jp := ipm.NewJobProfile("x", 1, []ipm.RankProfile{ipm.Snapshot(mon)})
+	if jp.DomainSpread(ipm.DomainCUBLAS).Total == 0 {
+		t.Error("no CUBLAS domain time")
+	}
+	if jp.DomainSpread(ipm.DomainCUFFT).Total == 0 {
+		t.Error("no CUFFT domain time")
+	}
+	if jp.DomainSpread(ipm.DomainCUDA).Total == 0 {
+		t.Error("no CUDA domain time")
+	}
+}

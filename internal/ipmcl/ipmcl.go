@@ -1,0 +1,179 @@
+// Package ipmcl applies IPM's interposition monitoring to the OpenCL
+// runtime (internal/clsim), demonstrating the paper's claim that the
+// technique carries over from CUDA unchanged: every clXxx entry point is
+// timed into the performance hash table, transfers are tagged with their
+// direction and byte count, and kernel execution time is recovered —
+// here via OpenCL's native event profiling (clGetEventProfilingInfo)
+// instead of a kernel timing table, since OpenCL events carry device
+// timestamps already.
+//
+// Kernel times are recorded as @CL_EXEC_QUEUExx pseudo-entries, the
+// OpenCL analogue of @CUDA_EXEC_STRMxx.
+package ipmcl
+
+import (
+	"fmt"
+	"time"
+
+	"ipmgo/internal/clsim"
+	"ipmgo/internal/ipm"
+)
+
+// ExecQueueName returns the pseudo-entry name for kernel execution in a
+// queue.
+func ExecQueueName(q clsim.Queue) string {
+	return fmt.Sprintf("@CL_EXEC_QUEUE%02d", int(q))
+}
+
+// pendingKernel tracks a launched kernel whose profiling info has not
+// been harvested yet.
+type pendingKernel struct {
+	ev     clsim.Event
+	queue  clsim.Queue
+	kernel string
+}
+
+// Monitor is the OpenCL interposition layer; it implements clsim.CL.
+type Monitor struct {
+	inner   clsim.CL
+	mon     *ipm.Monitor
+	pending []pendingKernel
+}
+
+var _ clsim.CL = (*Monitor)(nil)
+
+// Wrap interposes IPM between the application and the OpenCL runtime.
+func Wrap(inner clsim.CL, mon *ipm.Monitor) *Monitor {
+	return &Monitor{inner: inner, mon: mon}
+}
+
+// IPM returns the underlying monitor.
+func (m *Monitor) IPM() *ipm.Monitor { return m.mon }
+
+func (m *Monitor) timed(name string, bytes int64, fn func()) {
+	begin := m.mon.Now()
+	fn()
+	m.mon.Observe(name, bytes, m.mon.Now()-begin)
+}
+
+// harvest collects device-side kernel durations for completed launches
+// via event profiling. Called from the synchronisation entry points —
+// the natural OpenCL analogue of checking the KTT in D2H transfers.
+func (m *Monitor) harvest() {
+	remaining := m.pending[:0]
+	for _, p := range m.pending {
+		start, end, err := m.inner.GetEventProfilingInfo(p.ev)
+		if err != nil {
+			remaining = append(remaining, p)
+			continue
+		}
+		d := end - start
+		stat := ipm.Stats{Count: 1, Total: d, Min: d, Max: d}
+		m.mon.ObserveN(ExecQueueName(p.queue), 0, stat)
+		m.mon.ObserveN(ExecQueueName(p.queue)+":"+p.kernel, 0, stat)
+	}
+	m.pending = remaining
+}
+
+// Flush harvests any outstanding kernel timings (call after the last
+// synchronisation).
+func (m *Monitor) Flush() { m.harvest() }
+
+// CreateCommandQueue wraps clCreateCommandQueue.
+func (m *Monitor) CreateCommandQueue() (clsim.Queue, error) {
+	var q clsim.Queue
+	var err error
+	m.timed("clCreateCommandQueue", 0, func() { q, err = m.inner.CreateCommandQueue() })
+	return q, err
+}
+
+// ReleaseCommandQueue wraps clReleaseCommandQueue.
+func (m *Monitor) ReleaseCommandQueue(q clsim.Queue) error {
+	var err error
+	m.timed("clReleaseCommandQueue", 0, func() { err = m.inner.ReleaseCommandQueue(q) })
+	return err
+}
+
+// CreateBuffer wraps clCreateBuffer.
+func (m *Monitor) CreateBuffer(size int64) (clsim.Mem, error) {
+	var mem clsim.Mem
+	var err error
+	m.timed("clCreateBuffer", size, func() { mem, err = m.inner.CreateBuffer(size) })
+	return mem, err
+}
+
+// ReleaseMemObject wraps clReleaseMemObject.
+func (m *Monitor) ReleaseMemObject(mem clsim.Mem) error {
+	var err error
+	m.timed("clReleaseMemObject", 0, func() { err = m.inner.ReleaseMemObject(mem) })
+	return err
+}
+
+// SetKernelArg wraps clSetKernelArg.
+func (m *Monitor) SetKernelArg(k *clsim.Kernel, index int, value any) error {
+	var err error
+	m.timed("clSetKernelArg", 0, func() { err = m.inner.SetKernelArg(k, index, value) })
+	return err
+}
+
+// EnqueueNDRangeKernel wraps clEnqueueNDRangeKernel and registers the
+// returned event for kernel-time harvesting.
+func (m *Monitor) EnqueueNDRangeKernel(q clsim.Queue, k *clsim.Kernel, global, local []int) (clsim.Event, error) {
+	var ev clsim.Event
+	var err error
+	m.timed("clEnqueueNDRangeKernel", 0, func() { ev, err = m.inner.EnqueueNDRangeKernel(q, k, global, local) })
+	if err == nil && k != nil {
+		m.pending = append(m.pending, pendingKernel{ev: ev, queue: q, kernel: k.Name})
+	}
+	return ev, err
+}
+
+// EnqueueWriteBuffer wraps clEnqueueWriteBuffer, tagging the direction.
+func (m *Monitor) EnqueueWriteBuffer(q clsim.Queue, mem clsim.Mem, blocking bool, offset int64, data []byte) (clsim.Event, error) {
+	name := "clEnqueueWriteBuffer(async)"
+	if blocking {
+		name = "clEnqueueWriteBuffer(H2D)"
+	}
+	var ev clsim.Event
+	var err error
+	m.timed(name, int64(len(data)), func() { ev, err = m.inner.EnqueueWriteBuffer(q, mem, blocking, offset, data) })
+	return ev, err
+}
+
+// EnqueueReadBuffer wraps clEnqueueReadBuffer; blocking reads harvest
+// completed kernel timings, mirroring ipmcuda's D2H policy.
+func (m *Monitor) EnqueueReadBuffer(q clsim.Queue, mem clsim.Mem, blocking bool, offset int64, out []byte) (clsim.Event, error) {
+	name := "clEnqueueReadBuffer(async)"
+	if blocking {
+		name = "clEnqueueReadBuffer(D2H)"
+	}
+	var ev clsim.Event
+	var err error
+	m.timed(name, int64(len(out)), func() { ev, err = m.inner.EnqueueReadBuffer(q, mem, blocking, offset, out) })
+	if blocking {
+		m.harvest()
+	}
+	return ev, err
+}
+
+// Finish wraps clFinish and harvests kernel timings.
+func (m *Monitor) Finish(q clsim.Queue) error {
+	var err error
+	m.timed("clFinish", 0, func() { err = m.inner.Finish(q) })
+	m.harvest()
+	return err
+}
+
+// WaitForEvents wraps clWaitForEvents and harvests kernel timings.
+func (m *Monitor) WaitForEvents(evs ...clsim.Event) error {
+	var err error
+	m.timed("clWaitForEvents", 0, func() { err = m.inner.WaitForEvents(evs...) })
+	m.harvest()
+	return err
+}
+
+// GetEventProfilingInfo wraps clGetEventProfilingInfo.
+func (m *Monitor) GetEventProfilingInfo(ev clsim.Event) (start, end time.Duration, err error) {
+	m.timed("clGetEventProfilingInfo", 0, func() { start, end, err = m.inner.GetEventProfilingInfo(ev) })
+	return start, end, err
+}

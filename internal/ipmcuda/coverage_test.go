@@ -1,0 +1,115 @@
+package ipmcuda
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/perfmodel"
+)
+
+// TestEveryWrapperRecordsItsSymbol drives each wrapped entry point once
+// and checks the hash table holds exactly the expected event names — the
+// completeness property of the generated wrapper layer ("the full set of
+// calls in the CUDA runtime and driver API").
+func TestEveryWrapperRecordsItsSymbol(t *testing.T) {
+	app := func(api cudart.API, p *des.Proc) {
+		m := api.(*Monitor)
+		k := &cudart.Func{Name: "k", FixedCost: perfmodel.KernelCost{Fixed: time.Millisecond}}
+
+		d, _ := api.Malloc(4096)
+		pinned, _ := api.HostAlloc(4096)
+		api.Memcpy(cudart.DevicePtr(d), cudart.PinnedPtr(pinned), 4096, cudart.MemcpyHostToDevice)
+		s, _ := api.StreamCreate()
+		api.MemcpyAsync(cudart.HostPtr(nil), cudart.DevicePtr(d), 4096, cudart.MemcpyDeviceToHost, s)
+		api.MemcpyToSymbol("sym", []byte{1, 2})
+		api.Memset(d, 0, 4096)
+		api.MemGetInfo()
+
+		api.ConfigureCall(cudart.Dim3{X: 1}, cudart.Dim3{X: 1}, 0, s)
+		api.SetupArgument(d, 8, 0)
+		api.Launch(k)
+
+		ev, _ := api.EventCreate()
+		api.EventRecord(ev, s)
+		api.EventQuery(ev)
+		api.EventSynchronize(ev)
+		ev2, _ := api.EventCreate()
+		api.EventRecord(ev2, s)
+		api.EventSynchronize(ev2)
+		api.EventElapsedTime(ev, ev2)
+		api.EventDestroy(ev2)
+
+		api.StreamSynchronize(s)
+		api.ThreadSynchronize()
+		api.StreamDestroy(s)
+		api.GetDeviceCount()
+		api.GetDeviceProperties()
+		api.GetDevice()
+		api.SetDevice(0)
+		api.GetLastError()
+		api.Free(d)
+
+		// Driver surface.
+		m.CuInit()
+		dd, _ := m.CuMemAlloc(64)
+		m.CuMemcpyHtoD(dd, make([]byte, 64))
+		m.CuMemsetD8(dd, 1, 64)
+		m.CuLaunchKernel(k, cudart.Dim3{X: 1}, cudart.Dim3{X: 1}, 0)
+		m.CuStreamSynchronize(0)
+		m.CuCtxSynchronize()
+		m.CuMemcpyDtoH(make([]byte, 64), dd)
+		m.CuMemFree(dd)
+	}
+	m := run(t, Options{KernelTiming: true, HostIdle: true}, app)
+
+	want := []string{
+		"cudaMalloc", "cudaHostAlloc", "cudaMemcpy(H2D)", "cudaStreamCreate",
+		"cudaMemcpyAsync(D2H)", "cudaMemcpyToSymbol", "cudaMemset", "cudaMemGetInfo",
+		"cudaConfigureCall", "cudaSetupArgument", "cudaLaunch",
+		"cudaEventCreate", "cudaEventRecord", "cudaEventQuery", "cudaEventSynchronize",
+		"cudaEventElapsedTime", "cudaEventDestroy",
+		"cudaStreamSynchronize", "cudaThreadSynchronize", "cudaStreamDestroy",
+		"cudaGetDeviceCount", "cudaGetDeviceProperties", "cudaGetDevice", "cudaSetDevice",
+		"cudaGetLastError", "cudaFree",
+		"cuInit", "cuMemAlloc", "cuMemcpyHtoD", "cuMemsetD8", "cuLaunchKernel",
+		"cuStreamSynchronize", "cuCtxSynchronize", "cuMemcpyDtoH", "cuMemFree",
+	}
+	for _, name := range want {
+		if s := lookup(t, m, name); s.Count == 0 {
+			t.Errorf("wrapper %s recorded nothing", name)
+		}
+	}
+	// Both launches produced kernel timings.
+	if s := lookup(t, m, ipm.ExecKernelName(int(1), "k")); s.Count != 1 {
+		t.Errorf("runtime-API kernel timing = %+v", s)
+	}
+	if s := lookup(t, m, ipm.ExecKernelName(0, "k")); s.Count != 1 {
+		t.Errorf("driver-API kernel timing = %+v", s)
+	}
+}
+
+// TestWrapperErrorPassThrough checks that failures cross the wrapper
+// unchanged and are still recorded as events.
+func TestWrapperErrorPassThrough(t *testing.T) {
+	app := func(api cudart.API, p *des.Proc) {
+		if err := api.StreamSynchronize(cudart.Stream(42)); err == nil {
+			panic("invalid stream accepted through wrapper")
+		}
+		if err := api.Launch(nil); err == nil {
+			panic("nil kernel accepted through wrapper")
+		}
+		if _, err := api.EventElapsedTime(cudart.Event(1), cudart.Event(2)); err == nil {
+			panic("bad events accepted")
+		}
+	}
+	m := run(t, Options{KernelTiming: true}, app)
+	if s := lookup(t, m, "cudaStreamSynchronize"); s.Count != 1 {
+		t.Errorf("failed call not recorded: %+v", s)
+	}
+	if s := lookup(t, m, "cudaLaunch"); s.Count != 1 {
+		t.Errorf("failed launch not recorded: %+v", s)
+	}
+}

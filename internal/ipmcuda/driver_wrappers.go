@@ -1,0 +1,102 @@
+package ipmcuda
+
+import (
+	"ipmgo/internal/cudart"
+)
+
+// Driver API wrappers (cuXxx symbols). Middleware such as the CUBLAS
+// thunking layer calls these; the monitoring treatment matches the runtime
+// API: cuMemcpyDtoH performs host-idle detection and the KTT completion
+// check, cuMemsetD8 is excluded from host-idle (paper Section III-C).
+
+// errNoDriver is returned when the wrapped API does not expose the driver
+// surface.
+func (m *Monitor) driver() cudart.Driver { return m.drv }
+
+// CuInit wraps cuInit.
+func (m *Monitor) CuInit() error {
+	var err error
+	m.timed("cuInit", 0, func() { err = m.driver().CuInit() })
+	return err
+}
+
+// CuMemAlloc wraps cuMemAlloc.
+func (m *Monitor) CuMemAlloc(n int64) (cudart.DevPtr, error) {
+	var p cudart.DevPtr
+	var err error
+	m.timed("cuMemAlloc", n, func() { p, err = m.driver().CuMemAlloc(n) })
+	return p, err
+}
+
+// CuMemFree wraps cuMemFree.
+func (m *Monitor) CuMemFree(p cudart.DevPtr) error {
+	var err error
+	m.timed("cuMemFree", 0, func() { err = m.driver().CuMemFree(p) })
+	return err
+}
+
+// CuMemcpyHtoD wraps the synchronous cuMemcpyHtoD (implicitly blocking).
+func (m *Monitor) CuMemcpyHtoD(dst cudart.DevPtr, src []byte) error {
+	m.hostIdle(0)
+	var err error
+	m.timed("cuMemcpyHtoD", int64(len(src)), func() { err = m.driver().CuMemcpyHtoD(dst, src) })
+	return err
+}
+
+// CuMemcpyDtoH wraps the synchronous cuMemcpyDtoH: host-idle detection,
+// timed call, then the KTT completion check (device-to-host transfers are
+// where IPM polls for finished kernels).
+func (m *Monitor) CuMemcpyDtoH(dst []byte, src cudart.DevPtr) error {
+	m.hostIdle(0)
+	var err error
+	m.timed("cuMemcpyDtoH", int64(len(dst)), func() { err = m.driver().CuMemcpyDtoH(dst, src) })
+	if m.opts.KernelTiming {
+		m.checkKTT()
+	}
+	return err
+}
+
+// CuMemsetD8 wraps cuMemsetD8 — like cudaMemset, excluded from host-idle
+// measurement.
+func (m *Monitor) CuMemsetD8(p cudart.DevPtr, value byte, n int64) error {
+	var err error
+	m.timed("cuMemsetD8", n, func() { err = m.driver().CuMemsetD8(p, value, n) })
+	return err
+}
+
+// CuLaunchKernel wraps cuLaunchKernel with the same KTT treatment as
+// cudaLaunch.
+func (m *Monitor) CuLaunchKernel(fn *cudart.Func, grid, block cudart.Dim3, s cudart.Stream, args ...any) error {
+	slot := -1
+	if m.opts.KernelTiming && fn != nil {
+		slot = m.findSlot()
+		if slot < 0 {
+			m.kttDropped++
+		} else if !m.armSlot(slot, s, fn.Name) {
+			m.releaseSlot(slot)
+			slot = -1
+		}
+	}
+	var err error
+	m.timed("cuLaunchKernel", 0, func() { err = m.driver().CuLaunchKernel(fn, grid, block, s, args...) })
+	if slot >= 0 {
+		if rerr := m.inner.EventRecord(m.ktt[slot].stop, s); rerr != nil {
+			m.unarm(slot)
+		}
+	}
+	return err
+}
+
+// CuStreamSynchronize wraps cuStreamSynchronize.
+func (m *Monitor) CuStreamSynchronize(s cudart.Stream) error {
+	var err error
+	m.timed("cuStreamSynchronize", 0, func() { err = m.driver().CuStreamSynchronize(s) })
+	return err
+}
+
+// CuCtxSynchronize wraps cuCtxSynchronize.
+func (m *Monitor) CuCtxSynchronize() error {
+	var err error
+	m.timed("cuCtxSynchronize", 0, func() { err = m.driver().CuCtxSynchronize() })
+	return err
+}

@@ -1,0 +1,153 @@
+package ipmcuda
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/perfmodel"
+)
+
+// randomProgram executes a seeded random sequence of CUDA operations
+// (launches of data-mutating kernels, transfers, memsets, syncs) against
+// the API and returns the final device buffer contents. The program only
+// consults the seed, never the monitoring state, so bare and monitored
+// executions must produce identical bytes.
+func randomProgram(t *testing.T, seed int64, monitored bool) ([]byte, time.Duration) {
+	t.Helper()
+	e := des.NewEngine()
+	dev := gpusim.NewDevice(e, testSpec())
+	const bufLen = 256
+	out := make([]byte, bufLen)
+	e.Spawn("host", func(p *des.Proc) {
+		var api cudart.API = cudart.NewRuntime(p, dev, cudart.Options{})
+		var w *Monitor
+		if monitored {
+			mon := ipm.NewMonitor(0, "h", "prog", p.Now, 0)
+			mon.Start()
+			w = Wrap(api, mon, p, Options{KernelTiming: true, HostIdle: true})
+			api = w
+		}
+		rng := rand.New(rand.NewSource(seed))
+		d, err := api.Malloc(bufLen)
+		if err != nil {
+			panic(err)
+		}
+		streams := []cudart.Stream{0}
+		s, _ := api.StreamCreate()
+		streams = append(streams, s)
+
+		addK := func(delta byte) *cudart.Func {
+			return &cudart.Func{
+				Name:      "add",
+				FixedCost: perfmodel.KernelCost{Fixed: time.Duration(rng.Intn(900)+100) * time.Microsecond},
+				Body: func(ctx cudart.LaunchContext) {
+					b, err := ctx.Dev.Bytes(ctx.Args.Arg(0).(cudart.DevPtr), bufLen)
+					if err != nil {
+						return
+					}
+					for i := range b {
+						b[i] += delta
+					}
+				},
+			}
+		}
+
+		host := make([]byte, bufLen)
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(6) {
+			case 0: // kernel launch on a random stream
+				st := streams[rng.Intn(len(streams))]
+				if err := api.LaunchKernel(addK(byte(rng.Intn(7)+1)), cudart.Dim3{X: 4}, cudart.Dim3{X: 64}, st, d); err != nil {
+					panic(err)
+				}
+			case 1: // H2D with random data
+				rng.Read(host)
+				if err := api.Memcpy(cudart.DevicePtr(d), cudart.HostPtr(host), bufLen, cudart.MemcpyHostToDevice); err != nil {
+					panic(err)
+				}
+			case 2: // blocking D2H (triggers KTT check when monitored)
+				if err := api.Memcpy(cudart.HostPtr(host), cudart.DevicePtr(d), bufLen, cudart.MemcpyDeviceToHost); err != nil {
+					panic(err)
+				}
+			case 3: // memset
+				if err := api.Memset(d, byte(rng.Intn(256)), bufLen); err != nil {
+					panic(err)
+				}
+			case 4: // sync
+				if err := api.ThreadSynchronize(); err != nil {
+					panic(err)
+				}
+			case 5: // async D2H then stream sync
+				st := streams[1]
+				if err := api.MemcpyAsync(cudart.HostPtr(host), cudart.DevicePtr(d), bufLen, cudart.MemcpyDeviceToHost, st); err != nil {
+					panic(err)
+				}
+				if err := api.StreamSynchronize(st); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if err := api.ThreadSynchronize(); err != nil {
+			panic(err)
+		}
+		b, err := dev.Bytes(d, bufLen)
+		if err != nil {
+			panic(err)
+		}
+		copy(out, b)
+		if w != nil {
+			w.Flush()
+		}
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return out, e.Now()
+}
+
+// Property: for any program, monitoring never changes the computed data,
+// and never makes the program faster.
+func TestPropMonitoringTransparent(t *testing.T) {
+	prop := func(seed int64) bool {
+		bare, bareWall := randomProgram(t, seed, false)
+		mon, monWall := randomProgram(t, seed, true)
+		for i := range bare {
+			if bare[i] != mon[i] {
+				t.Logf("seed %d: byte %d differs: %d vs %d", seed, i, bare[i], mon[i])
+				return false
+			}
+		}
+		if monWall < bareWall {
+			t.Logf("seed %d: monitored run faster (%v < %v)", seed, monWall, bareWall)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monitoring overhead stays bounded for any program (< 2% here,
+// far looser than the paper's 0.21%, to keep the property robust).
+func TestPropMonitoringOverheadBounded(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, bareWall := randomProgram(t, seed, false)
+		_, monWall := randomProgram(t, seed, true)
+		dilation := float64(monWall-bareWall) / float64(bareWall)
+		if dilation > 0.02 {
+			t.Logf("seed %d: dilation %.4f", seed, dilation)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package ipmio is IPM's file-I/O monitoring layer (paper Section II):
+// wrappers over the simulated filesystem that time open/read/write/
+// close/unlink into the performance hash table, with the transferred
+// byte count as the signature attribute — the same anatomy as the MPI
+// and CUDA wrappers, applied to the POSIX I/O domain.
+package ipmio
+
+import (
+	"ipmgo/internal/des"
+	"ipmgo/internal/iosim"
+
+	"ipmgo/internal/ipm"
+)
+
+// FS wraps an iosim.FS with IPM monitoring; handles it opens are
+// monitored too.
+type FS struct {
+	inner *iosim.FS
+	mon   *ipm.Monitor
+}
+
+// Wrap interposes IPM between the application and the filesystem.
+func Wrap(inner *iosim.FS, mon *ipm.Monitor) *FS {
+	return &FS{inner: inner, mon: mon}
+}
+
+func (f *FS) timed(name string, bytes int64, fn func()) {
+	begin := f.mon.Now()
+	fn()
+	f.mon.Observe(name, bytes, f.mon.Now()-begin)
+}
+
+// Open wraps fopen.
+func (f *FS) Open(proc *des.Proc, name string, create bool) (*Handle, error) {
+	var h *iosim.Handle
+	var err error
+	f.timed("fopen", 0, func() { h, err = f.inner.Open(proc, name, create) })
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{inner: h, fs: f}, nil
+}
+
+// Unlink wraps unlink.
+func (f *FS) Unlink(proc *des.Proc, name string) error {
+	var err error
+	f.timed("unlink", 0, func() { err = f.inner.Unlink(proc, name) })
+	return err
+}
+
+// Handle is a monitored file handle.
+type Handle struct {
+	inner *iosim.Handle
+	fs    *FS
+}
+
+// Write wraps fwrite.
+func (h *Handle) Write(data []byte) (int, error) {
+	var n int
+	var err error
+	h.fs.timed("fwrite", int64(len(data)), func() { n, err = h.inner.Write(data) })
+	return n, err
+}
+
+// Read wraps fread.
+func (h *Handle) Read(buf []byte) (int, error) {
+	var n int
+	var err error
+	h.fs.timed("fread", int64(len(buf)), func() { n, err = h.inner.Read(buf) })
+	return n, err
+}
+
+// SeekTo wraps fseek.
+func (h *Handle) SeekTo(offset int64) error {
+	var err error
+	h.fs.timed("fseek", 0, func() { err = h.inner.SeekTo(offset) })
+	return err
+}
+
+// Close wraps fclose.
+func (h *Handle) Close() error {
+	var err error
+	h.fs.timed("fclose", 0, func() { err = h.inner.Close() })
+	return err
+}
+
+// Size returns the file size (not monitored; no host call in the real
+// inventory).
+func (h *Handle) Size() int64 { return h.inner.Size() }
+
+// Name returns the file path.
+func (h *Handle) Name() string { return h.inner.Name() }

@@ -1,0 +1,109 @@
+package ipmio
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/iosim"
+
+	"ipmgo/internal/ipm"
+)
+
+func run(t *testing.T, fn func(fs *FS, p *des.Proc)) *ipm.Monitor {
+	t.Helper()
+	e := des.NewEngine()
+	inner := iosim.NewFS(e, iosim.GPFSScratch())
+	var mon *ipm.Monitor
+	e.Spawn("rank0", func(p *des.Proc) {
+		mon = ipm.NewMonitor(0, "dirac1", "app", p.Now, 0)
+		mon.Start()
+		fn(Wrap(inner, mon), p)
+		mon.Stop()
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+func stat(mon *ipm.Monitor, name string) (ipm.Stats, int64) {
+	var s ipm.Stats
+	var bytes int64
+	for _, e := range mon.Table().Entries() {
+		if e.Sig.Name == name {
+			s.Merge(e.Stats)
+			bytes = e.Sig.Bytes
+		}
+	}
+	return s, bytes
+}
+
+func TestIOEventsRecorded(t *testing.T) {
+	mon := run(t, func(fs *FS, p *des.Proc) {
+		h, err := fs.Open(p, "/scratch/ckpt", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write(make([]byte, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.SeekTo(0); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 1<<20)
+		if _, err := h.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Unlink(p, "/scratch/ckpt"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, name := range []string{"fopen", "fwrite", "fread", "fseek", "fclose", "unlink"} {
+		if s, _ := stat(mon, name); s.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, s.Count)
+		}
+	}
+	// Byte attributes on the data calls.
+	if _, bytes := stat(mon, "fwrite"); bytes != 1<<20 {
+		t.Errorf("fwrite bytes = %d", bytes)
+	}
+	// fwrite time reflects the bandwidth model (1 MiB at ~1.2 GB/s).
+	if s, _ := stat(mon, "fwrite"); s.Total < 500*time.Microsecond {
+		t.Errorf("fwrite total = %v, want ~0.9ms", s.Total)
+	}
+	// Domain classification: I/O is "other" next to MPI/CUDA.
+	if ipm.Classify("fwrite") != ipm.DomainOther {
+		t.Error("fwrite misclassified")
+	}
+}
+
+func TestFunctionalityPreservedUnderMonitoring(t *testing.T) {
+	run(t, func(fs *FS, p *des.Proc) {
+		h, _ := fs.Open(p, "/f", true)
+		h.Write([]byte("abc"))
+		h.SeekTo(0)
+		buf := make([]byte, 3)
+		n, _ := h.Read(buf)
+		if n != 3 || string(buf) != "abc" {
+			t.Errorf("read = %q", buf[:n])
+		}
+		if h.Size() != 3 || h.Name() != "/f" {
+			t.Error("metadata wrong")
+		}
+	})
+}
+
+func TestErrorsPassThrough(t *testing.T) {
+	run(t, func(fs *FS, p *des.Proc) {
+		if _, err := fs.Open(p, "/missing", false); err == nil {
+			t.Error("missing open accepted")
+		}
+		if err := fs.Unlink(p, "/missing"); err == nil {
+			t.Error("missing unlink accepted")
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package ipmmpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/mpisim"
+)
+
+// Profile-aggregation tag space, above anything applications use.
+const (
+	tagProfileSize = 1<<20 + iota
+	tagProfileData
+)
+
+// GatherProfiles performs IPM's in-band finalisation: every rank
+// serialises its monitor snapshot (as a single-task XML log) and ships it
+// to rank 0 over MPI, where the job profile is assembled. Rank 0 returns
+// the profile; other ranks return nil. This is the communication pattern
+// that lets IPM aggregate at the full machine scale without a side
+// channel; the paper's predecessor work demonstrates it to tens of
+// thousands of cores, and BenchmarkInBandAggregation measures its cost
+// here.
+//
+// The transfer is a size-prefixed linear gather: profile blobs differ per
+// rank, so each rank first sends an 8-byte length, then the blob.
+func GatherProfiles(c mpisim.Comm, m *ipm.Monitor, command string, nodes int) (*ipm.JobProfile, error) {
+	local := ipm.Snapshot(m)
+	if c.Rank() != 0 {
+		blob, err := encodeRankProfile(command, nodes, local)
+		if err != nil {
+			return nil, err
+		}
+		size := make([]byte, 8)
+		binary.LittleEndian.PutUint64(size, uint64(len(blob)))
+		if err := c.Send(size, 0, tagProfileSize); err != nil {
+			return nil, err
+		}
+		if err := c.Send(blob, 0, tagProfileData); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+
+	ranks := make([]ipm.RankProfile, 0, c.Size())
+	ranks = append(ranks, local)
+	for src := 1; src < c.Size(); src++ {
+		size := make([]byte, 8)
+		if _, err := c.Recv(size, src, tagProfileSize); err != nil {
+			return nil, fmt.Errorf("ipmmpi: gather size from %d: %w", src, err)
+		}
+		n := binary.LittleEndian.Uint64(size)
+		blob := make([]byte, n)
+		if _, err := c.Recv(blob, src, tagProfileData); err != nil {
+			return nil, fmt.Errorf("ipmmpi: gather profile from %d: %w", src, err)
+		}
+		rp, err := decodeRankProfile(blob)
+		if err != nil {
+			return nil, fmt.Errorf("ipmmpi: decode profile from %d: %w", src, err)
+		}
+		ranks = append(ranks, rp)
+	}
+	return ipm.NewJobProfile(command, nodes, ranks), nil
+}
+
+// encodeRankProfile serialises one rank's profile as a single-task IPM
+// XML log.
+func encodeRankProfile(command string, nodes int, rp ipm.RankProfile) ([]byte, error) {
+	var buf bytes.Buffer
+	jp := ipm.NewJobProfile(command, nodes, []ipm.RankProfile{rp})
+	if err := ipm.WriteXML(&buf, jp); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeRankProfile parses a single-task log back into a rank profile.
+func decodeRankProfile(blob []byte) (ipm.RankProfile, error) {
+	jp, err := ipm.ParseXML(bytes.NewReader(blob))
+	if err != nil {
+		return ipm.RankProfile{}, err
+	}
+	if jp.NTasks() != 1 {
+		return ipm.RankProfile{}, fmt.Errorf("expected single-task log, got %d tasks", jp.NTasks())
+	}
+	return jp.Ranks[0], nil
+}

@@ -1,0 +1,133 @@
+package ipmmpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/mpisim"
+	"ipmgo/internal/perfmodel"
+)
+
+func TestGatherProfilesAssemblesJob(t *testing.T) {
+	const size = 8
+	e := des.NewEngine()
+	w, err := mpisim.NewWorld(e, mpisim.Config{Size: size, Net: perfmodel.QDRInfiniBand(), RanksPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assembled *ipm.JobProfile
+	for r := 0; r < size; r++ {
+		r := r
+		e.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
+			inner, err := w.Attach(r, p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mon := ipm.NewMonitor(r, fmt.Sprintf("node%d", w.NodeOf(r)), "app", p.Now, 0)
+			mon.Start()
+			c := Wrap(inner, mon)
+
+			// Distinct per-rank workload so aggregation is testable.
+			mon.Observe("cudaLaunch", 0, time.Duration(r+1)*time.Millisecond)
+			mon.EnterRegion("solve")
+			mon.Observe("MPI_Allreduce", 64, 2*time.Millisecond)
+			mon.ExitRegion()
+			p.Sleep(time.Duration(r) * time.Millisecond)
+			mon.Stop()
+
+			jp, err := GatherProfiles(c, mon, "app", w.Nodes())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if r == 0 {
+				assembled = jp
+			} else if jp != nil {
+				t.Errorf("rank %d got a non-nil profile", r)
+			}
+		})
+	}
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if assembled == nil {
+		t.Fatal("rank 0 did not assemble a profile")
+	}
+	if assembled.NTasks() != size || assembled.Nodes != 4 {
+		t.Fatalf("layout: %d tasks, %d nodes", assembled.NTasks(), assembled.Nodes)
+	}
+	// Ranks are sorted and carry their own entries.
+	for r := 0; r < size; r++ {
+		rp := assembled.Ranks[r]
+		if rp.Rank != r {
+			t.Fatalf("rank order: %d at %d", rp.Rank, r)
+		}
+		want := time.Duration(r+1) * time.Millisecond
+		got := rp.FuncTime("cudaLaunch")
+		if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("rank %d cudaLaunch = %v, want %v", r, got, want)
+		}
+	}
+	// Regions survive the wire format.
+	foundRegion := false
+	for _, e := range assembled.Ranks[3].Entries {
+		if e.Sig.Name == "MPI_Allreduce" && e.Sig.Region == "solve" {
+			foundRegion = true
+		}
+	}
+	if !foundRegion {
+		t.Error("region lost in aggregation")
+	}
+}
+
+// BenchmarkInBandAggregation measures the virtual-time cost of the
+// finalisation gather as the job grows, the scalability concern of
+// always-on monitoring. The reported metric is aggregation virtual time
+// in milliseconds at the largest size.
+func BenchmarkInBandAggregation(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		size := size
+		b.Run(fmt.Sprintf("ranks-%d", size), func(b *testing.B) {
+			var virtualMS float64
+			for i := 0; i < b.N; i++ {
+				e := des.NewEngine()
+				w, err := mpisim.NewWorld(e, mpisim.Config{Size: size, Net: perfmodel.QDRInfiniBand(), RanksPerNode: 8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var aggTime time.Duration
+				for r := 0; r < size; r++ {
+					r := r
+					e.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
+						inner, _ := w.Attach(r, p)
+						mon := ipm.NewMonitor(r, "n", "app", p.Now, 0)
+						mon.Start()
+						c := Wrap(inner, mon)
+						for k := 0; k < 100; k++ {
+							mon.Observe("cudaLaunch", 0, time.Microsecond)
+							mon.Observe("MPI_Send", int64(k*8), time.Microsecond)
+						}
+						mon.Stop()
+						c.Barrier()
+						t0 := p.Now()
+						if _, err := GatherProfiles(c, mon, "app", w.Nodes()); err != nil {
+							panic(err)
+						}
+						if r == 0 {
+							aggTime = p.Now() - t0
+						}
+					})
+				}
+				if err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+				virtualMS = float64(aggTime) / float64(time.Millisecond)
+			}
+			b.ReportMetric(virtualMS, "agg-virtual-ms")
+		})
+	}
+}

@@ -1,0 +1,158 @@
+// Package ipmmpi is IPM's original MPI monitoring layer: a decorator
+// around mpisim.Comm that times every MPI call and records it in the
+// performance hash table with the transferred byte count as the signature
+// attribute — the PMPI-style interposition IPM was built on before the
+// CUDA extension.
+package ipmmpi
+
+import (
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/mpisim"
+
+	"ipmgo/internal/des"
+)
+
+// Comm wraps an mpisim.Comm with IPM monitoring. It implements
+// mpisim.Comm.
+type Comm struct {
+	inner mpisim.Comm
+	mon   *ipm.Monitor
+}
+
+var _ mpisim.Comm = (*Comm)(nil)
+
+// Wrap interposes IPM between the application and MPI.
+func Wrap(inner mpisim.Comm, mon *ipm.Monitor) *Comm {
+	return &Comm{inner: inner, mon: mon}
+}
+
+// IPM returns the underlying monitor.
+func (c *Comm) IPM() *ipm.Monitor { return c.mon }
+
+// Rank returns the MPI rank.
+func (c *Comm) Rank() int { return c.inner.Rank() }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.inner.Size() }
+
+// Proc returns the host process.
+func (c *Comm) Proc() *des.Proc { return c.inner.Proc() }
+
+func (c *Comm) timed(name string, bytes int64, fn func()) {
+	begin := c.mon.Now()
+	fn()
+	c.mon.Observe(name, bytes, c.mon.Now()-begin)
+}
+
+// Send wraps MPI_Send.
+func (c *Comm) Send(data []byte, dest, tag int) error {
+	var err error
+	c.timed("MPI_Send", int64(len(data)), func() { err = c.inner.Send(data, dest, tag) })
+	return err
+}
+
+// Recv wraps MPI_Recv.
+func (c *Comm) Recv(buf []byte, source, tag int) (mpisim.Status, error) {
+	var st mpisim.Status
+	var err error
+	c.timed("MPI_Recv", int64(len(buf)), func() { st, err = c.inner.Recv(buf, source, tag) })
+	return st, err
+}
+
+// Isend wraps MPI_Isend.
+func (c *Comm) Isend(data []byte, dest, tag int) (*mpisim.Request, error) {
+	var req *mpisim.Request
+	var err error
+	c.timed("MPI_Isend", int64(len(data)), func() { req, err = c.inner.Isend(data, dest, tag) })
+	return req, err
+}
+
+// Irecv wraps MPI_Irecv.
+func (c *Comm) Irecv(buf []byte, source, tag int) (*mpisim.Request, error) {
+	var req *mpisim.Request
+	var err error
+	c.timed("MPI_Irecv", int64(len(buf)), func() { req, err = c.inner.Irecv(buf, source, tag) })
+	return req, err
+}
+
+// Wait wraps MPI_Wait.
+func (c *Comm) Wait(req *mpisim.Request) (mpisim.Status, error) {
+	var st mpisim.Status
+	var err error
+	c.timed("MPI_Wait", 0, func() { st, err = c.inner.Wait(req) })
+	return st, err
+}
+
+// Waitall wraps MPI_Waitall.
+func (c *Comm) Waitall(reqs []*mpisim.Request) error {
+	var err error
+	c.timed("MPI_Waitall", 0, func() { err = c.inner.Waitall(reqs) })
+	return err
+}
+
+// Barrier wraps MPI_Barrier.
+func (c *Comm) Barrier() error {
+	var err error
+	c.timed("MPI_Barrier", 0, func() { err = c.inner.Barrier() })
+	return err
+}
+
+// Bcast wraps MPI_Bcast.
+func (c *Comm) Bcast(data []byte, root int) error {
+	var err error
+	c.timed("MPI_Bcast", int64(len(data)), func() { err = c.inner.Bcast(data, root) })
+	return err
+}
+
+// Reduce wraps MPI_Reduce.
+func (c *Comm) Reduce(send, recv []byte, op mpisim.Op, root int) error {
+	var err error
+	c.timed("MPI_Reduce", int64(len(send)), func() { err = c.inner.Reduce(send, recv, op, root) })
+	return err
+}
+
+// Allreduce wraps MPI_Allreduce.
+func (c *Comm) Allreduce(send, recv []byte, op mpisim.Op) error {
+	var err error
+	c.timed("MPI_Allreduce", int64(len(send)), func() { err = c.inner.Allreduce(send, recv, op) })
+	return err
+}
+
+// Gather wraps MPI_Gather.
+func (c *Comm) Gather(send, recv []byte, root int) error {
+	var err error
+	c.timed("MPI_Gather", int64(len(send)), func() { err = c.inner.Gather(send, recv, root) })
+	return err
+}
+
+// Allgather wraps MPI_Allgather.
+func (c *Comm) Allgather(send, recv []byte) error {
+	var err error
+	c.timed("MPI_Allgather", int64(len(send)), func() { err = c.inner.Allgather(send, recv) })
+	return err
+}
+
+// Scatter wraps MPI_Scatter.
+func (c *Comm) Scatter(send, recv []byte, root int) error {
+	var err error
+	c.timed("MPI_Scatter", int64(len(recv)), func() { err = c.inner.Scatter(send, recv, root) })
+	return err
+}
+
+// Alltoall wraps MPI_Alltoall.
+func (c *Comm) Alltoall(send, recv []byte) error {
+	var err error
+	c.timed("MPI_Alltoall", int64(len(send)), func() { err = c.inner.Alltoall(send, recv) })
+	return err
+}
+
+// Pcontrol implements IPM's region interface (MPI_Pcontrol in the real
+// tool): level 1 enters the named region, level -1 exits it.
+func (c *Comm) Pcontrol(level int, name string) {
+	switch {
+	case level > 0:
+		c.mon.EnterRegion(name)
+	case level < 0:
+		c.mon.ExitRegion()
+	}
+}

@@ -1,0 +1,179 @@
+package ipmmpi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/mpisim"
+	"ipmgo/internal/perfmodel"
+)
+
+// runMonitored spawns size monitored ranks and returns their monitors.
+func runMonitored(t *testing.T, size int, fn func(c mpisim.Comm)) []*ipm.Monitor {
+	t.Helper()
+	e := des.NewEngine()
+	w, err := mpisim.NewWorld(e, mpisim.Config{Size: size, Net: perfmodel.QDRInfiniBand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mons := make([]*ipm.Monitor, size)
+	for r := 0; r < size; r++ {
+		r := r
+		e.Spawn(fmt.Sprintf("rank%d", r), func(p *des.Proc) {
+			inner, err := w.Attach(r, p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mons[r] = ipm.NewMonitor(r, fmt.Sprintf("node%d", w.NodeOf(r)), "app", p.Now, 0)
+			mons[r].Start()
+			fn(Wrap(inner, mons[r]))
+			mons[r].Stop()
+		})
+	}
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return mons
+}
+
+func stat(m *ipm.Monitor, name string) ipm.Stats {
+	var s ipm.Stats
+	for _, e := range m.Table().Entries() {
+		if e.Sig.Name == name {
+			s.Merge(e.Stats)
+		}
+	}
+	return s
+}
+
+func TestSendRecvMonitored(t *testing.T) {
+	mons := runMonitored(t, 2, func(c mpisim.Comm) {
+		if c.Rank() == 0 {
+			c.Send(make([]byte, 4096), 1, 0)
+		} else {
+			buf := make([]byte, 4096)
+			c.Recv(buf, 0, 0)
+		}
+	})
+	if s := stat(mons[0], "MPI_Send"); s.Count != 1 || s.Total == 0 {
+		t.Errorf("MPI_Send = %+v", s)
+	}
+	if s := stat(mons[1], "MPI_Recv"); s.Count != 1 {
+		t.Errorf("MPI_Recv = %+v", s)
+	}
+	// Bytes attribute present in the signature.
+	found := false
+	for _, e := range mons[0].Table().Entries() {
+		if e.Sig.Name == "MPI_Send" && e.Sig.Bytes == 4096 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("MPI_Send signature missing bytes attribute")
+	}
+}
+
+func TestCollectivesMonitored(t *testing.T) {
+	mons := runMonitored(t, 4, func(c mpisim.Comm) {
+		recv := make([]byte, 8)
+		c.Allreduce(mpisim.Float64Bytes([]float64{1}), recv, mpisim.OpSum)
+		c.Barrier()
+		data := make([]byte, 64)
+		c.Bcast(data, 0)
+		all := make([]byte, 4*8)
+		c.Allgather(make([]byte, 8), all)
+	})
+	for r, m := range mons {
+		for _, name := range []string{"MPI_Allreduce", "MPI_Barrier", "MPI_Bcast", "MPI_Allgather"} {
+			if s := stat(m, name); s.Count != 1 {
+				t.Errorf("rank %d %s count = %d", r, name, s.Count)
+			}
+		}
+	}
+}
+
+func TestWaitTimeCapturesLateSender(t *testing.T) {
+	mons := runMonitored(t, 2, func(c mpisim.Comm) {
+		if c.Rank() == 0 {
+			c.Proc().Sleep(500 * time.Millisecond) // late sender
+			c.Send(make([]byte, 8), 1, 0)
+		} else {
+			buf := make([]byte, 8)
+			req, _ := c.Irecv(buf, 0, 0)
+			c.Wait(req)
+		}
+	})
+	if s := stat(mons[1], "MPI_Wait"); s.Total < 400*time.Millisecond {
+		t.Errorf("MPI_Wait = %v, want ~500ms of blocking", s.Total)
+	}
+	if s := stat(mons[1], "MPI_Irecv"); s.Total > 10*time.Millisecond {
+		t.Errorf("MPI_Irecv = %v, want cheap", s.Total)
+	}
+}
+
+func TestPcontrolRegions(t *testing.T) {
+	mons := runMonitored(t, 2, func(c mpisim.Comm) {
+		mc := c.(*Comm)
+		c.Barrier()
+		mc.Pcontrol(1, "solve")
+		c.Barrier()
+		mc.Pcontrol(-1, "solve")
+		c.Barrier()
+	})
+	var regions []string
+	for _, e := range mons[0].Table().Entries() {
+		if e.Sig.Name == "MPI_Barrier" {
+			regions = append(regions, e.Sig.Region)
+		}
+	}
+	if len(regions) != 2 { // global (2 calls merged) + solve (1 call)
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestResultsUnchangedByMonitoring(t *testing.T) {
+	runMonitored(t, 4, func(c mpisim.Comm) {
+		recv := make([]byte, 8)
+		if err := c.Allreduce(mpisim.Float64Bytes([]float64{float64(c.Rank())}), recv, mpisim.OpSum); err != nil {
+			t.Error(err)
+		}
+		if got := mpisim.BytesFloat64(recv)[0]; got != 6 { // 0+1+2+3
+			t.Errorf("monitored allreduce = %v, want 6", got)
+		}
+	})
+}
+
+func TestAllWrappersRecord(t *testing.T) {
+	mons := runMonitored(t, 2, func(c mpisim.Comm) {
+		peer := 1 - c.Rank()
+		req1, _ := c.Isend([]byte{1}, peer, 0)
+		buf := make([]byte, 1)
+		req2, _ := c.Irecv(buf, peer, 0)
+		c.Waitall([]*mpisim.Request{req1, req2})
+		recv := make([]byte, 8)
+		c.Reduce(mpisim.Float64Bytes([]float64{1}), recv, mpisim.OpSum, 0)
+		out := make([]byte, 1)
+		var send []byte
+		if c.Rank() == 0 {
+			send = []byte{0, 1}
+		}
+		c.Scatter(send, out, 0)
+		var grecv []byte
+		if c.Rank() == 0 {
+			grecv = make([]byte, 2)
+		}
+		c.Gather([]byte{9}, grecv, 0)
+		a2a := make([]byte, 2)
+		c.Alltoall([]byte{3, 4}, a2a)
+	})
+	for _, name := range []string{"MPI_Isend", "MPI_Irecv", "MPI_Waitall", "MPI_Reduce",
+		"MPI_Scatter", "MPI_Gather", "MPI_Alltoall"} {
+		if s := stat(mons[0], name); s.Count != 1 {
+			t.Errorf("%s count = %d, want 1", name, s.Count)
+		}
+	}
+}

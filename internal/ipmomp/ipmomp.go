@@ -1,0 +1,87 @@
+// Package ipmomp is IPM's OpenMP monitoring layer: it wraps ompsim
+// parallel regions, recording each region's wallclock under
+// @OMP_PARALLEL:<name> and the team's barrier wait under @OMP_IDLE — the
+// pseudo-entry convention of IPM's OpenMP support, alongside the CUDA
+// pseudo-entries of Section III.
+package ipmomp
+
+import (
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/ompsim"
+)
+
+// Pseudo-entry names.
+const (
+	IdleName = "@OMP_IDLE"
+)
+
+// RegionName returns the pseudo-entry for a named parallel region.
+func RegionName(name string) string { return "@OMP_PARALLEL:" + name }
+
+// Monitor wraps parallel-region execution with IPM accounting for one
+// rank.
+type Monitor struct {
+	mon *ipm.Monitor
+}
+
+// Wrap creates the OpenMP monitoring layer over a rank's monitor.
+func Wrap(mon *ipm.Monitor) *Monitor { return &Monitor{mon: mon} }
+
+// Parallel runs a named, monitored parallel region.
+func (m *Monitor) Parallel(master *des.Proc, name string, nthreads int, body func(tid int, p *des.Proc)) (ompsim.RegionStats, error) {
+	stats, err := ompsim.Parallel(master, nthreads, body)
+	if err != nil {
+		return stats, err
+	}
+	m.record(name, stats)
+	return stats, nil
+}
+
+// For runs a named, monitored statically scheduled parallel loop.
+func (m *Monitor) For(master *des.Proc, name string, nthreads, n int, iterCost func(i int) time.Duration) (ompsim.RegionStats, error) {
+	stats, err := ompsim.For(master, nthreads, n, iterCost)
+	if err != nil {
+		return stats, err
+	}
+	m.record(name, stats)
+	return stats, nil
+}
+
+func (m *Monitor) record(name string, stats ompsim.RegionStats) {
+	m.mon.Observe(RegionName(name), int64(len(stats.ThreadBusy)), stats.Elapsed)
+	var idle time.Duration
+	for _, d := range stats.ThreadIdle {
+		idle += d
+	}
+	if idle > 0 {
+		m.mon.ObserveN(IdleName, 0, ipm.Stats{
+			Count: int64(len(stats.ThreadIdle)),
+			Total: idle,
+			Min:   minOf(stats.ThreadIdle),
+			Max:   maxOf(stats.ThreadIdle),
+		})
+	}
+}
+
+func minOf(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxOf(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,91 @@
+package ipmomp
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/ipm"
+)
+
+func run(t *testing.T, fn func(p *des.Proc, m *Monitor)) *ipm.Monitor {
+	t.Helper()
+	e := des.NewEngine()
+	var mon *ipm.Monitor
+	e.Spawn("rank0", func(p *des.Proc) {
+		mon = ipm.NewMonitor(0, "h", "app", p.Now, 0)
+		mon.Start()
+		fn(p, Wrap(mon))
+		mon.Stop()
+	})
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return mon
+}
+
+func stat(mon *ipm.Monitor, name string) ipm.Stats {
+	var s ipm.Stats
+	for _, e := range mon.Table().Entries() {
+		if e.Sig.Name == name {
+			s.Merge(e.Stats)
+		}
+	}
+	return s
+}
+
+func TestMonitoredParallelRegion(t *testing.T) {
+	mon := run(t, func(p *des.Proc, m *Monitor) {
+		_, err := m.Parallel(p, "forces", 4, func(tid int, tp *des.Proc) {
+			tp.Sleep(time.Duration(tid+1) * 10 * time.Millisecond)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	region := stat(mon, RegionName("forces"))
+	if region.Count != 1 || region.Total != 40*time.Millisecond {
+		t.Errorf("region = %+v", region)
+	}
+	// Idle: (30+20+10+0) = 60ms across the team.
+	idle := stat(mon, IdleName)
+	if idle.Total != 60*time.Millisecond || idle.Count != 4 {
+		t.Errorf("idle = %+v", idle)
+	}
+	if idle.Max != 30*time.Millisecond {
+		t.Errorf("idle max = %v", idle.Max)
+	}
+	// Pseudo-entries classified correctly.
+	if ipm.Classify(RegionName("forces")) != ipm.DomainPseudo {
+		t.Error("region entry not pseudo")
+	}
+}
+
+func TestBalancedRegionNoIdle(t *testing.T) {
+	mon := run(t, func(p *des.Proc, m *Monitor) {
+		if _, err := m.For(p, "update", 4, 64, func(i int) time.Duration {
+			return time.Millisecond
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if idle := stat(mon, IdleName); idle.Count != 0 {
+		t.Errorf("balanced loop recorded idle: %+v", idle)
+	}
+	if region := stat(mon, RegionName("update")); region.Total != 16*time.Millisecond {
+		t.Errorf("region = %+v", region)
+	}
+}
+
+func TestMultipleRegionsAccumulate(t *testing.T) {
+	mon := run(t, func(p *des.Proc, m *Monitor) {
+		for i := 0; i < 3; i++ {
+			m.Parallel(p, "step", 2, func(tid int, tp *des.Proc) {
+				tp.Sleep(5 * time.Millisecond)
+			})
+		}
+	})
+	if region := stat(mon, RegionName("step")); region.Count != 3 || region.Total != 15*time.Millisecond {
+		t.Errorf("region = %+v", region)
+	}
+}

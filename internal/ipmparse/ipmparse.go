@@ -1,0 +1,155 @@
+// Package ipmparse reimplements IPM's ipm_parse utility (paper Section
+// II): it reads the XML profiling log a monitored run writes and
+// regenerates the banner, produces an HTML report suited for permanent
+// storage of profiles, or converts the profile to the CUBE format for the
+// Scalasca GUI.
+package ipmparse
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+	"sort"
+	"time"
+
+	"ipmgo/internal/cube"
+	"ipmgo/internal/ipm"
+)
+
+// Load reads an IPM XML profiling log.
+func Load(r io.Reader) (*ipm.JobProfile, error) { return ipm.ParseXML(r) }
+
+// WriteBanner regenerates the termination banner from a parsed log.
+func WriteBanner(w io.Writer, jp *ipm.JobProfile, full bool) error {
+	return ipm.WriteBanner(w, jp, ipm.BannerOptions{Full: full})
+}
+
+// WriteCUBE converts the profile to CUBE XML.
+func WriteCUBE(w io.Writer, jp *ipm.JobProfile) error { return cube.Write(w, jp) }
+
+// htmlReport is the template's view model.
+type htmlReport struct {
+	Command   string
+	NTasks    int
+	Nodes     int
+	Wallclock string
+	CommPct   string
+	GPUPct    string
+	IdlePct   string
+	Funcs     []htmlFunc
+	Ranks     []htmlRank
+	Balance   []htmlBalance
+}
+
+type htmlFunc struct {
+	Name    string
+	Time    string
+	Count   int64
+	PctWall string
+}
+
+type htmlRank struct {
+	Rank      int
+	Host      string
+	Wallclock string
+	MPI       string
+	CUDA      string
+}
+
+type htmlBalance struct {
+	Name      string
+	Min       string
+	Avg       string
+	Max       string
+	Imbalance string
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>IPM profile: {{.Command}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 2em; }
+th, td { border: 1px solid #999; padding: 0.2em 0.6em; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+</style></head><body>
+<h1>IPM v2.0 profile</h1>
+<table>
+<tr><th class="l">command</th><td class="l">{{.Command}}</td></tr>
+<tr><th class="l">mpi_tasks</th><td>{{.NTasks}} on {{.Nodes}} nodes</td></tr>
+<tr><th class="l">wallclock</th><td>{{.Wallclock}}</td></tr>
+<tr><th class="l">%comm</th><td>{{.CommPct}}</td></tr>
+<tr><th class="l">%gpu</th><td>{{.GPUPct}}</td></tr>
+<tr><th class="l">%host idle</th><td>{{.IdlePct}}</td></tr>
+</table>
+<h2>Events</h2>
+<table>
+<tr><th class="l">name</th><th>time [s]</th><th>count</th><th>%wall</th></tr>
+{{range .Funcs}}<tr><td class="l">{{.Name}}</td><td>{{.Time}}</td><td>{{.Count}}</td><td>{{.PctWall}}</td></tr>
+{{end}}</table>
+<h2>Tasks</h2>
+<table>
+<tr><th>rank</th><th class="l">host</th><th>wallclock [s]</th><th>MPI [s]</th><th>CUDA [s]</th></tr>
+{{range .Ranks}}<tr><td>{{.Rank}}</td><td class="l">{{.Host}}</td><td>{{.Wallclock}}</td><td>{{.MPI}}</td><td>{{.CUDA}}</td></tr>
+{{end}}</table>
+<h2>Load balance (top events)</h2>
+<table>
+<tr><th class="l">name</th><th>min [s]</th><th>avg [s]</th><th>max [s]</th><th>max/avg</th></tr>
+{{range .Balance}}<tr><td class="l">{{.Name}}</td><td>{{.Min}}</td><td>{{.Avg}}</td><td>{{.Max}}</td><td>{{.Imbalance}}</td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+func secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+
+// WriteHTML produces the HTML report form of the profile.
+func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
+	wall := jp.WallclockSpread().Total
+	rep := htmlReport{
+		Command:   jp.Command,
+		NTasks:    jp.NTasks(),
+		Nodes:     jp.Nodes,
+		Wallclock: secs(jp.Wallclock()),
+		CommPct:   fmt.Sprintf("%.2f", jp.CommPercent()),
+		GPUPct:    fmt.Sprintf("%.2f", jp.GPUPercent()),
+		IdlePct:   fmt.Sprintf("%.2f", jp.HostIdlePercent()),
+	}
+	fts := jp.FuncTotals()
+	for _, ft := range fts {
+		pct := 0.0
+		if wall > 0 {
+			pct = 100 * float64(ft.Stats.Total) / float64(wall)
+		}
+		rep.Funcs = append(rep.Funcs, htmlFunc{
+			Name:    ft.Name,
+			Time:    secs(ft.Stats.Total),
+			Count:   ft.Stats.Count,
+			PctWall: fmt.Sprintf("%.2f", pct),
+		})
+	}
+	for _, r := range jp.Ranks {
+		rep.Ranks = append(rep.Ranks, htmlRank{
+			Rank:      r.Rank,
+			Host:      r.Host,
+			Wallclock: secs(r.Wallclock),
+			MPI:       secs(r.DomainTime(ipm.DomainMPI)),
+			CUDA:      secs(r.DomainTime(ipm.DomainCUDA)),
+		})
+	}
+	top := fts
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	for _, ft := range top {
+		s := jp.FuncSpread(ft.Name)
+		rep.Balance = append(rep.Balance, htmlBalance{
+			Name:      ft.Name,
+			Min:       secs(s.Min),
+			Avg:       secs(s.Avg),
+			Max:       secs(s.Max),
+			Imbalance: fmt.Sprintf("%.2f", jp.Imbalance(ft.Name)),
+		})
+	}
+	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
+	return htmlTmpl.Execute(w, rep)
+}

@@ -1,0 +1,110 @@
+package ipmparse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+func sampleProfile() *ipm.JobProfile {
+	mk := func(rank int) ipm.RankProfile {
+		return ipm.RankProfile{
+			Rank:      rank,
+			Host:      "dirac1",
+			Wallclock: 4 * time.Second,
+			Entries: []ipm.Entry{
+				{Sig: ipm.Sig{Name: "cudaMemcpy(D2H)", Bytes: 800000},
+					Stats: ipm.Stats{Count: 1, Total: 1160 * time.Millisecond, Min: 1160 * time.Millisecond, Max: 1160 * time.Millisecond}},
+				{Sig: ipm.Sig{Name: "MPI_Allreduce", Bytes: 8},
+					Stats: ipm.Stats{Count: 2, Total: 10 * time.Millisecond, Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}},
+				{Sig: ipm.Sig{Name: "@CUDA_EXEC_STRM00"},
+					Stats: ipm.Stats{Count: 1, Total: time.Second, Min: time.Second, Max: time.Second}},
+			},
+		}
+	}
+	return ipm.NewJobProfile("./cuda.ipm", 2, []ipm.RankProfile{mk(0), mk(1)})
+}
+
+func TestLoadFromXML(t *testing.T) {
+	var xml strings.Builder
+	if err := ipm.WriteXML(&xml, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	jp, err := Load(strings.NewReader(xml.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp.NTasks() != 2 || jp.Command != "./cuda.ipm" {
+		t.Errorf("loaded profile: %d tasks, %q", jp.NTasks(), jp.Command)
+	}
+}
+
+func TestBannerRegeneration(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBanner(&sb, sampleProfile(), false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cudaMemcpy(D2H)") {
+		t.Error("banner missing function row")
+	}
+	sb.Reset()
+	if err := WriteBanner(&sb, sampleProfile(), true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mpi_tasks : 2 on 2 nodes") {
+		t.Errorf("full banner header missing:\n%s", sb.String())
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHTML(&sb, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "IPM v2.0 profile", "cudaMemcpy(D2H)",
+		"MPI_Allreduce", "@CUDA_EXEC_STRM00", "Load balance", "dirac1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+func TestCUBEConversion(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCUBE(&sb, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<cube version=\"3.0\">") {
+		t.Error("not a CUBE document")
+	}
+}
+
+func TestFullPipelineLogToEverything(t *testing.T) {
+	// Write XML -> parse -> banner + html + cube, as ipm_parse does.
+	var xml strings.Builder
+	if err := ipm.WriteXML(&xml, sampleProfile()); err != nil {
+		t.Fatal(err)
+	}
+	jp, err := Load(strings.NewReader(xml.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var banner, html, cub strings.Builder
+	if err := WriteBanner(&banner, jp, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHTML(&html, jp); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCUBE(&cub, jp); err != nil {
+		t.Fatal(err)
+	}
+	if banner.Len() == 0 || html.Len() == 0 || cub.Len() == 0 {
+		t.Error("pipeline produced empty output")
+	}
+}

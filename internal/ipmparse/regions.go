@@ -1,0 +1,90 @@
+package ipmparse
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// RegionRow summarises one user region (MPI_Pcontrol bracket) across all
+// ranks: total host time by domain and call count.
+type RegionRow struct {
+	Region string
+	Total  time.Duration
+	MPI    time.Duration
+	CUDA   time.Duration
+	CUBLAS time.Duration
+	CUFFT  time.Duration
+	Calls  int64
+}
+
+// RegionBreakdown aggregates the profile by region, sorted by descending
+// total time. Pseudo-entries are excluded (they describe device activity,
+// not host time inside the region).
+func RegionBreakdown(jp *ipm.JobProfile) []RegionRow {
+	byRegion := make(map[string]*RegionRow)
+	for _, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			sig := e.Sig
+			if ipm.Classify(sig.Name) == ipm.DomainPseudo {
+				continue
+			}
+			row, ok := byRegion[sig.Region]
+			if !ok {
+				row = &RegionRow{Region: sig.Region}
+				byRegion[sig.Region] = row
+			}
+			row.Total += e.Stats.Total
+			row.Calls += e.Stats.Count
+			switch ipm.Classify(sig.Name) {
+			case ipm.DomainMPI:
+				row.MPI += e.Stats.Total
+			case ipm.DomainCUDA:
+				row.CUDA += e.Stats.Total
+			case ipm.DomainCUBLAS:
+				row.CUBLAS += e.Stats.Total
+			case ipm.DomainCUFFT:
+				row.CUFFT += e.Stats.Total
+			}
+		}
+	}
+	out := make([]RegionRow, 0, len(byRegion))
+	for _, row := range byRegion {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out
+}
+
+// WriteRegions renders the per-region breakdown as text.
+func WriteRegions(w io.Writer, jp *ipm.JobProfile) error {
+	rows := RegionBreakdown(jp)
+	if _, err := fmt.Fprintf(w, "Per-region breakdown (%d regions; host time across %d ranks)\n",
+		len(rows), jp.NTasks()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %12s %10s %10s %10s %10s %10s\n",
+		"region", "total(s)", "MPI(s)", "CUDA(s)", "CUBLAS(s)", "CUFFT(s)", "calls"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		name := r.Region
+		if name == ipm.GlobalRegion {
+			name = "ipm_global"
+		}
+		if _, err := fmt.Fprintf(w, "%-24s %12.3f %10.3f %10.3f %10.3f %10.3f %10d\n",
+			name, r.Total.Seconds(), r.MPI.Seconds(), r.CUDA.Seconds(),
+			r.CUBLAS.Seconds(), r.CUFFT.Seconds(), r.Calls); err != nil {
+			return err
+		}
+	}
+	return nil
+}

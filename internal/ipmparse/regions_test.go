@@ -1,0 +1,70 @@
+package ipmparse
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+func regionProfile() *ipm.JobProfile {
+	mk := func(rank int) ipm.RankProfile {
+		return ipm.RankProfile{
+			Rank: rank, Host: "n", Wallclock: 10 * time.Second,
+			Entries: []ipm.Entry{
+				{Sig: ipm.Sig{Name: "MPI_Allreduce", Region: "ortho"},
+					Stats: ipm.Stats{Count: 4, Total: 2 * time.Second, Min: time.Millisecond, Max: time.Second}},
+				{Sig: ipm.Sig{Name: "cublasZgemm", Region: "subspace"},
+					Stats: ipm.Stats{Count: 10, Total: 3 * time.Second, Min: time.Millisecond, Max: time.Second}},
+				{Sig: ipm.Sig{Name: "cudaMemcpy(D2H)", Region: "subspace"},
+					Stats: ipm.Stats{Count: 10, Total: time.Second, Min: time.Millisecond, Max: time.Second}},
+				{Sig: ipm.Sig{Name: "cudaMalloc"},
+					Stats: ipm.Stats{Count: 1, Total: time.Second, Min: time.Second, Max: time.Second}},
+				{Sig: ipm.Sig{Name: "@CUDA_EXEC_STRM00", Region: "subspace"},
+					Stats: ipm.Stats{Count: 10, Total: 9 * time.Second, Min: time.Millisecond, Max: time.Second}},
+			},
+		}
+	}
+	return ipm.NewJobProfile("app", 2, []ipm.RankProfile{mk(0), mk(1)})
+}
+
+func TestRegionBreakdown(t *testing.T) {
+	rows := RegionBreakdown(regionProfile())
+	if len(rows) != 3 {
+		t.Fatalf("regions = %d, want 3 (subspace, ortho, global)", len(rows))
+	}
+	// Sorted by total: subspace (8s) first.
+	if rows[0].Region != "subspace" || rows[0].Total != 8*time.Second {
+		t.Errorf("rows[0] = %+v", rows[0])
+	}
+	if rows[0].CUBLAS != 6*time.Second || rows[0].CUDA != 2*time.Second {
+		t.Errorf("subspace domains = %+v", rows[0])
+	}
+	// Pseudo entries excluded: @CUDA_EXEC should not inflate subspace.
+	if rows[0].Total >= 20*time.Second {
+		t.Error("pseudo entries leaked into region totals")
+	}
+	var ortho RegionRow
+	for _, r := range rows {
+		if r.Region == "ortho" {
+			ortho = r
+		}
+	}
+	if ortho.MPI != 4*time.Second || ortho.Calls != 8 {
+		t.Errorf("ortho = %+v", ortho)
+	}
+}
+
+func TestWriteRegions(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteRegions(&sb, regionProfile()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"subspace", "ortho", "ipm_global", "CUBLAS(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("regions report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package mpisim simulates an MPI library over the discrete-event engine.
+//
+// It is functional — messages really carry bytes, reductions really reduce
+// — and timed by the Hockney network model in internal/perfmodel, with a
+// rank-to-node topology so that intra-node communication uses the
+// shared-memory path. Point-to-point messaging uses eager matching with
+// per-(source,destination) ordering; collectives use analytic cost models
+// of the standard algorithms (binomial trees, recursive doubling, rings)
+// with a rendezvous barrier, which is the usual approach in cluster
+// simulators and is what the paper's host-side MPI timing observes.
+//
+// Applications program against the Comm interface so that IPM can
+// interpose a monitoring decorator (internal/ipmmpi), mirroring the PMPI
+// profiling interface of a real MPI.
+package mpisim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// Wildcards for Recv/Irecv source and tag matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // bytes received
+}
+
+// Request is a handle to an outstanding nonblocking operation.
+type Request struct {
+	sig    *des.Signal
+	status Status
+	err    error
+}
+
+// Comm is the MPI communicator interface applications program against —
+// the interposition seam for IPM's MPI monitoring.
+type Comm interface {
+	Rank() int
+	Size() int
+	Proc() *des.Proc
+
+	Send(data []byte, dest, tag int) error
+	Recv(buf []byte, source, tag int) (Status, error)
+	Isend(data []byte, dest, tag int) (*Request, error)
+	Irecv(buf []byte, source, tag int) (*Request, error)
+	Wait(req *Request) (Status, error)
+	Waitall(reqs []*Request) error
+
+	Barrier() error
+	Bcast(data []byte, root int) error
+	Reduce(send, recv []byte, op Op, root int) error
+	Allreduce(send, recv []byte, op Op) error
+	Gather(send, recv []byte, root int) error
+	Allgather(send, recv []byte) error
+	Scatter(send, recv []byte, root int) error
+	Alltoall(send, recv []byte) error
+}
+
+// World is a set of ranks sharing a network. Create one per simulated job.
+type World struct {
+	eng          *des.Engine
+	size         int
+	net          perfmodel.NetSpec
+	ranksPerNode int
+
+	mailbox  [][]*message    // per destination rank
+	posted   [][]*recvReq    // per destination rank
+	recvTail []time.Duration // per-rank NIC availability (incast serialisation)
+
+	colls    map[collKey]*collState
+	nextColl int
+}
+
+// Config describes the parallel job layout.
+type Config struct {
+	Size         int
+	Net          perfmodel.NetSpec
+	RanksPerNode int // default 1
+}
+
+// NewWorld creates a world with the given layout on the engine.
+func NewWorld(eng *des.Engine, cfg Config) (*World, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mpisim: world size %d", cfg.Size)
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 1
+	}
+	return &World{
+		eng:          eng,
+		size:         cfg.Size,
+		net:          cfg.Net,
+		ranksPerNode: cfg.RanksPerNode,
+		mailbox:      make([][]*message, cfg.Size),
+		posted:       make([][]*recvReq, cfg.Size),
+		recvTail:     make([]time.Duration, cfg.Size),
+		colls:        make(map[collKey]*collState),
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// NodeOf returns the node hosting a rank (block distribution).
+func (w *World) NodeOf(rank int) int { return rank / w.ranksPerNode }
+
+// Nodes returns the number of nodes the job spans.
+func (w *World) Nodes() int { return (w.size + w.ranksPerNode - 1) / w.ranksPerNode }
+
+func (w *World) sameNode(a, b int) bool { return w.NodeOf(a) == w.NodeOf(b) }
+
+// Attach binds rank to a spawned process and returns its communicator.
+// The caller is responsible for spawning one process per rank and running
+// the engine; internal/cluster provides the usual harness.
+func (w *World) Attach(rank int, proc *des.Proc) (Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("mpisim: rank %d out of range [0,%d)", rank, w.size)
+	}
+	return &comm{w: w, rank: rank, proc: proc, seq: make(map[string]int)}, nil
+}
+
+// comm is the concrete communicator for one rank.
+type comm struct {
+	w    *World
+	rank int
+	proc *des.Proc
+	seq  map[string]int // per-collective-kind sequence numbers
+}
+
+var _ Comm = (*comm)(nil)
+
+func (c *comm) Rank() int       { return c.rank }
+func (c *comm) Size() int       { return c.w.size }
+func (c *comm) Proc() *des.Proc { return c.proc }
+
+func log2ceil(p int) int {
+	if p <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(p))))
+}
+
+func (w *World) p2pCost(n int64, src, dst int) time.Duration {
+	return w.net.PointToPoint(n, w.sameNode(src, dst))
+}

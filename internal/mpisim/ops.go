@@ -1,0 +1,71 @@
+package mpisim
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Op is a reduction operator over byte buffers. Implementations must be
+// associative and act elementwise so that the simulator may reduce
+// contributions in rank order.
+type Op interface {
+	// Reduce combines in into acc in place. Buffers have equal length.
+	Reduce(acc, in []byte)
+	// Name returns the MPI-style operator name (for diagnostics).
+	Name() string
+}
+
+// float64Op reduces buffers interpreted as little-endian float64 vectors.
+type float64Op struct {
+	name string
+	fn   func(a, b float64) float64
+}
+
+func (o float64Op) Name() string { return o.name }
+
+func (o float64Op) Reduce(acc, in []byte) {
+	n := len(acc) / 8
+	for i := 0; i < n; i++ {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i*8:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i*8:]))
+		binary.LittleEndian.PutUint64(acc[i*8:], math.Float64bits(o.fn(a, b)))
+	}
+}
+
+// Predefined reduction operators over float64 vectors.
+var (
+	OpSum Op = float64Op{"MPI_SUM", func(a, b float64) float64 { return a + b }}
+	OpMax Op = float64Op{"MPI_MAX", math.Max}
+	OpMin Op = float64Op{"MPI_MIN", math.Min}
+)
+
+// borOp is a bitwise-or reduction over raw bytes.
+type borOp struct{}
+
+func (borOp) Name() string { return "MPI_BOR" }
+func (borOp) Reduce(acc, in []byte) {
+	for i := range acc {
+		acc[i] |= in[i]
+	}
+}
+
+// OpBOr is the bitwise-or reduction over raw bytes.
+var OpBOr Op = borOp{}
+
+// Float64Bytes converts a float64 slice to its wire representation.
+func Float64Bytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+// BytesFloat64 converts a wire buffer back to float64 values.
+func BytesFloat64(b []byte) []float64 {
+	xs := make([]float64, len(b)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return xs
+}

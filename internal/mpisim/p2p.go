@@ -1,0 +1,173 @@
+package mpisim
+
+import (
+	"fmt"
+	"time"
+)
+
+// message is an in-flight point-to-point message.
+type message struct {
+	src, tag int
+	data     []byte // copied at send time, so senders may reuse buffers
+	arrival  time.Duration
+}
+
+// recvReq is a posted receive waiting for a matching message.
+type recvReq struct {
+	src, tag int // may be wildcards
+	buf      []byte
+	req      *Request
+}
+
+func (m *message) matches(src, tag int) bool {
+	return (src == AnySource || src == m.src) && (tag == AnyTag || tag == m.tag)
+}
+
+// deliver copies the message into buf and fills the request's status at
+// the message arrival time, firing the request signal then.
+func (w *World) deliver(m *message, r *recvReq) {
+	fire := func() {
+		n := copy(r.buf, m.data)
+		r.req.status = Status{Source: m.src, Tag: m.tag, Count: n}
+		if len(m.data) > len(r.buf) {
+			r.req.err = fmt.Errorf("mpisim: message truncated: %d bytes into %d-byte buffer", len(m.data), len(r.buf))
+		}
+	}
+	if m.arrival <= w.eng.Now() {
+		fire()
+		r.req.sig.Fire()
+	} else {
+		w.eng.Schedule(m.arrival, func() {
+			fire()
+			r.req.sig.Fire()
+		})
+	}
+}
+
+// postMessage matches a new message against posted receives or queues it.
+func (w *World) postMessage(dst int, m *message) {
+	for i, r := range w.posted[dst] {
+		if m.matches(r.src, r.tag) {
+			w.posted[dst] = append(w.posted[dst][:i], w.posted[dst][i+1:]...)
+			w.deliver(m, r)
+			return
+		}
+	}
+	w.mailbox[dst] = append(w.mailbox[dst], m)
+}
+
+// postRecv matches a receive against queued messages or queues it.
+func (w *World) postRecv(dst int, r *recvReq) {
+	for i, m := range w.mailbox[dst] {
+		if m.matches(r.src, r.tag) {
+			w.mailbox[dst] = append(w.mailbox[dst][:i], w.mailbox[dst][i+1:]...)
+			w.deliver(m, r)
+			return
+		}
+	}
+	w.posted[dst] = append(w.posted[dst], r)
+}
+
+func (c *comm) checkRank(r int, wildcardOK bool) error {
+	if wildcardOK && r == AnySource {
+		return nil
+	}
+	if r < 0 || r >= c.w.size {
+		return fmt.Errorf("mpisim: rank %d out of range [0,%d)", r, c.w.size)
+	}
+	return nil
+}
+
+// arrivalAt computes when a message of n bytes sent now reaches dest,
+// serialising on the destination's NIC: concurrent senders to one
+// endpoint queue up (incast), which is what makes many-to-one patterns
+// scale linearly in the sender count.
+func (w *World) arrivalAt(now time.Duration, n int64, src, dst int) time.Duration {
+	cost := w.p2pCost(n, src, dst)
+	start := now
+	if w.recvTail[dst] > start {
+		start = w.recvTail[dst]
+	}
+	arrival := start + cost
+	w.recvTail[dst] = arrival
+	return arrival
+}
+
+// Isend starts a nonblocking standard-mode send. The data is copied
+// immediately (buffered send), so the caller may reuse the buffer; the
+// request completes when the message has been injected into the network.
+func (c *comm) Isend(data []byte, dest, tag int) (*Request, error) {
+	if err := c.checkRank(dest, false); err != nil {
+		return nil, err
+	}
+	m := &message{
+		src:     c.rank,
+		tag:     tag,
+		data:    append([]byte(nil), data...),
+		arrival: c.w.arrivalAt(c.proc.Now(), int64(len(data)), c.rank, dest),
+	}
+	req := &Request{sig: c.w.eng.NewSignal(fmt.Sprintf("isend %d->%d", c.rank, dest))}
+	c.w.postMessage(dest, m)
+	// Local completion: buffer handed off; model the injection overhead as
+	// the latency term only.
+	req.sig.FireAt(c.proc.Now() + c.w.net.Latency)
+	return req, nil
+}
+
+// Send is the blocking standard-mode send: it occupies the sender until
+// the message has been delivered (a deliberately conservative
+// rendezvous-style model; see DESIGN.md).
+func (c *comm) Send(data []byte, dest, tag int) error {
+	if err := c.checkRank(dest, false); err != nil {
+		return err
+	}
+	now := c.proc.Now()
+	m := &message{
+		src:     c.rank,
+		tag:     tag,
+		data:    append([]byte(nil), data...),
+		arrival: c.w.arrivalAt(now, int64(len(data)), c.rank, dest),
+	}
+	c.w.postMessage(dest, m)
+	c.proc.Sleep(m.arrival - now)
+	return nil
+}
+
+// Irecv posts a nonblocking receive.
+func (c *comm) Irecv(buf []byte, source, tag int) (*Request, error) {
+	if err := c.checkRank(source, true); err != nil {
+		return nil, err
+	}
+	req := &Request{sig: c.w.eng.NewSignal(fmt.Sprintf("irecv @%d", c.rank))}
+	c.w.postRecv(c.rank, &recvReq{src: source, tag: tag, buf: buf, req: req})
+	return req, nil
+}
+
+// Recv blocks until a matching message has been received into buf.
+func (c *comm) Recv(buf []byte, source, tag int) (Status, error) {
+	req, err := c.Irecv(buf, source, tag)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.Wait(req)
+}
+
+// Wait blocks until the request completes and returns its status.
+func (c *comm) Wait(req *Request) (Status, error) {
+	if req == nil {
+		return Status{}, fmt.Errorf("mpisim: wait on nil request")
+	}
+	c.proc.Wait(req.sig)
+	return req.status, req.err
+}
+
+// Waitall waits for every request, returning the first error.
+func (c *comm) Waitall(reqs []*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := c.Wait(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

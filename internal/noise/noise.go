@@ -1,0 +1,67 @@
+// Package noise models run-to-run variability (OS jitter, daemons, stray
+// processes — the paper's point (6) of factors beyond the developer's
+// control). Workload models perturb their host-compute segments through a
+// Model so that ensemble experiments such as the paper's Fig. 8 histogram
+// show natural variability that monitoring dilation must stay below.
+//
+// All noise is generated from an explicit seed, keeping every simulation
+// reproducible.
+package noise
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Model generates multiplicative jitter around nominal durations.
+type Model struct {
+	rng *rand.Rand
+	amp float64
+}
+
+// New creates a noise model with the given seed and relative amplitude
+// (e.g. 0.005 for ~0.5% jitter). Amplitude <= 0 yields a no-op model.
+func New(seed int64, amplitude float64) *Model {
+	return &Model{rng: rand.New(rand.NewSource(seed)), amp: amplitude}
+}
+
+// Perturb returns d scaled by a factor drawn from N(1, amp), truncated to
+// [0.5, 2] so pathological draws cannot make time negative or explode.
+func (m *Model) Perturb(d time.Duration) time.Duration {
+	if m == nil || m.amp <= 0 || d <= 0 {
+		return d
+	}
+	f := 1 + m.rng.NormFloat64()*m.amp
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 2 {
+		f = 2
+	}
+	return time.Duration(float64(d) * f)
+}
+
+// Uniform returns a uniformly distributed duration in [0, max), for
+// modelling staggered arrivals and irregular load imbalance.
+func (m *Model) Uniform(max time.Duration) time.Duration {
+	if m == nil || max <= 0 {
+		return 0
+	}
+	return time.Duration(m.rng.Int63n(int64(max)))
+}
+
+// Factor returns a deterministic per-call multiplicative factor drawn from
+// N(1, amp) with the same truncation as Perturb.
+func (m *Model) Factor() float64 {
+	if m == nil || m.amp <= 0 {
+		return 1
+	}
+	f := 1 + m.rng.NormFloat64()*m.amp
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 2 {
+		f = 2
+	}
+	return f
+}

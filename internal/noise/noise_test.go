@@ -1,0 +1,77 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, b := New(42, 0.01), New(42, 0.01)
+	for i := 0; i < 100; i++ {
+		if a.Perturb(time.Second) != b.Perturb(time.Second) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZeroAmplitudeIsIdentity(t *testing.T) {
+	m := New(1, 0)
+	if m.Perturb(3*time.Second) != 3*time.Second {
+		t.Error("zero-amp model perturbed")
+	}
+	if m.Factor() != 1 {
+		t.Error("zero-amp factor != 1")
+	}
+}
+
+func TestNilModelSafe(t *testing.T) {
+	var m *Model
+	if m.Perturb(time.Second) != time.Second {
+		t.Error("nil model perturbed")
+	}
+	if m.Uniform(time.Second) != 0 {
+		t.Error("nil model uniform != 0")
+	}
+	if m.Factor() != 1 {
+		t.Error("nil model factor != 1")
+	}
+}
+
+func TestPerturbBounded(t *testing.T) {
+	m := New(7, 0.5) // huge amplitude to hit truncation
+	for i := 0; i < 1000; i++ {
+		d := m.Perturb(time.Second)
+		if d < 500*time.Millisecond || d > 2*time.Second {
+			t.Fatalf("perturbed %v outside [0.5s, 2s]", d)
+		}
+	}
+}
+
+func TestPerturbMeanNearNominal(t *testing.T) {
+	m := New(3, 0.005)
+	var sum time.Duration
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += m.Perturb(time.Second)
+	}
+	mean := sum / n
+	if mean < 990*time.Millisecond || mean > 1010*time.Millisecond {
+		t.Errorf("mean = %v, want ~1s", mean)
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	m := New(5, 0.01)
+	prop := func(ms uint16) bool {
+		max := time.Duration(ms+1) * time.Millisecond
+		d := m.Uniform(max)
+		return d >= 0 && d < max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	if m.Uniform(0) != 0 {
+		t.Error("Uniform(0) != 0")
+	}
+}

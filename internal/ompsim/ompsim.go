@@ -1,0 +1,104 @@
+// Package ompsim simulates OpenMP-style fork/join threading on the
+// discrete-event engine: a master process forks a team of worker
+// processes for a parallel region and joins them at the implicit barrier.
+// IPM's OpenMP monitoring (paper Section II: IPM "has recently been
+// extended to cover a number of other domains such as OpenMP") records
+// region wallclock and the per-thread idle time at the join barrier;
+// internal/ipmomp provides those wrappers.
+//
+// Threads of one team share the rank's memory (the DES guarantees only
+// one process runs at a time, so the body may touch shared data freely)
+// and may issue CUDA or I/O calls through the rank's handles.
+package ompsim
+
+import (
+	"fmt"
+	"time"
+
+	"ipmgo/internal/des"
+)
+
+// RegionStats describes one executed parallel region.
+type RegionStats struct {
+	// Elapsed is the region's wallclock (fork to last-thread join).
+	Elapsed time.Duration
+	// ThreadBusy is each thread's time from region start until it
+	// reached the implicit barrier.
+	ThreadBusy []time.Duration
+	// ThreadIdle is each thread's wait at the implicit barrier
+	// (Elapsed - ThreadBusy).
+	ThreadIdle []time.Duration
+}
+
+// MaxImbalance returns max(busy)/avg(busy), the team's load imbalance.
+func (r RegionStats) MaxImbalance() float64 {
+	if len(r.ThreadBusy) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, b := range r.ThreadBusy {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	avg := sum / time.Duration(len(r.ThreadBusy))
+	if avg == 0 {
+		return 0
+	}
+	return float64(max) / float64(avg)
+}
+
+// Parallel runs body on a team of nthreads threads and blocks the master
+// until all have reached the implicit barrier, returning the region
+// statistics. Thread 0 is the master itself (as in OpenMP); threads
+// 1..nthreads-1 are forked processes.
+func Parallel(master *des.Proc, nthreads int, body func(tid int, p *des.Proc)) (RegionStats, error) {
+	if nthreads < 1 {
+		return RegionStats{}, fmt.Errorf("ompsim: team size %d", nthreads)
+	}
+	eng := master.Engine()
+	start := master.Now()
+	stats := RegionStats{
+		ThreadBusy: make([]time.Duration, nthreads),
+		ThreadIdle: make([]time.Duration, nthreads),
+	}
+
+	done := make([]*des.Signal, nthreads)
+	for tid := 1; tid < nthreads; tid++ {
+		tid := tid
+		done[tid] = eng.NewSignal(fmt.Sprintf("omp-join-%d", tid))
+		eng.Spawn(fmt.Sprintf("%s.t%d", master.Name(), tid), func(p *des.Proc) {
+			body(tid, p)
+			stats.ThreadBusy[tid] = p.Now() - start
+			done[tid].Fire()
+		})
+	}
+
+	// The master executes its own chunk, then waits at the barrier.
+	body(0, master)
+	stats.ThreadBusy[0] = master.Now() - start
+	for tid := 1; tid < nthreads; tid++ {
+		master.Wait(done[tid])
+	}
+	stats.Elapsed = master.Now() - start
+	for tid := range stats.ThreadIdle {
+		stats.ThreadIdle[tid] = stats.Elapsed - stats.ThreadBusy[tid]
+	}
+	return stats, nil
+}
+
+// For runs a statically scheduled parallel loop: n iterations divided in
+// contiguous chunks over nthreads threads, each iteration costing
+// iterCost(i) of compute on its thread.
+func For(master *des.Proc, nthreads, n int, iterCost func(i int) time.Duration) (RegionStats, error) {
+	return Parallel(master, nthreads, func(tid int, p *des.Proc) {
+		lo := tid * n / nthreads
+		hi := (tid + 1) * n / nthreads
+		var total time.Duration
+		for i := lo; i < hi; i++ {
+			total += iterCost(i)
+		}
+		p.Sleep(total)
+	})
+}

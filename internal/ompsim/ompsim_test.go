@@ -1,0 +1,138 @@
+package ompsim
+
+import (
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+)
+
+func run(t *testing.T, fn func(p *des.Proc)) time.Duration {
+	t.Helper()
+	e := des.NewEngine()
+	e.Spawn("rank0", fn)
+	if err := e.RunFor(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now()
+}
+
+func TestParallelForkJoin(t *testing.T) {
+	var stats RegionStats
+	run(t, func(p *des.Proc) {
+		var err error
+		stats, err = Parallel(p, 4, func(tid int, tp *des.Proc) {
+			tp.Sleep(time.Duration(tid+1) * 10 * time.Millisecond)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		// Master resumes only after the slowest thread (40 ms).
+		if p.Now() != 40*time.Millisecond {
+			t.Errorf("join at %v, want 40ms", p.Now())
+		}
+	})
+	if stats.Elapsed != 40*time.Millisecond {
+		t.Errorf("elapsed = %v", stats.Elapsed)
+	}
+	if stats.ThreadBusy[0] != 10*time.Millisecond || stats.ThreadBusy[3] != 40*time.Millisecond {
+		t.Errorf("busy = %v", stats.ThreadBusy)
+	}
+	if stats.ThreadIdle[0] != 30*time.Millisecond || stats.ThreadIdle[3] != 0 {
+		t.Errorf("idle = %v", stats.ThreadIdle)
+	}
+	// Imbalance: max 40 / avg 25 = 1.6.
+	if imb := stats.MaxImbalance(); imb < 1.59 || imb > 1.61 {
+		t.Errorf("imbalance = %.3f", imb)
+	}
+}
+
+func TestThreadsRunConcurrently(t *testing.T) {
+	// 4 threads x 10 ms each must take 10 ms, not 40.
+	total := run(t, func(p *des.Proc) {
+		if _, err := Parallel(p, 4, func(tid int, tp *des.Proc) {
+			tp.Sleep(10 * time.Millisecond)
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	if total != 10*time.Millisecond {
+		t.Errorf("balanced region took %v, want 10ms", total)
+	}
+}
+
+func TestSingleThreadTeam(t *testing.T) {
+	run(t, func(p *des.Proc) {
+		stats, err := Parallel(p, 1, func(tid int, tp *des.Proc) {
+			if tid != 0 || tp != p {
+				t.Error("single-thread region should run on the master")
+			}
+			tp.Sleep(time.Millisecond)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if stats.Elapsed != time.Millisecond {
+			t.Errorf("elapsed = %v", stats.Elapsed)
+		}
+	})
+}
+
+func TestInvalidTeamSize(t *testing.T) {
+	run(t, func(p *des.Proc) {
+		if _, err := Parallel(p, 0, func(int, *des.Proc) {}); err == nil {
+			t.Error("zero-thread team accepted")
+		}
+	})
+}
+
+func TestSharedMemoryVisible(t *testing.T) {
+	// Threads write disjoint slots of a shared slice; the master sees all
+	// writes after the join.
+	run(t, func(p *des.Proc) {
+		shared := make([]int, 8)
+		if _, err := Parallel(p, 8, func(tid int, tp *des.Proc) {
+			tp.Sleep(time.Duration(8-tid) * time.Millisecond)
+			shared[tid] = tid * tid
+		}); err != nil {
+			t.Error(err)
+		}
+		for i, v := range shared {
+			if v != i*i {
+				t.Errorf("shared[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestForStaticSchedule(t *testing.T) {
+	run(t, func(p *des.Proc) {
+		// 100 iterations of 1 ms over 4 threads: 25 ms per thread.
+		stats, err := For(p, 4, 100, func(i int) time.Duration { return time.Millisecond })
+		if err != nil {
+			t.Error(err)
+		}
+		if stats.Elapsed != 25*time.Millisecond {
+			t.Errorf("elapsed = %v, want 25ms", stats.Elapsed)
+		}
+		if imb := stats.MaxImbalance(); imb != 1 {
+			t.Errorf("balanced loop imbalance = %.3f", imb)
+		}
+	})
+}
+
+func TestForUnevenCosts(t *testing.T) {
+	run(t, func(p *des.Proc) {
+		// Triangular costs: the last chunk dominates under static
+		// scheduling.
+		stats, err := For(p, 4, 64, func(i int) time.Duration {
+			return time.Duration(i) * 100 * time.Microsecond
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if imb := stats.MaxImbalance(); imb < 1.5 {
+			t.Errorf("triangular loop imbalance = %.3f, want > 1.5", imb)
+		}
+	})
+}

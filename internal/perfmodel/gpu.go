@@ -1,0 +1,149 @@
+// Package perfmodel provides analytic hardware performance models used by
+// the simulators: GPU kernel cost (roofline-style), PCIe transfer cost, and
+// a Hockney model for the interconnect. All models are deterministic; noise
+// is injected separately by internal/noise where an experiment requires it.
+package perfmodel
+
+import (
+	"math"
+	"time"
+)
+
+// GPUSpec describes a GPU device. The default values (see TeslaC2050)
+// correspond to the NVIDIA Tesla C2050 "Fermi" cards of NERSC's Dirac
+// cluster used throughout the paper's evaluation.
+type GPUSpec struct {
+	Name            string
+	MultiProcessors int     // streaming multiprocessors
+	CoresPerMP      int     // CUDA cores per SM
+	ClockGHz        float64 // core clock
+	PeakDPGFlops    float64 // double-precision peak, GFlop/s
+	PeakSPGFlops    float64 // single-precision peak, GFlop/s
+	MemBandwidthGBs float64 // device memory bandwidth, GB/s
+	MemBytes        int64   // device memory capacity
+
+	// PCIe characteristics (gen2 x16 for Dirac).
+	PCIeH2DGBs   float64       // host-to-device bandwidth, GB/s
+	PCIeD2HGBs   float64       // device-to-host bandwidth, GB/s
+	PCIeLatency  time.Duration // per-transfer setup latency
+	PinnedFactor float64       // bandwidth multiplier for pinned host memory
+
+	// Runtime characteristics.
+	KernelLaunch    time.Duration // host-side cost of an async launch
+	KernelDispatch  time.Duration // device-side gap before a kernel starts
+	EventRecordCost time.Duration // device-time width of an event record
+	ContextInit     time.Duration // cost of first touching the device
+	MaxConcurrent   int           // concurrently executing kernels (Fermi: 16)
+	APICallCost     time.Duration // host-side cost of a trivial runtime call
+}
+
+// TeslaC2050 returns the specification of the Dirac cluster's GPU.
+// Peak numbers follow the published C2050 datasheet: 14 SMs x 32 cores at
+// 1.15 GHz, 515 GFlop/s DP, 144 GB/s GDDR5, 3 GB with ECC.
+func TeslaC2050() GPUSpec {
+	return GPUSpec{
+		Name:            "Tesla C2050",
+		MultiProcessors: 14,
+		CoresPerMP:      32,
+		ClockGHz:        1.15,
+		PeakDPGFlops:    515,
+		PeakSPGFlops:    1030,
+		MemBandwidthGBs: 144,
+		MemBytes:        3 << 30,
+		PCIeH2DGBs:      5.7,
+		PCIeD2HGBs:      6.3,
+		PCIeLatency:     10 * time.Microsecond,
+		PinnedFactor:    1.35,
+		KernelLaunch:    5 * time.Microsecond,
+		KernelDispatch:  3 * time.Microsecond,
+		EventRecordCost: 2 * time.Microsecond,
+		ContextInit:     1290 * time.Millisecond,
+		MaxConcurrent:   16,
+		APICallCost:     200 * time.Nanosecond,
+	}
+}
+
+// KernelCost describes the resource demand of one kernel invocation. The
+// model is a simple roofline: execution time is the maximum of the
+// compute-bound and memory-bound estimates, scaled by an efficiency factor,
+// plus a fixed floor. A kernel may instead pin its duration exactly with
+// Fixed (used by workload models calibrated against published totals).
+type KernelCost struct {
+	FLOPs      float64       // floating point operations (double unless SP)
+	SP         bool          // single precision
+	MemBytes   float64       // device memory traffic in bytes
+	Efficiency float64       // fraction of peak achieved; 0 means 1.0
+	Floor      time.Duration // minimum duration (scheduling granularity)
+	Fixed      time.Duration // if > 0, exact duration; other fields ignored
+}
+
+// Duration returns the kernel's execution time on the given device.
+func (k KernelCost) Duration(g GPUSpec) time.Duration {
+	if k.Fixed > 0 {
+		return k.Fixed
+	}
+	eff := k.Efficiency
+	if eff <= 0 {
+		eff = 1.0
+	}
+	peak := g.PeakDPGFlops
+	if k.SP {
+		peak = g.PeakSPGFlops
+	}
+	tc := k.FLOPs / (peak * 1e9 * eff)
+	tm := k.MemBytes / (g.MemBandwidthGBs * 1e9 * eff)
+	sec := math.Max(tc, tm)
+	d := time.Duration(sec * float64(time.Second))
+	if d < k.Floor {
+		d = k.Floor
+	}
+	if d <= 0 {
+		d = time.Microsecond
+	}
+	return d
+}
+
+// TransferDir identifies a PCIe transfer direction.
+type TransferDir int
+
+const (
+	HostToDevice TransferDir = iota
+	DeviceToHost
+	DeviceToDevice
+)
+
+func (d TransferDir) String() string {
+	switch d {
+	case HostToDevice:
+		return "H2D"
+	case DeviceToHost:
+		return "D2H"
+	case DeviceToDevice:
+		return "D2D"
+	}
+	return "?"
+}
+
+// TransferCost returns the time to move n bytes across PCIe (or within the
+// device for DeviceToDevice). pinned selects the page-locked host buffer
+// bandwidth.
+func TransferCost(g GPUSpec, dir TransferDir, n int64, pinned bool) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	var bw float64
+	switch dir {
+	case HostToDevice:
+		bw = g.PCIeH2DGBs
+	case DeviceToHost:
+		bw = g.PCIeD2HGBs
+	case DeviceToDevice:
+		// Device-internal copy: read + write through device memory.
+		bw = g.MemBandwidthGBs / 2
+	}
+	if pinned && dir != DeviceToDevice {
+		bw *= g.PinnedFactor
+	}
+	sec := float64(n) / (bw * 1e9)
+	return g.PCIeLatency + time.Duration(sec*float64(time.Second))
+}

@@ -1,0 +1,66 @@
+package perfmodel
+
+import "time"
+
+// NetSpec is a Hockney (alpha-beta) model of the cluster interconnect with
+// separate intra-node parameters (shared-memory transport) and a simple
+// endpoint-contention term that makes rooted collectives with many senders
+// (e.g. MPI_Gather) degrade super-linearly, as observed for PARATEC at 256
+// processes in the paper (attributed there to NUMA effects).
+type NetSpec struct {
+	Name string
+
+	// Inter-node (network) path.
+	Latency      time.Duration // alpha
+	BandwidthGBs float64       // beta^-1, per-link
+
+	// Intra-node (shared memory) path.
+	LocalLatency      time.Duration
+	LocalBandwidthGBs float64
+
+	// Endpoint contention: when f concurrent flows target one endpoint,
+	// effective bandwidth divides by 1 + ContentionFactor*(f-1).
+	ContentionFactor float64
+}
+
+// QDRInfiniBand returns parameters representative of the Dirac cluster's
+// QDR InfiniBand fabric (~32 Gbit/s usable, ~1.5 us MPI latency) with
+// shared-memory transport inside a node.
+func QDRInfiniBand() NetSpec {
+	return NetSpec{
+		Name:              "QDR InfiniBand",
+		Latency:           1500 * time.Nanosecond,
+		BandwidthGBs:      3.2,
+		LocalLatency:      400 * time.Nanosecond,
+		LocalBandwidthGBs: 5.0,
+		ContentionFactor:  0.30,
+	}
+}
+
+// PointToPoint returns the time for one message of n bytes between two
+// ranks. sameNode selects the shared-memory path.
+func (ns NetSpec) PointToPoint(n int64, sameNode bool) time.Duration {
+	return ns.contended(n, sameNode, 1)
+}
+
+// Contended returns the time for one message of n bytes when flows
+// concurrent messages converge on the receiving endpoint.
+func (ns NetSpec) Contended(n int64, sameNode bool, flows int) time.Duration {
+	return ns.contended(n, sameNode, flows)
+}
+
+func (ns NetSpec) contended(n int64, sameNode bool, flows int) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	if flows < 1 {
+		flows = 1
+	}
+	lat, bw := ns.Latency, ns.BandwidthGBs
+	if sameNode {
+		lat, bw = ns.LocalLatency, ns.LocalBandwidthGBs
+	}
+	bw /= 1 + ns.ContentionFactor*float64(flows-1)
+	sec := float64(n) / (bw * 1e9)
+	return lat + time.Duration(sec*float64(time.Second))
+}

@@ -1,0 +1,180 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelCostComputeBound(t *testing.T) {
+	g := TeslaC2050()
+	// 515 GFlop at peak DP should take ~1 s.
+	k := KernelCost{FLOPs: 515e9}
+	d := k.Duration(g)
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Errorf("compute-bound duration = %v, want ~1s", d)
+	}
+}
+
+func TestKernelCostMemoryBound(t *testing.T) {
+	g := TeslaC2050()
+	// 144 GB at full memory bandwidth should take ~1 s and dominate the
+	// negligible FLOP count.
+	k := KernelCost{FLOPs: 1, MemBytes: 144e9}
+	d := k.Duration(g)
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Errorf("memory-bound duration = %v, want ~1s", d)
+	}
+}
+
+func TestKernelCostEfficiencyScales(t *testing.T) {
+	g := TeslaC2050()
+	full := KernelCost{FLOPs: 1e9}.Duration(g)
+	half := KernelCost{FLOPs: 1e9, Efficiency: 0.5}.Duration(g)
+	ratio := float64(half) / float64(full)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("efficiency 0.5 ratio = %.3f, want ~2", ratio)
+	}
+}
+
+func TestKernelCostFixedWins(t *testing.T) {
+	g := TeslaC2050()
+	k := KernelCost{FLOPs: 1e15, Fixed: 7 * time.Millisecond}
+	if d := k.Duration(g); d != 7*time.Millisecond {
+		t.Errorf("fixed duration = %v, want 7ms", d)
+	}
+}
+
+func TestKernelCostFloorAndMinimum(t *testing.T) {
+	g := TeslaC2050()
+	if d := (KernelCost{FLOPs: 1, Floor: 50 * time.Microsecond}).Duration(g); d != 50*time.Microsecond {
+		t.Errorf("floored duration = %v, want 50us", d)
+	}
+	if d := (KernelCost{}).Duration(g); d <= 0 {
+		t.Errorf("zero-cost kernel duration = %v, want > 0", d)
+	}
+}
+
+func TestKernelCostSPFasterThanDP(t *testing.T) {
+	g := TeslaC2050()
+	dp := KernelCost{FLOPs: 1e9}.Duration(g)
+	sp := KernelCost{FLOPs: 1e9, SP: true}.Duration(g)
+	if sp >= dp {
+		t.Errorf("SP %v not faster than DP %v", sp, dp)
+	}
+}
+
+func TestTransferCostDirections(t *testing.T) {
+	g := TeslaC2050()
+	const n = 1 << 30 // 1 GiB
+	h2d := TransferCost(g, HostToDevice, n, false)
+	d2h := TransferCost(g, DeviceToHost, n, false)
+	// D2H is faster on C2050 (6.3 vs 5.7 GB/s).
+	if d2h >= h2d {
+		t.Errorf("D2H %v should be faster than H2D %v", d2h, h2d)
+	}
+	// Order of magnitude: ~190 ms for 1 GiB at 5.7 GB/s.
+	if h2d < 150*time.Millisecond || h2d > 250*time.Millisecond {
+		t.Errorf("H2D 1GiB = %v, want ~190ms", h2d)
+	}
+}
+
+func TestTransferCostPinnedFaster(t *testing.T) {
+	g := TeslaC2050()
+	const n = 64 << 20
+	if p, u := TransferCost(g, HostToDevice, n, true), TransferCost(g, HostToDevice, n, false); p >= u {
+		t.Errorf("pinned %v not faster than pageable %v", p, u)
+	}
+}
+
+func TestTransferCostZeroAndNegativeBytes(t *testing.T) {
+	g := TeslaC2050()
+	if d := TransferCost(g, HostToDevice, 0, false); d != g.PCIeLatency {
+		t.Errorf("zero-byte transfer = %v, want latency only %v", d, g.PCIeLatency)
+	}
+	if d := TransferCost(g, DeviceToHost, -5, false); d != g.PCIeLatency {
+		t.Errorf("negative-byte transfer = %v, want latency only", d)
+	}
+}
+
+func TestTransferDirString(t *testing.T) {
+	if HostToDevice.String() != "H2D" || DeviceToHost.String() != "D2H" || DeviceToDevice.String() != "D2D" {
+		t.Error("TransferDir.String mismatch")
+	}
+	if TransferDir(99).String() != "?" {
+		t.Error("unknown TransferDir should print ?")
+	}
+}
+
+// Property: transfer cost is monotone in the byte count.
+func TestPropTransferMonotone(t *testing.T) {
+	g := TeslaC2050()
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferCost(g, HostToDevice, x, false) <= TransferCost(g, HostToDevice, y, false)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: kernel duration is monotone in FLOPs.
+func TestPropKernelMonotone(t *testing.T) {
+	g := TeslaC2050()
+	prop := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return KernelCost{FLOPs: x}.Duration(g) <= KernelCost{FLOPs: y}.Duration(g)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetPointToPoint(t *testing.T) {
+	ns := QDRInfiniBand()
+	// Zero-byte message costs exactly the latency.
+	if d := ns.PointToPoint(0, false); d != ns.Latency {
+		t.Errorf("empty message = %v, want %v", d, ns.Latency)
+	}
+	if d := ns.PointToPoint(0, true); d != ns.LocalLatency {
+		t.Errorf("empty local message = %v, want %v", d, ns.LocalLatency)
+	}
+	// Intra-node should beat inter-node for any size.
+	for _, n := range []int64{1, 1 << 10, 1 << 20, 1 << 28} {
+		if ns.PointToPoint(n, true) >= ns.PointToPoint(n, false) {
+			t.Errorf("local transfer of %d bytes not faster", n)
+		}
+	}
+}
+
+func TestNetContentionDegrades(t *testing.T) {
+	ns := QDRInfiniBand()
+	const n = 1 << 20
+	one := ns.Contended(n, false, 1)
+	many := ns.Contended(n, false, 16)
+	if many <= one {
+		t.Errorf("contended transfer %v not slower than single flow %v", many, one)
+	}
+	if ns.Contended(n, false, 0) != one {
+		t.Error("flows<1 should clamp to 1")
+	}
+}
+
+// Property: contention is monotone in the number of flows.
+func TestPropContentionMonotone(t *testing.T) {
+	ns := QDRInfiniBand()
+	prop := func(f uint8) bool {
+		a := ns.Contended(1<<20, false, int(f))
+		b := ns.Contended(1<<20, false, int(f)+1)
+		return a <= b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/perfmodel"
+)
+
+// SDKBenchmark models one CUDA SDK example used in the paper's Table I:
+// the kernel invocation counts are taken from the table and the kernel
+// durations are calibrated so that the total GPU time matches the
+// published CUDA-profiler column. Per-invocation durations vary
+// deterministically (seeded) around the mean, as in the real benchmarks.
+type SDKBenchmark struct {
+	Name        string
+	Kernel      string
+	Invocations int
+	TotalGPU    time.Duration // published CUDA-profiler total
+	Streams     int           // concurrent streams (concurrentKernels: 8)
+	BatchSize   int           // launches between D2H transfers
+}
+
+// SDKSuite returns the eight benchmarks of Table I with the paper's
+// invocation counts and total kernel times.
+func SDKSuite() []SDKBenchmark {
+	ms := func(f float64) time.Duration { return time.Duration(f * float64(time.Millisecond)) }
+	return []SDKBenchmark{
+		{Name: "BlackScholes", Kernel: "BlackScholesGPU", Invocations: 512, TotalGPU: ms(2540.677), BatchSize: 64},
+		{Name: "FDTD3d", Kernel: "FiniteDifferencesKernel", Invocations: 5, TotalGPU: ms(101.354), BatchSize: 1},
+		{Name: "MersenneTwister", Kernel: "RandomGPU", Invocations: 202, TotalGPU: ms(1126.475), BatchSize: 32},
+		{Name: "MonteCarlo", Kernel: "MonteCarloOneBlockPerOption", Invocations: 2, TotalGPU: ms(1.988), BatchSize: 1},
+		{Name: "concurrentKernels", Kernel: "mykernel", Invocations: 9, TotalGPU: ms(613.755), Streams: 8, BatchSize: 9},
+		{Name: "eigenvalues", Kernel: "bisectKernelLarge", Invocations: 300, TotalGPU: ms(5328.266), BatchSize: 30},
+		{Name: "quasirandomGenerator", Kernel: "quasirandomGeneratorKernel", Invocations: 42, TotalGPU: ms(39.536), BatchSize: 6},
+		{Name: "scan", Kernel: "scanExclusiveShared", Invocations: 3300, TotalGPU: ms(1412.912), BatchSize: 300},
+	}
+}
+
+// Run executes the benchmark model in the environment: upload input,
+// launch the kernels in batches (each batch followed by a blocking D2H
+// readback, which is where IPM polls the kernel timing table), download
+// the result.
+func (b SDKBenchmark) Run(env *cluster.Env) error {
+	if b.Invocations <= 0 {
+		return fmt.Errorf("workloads: %s: no invocations", b.Name)
+	}
+	rng := rand.New(rand.NewSource(int64(len(b.Name)) * 7919))
+	mean := float64(b.TotalGPU) / float64(b.Invocations)
+
+	// Deterministic per-invocation durations with +-15% spread, corrected
+	// to sum exactly to TotalGPU.
+	durs := make([]time.Duration, b.Invocations)
+	var sum float64
+	for i := range durs {
+		f := 1 + 0.15*(rng.Float64()*2-1)
+		durs[i] = time.Duration(mean * f)
+		sum += float64(durs[i])
+	}
+	scale := float64(b.TotalGPU) / sum
+	for i := range durs {
+		durs[i] = time.Duration(float64(durs[i]) * scale)
+	}
+
+	const bufSize = 1 << 20
+	dptr, err := env.CUDA.Malloc(bufSize)
+	if err != nil {
+		return err
+	}
+	host := make([]byte, bufSize)
+	if err := env.CUDA.Memcpy(cudart.DevicePtr(dptr), cudart.HostPtr(host), bufSize, cudart.MemcpyHostToDevice); err != nil {
+		return err
+	}
+
+	streams := []cudart.Stream{0}
+	if b.Streams > 1 {
+		streams = streams[:0]
+		for i := 0; i < b.Streams; i++ {
+			s, err := env.CUDA.StreamCreate()
+			if err != nil {
+				return err
+			}
+			streams = append(streams, s)
+		}
+	}
+
+	batch := b.BatchSize
+	if batch <= 0 {
+		batch = 1
+	}
+	for i := 0; i < b.Invocations; i++ {
+		s := streams[i%len(streams)]
+		fn := &cudart.Func{Name: b.Kernel, FixedCost: perfmodel.KernelCost{Fixed: durs[i]}}
+		if err := env.CUDA.ConfigureCall(cudart.Dim3{X: 128}, cudart.Dim3{X: 256}, 0, s); err != nil {
+			return err
+		}
+		if err := env.CUDA.SetupArgument(dptr, 8, 0); err != nil {
+			return err
+		}
+		if err := env.CUDA.Launch(fn); err != nil {
+			return err
+		}
+		if (i+1)%batch == 0 || i == b.Invocations-1 {
+			if b.Streams > 1 {
+				// concurrentKernels synchronises explicitly.
+				if err := env.CUDA.ThreadSynchronize(); err != nil {
+					return err
+				}
+			}
+			if err := env.CUDA.Memcpy(cudart.HostPtr(host), cudart.DevicePtr(dptr), bufSize, cudart.MemcpyDeviceToHost); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, s := range streams {
+		if s != 0 {
+			if err := env.CUDA.StreamDestroy(s); err != nil {
+				return err
+			}
+		}
+	}
+	return env.CUDA.Free(dptr)
+}
