@@ -1,0 +1,38 @@
+# Build/verify/bench entry points for the ipmgo reproduction.
+#
+# `make verify` is the tier-1 chain from ROADMAP.md; `make race` covers
+# the concurrent simulation paths introduced with the parallel ensemble
+# driver; `make bench` records the tier-1 benchmark suite (with
+# allocation counts) into a JSON snapshot for cross-PR comparison.
+
+GO ?= go
+BENCH_OUT ?= BENCH_pr1.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel
+
+.PHONY: build vet test race verify bench experiments clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled pass over the packages that run simulations concurrently:
+# the worker pool itself, the ensemble experiments that fan out on it,
+# and the core packages those simulations exercise.
+race:
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm
+
+verify: build vet test
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	rm -f $(BENCH_OUT)

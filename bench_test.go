@@ -10,6 +10,7 @@
 package ipmgo
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -308,4 +309,21 @@ func BenchmarkAblationHashTable(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkEnsembleParallel measures the fig8 quick ensemble (24 trials)
+// through the bounded worker pool at 1 and 4 workers. On a multi-core
+// host the j4 variant approaches a 4x speedup; the trials are fully
+// independent simulations, so the pool scales until it runs out of CPUs.
+func BenchmarkEnsembleParallel(b *testing.B) {
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			o := experiments.Options{Quick: true, Seed: 2011, Workers: j}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig8(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

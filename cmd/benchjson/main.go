@@ -1,0 +1,135 @@
+// Command benchjson turns `go test -bench` output into a JSON benchmark
+// record. It reads the benchmark text from stdin, echoes every line
+// through unchanged (so it can sit in a pipe without hiding the run),
+// and writes a map of benchmark name to metrics to the file given by -o:
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH.json
+//
+// Only lines in the standard result shape are recorded:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped from the name. B/op and allocs/op
+// are present only when the run used -benchmem; absent metrics are
+// omitted from the JSON (encoded as null via pointers would be noise —
+// they are simply left at zero with "hasMem": false).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's metrics.
+type Result struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	HasMem      bool    `json:"has_mem"` // true when -benchmem metrics were present
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o FILE is required")
+		os.Exit(2)
+	}
+	results := make(map[string]Result)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if name, r, ok := parseLine(line); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if err := writeJSON(*out, results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
+}
+
+// parseLine extracts a benchmark result from one output line. Returns
+// ok=false for everything that is not a result line (headers, PASS, ok).
+func parseLine(line string) (string, Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r := Result{Iterations: iters}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix go test appends to the name.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.NsPerOp = v
+				seen = true
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = v
+				r.HasMem = true
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = v
+				r.HasMem = true
+			}
+		}
+	}
+	if !seen {
+		return "", Result{}, false
+	}
+	return name, r, true
+}
+
+func writeJSON(path string, results map[string]Result) error {
+	// Deterministic key order: marshal via a sorted intermediate so the
+	// file diffs cleanly between runs.
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	for i, n := range names {
+		b, err := json.Marshal(results[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "  %q: %s", n, b)
+		if i < len(names)-1 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

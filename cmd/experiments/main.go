@@ -3,12 +3,16 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-out DIR] [-only NAME]
+//	experiments [-quick] [-seed N] [-out DIR] [-only NAME] [-j N]
 //
 // NAME is one of fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11.
 // Without -only, every experiment runs. -quick selects scaled-down
 // configurations (minutes -> seconds); the default reproduces the paper's
-// full setup.
+// full setup. -j bounds the worker pool (default: one worker per CPU):
+// independent figures run concurrently, and the ensemble experiments
+// (fig8, fig10, table1) additionally spread their trials over the pool.
+// Every trial owns a private DES engine and seeded RNGs, so the files
+// under -out are byte-identical for any -j.
 package main
 
 import (
@@ -16,9 +20,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
 	"ipmgo/internal/experiments"
+	"ipmgo/internal/parallel"
 )
 
 func main() {
@@ -26,77 +33,75 @@ func main() {
 	seed := flag.Int64("seed", 2011, "noise seed for ensemble experiments")
 	out := flag.String("out", "results", "output directory")
 	only := flag.String("only", "", "run a single experiment (fig4..fig11, table1)")
+	jobs := flag.Int("j", parallel.DefaultWorkers(), "max concurrent simulations (ensembles and figures)")
 	flag.Parse()
 
-	if err := run(*quick, *seed, *out, *only); err != nil {
+	if err := run(*quick, *seed, *out, *only, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(quick bool, seed int64, outDir, only string) error {
+// writeFn persists one named artifact and logs the path.
+type writeFn func(name, content string) error
+
+func run(quick bool, seed int64, outDir, only string, jobs int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	o := experiments.Options{Quick: quick, Seed: seed}
-
-	write := func(name, content string) error {
-		path := filepath.Join(outDir, name)
-		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", path)
-		return nil
+	if jobs < 1 {
+		jobs = 1
 	}
+	o := experiments.Options{Quick: quick, Seed: seed, Workers: jobs}
 
 	type exp struct {
 		name string
-		fn   func() error
+		fn   func(write writeFn) error
 	}
 	all := []exp{
-		{"fig4", func() error {
+		{"fig4", func(write writeFn) error {
 			s, err := experiments.Fig4(o)
 			if err != nil {
 				return err
 			}
 			return write("fig4_banner_host_timing.txt", s)
 		}},
-		{"fig5", func() error {
+		{"fig5", func(write writeFn) error {
 			s, err := experiments.Fig5(o)
 			if err != nil {
 				return err
 			}
 			return write("fig5_banner_kernel_timing.txt", s)
 		}},
-		{"fig6", func() error {
+		{"fig6", func(write writeFn) error {
 			s, err := experiments.Fig6(o)
 			if err != nil {
 				return err
 			}
 			return write("fig6_banner_host_idle.txt", s)
 		}},
-		{"fig7", func() error {
+		{"fig7", func(write writeFn) error {
 			s, err := experiments.Fig7(o)
 			if err != nil {
 				return err
 			}
 			return write("fig7_monitoring_timeline.txt", s)
 		}},
-		{"table1", func() error {
+		{"table1", func(write writeFn) error {
 			rows, err := experiments.Table1(o)
 			if err != nil {
 				return err
 			}
 			return write("table1_kernel_timing_accuracy.txt", experiments.FormatTable1(rows))
 		}},
-		{"fig8", func() error {
+		{"fig8", func(write writeFn) error {
 			r, err := experiments.Fig8(o)
 			if err != nil {
 				return err
 			}
 			return write("fig8_hpl_dilation.txt", experiments.FormatFig8(r))
 		}},
-		{"fig9", func() error {
+		{"fig9", func(write writeFn) error {
 			r, err := experiments.Fig9(o)
 			if err != nil {
 				return err
@@ -106,14 +111,14 @@ func run(quick bool, seed int64, outDir, only string) error {
 			}
 			return write("fig9_hpl_profile.cube", r.CUBE)
 		}},
-		{"fig10", func() error {
+		{"fig10", func(write writeFn) error {
 			rows, err := experiments.Fig10(o)
 			if err != nil {
 				return err
 			}
 			return write("fig10_paratec_scaling.txt", experiments.FormatFig10(rows))
 		}},
-		{"fig11", func() error {
+		{"fig11", func(write writeFn) error {
 			r, err := experiments.Fig11(o)
 			if err != nil {
 				return err
@@ -122,16 +127,44 @@ func run(quick bool, seed int64, outDir, only string) error {
 		}},
 	}
 
+	selected := all[:0]
 	for _, e := range all {
-		if only != "" && e.name != only {
-			continue
+		if only == "" || e.name == only {
+			selected = append(selected, e)
+		}
+	}
+	if only != "" && len(selected) == 0 {
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+
+	// Independent figures run concurrently on the same pool the ensemble
+	// trials use. Each experiment buffers its log lines and flushes them
+	// as one block on completion, so concurrent runs don't interleave
+	// output mid-experiment; the artifact files are written to distinct
+	// paths and are byte-identical for any -j.
+	var stdoutMu sync.Mutex
+	return parallel.RunAll(len(selected), jobs, func(i int) error {
+		e := selected[i]
+		var log strings.Builder
+		write := func(name, content string) error {
+			path := filepath.Join(outDir, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(&log, "wrote %s\n", path)
+			return nil
 		}
 		start := time.Now()
-		fmt.Printf("== %s ==\n", e.name)
-		if err := e.fn(); err != nil {
+		err := e.fn(write)
+		stdoutMu.Lock()
+		fmt.Printf("== %s ==\n%s", e.name, log.String())
+		if err == nil {
+			fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		stdoutMu.Unlock()
+		if err != nil {
 			return fmt.Errorf("%s: %w", e.name, err)
 		}
-		fmt.Printf("   done in %v\n", time.Since(start).Round(time.Millisecond))
-	}
-	return nil
+		return nil
+	})
 }

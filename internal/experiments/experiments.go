@@ -24,6 +24,20 @@ type Options struct {
 	Quick bool
 	// Seed varies the noise seeds of ensemble experiments.
 	Seed int64
+	// Workers bounds how many independent trials of an ensemble
+	// experiment (fig8, fig10, table1) run concurrently. Each trial owns
+	// a private DES engine and seeded RNGs, and results are collected by
+	// index, so output is byte-identical at any worker count. <= 1 runs
+	// serially.
+	Workers int
+}
+
+// workers returns the effective pool size (serial unless set).
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // monitoringFor maps the paper's three monitoring levels (Figs. 4-6) to

@@ -221,3 +221,55 @@ func TestFig11Metrics(t *testing.T) {
 		t.Error("FormatFig11 output incomplete")
 	}
 }
+
+// TestEnsembleParallelMatchesSerial is the race-enabled parallel-driver
+// test: the fig8 ensemble at workers=4 must produce exactly the results
+// of the serial run. Each trial owns a private DES engine and RNGs, so
+// any divergence (or a -race report) means shared state leaked between
+// concurrent simulations.
+func TestEnsembleParallelMatchesSerial(t *testing.T) {
+	serial, err := Fig8(Options{Quick: true, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig8(Options{Quick: true, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Bare) != len(par.Bare) || len(serial.Monitored) != len(par.Monitored) {
+		t.Fatalf("trial counts differ: %d/%d vs %d/%d",
+			len(serial.Bare), len(serial.Monitored), len(par.Bare), len(par.Monitored))
+	}
+	for i := range serial.Bare {
+		if serial.Bare[i] != par.Bare[i] {
+			t.Errorf("bare run %d: serial %v, parallel %v", i, serial.Bare[i], par.Bare[i])
+		}
+	}
+	for i := range serial.Monitored {
+		if serial.Monitored[i] != par.Monitored[i] {
+			t.Errorf("monitored run %d: serial %v, parallel %v", i, serial.Monitored[i], par.Monitored[i])
+		}
+	}
+	if FormatFig8(serial) != FormatFig8(par) {
+		t.Error("formatted fig8 output differs between worker counts")
+	}
+}
+
+func TestTable1ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table1(Options{Quick: true, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1(Options{Quick: true, Seed: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("row %d: serial %+v, parallel %+v", i, serial[i], par[i])
+		}
+	}
+}

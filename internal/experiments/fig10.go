@@ -7,6 +7,7 @@ import (
 
 	"ipmgo/internal/cluster"
 	"ipmgo/internal/ipm"
+	"ipmgo/internal/parallel"
 	"ipmgo/internal/workloads"
 )
 
@@ -88,19 +89,29 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		}, nil
 	}
 
-	var rows []Fig10Row
-	// MKL baseline at the smallest process count.
-	base, err := run(procCounts[0], false)
-	if err != nil {
-		return nil, fmt.Errorf("fig10 MKL baseline: %w", err)
+	// The MKL baseline and the CUBLAS scan points are independent
+	// simulations; run them on the worker pool, row order fixed by index.
+	type point struct {
+		procs  int
+		cublas bool
 	}
-	rows = append(rows, base)
+	points := []point{{procCounts[0], false}} // MKL baseline first
 	for _, p := range procCounts {
-		r, err := run(p, true)
+		points = append(points, point{p, true})
+	}
+	rows, err := parallel.Map(len(points), o.workers(), func(i int) (Fig10Row, error) {
+		pt := points[i]
+		r, err := run(pt.procs, pt.cublas)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 p=%d: %w", p, err)
+			if !pt.cublas {
+				return Fig10Row{}, fmt.Errorf("fig10 MKL baseline: %w", err)
+			}
+			return Fig10Row{}, fmt.Errorf("fig10 p=%d: %w", pt.procs, err)
 		}
-		rows = append(rows, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ipmgo/internal/cluster"
+	"ipmgo/internal/parallel"
 	"ipmgo/internal/workloads"
 )
 
@@ -55,27 +56,37 @@ func Fig8(o Options) (*Fig8Result, error) {
 		hpl.Scale = 0.05
 	}
 	res := &Fig8Result{Runs: runs}
-	for i := 0; i < runs; i++ {
-		for _, monitored := range []bool{false, true} {
-			cfg := cluster.Dirac(nodes, 1)
-			cfg.Monitor = monitored
-			cfg.CUDA = monitoringFor(true, true)
-			cfg.Command = "./xhpl.cuda"
-			cfg.NoiseSeed = o.Seed + int64(i) + 1
-			cfg.NoiseAmp = 0.03
-			r, err := cluster.Run(cfg, func(env *cluster.Env) {
-				if err := workloads.HPL(env, hpl); err != nil {
-					panic(err)
-				}
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig8 run %d: %w", i, err)
+	// The 2*runs trials (bare and monitored per ensemble member) are fully
+	// independent — each owns its DES engine, noise model and monitors —
+	// so they run on the worker pool; Map collects wallclocks by trial
+	// index, keeping the ensemble order (and thus the output bytes)
+	// identical at any worker count.
+	walls, err := parallel.Map(2*runs, o.workers(), func(t int) (time.Duration, error) {
+		i, monitored := t/2, t%2 == 1
+		cfg := cluster.Dirac(nodes, 1)
+		cfg.Monitor = monitored
+		cfg.CUDA = monitoringFor(true, true)
+		cfg.Command = "./xhpl.cuda"
+		cfg.NoiseSeed = o.Seed + int64(i) + 1
+		cfg.NoiseAmp = 0.03
+		r, err := cluster.Run(cfg, func(env *cluster.Env) {
+			if err := workloads.HPL(env, hpl); err != nil {
+				panic(err)
 			}
-			if monitored {
-				res.Monitored = append(res.Monitored, r.Wallclock)
-			} else {
-				res.Bare = append(res.Bare, r.Wallclock)
-			}
+		})
+		if err != nil {
+			return 0, fmt.Errorf("fig8 run %d: %w", i, err)
+		}
+		return r.Wallclock, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for t, w := range walls {
+		if t%2 == 1 {
+			res.Monitored = append(res.Monitored, w)
+		} else {
+			res.Bare = append(res.Bare, w)
 		}
 	}
 	res.MeanBare, res.StddevBare = meanStd(res.Bare)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ipmgo/internal/cluster"
+	"ipmgo/internal/parallel"
 	"ipmgo/internal/workloads"
 )
 
@@ -21,23 +22,25 @@ type Table1Row struct {
 }
 
 // Table1 runs the eight SDK benchmarks with both the CUDA profiler and
-// IPM attached and compares total kernel times, reproducing Table I.
+// IPM attached and compares total kernel times, reproducing Table I. The
+// benchmarks are independent single-node simulations and run on the
+// worker pool, with the row order fixed by the suite order.
 func Table1(o Options) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, b := range workloads.SDKSuite() {
+	suite := workloads.SDKSuite()
+	return parallel.Map(len(suite), o.workers(), func(i int) (Table1Row, error) {
+		bench := suite[i]
 		cfg := cluster.Dirac(1, 1)
 		cfg.Monitor = true
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.CUDAProfile = true
-		cfg.Command = "./" + b.Name
-		bench := b
+		cfg.Command = "./" + bench.Name
 		res, err := cluster.Run(cfg, func(env *cluster.Env) {
 			if err := bench.Run(env); err != nil {
 				panic(err)
 			}
 		})
 		if err != nil {
-			return nil, fmt.Errorf("table1: %s: %w", b.Name, err)
+			return Table1Row{}, fmt.Errorf("table1: %s: %w", bench.Name, err)
 		}
 		profiler := res.Profilers[0].TotalKernelTime()
 		var ipmTime time.Duration
@@ -46,15 +49,14 @@ func Table1(o Options) ([]Table1Row, error) {
 				ipmTime += ft.Stats.Total
 			}
 		}
-		rows = append(rows, Table1Row{
-			Benchmark:   b.Name,
-			Invocations: b.Invocations,
+		return Table1Row{
+			Benchmark:   bench.Name,
+			Invocations: bench.Invocations,
 			Profiler:    profiler,
 			IPM:         ipmTime,
 			DiffPercent: 100 * float64(ipmTime-profiler) / float64(profiler),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatTable1 renders the rows like the paper's Table I.

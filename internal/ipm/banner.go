@@ -55,6 +55,11 @@ func WriteBanner(w io.Writer, jp *JobProfile, opts BannerOptions) error {
 	}
 	fmt.Fprintln(bw, "#")
 	writeFuncTable(bw, jp, opts)
+	if spilled, load := jp.OverflowedSigs(); spilled > 0 {
+		fmt.Fprintln(bw, "#")
+		fmt.Fprintf(bw, "# WARNING   : %d signature(s) spilled the fixed hash table (load factor %.2f);\n", spilled, load)
+		fmt.Fprintf(bw, "#             statistics above were collected at degraded fidelity\n")
+	}
 	fmt.Fprintln(bw, "#")
 	hrule(bw, "")
 	return bw.err

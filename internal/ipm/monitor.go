@@ -27,18 +27,25 @@ type Monitor struct {
 	started bool
 	stopped bool
 
-	regions []string
+	// regions is the user-region stack; regionHashes mirrors it with the
+	// memoized hashString of each name so ObserveRef never rehashes the
+	// active region. curRegionHash caches the top (hash of GlobalRegion
+	// when the stack is empty).
+	regions       []string
+	regionHashes  []uint64
+	curRegionHash uint64
 }
 
 // NewMonitor creates a monitor for one rank. capacity <= 0 selects the
 // default hash table size.
 func NewMonitor(rank int, host, command string, clock Clock, capacity int) *Monitor {
 	return &Monitor{
-		rank:    rank,
-		host:    host,
-		command: command,
-		clock:   clock,
-		table:   NewTable(capacity),
+		rank:          rank,
+		host:          host,
+		command:       command,
+		clock:         clock,
+		table:         NewTable(capacity),
+		curRegionHash: hashString(GlobalRegion),
 	}
 }
 
@@ -84,14 +91,25 @@ func (m *Monitor) Wallclock() time.Duration {
 }
 
 // EnterRegion pushes a user region; observations recorded until the
-// matching ExitRegion carry its name in their signature.
-func (m *Monitor) EnterRegion(name string) { m.regions = append(m.regions, name) }
+// matching ExitRegion carry its name in their signature. The region name
+// is hashed here, once per transition, not per event.
+func (m *Monitor) EnterRegion(name string) {
+	m.regions = append(m.regions, name)
+	m.curRegionHash = hashString(name)
+	m.regionHashes = append(m.regionHashes, m.curRegionHash)
+}
 
 // ExitRegion pops the current user region. Popping the global region is a
 // no-op.
 func (m *Monitor) ExitRegion() {
 	if len(m.regions) > 0 {
 		m.regions = m.regions[:len(m.regions)-1]
+		m.regionHashes = m.regionHashes[:len(m.regionHashes)-1]
+	}
+	if len(m.regionHashes) > 0 {
+		m.curRegionHash = m.regionHashes[len(m.regionHashes)-1]
+	} else {
+		m.curRegionHash = hashString(GlobalRegion)
 	}
 }
 
@@ -103,16 +121,37 @@ func (m *Monitor) CurrentRegion() string {
 	return m.regions[len(m.regions)-1]
 }
 
-// Observe records one completed event with the given operand size.
+// Observe records one completed event with the given operand size. The
+// name string is hashed on every call; constant-name call sites should
+// hold a SigRef and use ObserveRef instead.
 func (m *Monitor) Observe(name string, bytes int64, d time.Duration) {
-	m.table.Update(Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()},
+	m.table.UpdateHashed(mixSig(hashString(name), m.curRegionHash, bytes),
+		Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()},
 		Stats{Count: 1, Total: d, Min: d, Max: d})
 }
 
 // ObserveN records a pre-aggregated statistic (used by pseudo-entries that
 // batch several completions, e.g. kernel timings flushed together).
 func (m *Monitor) ObserveN(name string, bytes int64, s Stats) {
-	m.table.Update(Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()}, s)
+	m.table.UpdateHashed(mixSig(hashString(name), m.curRegionHash, bytes),
+		Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()}, s)
+}
+
+// ObserveRef is the zero-rehash form of Observe: the event name's hash is
+// memoized in ref, the active region's hash is memoized on the region
+// stack, and only the bytes attribute is mixed in per event. This is the
+// per-event fast path of every wrapper layer; it performs no allocation
+// and no string hashing.
+func (m *Monitor) ObserveRef(ref SigRef, bytes int64, d time.Duration) {
+	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
+		Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()},
+		Stats{Count: 1, Total: d, Min: d, Max: d})
+}
+
+// ObserveNRef is the zero-rehash form of ObserveN.
+func (m *Monitor) ObserveNRef(ref SigRef, bytes int64, s Stats) {
+	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
+		Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()}, s)
 }
 
 // Timed measures fn with the monitor's clock and records it — the Go

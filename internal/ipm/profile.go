@@ -14,15 +14,23 @@ type RankProfile struct {
 	Wallclock time.Duration
 	Entries   []Entry
 	MemGB     float64 // resident memory high-water mark, if modelled
+
+	// Overflow is the number of signatures that spilled out of the fixed
+	// hash table region, and LoadFactor the fill ratio of that region —
+	// the banner's degraded-fidelity diagnostics.
+	Overflow   int
+	LoadFactor float64
 }
 
 // Snapshot freezes a monitor into a RankProfile.
 func Snapshot(m *Monitor) RankProfile {
 	return RankProfile{
-		Rank:      m.rank,
-		Host:      m.host,
-		Wallclock: m.Wallclock(),
-		Entries:   m.table.Entries(),
+		Rank:       m.rank,
+		Host:       m.host,
+		Wallclock:  m.Wallclock(),
+		Entries:    m.table.Entries(),
+		Overflow:   m.table.Overflowed(),
+		LoadFactor: m.table.LoadFactor(),
 	}
 }
 
@@ -218,6 +226,21 @@ func (jp *JobProfile) HostIdlePercent() float64 {
 		return 0
 	}
 	return 100 * float64(jp.FuncSpread(HostIdleName).Total) / float64(wall)
+}
+
+// OverflowedSigs returns the total number of signatures that spilled out
+// of the fixed hash table region across ranks, and the worst per-rank
+// load factor. Non-zero overflow means the banner's statistics were
+// collected at degraded hash-table fidelity (longer probe chains plus a
+// heap-allocated spill map).
+func (jp *JobProfile) OverflowedSigs() (spilled int, worstLoad float64) {
+	for _, r := range jp.Ranks {
+		spilled += r.Overflow
+		if r.LoadFactor > worstLoad {
+			worstLoad = r.LoadFactor
+		}
+	}
+	return spilled, worstLoad
 }
 
 // Imbalance returns max/avg for one function across ranks — the paper's

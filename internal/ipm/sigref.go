@@ -1,0 +1,25 @@
+package ipm
+
+// SigRef is a precomputed signature handle: an event name plus its
+// memoized hash. Wrapper layers construct one SigRef per monitored symbol
+// (once, at wrapper construction or package init) and pass it to
+// Monitor.ObserveRef on every event, so the hot path never rehashes the
+// name string. The bytes attribute and the active region are folded in
+// per event by mixSig, which costs two multiplies and a finalizer — the
+// region's own string hash is memoized by the monitor's region stack.
+type SigRef struct {
+	name string
+	hash uint64
+}
+
+// NewSigRef hashes name once and returns the reusable handle. SigRef is
+// immutable and safe to share across goroutines.
+func NewSigRef(name string) SigRef {
+	return SigRef{name: name, hash: hashString(name)}
+}
+
+// Name returns the event name the handle was built from.
+func (r SigRef) Name() string { return r.name }
+
+// Hash returns the memoized FNV-1a hash of the name.
+func (r SigRef) Hash() uint64 { return r.hash }

@@ -43,34 +43,57 @@ func NewTable(capacity int) *Table {
 	}
 }
 
-// hash is FNV-1a over the signature fields.
-func hashSig(s Sig) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(s.Name); i++ {
-		h ^= uint64(s.Name[i])
-		h *= prime
-	}
-	for i := 0; i < len(s.Region); i++ {
-		h ^= uint64(s.Region[i])
-		h *= prime
-	}
-	b := uint64(s.Bytes)
-	for i := 0; i < 8; i++ {
-		h ^= (b >> (8 * i)) & 0xFF
-		h *= prime
+// FNV-1a parameters, shared by hashString and the per-event mixer.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashString is FNV-1a over one string. Wrapper layers call it once per
+// constant event name (via NewSigRef) and the monitor once per region
+// change; the per-event fast path never rehashes a string.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
 	}
 	return h
 }
 
+// mixSig combines the memoized name and region hashes with the bytes
+// attribute into the table hash. This is the only hashing work on the
+// per-event fast path: two multiplies plus a splitmix-style finalizer so
+// the low bits (the table index) depend on every input bit even for
+// page-aligned byte counts.
+func mixSig(nameHash, regionHash uint64, bytes int64) uint64 {
+	h := nameHash
+	h = (h ^ regionHash) * fnvPrime
+	h = (h ^ uint64(bytes)) * fnvPrime
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashSig hashes a full signature; the string-keyed slow path of Update
+// and Lookup. It agrees with the SigRef fast path by construction.
+func hashSig(s Sig) uint64 {
+	return mixSig(hashString(s.Name), hashString(s.Region), s.Bytes)
+}
+
 // Update folds one observation into the signature's entry, creating it on
 // first use.
-func (t *Table) Update(sig Sig, d Stats) {
+func (t *Table) Update(sig Sig, d Stats) { t.UpdateHashed(hashSig(sig), sig, d) }
+
+// UpdateHashed is Update with the signature hash supplied by the caller —
+// the zero-rehash fast path used by Monitor.ObserveRef. h must equal
+// hashSig(sig).
+func (t *Table) UpdateHashed(h uint64, sig Sig, d Stats) {
 	// Fast path: fixed open-addressing region.
-	idx := hashSig(sig) & t.mask
+	idx := h & t.mask
 	for i := uint64(0); i <= t.mask; i++ {
 		e := &t.entries[(idx+i)&t.mask]
 		t.probes++
@@ -107,10 +130,13 @@ func (t *Table) Update(sig Sig, d Stats) {
 func (t *Table) Observe(sig Sig, d Stats) { t.Update(sig, d) }
 
 // Lookup returns the statistics for a signature and whether it exists.
+// Like Update it advances the probe counter, so probe statistics reflect
+// reads as well as writes.
 func (t *Table) Lookup(sig Sig) (Stats, bool) {
 	idx := hashSig(sig) & t.mask
 	for i := uint64(0); i <= t.mask; i++ {
 		e := &t.entries[(idx+i)&t.mask]
+		t.probes++
 		if !e.inUse {
 			break
 		}
@@ -134,6 +160,16 @@ func (t *Table) Overflowed() int { return len(t.overflow) }
 // Probes returns the accumulated probe count (a load-factor diagnostic).
 func (t *Table) Probes() uint64 { return t.probes }
 
+// LoadFactor returns the fill ratio of the fixed open-addressing region,
+// in [0, 1]. The banner's degraded-fidelity note reports it when entries
+// have spilled to the overflow map.
+func (t *Table) LoadFactor() float64 {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	return float64(t.used) / float64(len(t.entries))
+}
+
 // Entry is a flattened (signature, statistics) pair.
 type Entry struct {
 	Sig   Sig
@@ -141,9 +177,11 @@ type Entry struct {
 }
 
 // Entries returns all entries sorted by descending total time, ties broken
-// by name then bytes — the order the banner reports.
+// by name, bytes, then region — the order the banner reports. Fixed-region
+// and spilled entries are interleaved by the same ordering, so overflow
+// does not perturb the report beyond its own (counted) fidelity loss.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, 0, t.Len())
+	out := make(entrySlice, 0, t.Len())
 	for i := range t.entries {
 		if t.entries[i].inUse {
 			out = append(out, Entry{t.entries[i].sig, t.entries[i].stats})
@@ -152,14 +190,25 @@ func (t *Table) Entries() []Entry {
 	for sig, s := range t.overflow {
 		out = append(out, Entry{sig, *s})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Stats.Total != out[j].Stats.Total {
-			return out[i].Stats.Total > out[j].Stats.Total
-		}
-		if out[i].Sig.Name != out[j].Sig.Name {
-			return out[i].Sig.Name < out[j].Sig.Name
-		}
-		return out[i].Sig.Bytes < out[j].Sig.Bytes
-	})
+	sort.Sort(out)
 	return out
+}
+
+// entrySlice sorts without the per-call closure and reflection of
+// sort.Slice — Entries sits on the Snapshot path of every rank.
+type entrySlice []Entry
+
+func (s entrySlice) Len() int      { return len(s) }
+func (s entrySlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s entrySlice) Less(i, j int) bool {
+	if s[i].Stats.Total != s[j].Stats.Total {
+		return s[i].Stats.Total > s[j].Stats.Total
+	}
+	if s[i].Sig.Name != s[j].Sig.Name {
+		return s[i].Sig.Name < s[j].Sig.Name
+	}
+	if s[i].Sig.Bytes != s[j].Sig.Bytes {
+		return s[i].Sig.Bytes < s[j].Sig.Bytes
+	}
+	return s[i].Sig.Region < s[j].Sig.Region
 }

@@ -109,6 +109,155 @@ func TestTableEntriesSorted(t *testing.T) {
 	}
 }
 
+func TestTableLookupAdvancesProbes(t *testing.T) {
+	tb := NewTable(64)
+	sig := Sig{Name: "cudaLaunch"}
+	tb.Update(sig, obs(time.Millisecond))
+	before := tb.Probes()
+	tb.Lookup(sig)
+	if tb.Probes() <= before {
+		t.Error("Lookup did not advance the probe counter")
+	}
+	before = tb.Probes()
+	tb.Lookup(Sig{Name: "absent"})
+	if tb.Probes() <= before {
+		t.Error("missed Lookup did not advance the probe counter")
+	}
+}
+
+func TestTableLoadFactor(t *testing.T) {
+	tb := NewTable(64)
+	if lf := tb.LoadFactor(); lf != 0 {
+		t.Errorf("empty load factor = %v", lf)
+	}
+	for i := 0; i < 32; i++ {
+		tb.Update(Sig{Name: fmt.Sprintf("f%d", i)}, obs(time.Millisecond))
+	}
+	if lf := tb.LoadFactor(); lf != 0.5 {
+		t.Errorf("load factor = %v, want 0.5", lf)
+	}
+}
+
+func TestTableOverflowEntriesOrdering(t *testing.T) {
+	tb := NewTable(8) // 8 slots, 7 usable, the rest spills
+	const n = 24
+	for i := 0; i < n; i++ {
+		// Distinct totals so the expected order is exact: f0 largest.
+		tb.Update(Sig{Name: fmt.Sprintf("f%02d", i)}, obs(time.Duration(n-i)*time.Millisecond))
+	}
+	if tb.Overflowed() != n-7 {
+		t.Fatalf("overflowed = %d, want %d", tb.Overflowed(), n-7)
+	}
+	es := tb.Entries()
+	if len(es) != n {
+		t.Fatalf("entries = %d, want %d", len(es), n)
+	}
+	for i, e := range es {
+		if want := fmt.Sprintf("f%02d", i); e.Sig.Name != want {
+			t.Fatalf("entries[%d] = %s, want %s (fixed and spill regions must interleave by total)", i, e.Sig.Name, want)
+		}
+		if i > 0 && es[i-1].Stats.Total < e.Stats.Total {
+			t.Fatalf("entries not sorted by descending total at %d", i)
+		}
+	}
+	// Spilled keys stay fully readable and updatable through Lookup.
+	for i := 7; i < n; i++ {
+		sig := Sig{Name: fmt.Sprintf("f%02d", i)}
+		if s, ok := tb.Lookup(sig); !ok || s.Count != 1 {
+			t.Fatalf("overflow lookup %s = %+v, %v", sig.Name, s, ok)
+		}
+	}
+}
+
+// TestHashSigDistribution bounds the worst probe chain at 50% load: with a
+// well-mixed hash over realistic signatures (wrapper names, page-aligned
+// byte counts), open addressing with linear probing must not develop long
+// clusters. The bound of 50 is generous — expected max chain at this load
+// is O(log n) — so a failure means the hash lost its avalanche.
+func TestHashSigDistribution(t *testing.T) {
+	names := []string{
+		"cudaMemcpy(D2H)", "cudaMemcpy(H2D)", "cudaLaunch", "MPI_Allreduce",
+		"MPI_Send", "cublasDgemm", "cublasSetMatrix", "fwrite",
+		"@CUDA_EXEC_STRM00", "cufftExecZ2Z",
+	}
+	regions := []string{"", "solver", "io-phase"}
+	tb := NewTable(4096)
+	inserted := 0
+	worst := uint64(0)
+	for i := 0; inserted < 2048; i++ {
+		sig := Sig{
+			Name:   names[i%len(names)],
+			Bytes:  int64(i/len(names)) * 4096, // page-aligned, low bits zero
+			Region: regions[i%len(regions)],
+		}
+		before := tb.Probes()
+		tb.Update(sig, obs(time.Microsecond))
+		if chain := tb.Probes() - before; chain > worst {
+			worst = chain
+		}
+		inserted = tb.Len()
+	}
+	if tb.Overflowed() != 0 {
+		t.Fatalf("table overflowed at 50%% load: %d", tb.Overflowed())
+	}
+	if worst > 50 {
+		t.Errorf("max probe chain %d at 50%% load exceeds bound 50", worst)
+	}
+}
+
+// TestObserveRefMatchesStringPath checks the zero-rehash fast path is
+// bit-identical to the string path: same entries, same hashes (hence the
+// same probe behaviour), for any mix of names, bytes and regions.
+func TestObserveRefMatchesStringPath(t *testing.T) {
+	clock := func() time.Duration { return 0 }
+	a := NewMonitor(0, "h", "c", clock, 64)
+	b := NewMonitor(0, "h", "c", clock, 64)
+	names := []string{"cudaMemcpy(D2H)", "MPI_Send", "@CUDA_EXEC_STRM00"}
+	refs := make([]SigRef, len(names))
+	for i, n := range names {
+		refs[i] = NewSigRef(n)
+	}
+	regionOps := []string{"", "solver", "", "fft", ""}
+	for r, region := range regionOps {
+		if region != "" {
+			a.EnterRegion(region)
+			b.EnterRegion(region)
+		}
+		for i := range names {
+			bytes := int64(r*1000 + i*4096)
+			a.Observe(names[i], bytes, time.Microsecond)
+			b.ObserveRef(refs[i], bytes, time.Microsecond)
+		}
+		if region != "" {
+			a.ExitRegion()
+			b.ExitRegion()
+		}
+	}
+	ea, eb := a.Table().Entries(), b.Table().Entries()
+	if len(ea) != len(eb) {
+		t.Fatalf("entry counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ea[i], eb[i])
+		}
+	}
+	if a.Table().Probes() != b.Table().Probes() {
+		t.Errorf("probe counts differ (%d vs %d): fast path hashed differently",
+			a.Table().Probes(), b.Table().Probes())
+	}
+}
+
+func TestSigRefAccessors(t *testing.T) {
+	r := NewSigRef("cudaLaunch")
+	if r.Name() != "cudaLaunch" {
+		t.Errorf("name = %q", r.Name())
+	}
+	if r.Hash() != hashString("cudaLaunch") {
+		t.Error("hash not memoized FNV of name")
+	}
+}
+
 func TestTableCapacityRounding(t *testing.T) {
 	tb := NewTable(100)
 	if len(tb.entries) != 128 {
@@ -218,4 +367,27 @@ func BenchmarkMapUpdateManyKeys(b *testing.B) {
 			m[sig] = &c
 		}
 	}
+}
+
+// BenchmarkObserveHot compares the per-event recording cost of the
+// string-signature path (rehashes the name on every event) against the
+// SigRef fast path (name hashed once at wrapper-construction time). The
+// sigref variant must run with zero allocations per op.
+func BenchmarkObserveHot(b *testing.B) {
+	clock := func() time.Duration { return 0 }
+	b.Run("string-sig", func(b *testing.B) {
+		m := NewMonitor(0, "host", "bench", clock, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Observe("cudaMemcpy(D2H)", 1<<20, time.Microsecond)
+		}
+	})
+	b.Run("sigref", func(b *testing.B) {
+		m := NewMonitor(0, "host", "bench", clock, 1024)
+		ref := NewSigRef("cudaMemcpy(D2H)")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ObserveRef(ref, 1<<20, time.Microsecond)
+		}
+	})
 }

@@ -31,24 +31,50 @@ func WrapBLAS(inner cublas.BLAS, mon *ipm.Monitor) *BLAS {
 	return &BLAS{inner: inner, mon: mon}
 }
 
-func (b *BLAS) timed(name string, bytes int64, fn func()) {
+// Pre-hashed signature handles, one per monitored library symbol: each
+// constant name is hashed once at package init, never per call.
+var (
+	refAlloc     = ipm.NewSigRef("cublasAlloc")
+	refFree      = ipm.NewSigRef("cublasFree")
+	refSetMatrix = ipm.NewSigRef("cublasSetMatrix")
+	refGetMatrix = ipm.NewSigRef("cublasGetMatrix")
+	refSetVector = ipm.NewSigRef("cublasSetVector")
+	refGetVector = ipm.NewSigRef("cublasGetVector")
+	refDaxpy     = ipm.NewSigRef("cublasDaxpy")
+	refDscal     = ipm.NewSigRef("cublasDscal")
+	refDcopy     = ipm.NewSigRef("cublasDcopy")
+	refDdot      = ipm.NewSigRef("cublasDdot")
+	refDnrm2     = ipm.NewSigRef("cublasDnrm2")
+	refIdamax    = ipm.NewSigRef("cublasIdamax")
+	refDgemv     = ipm.NewSigRef("cublasDgemv")
+	refDgemm     = ipm.NewSigRef("cublasDgemm")
+	refZgemm     = ipm.NewSigRef("cublasZgemm")
+	refDtrsm     = ipm.NewSigRef("cublasDtrsm")
+	refShutdown  = ipm.NewSigRef("cublasShutdown")
+	refPlan1d    = ipm.NewSigRef("cufftPlan1d")
+	refPlan2d    = ipm.NewSigRef("cufftPlan2d")
+	refExecZ2Z   = ipm.NewSigRef("cufftExecZ2Z")
+	refDestroy   = ipm.NewSigRef("cufftDestroy")
+)
+
+func (b *BLAS) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	begin := b.mon.Now()
 	fn()
-	b.mon.Observe(name, bytes, b.mon.Now()-begin)
+	b.mon.ObserveRef(ref, bytes, b.mon.Now()-begin)
 }
 
 // Alloc wraps cublasAlloc.
 func (b *BLAS) Alloc(n, elemSize int) (cudart.DevPtr, error) {
 	var p cudart.DevPtr
 	var err error
-	b.timed("cublasAlloc", int64(n)*int64(elemSize), func() { p, err = b.inner.Alloc(n, elemSize) })
+	b.timed(refAlloc, int64(n)*int64(elemSize), func() { p, err = b.inner.Alloc(n, elemSize) })
 	return p, err
 }
 
 // Free wraps cublasFree.
 func (b *BLAS) Free(p cudart.DevPtr) error {
 	var err error
-	b.timed("cublasFree", 0, func() { err = b.inner.Free(p) })
+	b.timed(refFree, 0, func() { err = b.inner.Free(p) })
 	return err
 }
 
@@ -56,7 +82,7 @@ func (b *BLAS) Free(p cudart.DevPtr) error {
 func (b *BLAS) SetMatrix(rows, cols, elemSize int, src []byte, lda int, dst cudart.DevPtr, ldb int) error {
 	var err error
 	n := int64(rows) * int64(cols) * int64(elemSize)
-	b.timed("cublasSetMatrix", n, func() { err = b.inner.SetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
+	b.timed(refSetMatrix, n, func() { err = b.inner.SetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
 	return err
 }
 
@@ -64,42 +90,42 @@ func (b *BLAS) SetMatrix(rows, cols, elemSize int, src []byte, lda int, dst cuda
 func (b *BLAS) GetMatrix(rows, cols, elemSize int, src cudart.DevPtr, lda int, dst []byte, ldb int) error {
 	var err error
 	n := int64(rows) * int64(cols) * int64(elemSize)
-	b.timed("cublasGetMatrix", n, func() { err = b.inner.GetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
+	b.timed(refGetMatrix, n, func() { err = b.inner.GetMatrix(rows, cols, elemSize, src, lda, dst, ldb) })
 	return err
 }
 
 // SetVector wraps cublasSetVector.
 func (b *BLAS) SetVector(n, elemSize int, src []byte, incx int, dst cudart.DevPtr, incy int) error {
 	var err error
-	b.timed("cublasSetVector", int64(n)*int64(elemSize), func() { err = b.inner.SetVector(n, elemSize, src, incx, dst, incy) })
+	b.timed(refSetVector, int64(n)*int64(elemSize), func() { err = b.inner.SetVector(n, elemSize, src, incx, dst, incy) })
 	return err
 }
 
 // GetVector wraps cublasGetVector.
 func (b *BLAS) GetVector(n, elemSize int, src cudart.DevPtr, incx int, dst []byte, incy int) error {
 	var err error
-	b.timed("cublasGetVector", int64(n)*int64(elemSize), func() { err = b.inner.GetVector(n, elemSize, src, incx, dst, incy) })
+	b.timed(refGetVector, int64(n)*int64(elemSize), func() { err = b.inner.GetVector(n, elemSize, src, incx, dst, incy) })
 	return err
 }
 
 // Daxpy wraps cublasDaxpy.
 func (b *BLAS) Daxpy(n int, alpha float64, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
 	var err error
-	b.timed("cublasDaxpy", int64(n)*8, func() { err = b.inner.Daxpy(n, alpha, x, incx, y, incy) })
+	b.timed(refDaxpy, int64(n)*8, func() { err = b.inner.Daxpy(n, alpha, x, incx, y, incy) })
 	return err
 }
 
 // Dscal wraps cublasDscal.
 func (b *BLAS) Dscal(n int, alpha float64, x cudart.DevPtr, incx int) error {
 	var err error
-	b.timed("cublasDscal", int64(n)*8, func() { err = b.inner.Dscal(n, alpha, x, incx) })
+	b.timed(refDscal, int64(n)*8, func() { err = b.inner.Dscal(n, alpha, x, incx) })
 	return err
 }
 
 // Dcopy wraps cublasDcopy.
 func (b *BLAS) Dcopy(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) error {
 	var err error
-	b.timed("cublasDcopy", int64(n)*8, func() { err = b.inner.Dcopy(n, x, incx, y, incy) })
+	b.timed(refDcopy, int64(n)*8, func() { err = b.inner.Dcopy(n, x, incx, y, incy) })
 	return err
 }
 
@@ -107,7 +133,7 @@ func (b *BLAS) Dcopy(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int
 func (b *BLAS) Ddot(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int) (float64, error) {
 	var v float64
 	var err error
-	b.timed("cublasDdot", int64(n)*8, func() { v, err = b.inner.Ddot(n, x, incx, y, incy) })
+	b.timed(refDdot, int64(n)*8, func() { v, err = b.inner.Ddot(n, x, incx, y, incy) })
 	return v, err
 }
 
@@ -115,7 +141,7 @@ func (b *BLAS) Ddot(n int, x cudart.DevPtr, incx int, y cudart.DevPtr, incy int)
 func (b *BLAS) Dnrm2(n int, x cudart.DevPtr, incx int) (float64, error) {
 	var v float64
 	var err error
-	b.timed("cublasDnrm2", int64(n)*8, func() { v, err = b.inner.Dnrm2(n, x, incx) })
+	b.timed(refDnrm2, int64(n)*8, func() { v, err = b.inner.Dnrm2(n, x, incx) })
 	return v, err
 }
 
@@ -123,7 +149,7 @@ func (b *BLAS) Dnrm2(n int, x cudart.DevPtr, incx int) (float64, error) {
 func (b *BLAS) Idamax(n int, x cudart.DevPtr, incx int) (int, error) {
 	var v int
 	var err error
-	b.timed("cublasIdamax", int64(n)*8, func() { v, err = b.inner.Idamax(n, x, incx) })
+	b.timed(refIdamax, int64(n)*8, func() { v, err = b.inner.Idamax(n, x, incx) })
 	return v, err
 }
 
@@ -131,7 +157,7 @@ func (b *BLAS) Idamax(n int, x cudart.DevPtr, incx int) (int, error) {
 func (b *BLAS) Dgemv(trans byte, m, n int, alpha float64, a cudart.DevPtr, lda int,
 	x cudart.DevPtr, incx int, beta float64, y cudart.DevPtr, incy int) error {
 	var err error
-	b.timed("cublasDgemv", int64(m)*int64(n)*8, func() {
+	b.timed(refDgemv, int64(m)*int64(n)*8, func() {
 		err = b.inner.Dgemv(trans, m, n, alpha, a, lda, x, incx, beta, y, incy)
 	})
 	return err
@@ -143,7 +169,7 @@ func (b *BLAS) Dgemm(ta, tb byte, m, n, k int, alpha float64, a cudart.DevPtr, l
 	bb cudart.DevPtr, ldb int, beta float64, c cudart.DevPtr, ldc int) error {
 	var err error
 	bytes := 8 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
-	b.timed("cublasDgemm", bytes, func() {
+	b.timed(refDgemm, bytes, func() {
 		err = b.inner.Dgemm(ta, tb, m, n, k, alpha, a, lda, bb, ldb, beta, c, ldc)
 	})
 	return err
@@ -154,7 +180,7 @@ func (b *BLAS) Zgemm(ta, tb byte, m, n, k int, alpha complex128, a cudart.DevPtr
 	bb cudart.DevPtr, ldb int, beta complex128, c cudart.DevPtr, ldc int) error {
 	var err error
 	bytes := 16 * (int64(m)*int64(k) + int64(k)*int64(n) + int64(m)*int64(n))
-	b.timed("cublasZgemm", bytes, func() {
+	b.timed(refZgemm, bytes, func() {
 		err = b.inner.Zgemm(ta, tb, m, n, k, alpha, a, lda, bb, ldb, beta, c, ldc)
 	})
 	return err
@@ -164,7 +190,7 @@ func (b *BLAS) Zgemm(ta, tb byte, m, n, k int, alpha complex128, a cudart.DevPtr
 func (b *BLAS) Dtrsm(side, uplo, trans, diag byte, m, n int, alpha float64,
 	a cudart.DevPtr, lda int, bb cudart.DevPtr, ldb int) error {
 	var err error
-	b.timed("cublasDtrsm", int64(m)*int64(n)*8, func() {
+	b.timed(refDtrsm, int64(m)*int64(n)*8, func() {
 		err = b.inner.Dtrsm(side, uplo, trans, diag, m, n, alpha, a, lda, bb, ldb)
 	})
 	return err
@@ -173,7 +199,7 @@ func (b *BLAS) Dtrsm(side, uplo, trans, diag byte, m, n int, alpha float64,
 // Shutdown wraps cublasShutdown.
 func (b *BLAS) Shutdown() error {
 	var err error
-	b.timed("cublasShutdown", 0, func() { err = b.inner.Shutdown() })
+	b.timed(refShutdown, 0, func() { err = b.inner.Shutdown() })
 	return err
 }
 
@@ -191,17 +217,17 @@ func WrapFFT(inner cufft.FFT, mon *ipm.Monitor) *FFT {
 	return &FFT{inner: inner, mon: mon, sizes: make(map[cufft.Plan]int64)}
 }
 
-func (f *FFT) timed(name string, bytes int64, fn func()) {
+func (f *FFT) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	begin := f.mon.Now()
 	fn()
-	f.mon.Observe(name, bytes, f.mon.Now()-begin)
+	f.mon.ObserveRef(ref, bytes, f.mon.Now()-begin)
 }
 
 // Plan1d wraps cufftPlan1d.
 func (f *FFT) Plan1d(nx, batch int) (cufft.Plan, error) {
 	var p cufft.Plan
 	var err error
-	f.timed("cufftPlan1d", int64(nx)*int64(batch)*16, func() { p, err = f.inner.Plan1d(nx, batch) })
+	f.timed(refPlan1d, int64(nx)*int64(batch)*16, func() { p, err = f.inner.Plan1d(nx, batch) })
 	if err == nil {
 		f.sizes[p] = int64(nx) * int64(batch) * 16
 	}
@@ -212,7 +238,7 @@ func (f *FFT) Plan1d(nx, batch int) (cufft.Plan, error) {
 func (f *FFT) Plan2d(nx, ny int) (cufft.Plan, error) {
 	var p cufft.Plan
 	var err error
-	f.timed("cufftPlan2d", int64(nx)*int64(ny)*16, func() { p, err = f.inner.Plan2d(nx, ny) })
+	f.timed(refPlan2d, int64(nx)*int64(ny)*16, func() { p, err = f.inner.Plan2d(nx, ny) })
 	if err == nil {
 		f.sizes[p] = int64(nx) * int64(ny) * 16
 	}
@@ -222,14 +248,14 @@ func (f *FFT) Plan2d(nx, ny int) (cufft.Plan, error) {
 // ExecZ2Z wraps cufftExecZ2Z.
 func (f *FFT) ExecZ2Z(plan cufft.Plan, idata, odata cudart.DevPtr, direction int) error {
 	var err error
-	f.timed("cufftExecZ2Z", f.sizes[plan], func() { err = f.inner.ExecZ2Z(plan, idata, odata, direction) })
+	f.timed(refExecZ2Z, f.sizes[plan], func() { err = f.inner.ExecZ2Z(plan, idata, odata, direction) })
 	return err
 }
 
 // Destroy wraps cufftDestroy.
 func (f *FFT) Destroy(plan cufft.Plan) error {
 	var err error
-	f.timed("cufftDestroy", 0, func() { err = f.inner.Destroy(plan) })
+	f.timed(refDestroy, 0, func() { err = f.inner.Destroy(plan) })
 	delete(f.sizes, plan)
 	return err
 }

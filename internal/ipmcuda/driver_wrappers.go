@@ -16,7 +16,7 @@ func (m *Monitor) driver() cudart.Driver { return m.drv }
 // CuInit wraps cuInit.
 func (m *Monitor) CuInit() error {
 	var err error
-	m.timed("cuInit", 0, func() { err = m.driver().CuInit() })
+	m.timed(refCuInit, 0, func() { err = m.driver().CuInit() })
 	return err
 }
 
@@ -24,14 +24,14 @@ func (m *Monitor) CuInit() error {
 func (m *Monitor) CuMemAlloc(n int64) (cudart.DevPtr, error) {
 	var p cudart.DevPtr
 	var err error
-	m.timed("cuMemAlloc", n, func() { p, err = m.driver().CuMemAlloc(n) })
+	m.timed(refCuMemAlloc, n, func() { p, err = m.driver().CuMemAlloc(n) })
 	return p, err
 }
 
 // CuMemFree wraps cuMemFree.
 func (m *Monitor) CuMemFree(p cudart.DevPtr) error {
 	var err error
-	m.timed("cuMemFree", 0, func() { err = m.driver().CuMemFree(p) })
+	m.timed(refCuMemFree, 0, func() { err = m.driver().CuMemFree(p) })
 	return err
 }
 
@@ -39,7 +39,7 @@ func (m *Monitor) CuMemFree(p cudart.DevPtr) error {
 func (m *Monitor) CuMemcpyHtoD(dst cudart.DevPtr, src []byte) error {
 	m.hostIdle(0)
 	var err error
-	m.timed("cuMemcpyHtoD", int64(len(src)), func() { err = m.driver().CuMemcpyHtoD(dst, src) })
+	m.timed(refCuMemcpyHtoD, int64(len(src)), func() { err = m.driver().CuMemcpyHtoD(dst, src) })
 	return err
 }
 
@@ -49,7 +49,7 @@ func (m *Monitor) CuMemcpyHtoD(dst cudart.DevPtr, src []byte) error {
 func (m *Monitor) CuMemcpyDtoH(dst []byte, src cudart.DevPtr) error {
 	m.hostIdle(0)
 	var err error
-	m.timed("cuMemcpyDtoH", int64(len(dst)), func() { err = m.driver().CuMemcpyDtoH(dst, src) })
+	m.timed(refCuMemcpyDtoH, int64(len(dst)), func() { err = m.driver().CuMemcpyDtoH(dst, src) })
 	if m.opts.KernelTiming {
 		m.checkKTT()
 	}
@@ -60,7 +60,7 @@ func (m *Monitor) CuMemcpyDtoH(dst []byte, src cudart.DevPtr) error {
 // measurement.
 func (m *Monitor) CuMemsetD8(p cudart.DevPtr, value byte, n int64) error {
 	var err error
-	m.timed("cuMemsetD8", n, func() { err = m.driver().CuMemsetD8(p, value, n) })
+	m.timed(refCuMemsetD8, n, func() { err = m.driver().CuMemsetD8(p, value, n) })
 	return err
 }
 
@@ -78,7 +78,7 @@ func (m *Monitor) CuLaunchKernel(fn *cudart.Func, grid, block cudart.Dim3, s cud
 		}
 	}
 	var err error
-	m.timed("cuLaunchKernel", 0, func() { err = m.driver().CuLaunchKernel(fn, grid, block, s, args...) })
+	m.timed(refCuLaunchKernel, 0, func() { err = m.driver().CuLaunchKernel(fn, grid, block, s, args...) })
 	if slot >= 0 {
 		if rerr := m.inner.EventRecord(m.ktt[slot].stop, s); rerr != nil {
 			m.unarm(slot)
@@ -90,13 +90,13 @@ func (m *Monitor) CuLaunchKernel(fn *cudart.Func, grid, block cudart.Dim3, s cud
 // CuStreamSynchronize wraps cuStreamSynchronize.
 func (m *Monitor) CuStreamSynchronize(s cudart.Stream) error {
 	var err error
-	m.timed("cuStreamSynchronize", 0, func() { err = m.driver().CuStreamSynchronize(s) })
+	m.timed(refCuStreamSync, 0, func() { err = m.driver().CuStreamSynchronize(s) })
 	return err
 }
 
 // CuCtxSynchronize wraps cuCtxSynchronize.
 func (m *Monitor) CuCtxSynchronize() error {
 	var err error
-	m.timed("cuCtxSynchronize", 0, func() { err = m.driver().CuCtxSynchronize() })
+	m.timed(refCuCtxSync, 0, func() { err = m.driver().CuCtxSynchronize() })
 	return err
 }

@@ -101,6 +101,39 @@ type Monitor struct {
 	// Mirror of the pending ConfigureCall stack, so the Launch wrapper
 	// knows which stream the kernel goes to.
 	cfgStreams []cudart.Stream
+
+	// Memoized pseudo-entry handles for the KTT flush path: the
+	// @CUDA_EXEC_STRMxx and @CUDA_EXEC_STRMxx:kernel names are built and
+	// hashed once per (stream, kernel), not once per flushed kernel.
+	execStreamRefs map[cudart.Stream]ipm.SigRef
+	execKernelRefs map[execKey]ipm.SigRef
+}
+
+// execKey identifies a per-kernel pseudo entry.
+type execKey struct {
+	stream cudart.Stream
+	kernel string
+}
+
+// execStreamRef returns the memoized @CUDA_EXEC_STRMxx handle.
+func (m *Monitor) execStreamRef(s cudart.Stream) ipm.SigRef {
+	if r, ok := m.execStreamRefs[s]; ok {
+		return r
+	}
+	r := ipm.NewSigRef(ipm.ExecStreamName(int(s)))
+	m.execStreamRefs[s] = r
+	return r
+}
+
+// execKernelRef returns the memoized @CUDA_EXEC_STRMxx:kernel handle.
+func (m *Monitor) execKernelRef(s cudart.Stream, kernel string) ipm.SigRef {
+	k := execKey{stream: s, kernel: kernel}
+	if r, ok := m.execKernelRefs[k]; ok {
+		return r
+	}
+	r := ipm.NewSigRef(ipm.ExecKernelName(int(s), kernel))
+	m.execKernelRefs[k] = r
+	return r
 }
 
 var (
@@ -111,10 +144,12 @@ var (
 // Wrap interposes IPM between the application and the CUDA runtime.
 func Wrap(inner cudart.API, mon *ipm.Monitor, proc *des.Proc, opts Options) *Monitor {
 	m := &Monitor{
-		inner: inner,
-		mon:   mon,
-		proc:  proc,
-		opts:  opts.withDefaults(),
+		inner:          inner,
+		mon:            mon,
+		proc:           proc,
+		opts:           opts.withDefaults(),
+		execStreamRefs: make(map[cudart.Stream]ipm.SigRef),
+		execKernelRefs: make(map[execKey]ipm.SigRef),
 	}
 	if d, ok := inner.(cudart.Driver); ok {
 		m.drv = d
@@ -148,12 +183,13 @@ func (m *Monitor) overhead() {
 }
 
 // timed runs fn bracketed by begin/end timers and records the duration
-// under name — the paper's Fig. 2 wrapper anatomy.
-func (m *Monitor) timed(name string, bytes int64, fn func()) {
+// under the pre-hashed signature handle — the paper's Fig. 2 wrapper
+// anatomy, with the name hash memoized at package init.
+func (m *Monitor) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	m.overhead()
 	begin := m.mon.Now()
 	fn()
-	m.mon.Observe(name, bytes, m.mon.Now()-begin)
+	m.mon.ObserveRef(ref, bytes, m.mon.Now()-begin)
 	if m.opts.CheckEveryCall {
 		m.checkKTT()
 	}
@@ -234,8 +270,8 @@ func (m *Monitor) checkKTT() {
 			}
 		}
 		stat := ipm.Stats{Count: 1, Total: d, Min: d, Max: d}
-		m.mon.ObserveN(ipm.ExecStreamName(int(s.stream)), 0, stat)
-		m.mon.ObserveN(ipm.ExecKernelName(int(s.stream), s.kernel), 0, stat)
+		m.mon.ObserveNRef(m.execStreamRef(s.stream), 0, stat)
+		m.mon.ObserveNRef(m.execKernelRef(s.stream, s.kernel), 0, stat)
 		m.trace("ipm", "KTT flush "+s.kernel+" (h)")
 	}
 	m.kttArmed = remaining
@@ -266,6 +302,6 @@ func (m *Monitor) hostIdle(s cudart.Stream) {
 		return
 	}
 	if idle := m.mon.Now() - begin; idle > 0 {
-		m.mon.Observe(ipm.HostIdleName, 0, idle)
+		m.mon.ObserveRef(refHostIdle, 0, idle)
 	}
 }

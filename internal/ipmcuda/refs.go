@@ -1,0 +1,78 @@
+package ipmcuda
+
+import (
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/ipm"
+)
+
+// Pre-hashed signature handles for every monitored symbol. Each constant
+// event name is hashed exactly once, at package init, instead of once per
+// intercepted call — the SigRef fast path of the performance hash table.
+var (
+	refMalloc          = ipm.NewSigRef("cudaMalloc")
+	refFree            = ipm.NewSigRef("cudaFree")
+	refHostAlloc       = ipm.NewSigRef("cudaHostAlloc")
+	refMemcpyToSymbol  = ipm.NewSigRef("cudaMemcpyToSymbol")
+	refMemset          = ipm.NewSigRef("cudaMemset")
+	refMemGetInfo      = ipm.NewSigRef("cudaMemGetInfo")
+	refConfigureCall   = ipm.NewSigRef("cudaConfigureCall")
+	refSetupArgument   = ipm.NewSigRef("cudaSetupArgument")
+	refLaunch          = ipm.NewSigRef("cudaLaunch")
+	refStreamCreate    = ipm.NewSigRef("cudaStreamCreate")
+	refStreamDestroy   = ipm.NewSigRef("cudaStreamDestroy")
+	refStreamSync      = ipm.NewSigRef("cudaStreamSynchronize")
+	refEventCreate     = ipm.NewSigRef("cudaEventCreate")
+	refEventRecord     = ipm.NewSigRef("cudaEventRecord")
+	refEventQuery      = ipm.NewSigRef("cudaEventQuery")
+	refEventSync       = ipm.NewSigRef("cudaEventSynchronize")
+	refEventElapsed    = ipm.NewSigRef("cudaEventElapsedTime")
+	refEventDestroy    = ipm.NewSigRef("cudaEventDestroy")
+	refThreadSync      = ipm.NewSigRef("cudaThreadSynchronize")
+	refGetDeviceCount  = ipm.NewSigRef("cudaGetDeviceCount")
+	refGetDeviceProps  = ipm.NewSigRef("cudaGetDeviceProperties")
+	refGetDevice       = ipm.NewSigRef("cudaGetDevice")
+	refSetDevice       = ipm.NewSigRef("cudaSetDevice")
+	refGetLastError    = ipm.NewSigRef("cudaGetLastError")
+	refHostIdle        = ipm.NewSigRef(ipm.HostIdleName)
+	refCuInit          = ipm.NewSigRef("cuInit")
+	refCuMemAlloc      = ipm.NewSigRef("cuMemAlloc")
+	refCuMemFree       = ipm.NewSigRef("cuMemFree")
+	refCuMemcpyHtoD    = ipm.NewSigRef("cuMemcpyHtoD")
+	refCuMemcpyDtoH    = ipm.NewSigRef("cuMemcpyDtoH")
+	refCuMemsetD8      = ipm.NewSigRef("cuMemsetD8")
+	refCuLaunchKernel  = ipm.NewSigRef("cuLaunchKernel")
+	refCuStreamSync    = ipm.NewSigRef("cuStreamSynchronize")
+	refCuCtxSync       = ipm.NewSigRef("cuCtxSynchronize")
+)
+
+// memcpyKinds is the direction set refs are prebuilt for.
+var memcpyKinds = []cudart.MemcpyKind{
+	cudart.MemcpyHostToHost,
+	cudart.MemcpyHostToDevice,
+	cudart.MemcpyDeviceToHost,
+	cudart.MemcpyDeviceToDevice,
+}
+
+// memcpyRefs prebuilds the direction-tagged refs ("cudaMemcpy(D2H)", ...)
+// indexed by cudart.MemcpyKind.
+func memcpyRefs(base string) [4]ipm.SigRef {
+	var out [4]ipm.SigRef
+	for _, k := range memcpyKinds {
+		out[k] = ipm.NewSigRef(memcpyName(base, k))
+	}
+	return out
+}
+
+var (
+	refMemcpy      = memcpyRefs("cudaMemcpy")
+	refMemcpyAsync = memcpyRefs("cudaMemcpyAsync")
+)
+
+// memcpyRef selects the prebuilt ref for a direction, falling back to an
+// on-the-spot ref for out-of-range kinds.
+func memcpyRef(refs *[4]ipm.SigRef, base string, kind cudart.MemcpyKind) ipm.SigRef {
+	if kind >= 0 && int(kind) < len(refs) {
+		return refs[kind]
+	}
+	return ipm.NewSigRef(memcpyName(base, kind))
+}

@@ -24,17 +24,27 @@ func Wrap(inner *iosim.FS, mon *ipm.Monitor) *FS {
 	return &FS{inner: inner, mon: mon}
 }
 
-func (f *FS) timed(name string, bytes int64, fn func()) {
+// Pre-hashed signature handles, one per monitored I/O symbol.
+var (
+	refOpen   = ipm.NewSigRef("fopen")
+	refUnlink = ipm.NewSigRef("unlink")
+	refWrite  = ipm.NewSigRef("fwrite")
+	refRead   = ipm.NewSigRef("fread")
+	refSeek   = ipm.NewSigRef("fseek")
+	refClose  = ipm.NewSigRef("fclose")
+)
+
+func (f *FS) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	begin := f.mon.Now()
 	fn()
-	f.mon.Observe(name, bytes, f.mon.Now()-begin)
+	f.mon.ObserveRef(ref, bytes, f.mon.Now()-begin)
 }
 
 // Open wraps fopen.
 func (f *FS) Open(proc *des.Proc, name string, create bool) (*Handle, error) {
 	var h *iosim.Handle
 	var err error
-	f.timed("fopen", 0, func() { h, err = f.inner.Open(proc, name, create) })
+	f.timed(refOpen, 0, func() { h, err = f.inner.Open(proc, name, create) })
 	if err != nil {
 		return nil, err
 	}
@@ -44,7 +54,7 @@ func (f *FS) Open(proc *des.Proc, name string, create bool) (*Handle, error) {
 // Unlink wraps unlink.
 func (f *FS) Unlink(proc *des.Proc, name string) error {
 	var err error
-	f.timed("unlink", 0, func() { err = f.inner.Unlink(proc, name) })
+	f.timed(refUnlink, 0, func() { err = f.inner.Unlink(proc, name) })
 	return err
 }
 
@@ -58,7 +68,7 @@ type Handle struct {
 func (h *Handle) Write(data []byte) (int, error) {
 	var n int
 	var err error
-	h.fs.timed("fwrite", int64(len(data)), func() { n, err = h.inner.Write(data) })
+	h.fs.timed(refWrite, int64(len(data)), func() { n, err = h.inner.Write(data) })
 	return n, err
 }
 
@@ -66,21 +76,21 @@ func (h *Handle) Write(data []byte) (int, error) {
 func (h *Handle) Read(buf []byte) (int, error) {
 	var n int
 	var err error
-	h.fs.timed("fread", int64(len(buf)), func() { n, err = h.inner.Read(buf) })
+	h.fs.timed(refRead, int64(len(buf)), func() { n, err = h.inner.Read(buf) })
 	return n, err
 }
 
 // SeekTo wraps fseek.
 func (h *Handle) SeekTo(offset int64) error {
 	var err error
-	h.fs.timed("fseek", 0, func() { err = h.inner.SeekTo(offset) })
+	h.fs.timed(refSeek, 0, func() { err = h.inner.SeekTo(offset) })
 	return err
 }
 
 // Close wraps fclose.
 func (h *Handle) Close() error {
 	var err error
-	h.fs.timed("fclose", 0, func() { err = h.inner.Close() })
+	h.fs.timed(refClose, 0, func() { err = h.inner.Close() })
 	return err
 }
 

@@ -26,6 +26,25 @@ func Wrap(inner mpisim.Comm, mon *ipm.Monitor) *Comm {
 	return &Comm{inner: inner, mon: mon}
 }
 
+// Pre-hashed signature handles, one per monitored MPI symbol: the name is
+// hashed once at package init, never on the per-call fast path.
+var (
+	refSend      = ipm.NewSigRef("MPI_Send")
+	refRecv      = ipm.NewSigRef("MPI_Recv")
+	refIsend     = ipm.NewSigRef("MPI_Isend")
+	refIrecv     = ipm.NewSigRef("MPI_Irecv")
+	refWait      = ipm.NewSigRef("MPI_Wait")
+	refWaitall   = ipm.NewSigRef("MPI_Waitall")
+	refBarrier   = ipm.NewSigRef("MPI_Barrier")
+	refBcast     = ipm.NewSigRef("MPI_Bcast")
+	refReduce    = ipm.NewSigRef("MPI_Reduce")
+	refAllreduce = ipm.NewSigRef("MPI_Allreduce")
+	refGather    = ipm.NewSigRef("MPI_Gather")
+	refAllgather = ipm.NewSigRef("MPI_Allgather")
+	refScatter   = ipm.NewSigRef("MPI_Scatter")
+	refAlltoall  = ipm.NewSigRef("MPI_Alltoall")
+)
+
 // IPM returns the underlying monitor.
 func (c *Comm) IPM() *ipm.Monitor { return c.mon }
 
@@ -38,16 +57,16 @@ func (c *Comm) Size() int { return c.inner.Size() }
 // Proc returns the host process.
 func (c *Comm) Proc() *des.Proc { return c.inner.Proc() }
 
-func (c *Comm) timed(name string, bytes int64, fn func()) {
+func (c *Comm) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	begin := c.mon.Now()
 	fn()
-	c.mon.Observe(name, bytes, c.mon.Now()-begin)
+	c.mon.ObserveRef(ref, bytes, c.mon.Now()-begin)
 }
 
 // Send wraps MPI_Send.
 func (c *Comm) Send(data []byte, dest, tag int) error {
 	var err error
-	c.timed("MPI_Send", int64(len(data)), func() { err = c.inner.Send(data, dest, tag) })
+	c.timed(refSend, int64(len(data)), func() { err = c.inner.Send(data, dest, tag) })
 	return err
 }
 
@@ -55,7 +74,7 @@ func (c *Comm) Send(data []byte, dest, tag int) error {
 func (c *Comm) Recv(buf []byte, source, tag int) (mpisim.Status, error) {
 	var st mpisim.Status
 	var err error
-	c.timed("MPI_Recv", int64(len(buf)), func() { st, err = c.inner.Recv(buf, source, tag) })
+	c.timed(refRecv, int64(len(buf)), func() { st, err = c.inner.Recv(buf, source, tag) })
 	return st, err
 }
 
@@ -63,7 +82,7 @@ func (c *Comm) Recv(buf []byte, source, tag int) (mpisim.Status, error) {
 func (c *Comm) Isend(data []byte, dest, tag int) (*mpisim.Request, error) {
 	var req *mpisim.Request
 	var err error
-	c.timed("MPI_Isend", int64(len(data)), func() { req, err = c.inner.Isend(data, dest, tag) })
+	c.timed(refIsend, int64(len(data)), func() { req, err = c.inner.Isend(data, dest, tag) })
 	return req, err
 }
 
@@ -71,7 +90,7 @@ func (c *Comm) Isend(data []byte, dest, tag int) (*mpisim.Request, error) {
 func (c *Comm) Irecv(buf []byte, source, tag int) (*mpisim.Request, error) {
 	var req *mpisim.Request
 	var err error
-	c.timed("MPI_Irecv", int64(len(buf)), func() { req, err = c.inner.Irecv(buf, source, tag) })
+	c.timed(refIrecv, int64(len(buf)), func() { req, err = c.inner.Irecv(buf, source, tag) })
 	return req, err
 }
 
@@ -79,70 +98,70 @@ func (c *Comm) Irecv(buf []byte, source, tag int) (*mpisim.Request, error) {
 func (c *Comm) Wait(req *mpisim.Request) (mpisim.Status, error) {
 	var st mpisim.Status
 	var err error
-	c.timed("MPI_Wait", 0, func() { st, err = c.inner.Wait(req) })
+	c.timed(refWait, 0, func() { st, err = c.inner.Wait(req) })
 	return st, err
 }
 
 // Waitall wraps MPI_Waitall.
 func (c *Comm) Waitall(reqs []*mpisim.Request) error {
 	var err error
-	c.timed("MPI_Waitall", 0, func() { err = c.inner.Waitall(reqs) })
+	c.timed(refWaitall, 0, func() { err = c.inner.Waitall(reqs) })
 	return err
 }
 
 // Barrier wraps MPI_Barrier.
 func (c *Comm) Barrier() error {
 	var err error
-	c.timed("MPI_Barrier", 0, func() { err = c.inner.Barrier() })
+	c.timed(refBarrier, 0, func() { err = c.inner.Barrier() })
 	return err
 }
 
 // Bcast wraps MPI_Bcast.
 func (c *Comm) Bcast(data []byte, root int) error {
 	var err error
-	c.timed("MPI_Bcast", int64(len(data)), func() { err = c.inner.Bcast(data, root) })
+	c.timed(refBcast, int64(len(data)), func() { err = c.inner.Bcast(data, root) })
 	return err
 }
 
 // Reduce wraps MPI_Reduce.
 func (c *Comm) Reduce(send, recv []byte, op mpisim.Op, root int) error {
 	var err error
-	c.timed("MPI_Reduce", int64(len(send)), func() { err = c.inner.Reduce(send, recv, op, root) })
+	c.timed(refReduce, int64(len(send)), func() { err = c.inner.Reduce(send, recv, op, root) })
 	return err
 }
 
 // Allreduce wraps MPI_Allreduce.
 func (c *Comm) Allreduce(send, recv []byte, op mpisim.Op) error {
 	var err error
-	c.timed("MPI_Allreduce", int64(len(send)), func() { err = c.inner.Allreduce(send, recv, op) })
+	c.timed(refAllreduce, int64(len(send)), func() { err = c.inner.Allreduce(send, recv, op) })
 	return err
 }
 
 // Gather wraps MPI_Gather.
 func (c *Comm) Gather(send, recv []byte, root int) error {
 	var err error
-	c.timed("MPI_Gather", int64(len(send)), func() { err = c.inner.Gather(send, recv, root) })
+	c.timed(refGather, int64(len(send)), func() { err = c.inner.Gather(send, recv, root) })
 	return err
 }
 
 // Allgather wraps MPI_Allgather.
 func (c *Comm) Allgather(send, recv []byte) error {
 	var err error
-	c.timed("MPI_Allgather", int64(len(send)), func() { err = c.inner.Allgather(send, recv) })
+	c.timed(refAllgather, int64(len(send)), func() { err = c.inner.Allgather(send, recv) })
 	return err
 }
 
 // Scatter wraps MPI_Scatter.
 func (c *Comm) Scatter(send, recv []byte, root int) error {
 	var err error
-	c.timed("MPI_Scatter", int64(len(recv)), func() { err = c.inner.Scatter(send, recv, root) })
+	c.timed(refScatter, int64(len(recv)), func() { err = c.inner.Scatter(send, recv, root) })
 	return err
 }
 
 // Alltoall wraps MPI_Alltoall.
 func (c *Comm) Alltoall(send, recv []byte) error {
 	var err error
-	c.timed("MPI_Alltoall", int64(len(send)), func() { err = c.inner.Alltoall(send, recv) })
+	c.timed(refAlltoall, int64(len(send)), func() { err = c.inner.Alltoall(send, recv) })
 	return err
 }
 

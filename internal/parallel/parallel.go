@@ -1,0 +1,98 @@
+// Package parallel provides the bounded worker pool that executes
+// independent DES simulations concurrently — the harness-side counterpart
+// of the monitoring fast path. Every trial of an ensemble experiment
+// (fig8's HPL runs, fig10's process-count scan, table1's SDK suite) owns
+// its entire simulated world: a private des.Engine, gpusim devices,
+// mpisim world, iosim filesystem, and per-rank seeded RNGs, none of which
+// escape the engine. Trials therefore share no mutable state and can run
+// on separate OS threads; results are collected order-stably by index, so
+// the same seeds produce byte-identical output at any worker count.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default parallelism: one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// RunAll invokes fn(0) .. fn(n-1), each exactly once, on at most workers
+// concurrent goroutines and waits for all of them. workers <= 0 selects
+// DefaultWorkers(). Results are the caller's to collect by index (writes
+// to distinct indices of a pre-sized slice need no locking).
+//
+// Error propagation is deterministic: RunAll returns the error of the
+// lowest-indexed failing call, regardless of completion order. After any
+// failure no new calls are dispatched, but calls already in flight run to
+// completion before RunAll returns.
+func RunAll(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64 // next index to dispatch
+		failed  atomic.Bool  // stop dispatching after any error
+		mu      sync.Mutex
+		errIdx  = n // lowest failing index seen
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Map runs fn over 0..n-1 with RunAll's pool semantics and returns the
+// results in index order. On error the partial results are discarded and
+// the lowest-indexed error is returned.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := RunAll(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

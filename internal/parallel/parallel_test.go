@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunAllInvokesEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		const n = 100
+		var calls [n]atomic.Int32
+		if err := RunAll(n, workers, func(i int) error {
+			calls[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range calls {
+			if c := calls[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: fn(%d) called %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunAllEmptyAndOversizedPool(t *testing.T) {
+	if err := RunAll(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int32
+	if err := RunAll(2, 64, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("ran = %d, want 2", ran.Load())
+	}
+}
+
+func TestRunAllReturnsLowestIndexedError(t *testing.T) {
+	// Indices 3 and 7 fail; regardless of scheduling, the reported error
+	// must be index 3's. Index 7 finishes first to tempt a
+	// first-to-complete implementation.
+	for _, workers := range []int{2, 4, 8} {
+		err := RunAll(10, workers, func(i int) error {
+			switch i {
+			case 3:
+				time.Sleep(10 * time.Millisecond)
+				return fmt.Errorf("fail-%d", i)
+			case 7:
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("workers=%d: err = %v, want fail-3", workers, err)
+		}
+	}
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	out, err := Map(50, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) {
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}
+
+// TestRunAllSharedCounterRace exists for the -race build: concurrent
+// workers bumping an atomic and writing distinct slice indices must not
+// trip the detector.
+func TestRunAllSharedCounterRace(t *testing.T) {
+	const n = 256
+	out := make([]int, n)
+	var sum atomic.Int64
+	if err := RunAll(n, 8, func(i int) error {
+		out[i] = i
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != n*(n-1)/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
