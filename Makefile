@@ -6,10 +6,11 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr1.json
-BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel
+BENCH_OUT ?= BENCH_pr2.json
+BENCH_BASE ?= BENCH_pr1.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry
 
-.PHONY: build vet test race verify bench experiments clean
+.PHONY: build vet test race verify bench experiments trace clean
 
 build:
 	$(GO) build ./...
@@ -24,15 +25,21 @@ test:
 # the worker pool itself, the ensemble experiments that fan out on it,
 # and the core packages those simulations exercise.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry
 
 verify: build vet test
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -compare $(BENCH_BASE)
 
 experiments:
 	$(GO) run ./cmd/experiments -quick
+
+# Produce a sample Perfetto-loadable timeline trace from the square
+# workload (open results/square_trace.json in https://ui.perfetto.dev).
+trace:
+	mkdir -p results
+	$(GO) run ./cmd/ipmrun -trace results/square_trace.json square
 
 clean:
 	rm -f $(BENCH_OUT)

@@ -20,6 +20,7 @@ import (
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
 	"ipmgo/internal/perfmodel"
+	"ipmgo/internal/telemetry"
 	"ipmgo/internal/workloads"
 )
 
@@ -307,6 +308,30 @@ func BenchmarkAblationHashTable(b *testing.B) {
 				c := obs
 				m[sig] = &c
 			}
+		}
+	})
+}
+
+// BenchmarkObserveTelemetry measures the monitored hot path with the
+// telemetry layer absent and attached. The disabled variant must match
+// the sigref path of BenchmarkObserveHot (internal/ipm) — telemetry-off
+// costs one untaken branch, no allocations.
+func BenchmarkObserveTelemetry(b *testing.B) {
+	clock := func() time.Duration { return 0 }
+	ref := ipm.NewSigRef("cudaMemcpy(D2H)")
+	b.Run("disabled", func(b *testing.B) {
+		m := ipm.NewMonitor(0, "host", "bench", clock, 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ObserveRef(ref, 1<<20, time.Microsecond)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		m := ipm.NewMonitor(0, "host", "bench", clock, 1024)
+		m.AttachTelemetry(telemetry.NewRecorder(1 << 16))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.ObserveRef(ref, 1<<20, time.Microsecond)
 		}
 	})
 }

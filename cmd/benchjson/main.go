@@ -13,6 +13,13 @@
 // are present only when the run used -benchmem; absent metrics are
 // omitted from the JSON (encoded as null via pointers would be noise —
 // they are simply left at zero with "hasMem": false).
+//
+// With -compare OLD.json the command additionally prints a ns/op delta
+// table for every benchmark present in both the old snapshot and the
+// current run, so successive PR snapshots (BENCH_pr1.json,
+// BENCH_pr2.json, ...) can be diffed in CI:
+//
+//	go test -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_pr2.json -compare BENCH_pr1.json
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -37,6 +45,7 @@ type Result struct {
 
 func main() {
 	out := flag.String("o", "", "output JSON file (required)")
+	compare := flag.String("compare", "", "previous snapshot to print ns/op deltas against")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o FILE is required")
@@ -61,6 +70,47 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
+	if *compare != "" {
+		if err := printComparison(os.Stderr, *compare, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printComparison renders a ns/op delta table between a previous snapshot
+// and the current results, for the benchmarks present in both.
+func printComparison(w io.Writer, oldPath string, cur map[string]Result) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	old := make(map[string]Result)
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("parsing %s: %w", oldPath, err)
+	}
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		if _, ok := old[n]; ok {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(w, "benchjson: no common benchmarks with %s\n", oldPath)
+		return nil
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "benchjson: ns/op vs %s\n", oldPath)
+	fmt.Fprintf(w, "%-50s %12s %12s %8s\n", "benchmark", "old", "new", "delta")
+	for _, n := range names {
+		o, c := old[n], cur[n]
+		delta := "n/a"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-50s %12.2f %12.2f %8s\n", n, o.NsPerOp, c.NsPerOp, delta)
+	}
+	return nil
 }
 
 // parseLine extracts a benchmark result from one output line. Returns

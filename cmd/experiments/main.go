@@ -18,6 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,6 +28,7 @@ import (
 
 	"ipmgo/internal/experiments"
 	"ipmgo/internal/parallel"
+	"ipmgo/internal/telemetry"
 )
 
 func main() {
@@ -34,9 +37,24 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	only := flag.String("only", "", "run a single experiment (fig4..fig11, table1)")
 	jobs := flag.Int("j", parallel.DefaultWorkers(), "max concurrent simulations (ensembles and figures)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address while experiments run")
 	flag.Parse()
 
-	if err := run(*quick, *seed, *out, *only, *jobs); err != nil {
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	if err := run(*quick, *seed, *out, *only, *jobs, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -45,14 +63,14 @@ func main() {
 // writeFn persists one named artifact and logs the path.
 type writeFn func(name, content string) error
 
-func run(quick bool, seed int64, outDir, only string, jobs int) error {
+func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.Registry) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	if jobs < 1 {
 		jobs = 1
 	}
-	o := experiments.Options{Quick: quick, Seed: seed, Workers: jobs}
+	o := experiments.Options{Quick: quick, Seed: seed, Workers: jobs, Metrics: reg}
 
 	type exp struct {
 		name string

@@ -15,12 +15,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"ipmgo/internal/cluster"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/telemetry"
 	"ipmgo/internal/workloads"
 )
 
@@ -34,6 +38,10 @@ func main() {
 	seed := flag.Int64("seed", 2011, "noise seed")
 	iterations := flag.Int("iterations", 0, "override workload iterations/steps (0 = default)")
 	scale := flag.Float64("scale", 1.0, "duration scale for HPL")
+	traceOut := flag.String("trace", "", "write a Perfetto-loadable Chrome trace JSON to this file")
+	traceCap := flag.Int("trace-cap", telemetry.DefaultCapacity, "telemetry ring capacity in spans (oldest dropped beyond)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. :9090)")
+	hold := flag.Duration("hold", 0, "keep the /metrics endpoint up this long after the run")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -49,6 +57,26 @@ func main() {
 	cfg.NoiseSeed = *seed
 	cfg.NoiseAmp = 0.01
 	cfg.Command = "./" + name
+
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(*traceCap)
+		cfg.Telemetry = rec
+	}
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Metrics = reg
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun: metrics:", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	app, err := selectWorkload(name, &cfg, *iterations, *scale)
 	if err != nil {
@@ -78,6 +106,31 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "profiling log written to %s\n", *xmlOut)
+	}
+	if rec != nil {
+		spans := rec.Snapshot()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun:", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ipmrun: trace:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun: trace:", err)
+			os.Exit(1)
+		}
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d of %d spans dropped (raise -trace-cap for a complete trace)\n", d, rec.Total())
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans) — open in https://ui.perfetto.dev\n", *traceOut, len(spans))
+	}
+	if reg != nil && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "holding /metrics for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

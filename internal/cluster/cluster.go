@@ -27,6 +27,7 @@ import (
 	"ipmgo/internal/noise"
 	"ipmgo/internal/ompsim"
 	"ipmgo/internal/perfmodel"
+	"ipmgo/internal/telemetry"
 )
 
 // Config describes one simulated job.
@@ -61,6 +62,18 @@ type Config struct {
 	// LibCostOnly disables the functional payloads of CUBLAS and CUFFT
 	// (timing only), so large workload models stay cheap to simulate.
 	LibCostOnly bool
+
+	// Telemetry, when non-nil, records a span for every user region and
+	// monitored host call (requires Monitor) and for every device
+	// operation, for export as a Perfetto-loadable timeline trace.
+	Telemetry *telemetry.Recorder
+	// Metrics, when non-nil, receives live Prometheus-style samples.
+	// Samples are published from inside the simulation loop every
+	// MetricsInterval of virtual time and once at job end, so an HTTP
+	// scrape never races with the running simulation.
+	Metrics *telemetry.Registry
+	// MetricsInterval is the virtual-time publish period (default 50ms).
+	MetricsInterval time.Duration
 
 	// Command is the command line recorded in the profile.
 	Command string
@@ -211,6 +224,18 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 		if cfg.Counters {
 			counters = append(counters, gpucounters.Attach(devices[i]))
 		}
+		if cfg.Telemetry != nil {
+			devices[i].AttachTelemetry(cfg.Telemetry, fmt.Sprintf("gpu%d", i))
+		}
+	}
+
+	var obsHist *telemetry.Histogram
+	if cfg.Metrics != nil {
+		obsHist = cfg.Metrics.Histogram(
+			"ipm_observe_latency_ns",
+			"Real (wall-clock) latency of one Monitor observation in nanoseconds.",
+			telemetry.ExpBuckets(8, 2, 12),
+		)
 	}
 
 	world, err := mpisim.NewWorld(eng, mpisim.Config{Size: size, Net: cfg.Net, RanksPerNode: cfg.RanksPerNode})
@@ -223,6 +248,7 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 	sharedFS := iosim.NewFS(eng, cfg.FS)
 
 	monitors := make([]*ipm.Monitor, size)
+	ranksDone := 0
 	for rank := 0; rank < size; rank++ {
 		rank := rank
 		node := world.NodeOf(rank)
@@ -246,6 +272,12 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			if cfg.Monitor {
 				host := fmt.Sprintf("dirac%d", node+1)
 				mon := ipm.NewMonitor(rank, host, cfg.Command, p.Now, cfg.TableSize)
+				if cfg.Telemetry != nil {
+					mon.AttachTelemetry(cfg.Telemetry)
+				}
+				if obsHist != nil {
+					mon.SetLatencyHistogram(obsHist)
+				}
 				mon.Start()
 				monitors[rank] = mon
 				env.IPM = mon
@@ -274,11 +306,35 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			if monitors[rank] != nil {
 				monitors[rank].Stop()
 			}
+			ranksDone++
 		})
+	}
+
+	if cfg.Metrics != nil {
+		// Publish from inside the event loop so sampling the monitor
+		// tables never races with the ranks mutating them. The tick stops
+		// rescheduling itself once every rank has finished; otherwise it
+		// would keep the event queue non-empty forever.
+		interval := cfg.MetricsInterval
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+		var tick func()
+		tick = func() {
+			cfg.Metrics.Publish(cfg.Command, collectSamples(&cfg, eng, monitors, devices))
+			if ranksDone < size {
+				eng.ScheduleAfter(interval, tick)
+			}
+		}
+		eng.ScheduleAfter(interval, tick)
 	}
 
 	if err := eng.RunFor(cfg.Horizon); err != nil {
 		return nil, fmt.Errorf("cluster: run: %w", err)
+	}
+	if cfg.Metrics != nil {
+		// Final publish with the end-of-job state.
+		cfg.Metrics.Publish(cfg.Command, collectSamples(&cfg, eng, monitors, devices))
 	}
 
 	res := &Result{Wallclock: eng.Now(), Profilers: profilers, Counters: counters}

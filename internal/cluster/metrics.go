@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"strconv"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/telemetry"
+)
+
+// collectSamples assembles the live metric snapshot for one job: per-rank
+// monitor metrics (call counts/times, hash-table fidelity), per-GPU busy
+// time, and the telemetry recorder's own health. It must run inside the
+// DES event loop — it reads monitor tables without locking.
+func collectSamples(cfg *Config, eng *des.Engine, monitors []*ipm.Monitor, devices []*gpusim.Device) []telemetry.Sample {
+	out := make([]telemetry.Sample, 0, 64)
+	out = append(out, telemetry.Sample{
+		Name:  "ipm_sim_seconds",
+		Help:  "Current virtual (simulated) time of the job.",
+		Type:  "gauge",
+		Value: eng.Now().Seconds(),
+	})
+	for _, m := range monitors {
+		if m != nil {
+			out = append(out, ipm.MetricsSamples(m)...)
+		}
+	}
+	for i, d := range devices {
+		gpu := []telemetry.Label{{Key: "gpu", Value: strconv.Itoa(i)}}
+		out = append(out,
+			telemetry.Sample{
+				Name: "ipm_gpu_busy_seconds",
+				Help: "Accumulated kernel execution time per GPU (overlapping kernels count multiply).",
+				Type: "gauge", Labels: gpu,
+				Value: d.BusyKernelTime().Seconds(),
+			},
+			telemetry.Sample{
+				Name: "ipm_gpu_ops_total",
+				Help: "Device operations enqueued per GPU.",
+				Type: "counter", Labels: gpu,
+				Value: float64(d.Ops()),
+			},
+		)
+	}
+	if rec := cfg.Telemetry; rec != nil {
+		out = append(out,
+			telemetry.Sample{
+				Name:  "ipm_telemetry_spans_total",
+				Help:  "Spans recorded into the telemetry ring buffer.",
+				Type:  "counter",
+				Value: float64(rec.Total()),
+			},
+			telemetry.Sample{
+				Name:  "ipm_telemetry_spans_dropped_total",
+				Help:  "Spans overwritten before export (ring buffer drop-oldest).",
+				Type:  "counter",
+				Value: float64(rec.Dropped()),
+			},
+		)
+	}
+	// A trailing job label keeps every series unique when several jobs
+	// with overlapping signatures publish to one registry (an experiment
+	// sweep watched from a single /metrics endpoint).
+	job := telemetry.Label{Key: "job", Value: cfg.Command}
+	for i := range out {
+		out[i].Labels = append(out[i].Labels, job)
+	}
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"ipmgo/internal/cluster"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/telemetry"
 	"ipmgo/internal/workloads"
 )
 
@@ -30,6 +31,10 @@ type Options struct {
 	// index, so output is byte-identical at any worker count. <= 1 runs
 	// serially.
 	Workers int
+	// Metrics, when non-nil, receives live Prometheus-style samples from
+	// every job an experiment runs (see cluster.Config.Metrics), so a
+	// long experiment sweep can be watched from a /metrics endpoint.
+	Metrics *telemetry.Registry
 }
 
 // workers returns the effective pool size (serial unless set).
@@ -48,10 +53,11 @@ func monitoringFor(kernelTiming, hostIdle bool) ipmcuda.Options {
 
 // runSquare executes the Fig. 3 program on one Dirac node with the given
 // monitoring level and returns the job profile.
-func runSquare(opts ipmcuda.Options) (*ipm.JobProfile, error) {
+func runSquare(o Options, opts ipmcuda.Options) (*ipm.JobProfile, error) {
 	cfg := cluster.Dirac(1, 1)
 	cfg.Monitor = true
 	cfg.CUDA = opts
+	cfg.Metrics = o.Metrics
 	cfg.Command = "./cuda.ipm"
 	res, err := cluster.Run(cfg, func(env *cluster.Env) {
 		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
@@ -74,7 +80,7 @@ func bannerOf(jp *ipm.JobProfile) (string, error) {
 
 // Fig4 reproduces the banner with host-side timing only.
 func Fig4(o Options) (string, error) {
-	jp, err := runSquare(monitoringFor(false, false))
+	jp, err := runSquare(o, monitoringFor(false, false))
 	if err != nil {
 		return "", err
 	}
@@ -83,7 +89,7 @@ func Fig4(o Options) (string, error) {
 
 // Fig5 reproduces the banner with GPU kernel timing enabled.
 func Fig5(o Options) (string, error) {
-	jp, err := runSquare(monitoringFor(true, false))
+	jp, err := runSquare(o, monitoringFor(true, false))
 	if err != nil {
 		return "", err
 	}
@@ -93,7 +99,7 @@ func Fig5(o Options) (string, error) {
 // Fig6 reproduces the banner with kernel timing and implicit host
 // blocking identification enabled.
 func Fig6(o Options) (string, error) {
-	jp, err := runSquare(monitoringFor(true, true))
+	jp, err := runSquare(o, monitoringFor(true, true))
 	if err != nil {
 		return "", err
 	}
@@ -112,6 +118,7 @@ func Fig7(o Options) (string, error) {
 		HostIdle:     true,
 		Trace:        func(ev ipmcuda.TraceEvent) { events = append(events, ev) },
 	}
+	cfg.Metrics = o.Metrics
 	cfg.Command = "./cuda.ipm"
 	_, err := cluster.Run(cfg, func(env *cluster.Env) {
 		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {

@@ -55,6 +55,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		cfg.Monitor = true
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.LibCostOnly = true
+		cfg.Metrics = o.Metrics
 		cfg.Command = "./paratec.x"
 		cfg.NoiseSeed = o.Seed + int64(procs)
 		cfg.NoiseAmp = 0.01

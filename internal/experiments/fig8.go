@@ -66,6 +66,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 		cfg := cluster.Dirac(nodes, 1)
 		cfg.Monitor = monitored
 		cfg.CUDA = monitoringFor(true, true)
+		cfg.Metrics = o.Metrics
 		cfg.Command = "./xhpl.cuda"
 		cfg.NoiseSeed = o.Seed + int64(i) + 1
 		cfg.NoiseAmp = 0.03

@@ -38,6 +38,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 	cfg := cluster.Dirac(nodes, 1)
 	cfg.Monitor = true
 	cfg.CUDA = monitoringFor(true, true)
+	cfg.Metrics = o.Metrics
 	cfg.Command = "./xhpl.cuda"
 	cfg.NoiseSeed = o.Seed + 42
 	cfg.NoiseAmp = 0.02

@@ -33,6 +33,7 @@ func Table1(o Options) ([]Table1Row, error) {
 		cfg.Monitor = true
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.CUDAProfile = true
+		cfg.Metrics = o.Metrics
 		cfg.Command = "./" + bench.Name
 		res, err := cluster.Run(cfg, func(env *cluster.Env) {
 			if err := bench.Run(env); err != nil {

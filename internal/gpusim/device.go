@@ -28,6 +28,7 @@ import (
 
 	"ipmgo/internal/des"
 	"ipmgo/internal/perfmodel"
+	"ipmgo/internal/telemetry"
 )
 
 // Device is a simulated GPU. Create devices with NewDevice. A Device is
@@ -56,6 +57,17 @@ type Device struct {
 	// time with its exact execution record. The CUDA-profiler substrate
 	// (internal/cudaprof) registers here; chains are the caller's job.
 	OnKernelComplete func(KernelRecord)
+
+	// Streaming telemetry: when tel is non-nil, every device operation is
+	// recorded as a span on a per-stream or per-copy-engine track. Track
+	// names are memoized so the per-op cost is a map lookup, and span
+	// timestamps are the exact schedule the simulator computed at enqueue
+	// time — the device-side ground truth of the paper's KTT.
+	tel        *telemetry.Recorder
+	telName    string
+	telStreams map[int]string
+	telH2D     string
+	telD2H     string
 }
 
 // KernelRecord is the exact ground-truth execution record of one kernel,
@@ -87,6 +99,40 @@ func NewDevice(eng *des.Engine, spec perfmodel.GPUSpec) *Device {
 	d.streams[0] = &Stream{id: 0, dev: d}
 	d.nextStreamID = 1
 	return d
+}
+
+// AttachTelemetry routes every device operation into rec as a span.
+// name labels the device's tracks ("gpu0" yields "gpu0/strm00",
+// "gpu0/copyH2D", ...). Attach before enqueuing work; nil detaches.
+func (d *Device) AttachTelemetry(rec *telemetry.Recorder, name string) {
+	d.tel = rec
+	d.telName = name
+	d.telStreams = map[int]string{}
+	d.telH2D = name + "/copyH2D"
+	d.telD2H = name + "/copyD2H"
+}
+
+// streamTrack returns the memoized track name of a stream.
+func (d *Device) streamTrack(id int) string {
+	if t, ok := d.telStreams[id]; ok {
+		return t
+	}
+	t := fmt.Sprintf("%s/strm%02d", d.telName, id)
+	d.telStreams[id] = t
+	return t
+}
+
+// recordStreamSpan emits one span on the op's stream track when
+// telemetry is attached. The disabled path is a single nil check; track
+// names are memoized per stream.
+func (d *Device) recordStreamSpan(streamID int, class telemetry.SpanClass, op *Op, bytes int64) {
+	if d.tel == nil {
+		return
+	}
+	d.tel.Record(telemetry.Span{
+		Track: d.streamTrack(streamID), Name: op.Name, Class: class,
+		Start: op.Start, End: op.End, Bytes: bytes,
+	})
 }
 
 // Spec returns the device specification.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ipmgo/internal/des"
+	"ipmgo/internal/telemetry"
 )
 
 // DevEvent models a CUDA event: a marker inserted into a stream whose
@@ -34,6 +35,7 @@ func (d *Device) NewEvent() *DevEvent { return &DevEvent{dev: d} }
 func (ev *DevEvent) Record(s *Stream) {
 	ready := ev.dev.earliest(s)
 	ev.op = ev.dev.enqueue(s, OpEventRecord, "eventRecord", ready, ev.dev.spec.EventRecordCost, nil)
+	ev.dev.recordStreamSpan(s.id, telemetry.ClassGPU, ev.op, 0)
 	ev.recorded = true
 }
 

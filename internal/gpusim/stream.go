@@ -5,6 +5,7 @@ import (
 
 	"ipmgo/internal/des"
 	"ipmgo/internal/perfmodel"
+	"ipmgo/internal/telemetry"
 )
 
 // Stream is an in-order execution queue on a device. Stream 0 is the
@@ -136,6 +137,7 @@ func (d *Device) LaunchKernel(s *Stream, name string, cost perfmodel.KernelCost,
 	start := d.kernelStart(ready, dur)
 	op := d.enqueue(s, OpKernel, name, start, dur, fn)
 	d.busyKernel += dur
+	d.recordStreamSpan(s.id, telemetry.ClassKernel, op, 0)
 	if cb := d.OnKernelComplete; cb != nil {
 		rec := KernelRecord{Name: name, Stream: s.id, Start: start, End: op.End, GridDim: grid, BlockDim: block, Cost: cost}
 		d.eng.Schedule(op.End, func() { cb(rec) })
@@ -166,6 +168,22 @@ func (d *Device) EnqueueCopy(s *Stream, dir perfmodel.TransferDir, n int64, pinn
 	case perfmodel.DeviceToHost:
 		d.d2hTail = op.End
 	}
+	if d.tel != nil {
+		// One track per copy engine; same-device copies stay on the stream.
+		track := ""
+		switch dir {
+		case perfmodel.HostToDevice:
+			track = d.telH2D
+		case perfmodel.DeviceToHost:
+			track = d.telD2H
+		default:
+			track = d.streamTrack(s.id)
+		}
+		d.tel.Record(telemetry.Span{
+			Track: track, Name: op.Name, Class: telemetry.ClassCopy,
+			Start: op.Start, End: op.End, Bytes: n,
+		})
+	}
 	return op
 }
 
@@ -178,5 +196,7 @@ func (d *Device) EnqueueMemset(s *Stream, n int64, fn func()) *Op {
 	if dur < time.Microsecond {
 		dur = time.Microsecond
 	}
-	return d.enqueue(s, OpMemset, "memset", ready, dur, fn)
+	op := d.enqueue(s, OpMemset, "memset", ready, dur, fn)
+	d.recordStreamSpan(s.id, telemetry.ClassGPU, op, n)
+	return op
 }

@@ -1,0 +1,92 @@
+package ipm
+
+import (
+	"strconv"
+	"strings"
+
+	"ipmgo/internal/telemetry"
+)
+
+// This file builds the live Prometheus sample set of one monitor: the
+// per-signature call statistics plus the monitor's self-metrics (hash
+// table load factor, overflow, probe count). It is called from inside
+// the simulation's event loop (cluster republishes periodically in
+// virtual time), so reading the hash table here never races with the
+// wrappers updating it.
+
+// Metric family names served on /metrics.
+const (
+	MetricCalls      = "ipm_calls_total"
+	MetricCallTime   = "ipm_call_seconds_total"
+	MetricHostIdle   = "ipm_host_idle_seconds"
+	MetricGPUExec    = "ipm_gpu_exec_seconds"
+	MetricWallclock  = "ipm_wallclock_seconds"
+	MetricLoadFactor = "ipm_table_load_factor"
+	MetricOverflow   = "ipm_table_overflowed_sigs"
+	MetricProbes     = "ipm_table_probes_total"
+)
+
+// MetricsSamples renders the monitor's current state as one Prometheus
+// sample set: call counts and cumulative durations by signature, the
+// derived GPU-execution and host-blocking totals, and the monitor's
+// self-metrics. Deterministic for a fixed table state (entries are
+// emitted in the table's sorted report order).
+func MetricsSamples(m *Monitor) []telemetry.Sample {
+	rank := strconv.Itoa(m.rank)
+	rankLabel := []telemetry.Label{{Key: "rank", Value: rank}}
+	out := []telemetry.Sample{
+		{
+			Name: MetricWallclock, Help: "Bracketed execution time per rank.",
+			Type: "gauge", Labels: rankLabel, Value: m.Wallclock().Seconds(),
+		},
+		{
+			Name: MetricLoadFactor, Help: "Fill ratio of the fixed hash table region.",
+			Type: "gauge", Labels: rankLabel, Value: m.table.LoadFactor(),
+		},
+		{
+			Name: MetricOverflow, Help: "Signatures spilled out of the fixed hash table region.",
+			Type: "gauge", Labels: rankLabel, Value: float64(m.table.Overflowed()),
+		},
+		{
+			Name: MetricProbes, Help: "Accumulated hash table probe steps (reads and writes).",
+			Type: "counter", Labels: rankLabel, Value: float64(m.table.Probes()),
+		},
+	}
+
+	var hostIdle, gpuExec float64
+	for _, e := range m.table.Entries() {
+		labels := []telemetry.Label{
+			{Key: "rank", Value: rank},
+			{Key: "name", Value: e.Sig.Name},
+			{Key: "region", Value: regionLabel(e.Sig.Region)},
+			{Key: "bytes", Value: strconv.FormatInt(e.Sig.Bytes, 10)},
+		}
+		out = append(out,
+			telemetry.Sample{
+				Name: MetricCalls, Help: "Monitored events by signature.",
+				Type: "counter", Labels: labels, Value: float64(e.Stats.Count),
+			},
+			telemetry.Sample{
+				Name: MetricCallTime, Help: "Cumulative time by signature.",
+				Type: "counter", Labels: labels, Value: e.Stats.Total.Seconds(),
+			},
+		)
+		switch {
+		case e.Sig.Name == HostIdleName:
+			hostIdle += e.Stats.Total.Seconds()
+		case strings.HasPrefix(e.Sig.Name, "@CUDA_EXEC_STRM") && !strings.Contains(e.Sig.Name, ":"):
+			gpuExec += e.Stats.Total.Seconds()
+		}
+	}
+	out = append(out,
+		telemetry.Sample{
+			Name: MetricHostIdle, Help: "Implicit host blocking (@CUDA_HOST_IDLE) per rank.",
+			Type: "gauge", Labels: rankLabel, Value: hostIdle,
+		},
+		telemetry.Sample{
+			Name: MetricGPUExec, Help: "Event-timed GPU kernel execution (@CUDA_EXEC_STRMxx) per rank.",
+			Type: "gauge", Labels: rankLabel, Value: gpuExec,
+		},
+	)
+	return out
+}

@@ -1,7 +1,10 @@
 package ipm
 
 import (
+	"fmt"
 	"time"
+
+	"ipmgo/internal/telemetry"
 )
 
 // Clock abstracts the time source so the monitor runs identically against
@@ -30,10 +33,20 @@ type Monitor struct {
 	// regions is the user-region stack; regionHashes mirrors it with the
 	// memoized hashString of each name so ObserveRef never rehashes the
 	// active region. curRegionHash caches the top (hash of GlobalRegion
-	// when the stack is empty).
+	// when the stack is empty). regionStarts mirrors the stack with each
+	// region's entry time, for telemetry region spans.
 	regions       []string
 	regionHashes  []uint64
+	regionStarts  []time.Duration
 	curRegionHash uint64
+
+	// Streaming telemetry. instrumented is the single flag the per-event
+	// fast path branches on: false keeps ObserveRef identical to the
+	// uninstrumented monitor apart from one predictable branch.
+	instrumented bool
+	tel          *telemetry.Recorder
+	telTrack     string
+	obsHist      *telemetry.Histogram
 }
 
 // NewMonitor creates a monitor for one rank. capacity <= 0 selects the
@@ -60,6 +73,26 @@ func (m *Monitor) Command() string { return m.command }
 
 // Now returns the monitor's current clock reading.
 func (m *Monitor) Now() time.Duration { return m.clock() }
+
+// AttachTelemetry routes a span per observed event (and per user region)
+// into rec, on the rank's CPU track. Attach before the run starts;
+// passing nil detaches.
+func (m *Monitor) AttachTelemetry(rec *telemetry.Recorder) {
+	m.tel = rec
+	m.telTrack = fmt.Sprintf("rank%d/cpu", m.rank)
+	m.instrumented = m.tel != nil || m.obsHist != nil
+}
+
+// Telemetry returns the attached span recorder (nil when detached).
+func (m *Monitor) Telemetry() *telemetry.Recorder { return m.tel }
+
+// SetLatencyHistogram records the real-time (not virtual-time) latency
+// of every table update into h — the monitor measuring its own per-event
+// overhead. Passing nil disables the measurement.
+func (m *Monitor) SetLatencyHistogram(h *telemetry.Histogram) {
+	m.obsHist = h
+	m.instrumented = m.tel != nil || m.obsHist != nil
+}
 
 // Start brackets the beginning of the monitored execution (MPI_Init /
 // first CUDA call in the real tool).
@@ -97,14 +130,27 @@ func (m *Monitor) EnterRegion(name string) {
 	m.regions = append(m.regions, name)
 	m.curRegionHash = hashString(name)
 	m.regionHashes = append(m.regionHashes, m.curRegionHash)
+	m.regionStarts = append(m.regionStarts, m.clock())
 }
 
-// ExitRegion pops the current user region. Popping the global region is a
-// no-op.
+// ExitRegion pops the current user region, emitting its telemetry span.
+// Popping the global region is a no-op.
 func (m *Monitor) ExitRegion() {
 	if len(m.regions) > 0 {
+		name := m.regions[len(m.regions)-1]
+		start := m.regionStarts[len(m.regionStarts)-1]
 		m.regions = m.regions[:len(m.regions)-1]
 		m.regionHashes = m.regionHashes[:len(m.regionHashes)-1]
+		m.regionStarts = m.regionStarts[:len(m.regionStarts)-1]
+		if m.tel != nil {
+			m.tel.Record(telemetry.Span{
+				Track: m.telTrack,
+				Name:  name,
+				Class: telemetry.ClassRegion,
+				Start: start,
+				End:   m.clock(),
+			})
+		}
 	}
 	if len(m.regionHashes) > 0 {
 		m.curRegionHash = m.regionHashes[len(m.regionHashes)-1]
@@ -125,13 +171,19 @@ func (m *Monitor) CurrentRegion() string {
 // name string is hashed on every call; constant-name call sites should
 // hold a SigRef and use ObserveRef instead.
 func (m *Monitor) Observe(name string, bytes int64, d time.Duration) {
+	if m.instrumented {
+		m.observeInstrumented(NewSigRef(name), bytes, d)
+		return
+	}
 	m.table.UpdateHashed(mixSig(hashString(name), m.curRegionHash, bytes),
 		Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()},
 		Stats{Count: 1, Total: d, Min: d, Max: d})
 }
 
 // ObserveN records a pre-aggregated statistic (used by pseudo-entries that
-// batch several completions, e.g. kernel timings flushed together).
+// batch several completions, e.g. kernel timings flushed together). No
+// telemetry span is emitted: a batched statistic has no single interval
+// on the timeline (the GPU simulator records device-side spans exactly).
 func (m *Monitor) ObserveN(name string, bytes int64, s Stats) {
 	m.table.UpdateHashed(mixSig(hashString(name), m.curRegionHash, bytes),
 		Sig{Name: name, Bytes: bytes, Region: m.CurrentRegion()}, s)
@@ -140,12 +192,44 @@ func (m *Monitor) ObserveN(name string, bytes int64, s Stats) {
 // ObserveRef is the zero-rehash form of Observe: the event name's hash is
 // memoized in ref, the active region's hash is memoized on the region
 // stack, and only the bytes attribute is mixed in per event. This is the
-// per-event fast path of every wrapper layer; it performs no allocation
-// and no string hashing.
+// per-event fast path of every wrapper layer; with telemetry disabled it
+// performs no allocation, no string hashing, and exactly one extra
+// branch over the uninstrumented monitor.
 func (m *Monitor) ObserveRef(ref SigRef, bytes int64, d time.Duration) {
+	if m.instrumented {
+		m.observeInstrumented(ref, bytes, d)
+		return
+	}
 	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
 		Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()},
 		Stats{Count: 1, Total: d, Min: d, Max: d})
+}
+
+// observeInstrumented is the telemetry-enabled observe path: the table
+// update bracketed by the self-latency measurement, then the span. Kept
+// out of ObserveRef so the disabled path stays small enough to inline.
+func (m *Monitor) observeInstrumented(ref SigRef, bytes int64, d time.Duration) {
+	var t0 time.Time
+	if m.obsHist != nil {
+		t0 = time.Now()
+	}
+	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
+		Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()},
+		Stats{Count: 1, Total: d, Min: d, Max: d})
+	if m.obsHist != nil {
+		m.obsHist.Observe(float64(time.Since(t0).Nanoseconds()))
+	}
+	if m.tel != nil {
+		end := m.clock()
+		m.tel.Record(telemetry.Span{
+			Track: m.telTrack,
+			Name:  ref.name,
+			Class: ref.class,
+			Start: end - d,
+			End:   end,
+			Bytes: bytes,
+		})
+	}
 }
 
 // ObserveNRef is the zero-rehash form of ObserveN.

@@ -16,10 +16,13 @@ type RankProfile struct {
 	MemGB     float64 // resident memory high-water mark, if modelled
 
 	// Overflow is the number of signatures that spilled out of the fixed
-	// hash table region, and LoadFactor the fill ratio of that region —
-	// the banner's degraded-fidelity diagnostics.
+	// hash table region, LoadFactor the fill ratio of that region, and
+	// Probes the accumulated probe steps — the monitoring-fidelity
+	// diagnostics reported by the banner warning, the XML log, and the
+	// /metrics endpoint.
 	Overflow   int
 	LoadFactor float64
+	Probes     uint64
 }
 
 // Snapshot freezes a monitor into a RankProfile.
@@ -31,6 +34,7 @@ func Snapshot(m *Monitor) RankProfile {
 		Entries:    m.table.Entries(),
 		Overflow:   m.table.Overflowed(),
 		LoadFactor: m.table.LoadFactor(),
+		Probes:     m.table.Probes(),
 	}
 }
 

@@ -1,21 +1,57 @@
 package ipm
 
+import (
+	"strings"
+
+	"ipmgo/internal/telemetry"
+)
+
 // SigRef is a precomputed signature handle: an event name plus its
-// memoized hash. Wrapper layers construct one SigRef per monitored symbol
-// (once, at wrapper construction or package init) and pass it to
-// Monitor.ObserveRef on every event, so the hot path never rehashes the
-// name string. The bytes attribute and the active region are folded in
-// per event by mixSig, which costs two multiplies and a finalizer — the
-// region's own string hash is memoized by the monitor's region stack.
+// memoized hash and telemetry span class. Wrapper layers construct one
+// SigRef per monitored symbol (once, at wrapper construction or package
+// init) and pass it to Monitor.ObserveRef on every event, so the hot
+// path never rehashes the name string or reclassifies it. The bytes
+// attribute and the active region are folded in per event by mixSig,
+// which costs two multiplies and a finalizer — the region's own string
+// hash is memoized by the monitor's region stack.
 type SigRef struct {
-	name string
-	hash uint64
+	name  string
+	hash  uint64
+	class telemetry.SpanClass
 }
 
-// NewSigRef hashes name once and returns the reusable handle. SigRef is
+// NewSigRef hashes name once and returns the reusable handle, with the
+// telemetry span class derived from the name's domain. SigRef is
 // immutable and safe to share across goroutines.
 func NewSigRef(name string) SigRef {
-	return SigRef{name: name, hash: hashString(name)}
+	return NewSigRefClass(name, DefaultSpanClass(name))
+}
+
+// NewSigRefClass is NewSigRef with an explicit span class, for symbols
+// whose class the name alone cannot determine (the asynchronous CUDA
+// calls, the host-idle pseudo entry).
+func NewSigRefClass(name string, class telemetry.SpanClass) SigRef {
+	return SigRef{name: name, hash: hashString(name), class: class}
+}
+
+// DefaultSpanClass maps an event name to its telemetry span class by
+// domain. Host-side CUDA calls default to the synchronous class; wrapper
+// layers override per symbol via NewSigRefClass.
+func DefaultSpanClass(name string) telemetry.SpanClass {
+	switch Classify(name) {
+	case DomainMPI:
+		return telemetry.ClassMPI
+	case DomainCUDA:
+		return telemetry.ClassSync
+	case DomainCUBLAS, DomainCUFFT:
+		return telemetry.ClassLib
+	case DomainPseudo:
+		if strings.HasPrefix(name, HostIdleName) {
+			return telemetry.ClassIdle
+		}
+		return telemetry.ClassOther
+	}
+	return telemetry.ClassOther
 }
 
 // Name returns the event name the handle was built from.
@@ -23,3 +59,6 @@ func (r SigRef) Name() string { return r.name }
 
 // Hash returns the memoized FNV-1a hash of the name.
 func (r SigRef) Hash() uint64 { return r.hash }
+
+// Class returns the telemetry span class recorded for this symbol.
+func (r SigRef) Class() telemetry.SpanClass { return r.class }

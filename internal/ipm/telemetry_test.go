@@ -1,0 +1,152 @@
+package ipm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/telemetry"
+)
+
+func TestMonitorTelemetrySpans(t *testing.T) {
+	fc := &fakeClock{}
+	m := NewMonitor(3, "dirac15", "./cuda.ipm", fc.clock, 0)
+	rec := telemetry.NewRecorder(64)
+	m.AttachTelemetry(rec)
+	m.Start()
+
+	fc.now = 10 * time.Millisecond
+	m.ObserveRef(NewSigRef("cudaMemcpy(D2H)"), 4096, 2*time.Millisecond)
+
+	m.EnterRegion("phase1")
+	fc.now = 20 * time.Millisecond
+	m.Observe("MPI_Send", 8, time.Millisecond)
+	fc.now = 30 * time.Millisecond
+	m.ExitRegion()
+
+	spans := rec.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	// Every span lands on the rank's CPU track.
+	for _, s := range spans {
+		if s.Track != "rank3/cpu" {
+			t.Errorf("span %q on track %q, want rank3/cpu", s.Name, s.Track)
+		}
+	}
+	memcpy := spans[0]
+	if memcpy.Name != "cudaMemcpy(D2H)" || memcpy.Class != telemetry.ClassSync ||
+		memcpy.Start != 8*time.Millisecond || memcpy.End != 10*time.Millisecond ||
+		memcpy.Bytes != 4096 {
+		t.Errorf("memcpy span = %+v", memcpy)
+	}
+	send := spans[1]
+	if send.Name != "MPI_Send" || send.Class != telemetry.ClassMPI {
+		t.Errorf("send span = %+v", send)
+	}
+	region := spans[2]
+	if region.Name != "phase1" || region.Class != telemetry.ClassRegion ||
+		region.Start != 10*time.Millisecond || region.End != 30*time.Millisecond {
+		t.Errorf("region span = %+v", region)
+	}
+
+	// Spans must not perturb the table statistics.
+	entries := m.Table().Entries()
+	if len(entries) != 2 {
+		t.Fatalf("table entries = %d, want 2", len(entries))
+	}
+}
+
+func TestMonitorTelemetryDetached(t *testing.T) {
+	m, fc := newTestMonitor()
+	rec := telemetry.NewRecorder(8)
+	m.AttachTelemetry(rec)
+	m.AttachTelemetry(nil)
+	fc.now = time.Millisecond
+	m.ObserveRef(NewSigRef("cudaFree"), 0, time.Microsecond)
+	if rec.Total() != 0 {
+		t.Errorf("detached monitor recorded %d spans", rec.Total())
+	}
+	if m.Telemetry() != nil {
+		t.Errorf("Telemetry() non-nil after detach")
+	}
+}
+
+func TestMonitorLatencyHistogram(t *testing.T) {
+	m, _ := newTestMonitor()
+	h := telemetry.NewHistogram("lat", "", telemetry.ExpBuckets(8, 2, 10))
+	m.SetLatencyHistogram(h)
+	ref := NewSigRef("cudaMemcpy(H2D)")
+	for i := 0; i < 100; i++ {
+		m.ObserveRef(ref, 1<<20, time.Microsecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("histogram count = %d, want 100", got)
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("histogram sum = %g, want > 0", h.Sum())
+	}
+}
+
+func TestDefaultSpanClasses(t *testing.T) {
+	cases := map[string]telemetry.SpanClass{
+		"MPI_Allreduce":     telemetry.ClassMPI,
+		"cudaMemcpy(D2H)":   telemetry.ClassSync,
+		"cublasSgemm":       telemetry.ClassLib,
+		"cufftExecC2C":      telemetry.ClassLib,
+		HostIdleName:        telemetry.ClassIdle,
+		"@CUDA_EXEC_STRM00": telemetry.ClassOther,
+		"fwrite":            telemetry.ClassOther,
+	}
+	for name, want := range cases {
+		if got := NewSigRef(name).Class(); got != want {
+			t.Errorf("NewSigRef(%q).Class() = %v, want %v", name, got, want)
+		}
+	}
+	if got := NewSigRefClass("cudaLaunch", telemetry.ClassAsync).Class(); got != telemetry.ClassAsync {
+		t.Errorf("NewSigRefClass override not honoured")
+	}
+}
+
+// TestXMLFidelityRoundTrip checks that the hash-table fidelity attributes
+// survive the XML log, so ipmparse can reconstruct the degraded-fidelity
+// diagnosis post-mortem.
+func TestXMLFidelityRoundTrip(t *testing.T) {
+	fc := &fakeClock{}
+	// A tiny table that the workload overflows.
+	m := NewMonitor(0, "dirac1", "./a.out", fc.clock, 4)
+	m.Start()
+	for i := 0; i < 64; i++ {
+		m.Observe("cudaMemcpy(D2H)", int64(i*4096), time.Microsecond)
+	}
+	fc.now = time.Second
+	m.Stop()
+
+	rp := Snapshot(m)
+	if rp.Overflow == 0 || rp.LoadFactor == 0 || rp.Probes == 0 {
+		t.Fatalf("expected non-zero fidelity stats, got %+v", rp)
+	}
+
+	jp := NewJobProfile("./a.out", 1, []RankProfile{rp})
+	var sb strings.Builder
+	if err := WriteXML(&sb, jp); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, attr := range []string{"hashtable_load=", "hashtable_overflow=", "hashtable_probes="} {
+		if !strings.Contains(out, attr) {
+			t.Errorf("XML log missing %s:\n%s", attr, out)
+		}
+	}
+	got, err := ParseXML(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := got.Ranks[0]
+	if gr.Overflow != rp.Overflow || gr.Probes != rp.Probes {
+		t.Errorf("fidelity stats did not round-trip: got %+v, want %+v", gr, rp)
+	}
+	if d := gr.LoadFactor - rp.LoadFactor; d < -1e-9 || d > 1e-9 {
+		t.Errorf("load factor drift: %g != %g", gr.LoadFactor, rp.LoadFactor)
+	}
+}

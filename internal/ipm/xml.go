@@ -25,12 +25,19 @@ type XMLLog struct {
 	Tasks     []XMLTask `xml:"task"`
 }
 
-// XMLTask is one rank's profile.
+// XMLTask is one rank's profile. The hashtable_* attributes surface the
+// monitor's own fidelity (fill ratio, spilled signatures, probe steps),
+// so ipm_parse can report post-mortem whether the statistics were
+// collected at degraded hash-table fidelity; they are omitted when zero,
+// keeping older logs parseable.
 type XMLTask struct {
-	Rank      int         `xml:"mpi_rank,attr"`
-	Host      string      `xml:"host,attr"`
-	Wallclock float64     `xml:"wallclock,attr"`
-	Regions   []XMLRegion `xml:"region"`
+	Rank         int         `xml:"mpi_rank,attr"`
+	Host         string      `xml:"host,attr"`
+	Wallclock    float64     `xml:"wallclock,attr"`
+	HashLoad     float64     `xml:"hashtable_load,attr,omitempty"`
+	HashOverflow int         `xml:"hashtable_overflow,attr,omitempty"`
+	HashProbes   uint64      `xml:"hashtable_probes,attr,omitempty"`
+	Regions      []XMLRegion `xml:"region"`
 }
 
 // XMLRegion groups hash table entries by user region.
@@ -79,7 +86,10 @@ func ToXML(jp *JobProfile) *XMLLog {
 		Wallclock: jp.Wallclock().Seconds(),
 	}
 	for _, r := range jp.Ranks {
-		task := XMLTask{Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds()}
+		task := XMLTask{
+			Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds(),
+			HashLoad: r.LoadFactor, HashOverflow: r.Overflow, HashProbes: r.Probes,
+		}
 		// Group entries by region, preserving the sorted entry order.
 		regionIdx := make(map[string]int)
 		for _, e := range r.Entries {
@@ -129,7 +139,10 @@ func secsToDuration(s float64) time.Duration {
 func FromXML(doc *XMLLog) *JobProfile {
 	ranks := make([]RankProfile, 0, len(doc.Tasks))
 	for _, t := range doc.Tasks {
-		rp := RankProfile{Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock)}
+		rp := RankProfile{
+			Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock),
+			LoadFactor: t.HashLoad, Overflow: t.HashOverflow, Probes: t.HashProbes,
+		}
 		for _, reg := range t.Regions {
 			for _, f := range reg.Funcs {
 				rp.Entries = append(rp.Entries, Entry{

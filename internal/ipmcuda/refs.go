@@ -3,46 +3,51 @@ package ipmcuda
 import (
 	"ipmgo/internal/cudart"
 	"ipmgo/internal/ipm"
+	"ipmgo/internal/telemetry"
 )
 
 // Pre-hashed signature handles for every monitored symbol. Each constant
 // event name is hashed exactly once, at package init, instead of once per
 // intercepted call — the SigRef fast path of the performance hash table.
+// Symbols that return before their device-side effect completes carry
+// the async span class, so the trace exporter and metric consumers can
+// separate launch-shaped calls from host-blocking ones; everything else
+// keeps the class NewSigRef derives from the name's domain.
 var (
-	refMalloc          = ipm.NewSigRef("cudaMalloc")
-	refFree            = ipm.NewSigRef("cudaFree")
-	refHostAlloc       = ipm.NewSigRef("cudaHostAlloc")
-	refMemcpyToSymbol  = ipm.NewSigRef("cudaMemcpyToSymbol")
-	refMemset          = ipm.NewSigRef("cudaMemset")
-	refMemGetInfo      = ipm.NewSigRef("cudaMemGetInfo")
-	refConfigureCall   = ipm.NewSigRef("cudaConfigureCall")
-	refSetupArgument   = ipm.NewSigRef("cudaSetupArgument")
-	refLaunch          = ipm.NewSigRef("cudaLaunch")
-	refStreamCreate    = ipm.NewSigRef("cudaStreamCreate")
-	refStreamDestroy   = ipm.NewSigRef("cudaStreamDestroy")
-	refStreamSync      = ipm.NewSigRef("cudaStreamSynchronize")
-	refEventCreate     = ipm.NewSigRef("cudaEventCreate")
-	refEventRecord     = ipm.NewSigRef("cudaEventRecord")
-	refEventQuery      = ipm.NewSigRef("cudaEventQuery")
-	refEventSync       = ipm.NewSigRef("cudaEventSynchronize")
-	refEventElapsed    = ipm.NewSigRef("cudaEventElapsedTime")
-	refEventDestroy    = ipm.NewSigRef("cudaEventDestroy")
-	refThreadSync      = ipm.NewSigRef("cudaThreadSynchronize")
-	refGetDeviceCount  = ipm.NewSigRef("cudaGetDeviceCount")
-	refGetDeviceProps  = ipm.NewSigRef("cudaGetDeviceProperties")
-	refGetDevice       = ipm.NewSigRef("cudaGetDevice")
-	refSetDevice       = ipm.NewSigRef("cudaSetDevice")
-	refGetLastError    = ipm.NewSigRef("cudaGetLastError")
-	refHostIdle        = ipm.NewSigRef(ipm.HostIdleName)
-	refCuInit          = ipm.NewSigRef("cuInit")
-	refCuMemAlloc      = ipm.NewSigRef("cuMemAlloc")
-	refCuMemFree       = ipm.NewSigRef("cuMemFree")
-	refCuMemcpyHtoD    = ipm.NewSigRef("cuMemcpyHtoD")
-	refCuMemcpyDtoH    = ipm.NewSigRef("cuMemcpyDtoH")
-	refCuMemsetD8      = ipm.NewSigRef("cuMemsetD8")
-	refCuLaunchKernel  = ipm.NewSigRef("cuLaunchKernel")
-	refCuStreamSync    = ipm.NewSigRef("cuStreamSynchronize")
-	refCuCtxSync       = ipm.NewSigRef("cuCtxSynchronize")
+	refMalloc         = ipm.NewSigRef("cudaMalloc")
+	refFree           = ipm.NewSigRef("cudaFree")
+	refHostAlloc      = ipm.NewSigRef("cudaHostAlloc")
+	refMemcpyToSymbol = ipm.NewSigRef("cudaMemcpyToSymbol")
+	refMemset         = ipm.NewSigRef("cudaMemset")
+	refMemGetInfo     = ipm.NewSigRef("cudaMemGetInfo")
+	refConfigureCall  = ipm.NewSigRefClass("cudaConfigureCall", telemetry.ClassAsync)
+	refSetupArgument  = ipm.NewSigRefClass("cudaSetupArgument", telemetry.ClassAsync)
+	refLaunch         = ipm.NewSigRefClass("cudaLaunch", telemetry.ClassAsync)
+	refStreamCreate   = ipm.NewSigRef("cudaStreamCreate")
+	refStreamDestroy  = ipm.NewSigRef("cudaStreamDestroy")
+	refStreamSync     = ipm.NewSigRef("cudaStreamSynchronize")
+	refEventCreate    = ipm.NewSigRef("cudaEventCreate")
+	refEventRecord    = ipm.NewSigRefClass("cudaEventRecord", telemetry.ClassAsync)
+	refEventQuery     = ipm.NewSigRefClass("cudaEventQuery", telemetry.ClassAsync)
+	refEventSync      = ipm.NewSigRef("cudaEventSynchronize")
+	refEventElapsed   = ipm.NewSigRef("cudaEventElapsedTime")
+	refEventDestroy   = ipm.NewSigRef("cudaEventDestroy")
+	refThreadSync     = ipm.NewSigRef("cudaThreadSynchronize")
+	refGetDeviceCount = ipm.NewSigRef("cudaGetDeviceCount")
+	refGetDeviceProps = ipm.NewSigRef("cudaGetDeviceProperties")
+	refGetDevice      = ipm.NewSigRef("cudaGetDevice")
+	refSetDevice      = ipm.NewSigRef("cudaSetDevice")
+	refGetLastError   = ipm.NewSigRef("cudaGetLastError")
+	refHostIdle       = ipm.NewSigRef(ipm.HostIdleName)
+	refCuInit         = ipm.NewSigRef("cuInit")
+	refCuMemAlloc     = ipm.NewSigRef("cuMemAlloc")
+	refCuMemFree      = ipm.NewSigRef("cuMemFree")
+	refCuMemcpyHtoD   = ipm.NewSigRef("cuMemcpyHtoD")
+	refCuMemcpyDtoH   = ipm.NewSigRef("cuMemcpyDtoH")
+	refCuMemsetD8     = ipm.NewSigRef("cuMemsetD8")
+	refCuLaunchKernel = ipm.NewSigRefClass("cuLaunchKernel", telemetry.ClassAsync)
+	refCuStreamSync   = ipm.NewSigRef("cuStreamSynchronize")
+	refCuCtxSync      = ipm.NewSigRef("cuCtxSynchronize")
 )
 
 // memcpyKinds is the direction set refs are prebuilt for.

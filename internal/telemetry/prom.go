@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the Prometheus text exposition side of the
+// telemetry layer: a Registry that merges (a) metric snapshots published
+// by running simulations and (b) self-observability histograms, and
+// renders them in text format 0.0.4 for a /metrics endpoint.
+//
+// The simulation side republishes samples from inside the DES event loop
+// (so reading monitor hash tables never races with the simulation),
+// while HTTP scrapes read the latest snapshot under an RWMutex. Several
+// concurrent simulations (a parallel ensemble) publish under distinct
+// source keys and are merged at render time.
+
+// Label is one label pair of a sample.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Sample is one metric point of a published snapshot.
+type Sample struct {
+	Name   string // metric family, e.g. "ipm_calls_total"
+	Help   string // family help text (first sample of a family wins)
+	Type   string // "counter" or "gauge"
+	Labels []Label
+	Value  float64
+}
+
+// Registry collects published samples and histograms and renders them as
+// Prometheus text. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string][]Sample
+	hists   map[string]*Histogram
+
+	publishes atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		sources: make(map[string][]Sample),
+		hists:   make(map[string]*Histogram),
+	}
+}
+
+// Publish replaces the sample snapshot of one source (one running job or
+// ensemble trial). Distinct sources coexist and are merged at render
+// time.
+func (g *Registry) Publish(source string, samples []Sample) {
+	g.mu.Lock()
+	g.sources[source] = samples
+	g.mu.Unlock()
+	g.publishes.Add(1)
+}
+
+// Publishes returns how many snapshots have been published — a liveness
+// diagnostic (a scraper seeing this grow knows the job is still being
+// sampled).
+func (g *Registry) Publishes() uint64 { return g.publishes.Load() }
+
+// Histogram returns the registered histogram with the given name,
+// creating it on first use. Bounds are ignored when the histogram
+// already exists.
+func (g *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if h, ok := g.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(name, help, bounds)
+	g.hists[name] = h
+	return h
+}
+
+// fnum renders a metric value in the shortest exact form.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels renders {k="v",...} (empty string for no labels).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus renders every family in text format 0.0.4, sorted by
+// family name and, within a family, by label string — deterministic for
+// a fixed registry state.
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	g.mu.RLock()
+	byFamily := make(map[string][]Sample)
+	for _, samples := range g.sources {
+		for _, s := range samples {
+			byFamily[s.Name] = append(byFamily[s.Name], s)
+		}
+	}
+	hists := make([]*Histogram, 0, len(g.hists))
+	for _, h := range g.hists {
+		hists = append(hists, h)
+	}
+	g.mu.RUnlock()
+
+	names := make([]string, 0, len(byFamily)+len(hists))
+	for n := range byFamily {
+		names = append(names, n)
+	}
+	histByName := make(map[string]*Histogram, len(hists))
+	for _, h := range hists {
+		histByName[h.name] = h
+		names = append(names, h.name)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		if h, ok := histByName[name]; ok {
+			writeHistogram(bw, h)
+			continue
+		}
+		fam := byFamily[name]
+		if fam[0].Help != "" {
+			bw.WriteString("# HELP " + name + " " + fam[0].Help + "\n")
+		}
+		typ := fam[0].Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		bw.WriteString("# TYPE " + name + " " + typ + "\n")
+		lines := make([]string, len(fam))
+		for i, s := range fam {
+			lines[i] = name + renderLabels(s.Labels) + " " + fnum(s.Value) + "\n"
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			bw.WriteString(l)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, h *Histogram) {
+	if h.help != "" {
+		bw.WriteString("# HELP " + h.name + " " + h.help + "\n")
+	}
+	bw.WriteString("# TYPE " + h.name + " histogram\n")
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		bw.WriteString(h.name + `_bucket{le="` + fnum(bound) + `"} ` +
+			strconv.FormatUint(cum, 10) + "\n")
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	bw.WriteString(h.name + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
+	bw.WriteString(h.name + "_sum " + fnum(h.Sum()) + "\n")
+	bw.WriteString(h.name + "_count " + strconv.FormatUint(cum, 10) + "\n")
+}
+
+// Handler returns the /metrics HTTP handler.
+func (g *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	g := NewRegistry()
+	g.Publish("job1", []Sample{
+		{Name: "ipm_calls_total", Help: "Calls.", Type: "counter",
+			Labels: []Label{{"rank", "0"}, {"name", "cudaMemcpy(D2H)"}}, Value: 42},
+		{Name: "ipm_sim_seconds", Help: "Sim time.", Type: "gauge", Value: 1.5},
+	})
+	g.Publish("job2", []Sample{
+		{Name: "ipm_calls_total", Help: "Calls.", Type: "counter",
+			Labels: []Label{{"rank", "1"}, {"name", "MPI_Send"}}, Value: 7},
+	})
+	h := g.Histogram("obs_latency", "Observe latency.", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP ipm_calls_total Calls.
+# TYPE ipm_calls_total counter
+ipm_calls_total{rank="0",name="cudaMemcpy(D2H)"} 42
+ipm_calls_total{rank="1",name="MPI_Send"} 7
+# HELP ipm_sim_seconds Sim time.
+# TYPE ipm_sim_seconds gauge
+ipm_sim_seconds 1.5
+# HELP obs_latency Observe latency.
+# TYPE obs_latency histogram
+obs_latency_bucket{le="1"} 1
+obs_latency_bucket{le="2"} 2
+obs_latency_bucket{le="+Inf"} 3
+obs_latency_sum 12
+obs_latency_count 3
+`
+	if got != want {
+		t.Errorf("WritePrometheus output:\n%s\nwant:\n%s", got, want)
+	}
+	if g.Publishes() != 2 {
+		t.Errorf("Publishes = %d, want 2", g.Publishes())
+	}
+}
+
+func TestPublishReplacesSource(t *testing.T) {
+	g := NewRegistry()
+	g.Publish("job", []Sample{{Name: "m", Type: "gauge", Value: 1}})
+	g.Publish("job", []Sample{{Name: "m", Type: "gauge", Value: 2}})
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "m 2\n") || strings.Contains(sb.String(), "m 1\n") {
+		t.Errorf("republish did not replace snapshot:\n%s", sb.String())
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	g := NewRegistry()
+	g.Publish("job", []Sample{{
+		Name: "m", Type: "gauge",
+		Labels: []Label{{"cmd", `./a.out "x" \y` + "\nz"}},
+		Value:  1,
+	}})
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{cmd="./a.out \"x\" \\y\nz"} 1` + "\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped line missing:\n%s\nwant substring %q", sb.String(), want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	g := NewRegistry()
+	g.Publish("job", []Sample{{Name: "ipm_sim_seconds", Type: "gauge", Value: 3}})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "ipm_sim_seconds 3") {
+		t.Errorf("scrape body missing sample:\n%s", body)
+	}
+}

@@ -1,0 +1,258 @@
+// Package telemetry is the streaming observability layer of the ipmgo
+// monitor: a lock-light, fixed-capacity span recorder plus two exporters
+// (a Chrome Trace Event / Perfetto JSON writer and a Prometheus text
+// registry).
+//
+// IPM's published design is strictly post-mortem — a banner and an XML
+// log after the job ends. This package adds the live view modern
+// operations require without giving up IPM's discipline of bounded
+// memory and near-zero overhead:
+//
+//   - spans are recorded into a fixed-capacity ring buffer that drops the
+//     oldest spans under pressure and counts every drop, so a monitored
+//     run can report its own telemetry fidelity;
+//   - when no recorder is attached the instrumented layers pay exactly
+//     one nil-check branch per event;
+//   - span timestamps are virtual (DES) times, so trace files are
+//     byte-identical across repeated runs and worker counts.
+//
+// The package has no dependencies beyond the standard library and is
+// imported by the monitor core (internal/ipm), the wrapper families, and
+// the GPU simulator.
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanClass classifies a span for exporters: it becomes the Chrome trace
+// "cat" field and selects the metric family a span feeds.
+type SpanClass uint8
+
+const (
+	// ClassSync is a host-side API call that blocks until its effect is
+	// complete (cudaMemcpy, cudaStreamSynchronize, ...).
+	ClassSync SpanClass = iota
+	// ClassAsync is a host-side API call that returns before the device
+	// work completes (cudaLaunch, cudaMemcpyAsync, ...).
+	ClassAsync
+	// ClassMPI is a communication call.
+	ClassMPI
+	// ClassKernel is on-device kernel execution.
+	ClassKernel
+	// ClassCopy is a copy-engine transfer.
+	ClassCopy
+	// ClassGPU is any other device-side operation (memset, event record).
+	ClassGPU
+	// ClassRegion is a user region (MPI_Pcontrol bracket).
+	ClassRegion
+	// ClassIdle is implicit host blocking (@CUDA_HOST_IDLE).
+	ClassIdle
+	// ClassLib is an accelerated-library call (CUBLAS, CUFFT).
+	ClassLib
+	// ClassOther is everything else (I/O, OpenMP, pseudo entries).
+	ClassOther
+)
+
+// String returns the exporter-facing category name.
+func (c SpanClass) String() string {
+	switch c {
+	case ClassSync:
+		return "sync"
+	case ClassAsync:
+		return "async"
+	case ClassMPI:
+		return "mpi"
+	case ClassKernel:
+		return "kernel"
+	case ClassCopy:
+		return "copy"
+	case ClassGPU:
+		return "gpu"
+	case ClassRegion:
+		return "region"
+	case ClassIdle:
+		return "idle"
+	case ClassLib:
+		return "lib"
+	}
+	return "other"
+}
+
+// Span is one timed interval on a named track. Track names follow the
+// "process/thread" convention ("rank0/cpu", "gpu0/strm01",
+// "gpu0/copyH2D"); the trace exporter splits them at the first '/' into
+// a Perfetto process and thread. Timestamps are virtual times.
+type Span struct {
+	Track string
+	Name  string
+	Class SpanClass
+	Start time.Duration
+	End   time.Duration
+	Bytes int64 // operand size, 0 when not applicable
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// DefaultCapacity is the default ring size: enough for the bundled
+// workloads at full scale while keeping the buffer tens of megabytes.
+const DefaultCapacity = 1 << 18
+
+// Recorder is the fixed-capacity span sink. Record appends under a
+// mutex whose critical section is one slot store, so the recorder stays
+// cheap on the monitored hot path and safe for the concurrent writers of
+// a parallel ensemble; when the ring is full the oldest span is
+// overwritten and the drop is counted. A nil *Recorder is a valid,
+// always-disabled recorder.
+type Recorder struct {
+	mu    sync.Mutex
+	ring  []Span
+	total atomic.Uint64 // spans ever recorded (monotone)
+}
+
+// NewRecorder creates a recorder holding at most capacity spans.
+// capacity <= 0 selects DefaultCapacity.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: make([]Span, capacity)}
+}
+
+// Record appends one span, overwriting the oldest if the ring is full.
+// Safe for concurrent use; a no-op on a nil recorder.
+func (r *Recorder) Record(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	n := r.total.Load()
+	r.ring[n%uint64(len(r.ring))] = s
+	r.total.Store(n + 1)
+	r.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Total returns the number of spans ever recorded, including dropped
+// ones. Safe to read concurrently with writers.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Dropped returns how many spans were overwritten before being read.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if n, c := r.total.Load(), uint64(len(r.ring)); n > c {
+		return n - c
+	}
+	return 0
+}
+
+// Snapshot copies the retained spans in recording order (oldest first).
+func (r *Recorder) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.total.Load()
+	c := uint64(len(r.ring))
+	if n <= c {
+		return append([]Span(nil), r.ring[:n]...)
+	}
+	oldest := n % c
+	out := make([]Span, 0, c)
+	out = append(out, r.ring[oldest:]...)
+	out = append(out, r.ring[:oldest]...)
+	return out
+}
+
+// Histogram is a fixed-bucket histogram with atomic counters, used for
+// the monitor's self-observability (e.g. the real-time latency of the
+// observe path). Bounds are upper bucket edges; one implicit +Inf bucket
+// is appended. Safe for concurrent use.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits of the observed-value total
+}
+
+// NewHistogram creates a histogram metric with the given upper bounds
+// (which must be sorted ascending).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and multiplying by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}

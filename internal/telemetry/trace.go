@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Chrome Trace Event JSON writer. The output is
+// the "JSON Object Format" ({"traceEvents": [...]}) with complete ("X")
+// events plus process/thread name metadata, which Perfetto and
+// chrome://tracing both load directly.
+//
+// Determinism contract: for the same span set the output is
+// byte-identical. Spans are sorted by (start, -duration, track, name)
+// before emission — the descending-duration tiebreak ensures an
+// enclosing span (a user region, a kernel overlapping its tail event)
+// precedes its children, which is what the viewers require for correct
+// nesting — and process/thread ids are assigned from the sorted track
+// list, never from map iteration order.
+
+// trackID locates one track inside the pid/tid numbering.
+type trackID struct {
+	pid int
+	tid int
+}
+
+// splitTrack splits "rank0/cpu" into the Perfetto process ("rank0") and
+// thread ("cpu"). A track without '/' becomes process track, thread
+// "main".
+func splitTrack(track string) (proc, thread string) {
+	if i := strings.IndexByte(track, '/'); i >= 0 {
+		return track[:i], track[i+1:]
+	}
+	return track, "main"
+}
+
+// assignTracks maps every distinct track to a (pid, tid) pair: processes
+// numbered 1.. in sorted order, threads numbered 1.. in sorted track
+// order within each process.
+func assignTracks(spans []Span) (map[string]trackID, []string) {
+	seen := make(map[string]bool)
+	tracks := make([]string, 0, 8)
+	for _, s := range spans {
+		if !seen[s.Track] {
+			seen[s.Track] = true
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Strings(tracks)
+	ids := make(map[string]trackID, len(tracks))
+	pids := make(map[string]int)
+	tidNext := make(map[string]int)
+	for _, t := range tracks {
+		proc, _ := splitTrack(t)
+		pid, ok := pids[proc]
+		if !ok {
+			pid = len(pids) + 1
+			pids[proc] = pid
+		}
+		tidNext[proc]++
+		ids[t] = trackID{pid: pid, tid: tidNext[proc]}
+	}
+	return ids, tracks
+}
+
+// jstr renders s as a JSON string literal.
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}
+
+// usec renders a virtual time as trace microseconds with nanosecond
+// precision, the fixed format that keeps output byte-stable.
+func usec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+// WriteChromeTrace writes the spans as a Chrome Trace Event JSON
+// document loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End > b.End // longer span first: parent before child
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	ids, tracks := assignTracks(sorted)
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Metadata: name every process once and every thread once, in sorted
+	// track order.
+	namedProc := make(map[int]bool)
+	for _, t := range tracks {
+		id := ids[t]
+		proc, thread := splitTrack(t)
+		if !namedProc[id.pid] {
+			namedProc[id.pid] = true
+			emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + strconv.Itoa(id.pid) +
+				",\"tid\":0,\"args\":{\"name\":" + jstr(proc) + "}}")
+		}
+		emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + strconv.Itoa(id.pid) +
+			",\"tid\":" + strconv.Itoa(id.tid) + ",\"args\":{\"name\":" + jstr(thread) + "}}")
+	}
+
+	for _, s := range sorted {
+		id := ids[s.Track]
+		var sb strings.Builder
+		sb.WriteString("{\"ph\":\"X\",\"name\":")
+		sb.WriteString(jstr(s.Name))
+		sb.WriteString(",\"cat\":\"")
+		sb.WriteString(s.Class.String())
+		sb.WriteString("\",\"ts\":")
+		sb.WriteString(usec(int64(s.Start)))
+		sb.WriteString(",\"dur\":")
+		sb.WriteString(usec(int64(s.End - s.Start)))
+		sb.WriteString(",\"pid\":")
+		sb.WriteString(strconv.Itoa(id.pid))
+		sb.WriteString(",\"tid\":")
+		sb.WriteString(strconv.Itoa(id.tid))
+		if s.Bytes > 0 {
+			sb.WriteString(",\"args\":{\"bytes\":")
+			sb.WriteString(strconv.FormatInt(s.Bytes, 10))
+			sb.WriteString("}")
+		}
+		sb.WriteString("}")
+		emit(sb.String())
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

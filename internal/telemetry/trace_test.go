@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleSpans is a small deterministic workload shape: a user region on
+// rank0 containing a blocking H2D copy (host span + copy-engine span), an
+// async launch with its kernel execution, and an MPI call on rank1.
+func sampleSpans() []Span {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []Span{
+		{Track: "gpu0/strm00", Name: "square", Class: ClassKernel, Start: ms(3) + 5*time.Microsecond, End: ms(6)},
+		{Track: "rank0/cpu", Name: "app", Class: ClassRegion, Start: 0, End: ms(10)},
+		{Track: "rank0/cpu", Name: "cudaMemcpy(H2D)", Class: ClassSync, Start: ms(1), End: ms(3), Bytes: 1 << 20},
+		{Track: "gpu0/copyH2D", Name: "memcpy(h2d)", Class: ClassCopy, Start: ms(1), End: ms(3), Bytes: 1 << 20},
+		{Track: "rank0/cpu", Name: "cudaLaunch", Class: ClassAsync, Start: ms(3), End: ms(3) + 10*time.Microsecond},
+		{Track: "rank1/cpu", Name: "MPI_Allreduce", Class: ClassMPI, Start: ms(6), End: ms(8), Bytes: 4096},
+	}
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// traceDoc mirrors the Chrome Trace Event JSON Object Format for schema
+// checks.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	procNames := map[string]bool{}
+	threadNames := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if name, ok := ev.Args["name"].(string); ok {
+				if ev.Name == "process_name" {
+					procNames[name] = true
+				} else if ev.Name == "thread_name" {
+					threadNames[name] = true
+				}
+			}
+		case "X":
+			complete++
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Errorf("event %q has negative ts/dur", ev.Name)
+			}
+			if ev.Pid == 0 || ev.Tid == 0 {
+				t.Errorf("event %q missing pid/tid", ev.Name)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != len(sampleSpans()) {
+		t.Errorf("complete events = %d, want %d", complete, len(sampleSpans()))
+	}
+	for _, p := range []string{"gpu0", "rank0", "rank1"} {
+		if !procNames[p] {
+			t.Errorf("missing process_name metadata for %q", p)
+		}
+	}
+	for _, th := range []string{"cpu", "strm00", "copyH2D"} {
+		if !threadNames[th] {
+			t.Errorf("missing thread_name metadata for %q", th)
+		}
+	}
+	// The kernel span carries its class as the trace category.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "square" && ev.Cat != "kernel" {
+			t.Errorf("square cat = %q, want kernel", ev.Cat)
+		}
+		if ev.Ph == "X" && ev.Name == "cudaMemcpy(H2D)" {
+			if b, ok := ev.Args["bytes"].(float64); !ok || b != 1<<20 {
+				t.Errorf("cudaMemcpy(H2D) args = %v, want bytes=%d", ev.Args, 1<<20)
+			}
+		}
+	}
+}
+
+// TestChromeTraceDeterministic checks byte-identity across repeated writes
+// and across a permuted (but time-equivalent) input order.
+func TestChromeTraceDeterministic(t *testing.T) {
+	spans := sampleSpans()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, spans); err != nil {
+		t.Fatal(err)
+	}
+	rev := make([]Span, len(spans))
+	for i, s := range spans {
+		rev[len(spans)-1-i] = s
+	}
+	if err := WriteChromeTrace(&b, rev); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("trace output depends on input span order")
+	}
+}
+
+// TestChromeTraceNesting checks that an enclosing span is emitted before
+// the spans it contains when they share a start time, which viewers
+// require for correct flame nesting.
+func TestChromeTraceNesting(t *testing.T) {
+	spans := []Span{
+		{Track: "rank0/cpu", Name: "inner", Class: ClassSync, Start: 0, End: time.Millisecond},
+		{Track: "rank0/cpu", Name: "outer", Class: ClassRegion, Start: 0, End: 5 * time.Millisecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	order := []string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			order = append(order, ev.Name)
+		}
+	}
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Errorf("event order = %v, want [outer inner]", order)
+	}
+}
+
+func TestSplitTrack(t *testing.T) {
+	cases := []struct{ in, proc, thread string }{
+		{"rank0/cpu", "rank0", "cpu"},
+		{"gpu0/strm00", "gpu0", "strm00"},
+		{"solo", "solo", "main"},
+		{"a/b/c", "a", "b/c"},
+	}
+	for _, c := range cases {
+		p, th := splitTrack(c.in)
+		if p != c.proc || th != c.thread {
+			t.Errorf("splitTrack(%q) = (%q, %q), want (%q, %q)", c.in, p, th, c.proc, c.thread)
+		}
+	}
+}

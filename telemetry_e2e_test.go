@@ -1,0 +1,162 @@
+package ipmgo
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/telemetry"
+	"ipmgo/internal/workloads"
+)
+
+// runSquareTelemetry runs the Fig. 3 square workload with the streaming
+// telemetry layer attached and returns the recorder and registry.
+func runSquareTelemetry(t *testing.T) (*telemetry.Recorder, *telemetry.Registry) {
+	t.Helper()
+	rec := telemetry.NewRecorder(1 << 16)
+	reg := telemetry.NewRegistry()
+	cfg := cluster.Dirac(1, 1)
+	cfg.Monitor = true
+	cfg.CUDA = ipmcuda.Options{KernelTiming: true, HostIdle: true}
+	cfg.Telemetry = rec
+	cfg.Metrics = reg
+	cfg.Command = "./square"
+	if _, err := cluster.Run(cfg, func(env *cluster.Env) {
+		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
+			panic(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rec, reg
+}
+
+// TestTraceEndToEnd drives the square workload through the full stack and
+// checks the exported Perfetto trace: byte-identical across runs, valid
+// JSON, and carrying the expected host/device tracks.
+func TestTraceEndToEnd(t *testing.T) {
+	rec1, _ := runSquareTelemetry(t)
+	rec2, _ := runSquareTelemetry(t)
+	if rec1.Dropped() != 0 {
+		t.Errorf("spans dropped: %d (capacity too small for square)", rec1.Dropped())
+	}
+	if rec1.Total() == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	var a, b bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&a, rec1.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteChromeTrace(&b, rec2.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("trace output differs between identical runs")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	procs := map[string]bool{}
+	threads := map[string]bool{}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			if ev.Name == "process_name" {
+				procs[name] = true
+			} else {
+				threads[name] = true
+			}
+		case "X":
+			cats[ev.Cat] = true
+		}
+	}
+	for _, p := range []string{"rank0", "gpu0"} {
+		if !procs[p] {
+			t.Errorf("trace missing process %q (have %v)", p, procs)
+		}
+	}
+	for _, th := range []string{"cpu", "strm00", "copyH2D", "copyD2H"} {
+		if !threads[th] {
+			t.Errorf("trace missing thread %q (have %v)", th, threads)
+		}
+	}
+	// The square run exercises host-blocking calls, async launches, kernel
+	// execution, and copy-engine transfers.
+	for _, c := range []string{"sync", "async", "kernel", "copy"} {
+		if !cats[c] {
+			t.Errorf("trace missing span class %q (have %v)", c, cats)
+		}
+	}
+}
+
+// TestMetricsEndToEnd scrapes the /metrics endpoint after a monitored run
+// and checks the expected families, including the monitor self-metrics.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, reg := runSquareTelemetry(t)
+	if reg.Publishes() < 2 {
+		t.Errorf("Publishes = %d, want >= 2 (periodic tick + final)", reg.Publishes())
+	}
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"ipm_calls_total",
+		"ipm_call_seconds_total",
+		"ipm_wallclock_seconds",
+		"ipm_host_idle_seconds",
+		"ipm_gpu_exec_seconds",
+		"ipm_table_load_factor",
+		"ipm_table_probes_total",
+		"ipm_gpu_busy_seconds",
+		"ipm_telemetry_spans_total",
+		"ipm_sim_seconds",
+		"ipm_observe_latency_ns_bucket",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("scrape missing %s:\n%s", family, firstLines(text, 40))
+		}
+	}
+	// The square program's dominant signature must be present with labels.
+	if !strings.Contains(text, `ipm_calls_total{rank="0",name="cudaMemcpy(D2H)"`) {
+		t.Errorf("scrape missing labelled cudaMemcpy(D2H) sample")
+	}
+	// The observe-latency histogram actually observed events.
+	if !strings.Contains(text, "ipm_observe_latency_ns_count") {
+		t.Errorf("scrape missing observe-latency count")
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
