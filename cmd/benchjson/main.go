@@ -14,6 +14,12 @@
 // omitted from the JSON (encoded as null via pointers would be noise —
 // they are simply left at zero with "hasMem": false).
 //
+// When the run used -count N, the same benchmark appears N times; the
+// snapshot keeps the line with the lowest ns/op. The minimum is the
+// standard noise-floor estimator for microbenchmarks: scheduling and
+// frequency jitter only ever add time, so the fastest repetition is the
+// closest to the code's true cost.
+//
 // With -compare OLD.json the command additionally prints a ns/op delta
 // table for every benchmark present in both the old snapshot and the
 // current run, so successive PR snapshots (BENCH_pr1.json,
@@ -58,7 +64,9 @@ func main() {
 		line := sc.Text()
 		fmt.Println(line)
 		if name, r, ok := parseLine(line); ok {
-			results[name] = r
+			if prev, seen := results[name]; !seen || r.NsPerOp < prev.NsPerOp {
+				results[name] = r
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -17,16 +17,18 @@ import (
 	"os"
 
 	"ipmgo/internal/advisor"
+	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmparse"
 )
 
 func main() {
 	format := flag.String("format", "banner", "output format: banner, full, html, cube, advise, regions")
 	out := flag.String("o", "", "output file (default stdout)")
+	strict := flag.Bool("strict", false, "reject malformed logs instead of salvaging partial reports")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ipmparse [-format banner|full|html|cube] [-o FILE] LOG.xml")
+		fmt.Fprintln(os.Stderr, "usage: ipmparse [-format banner|full|html|cube] [-strict] [-o FILE] LOG.xml")
 		os.Exit(2)
 	}
 
@@ -37,7 +39,24 @@ func main() {
 	}
 	defer in.Close()
 
-	jp, err := ipmparse.Load(in)
+	// Tolerant by default: the log of a job whose ranks died mid-write is
+	// exactly the log most worth parsing. -strict restores hard failure.
+	var jp *ipm.JobProfile
+	if *strict {
+		jp, err = ipmparse.Load(in)
+	} else {
+		var rep *ipm.ParseReport
+		jp, rep, err = ipmparse.LoadTolerant(in)
+		if rep != nil {
+			for _, w := range rep.Warnings {
+				fmt.Fprintln(os.Stderr, "ipmparse: warning:", w)
+			}
+			if rep.Truncated {
+				fmt.Fprintf(os.Stderr, "ipmparse: warning: log truncated; recovered %d of %d task(s)\n",
+					rep.TasksRecovered, rep.TasksDeclared)
+			}
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipmparse:", err)
 		os.Exit(1)

@@ -9,7 +9,12 @@
 //
 // WORKLOAD is one of: square, blackscholes, fdtd3d, mersennetwister,
 // montecarlo, concurrentkernels, eigenvalues, quasirandomgenerator, scan,
-// hpl, paratec, paratec-mkl, amber.
+// hpl, paratec, paratec-mkl, amber, faultdemo.
+//
+// With -faults PLAN.json the run executes under a deterministic fault
+// plan (internal/faultsim): injected CUDA errors, stragglers, rank
+// deaths, monitor panics. The faultdemo workload is written to degrade
+// gracefully under any of them.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"ipmgo/internal/cluster"
+	"ipmgo/internal/faultsim"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
 	"ipmgo/internal/telemetry"
@@ -42,6 +48,7 @@ func main() {
 	traceCap := flag.Int("trace-cap", telemetry.DefaultCapacity, "telemetry ring capacity in spans (oldest dropped beyond)")
 	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. :9090)")
 	hold := flag.Duration("hold", 0, "keep the /metrics endpoint up this long after the run")
+	faults := flag.String("faults", "", "JSON fault plan (see internal/faultsim); activates deterministic fault injection")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -57,6 +64,15 @@ func main() {
 	cfg.NoiseSeed = *seed
 	cfg.NoiseAmp = 0.01
 	cfg.Command = "./" + name
+
+	if *faults != "" {
+		plan, err := faultsim.LoadFile(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmrun: faults:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = plan
+	}
 
 	var rec *telemetry.Recorder
 	if *traceOut != "" {
@@ -88,6 +104,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipmrun:", err)
 		os.Exit(1)
+	}
+
+	if cfg.Faults != nil {
+		fmt.Fprintf(os.Stderr, "faults: %d injected, %d retried, %d gave up, %d rank(s) lost\n",
+			res.FaultsInjected, res.Retries, res.GaveUp, len(res.Lost))
+		for _, l := range res.Lost {
+			fmt.Fprintf(os.Stderr, "faults: rank %d lost at %v: %s\n", l.Rank, l.At, l.Reason)
+		}
+		if res.Truncated != "" {
+			fmt.Fprintln(os.Stderr, "faults: run truncated:", res.Truncated)
+		}
 	}
 
 	if err := ipm.WriteBanner(os.Stdout, res.Profile, ipm.BannerOptions{Full: *fullBanner}); err != nil {
@@ -146,6 +173,17 @@ func selectWorkload(name string, cfg *cluster.Config, iterations int, scale floa
 		}
 	}
 	switch name {
+	case "faultdemo":
+		d := workloads.DefaultFaultDemo()
+		if iterations > 0 {
+			d.Steps = iterations
+		}
+		return func(env *cluster.Env) {
+			// FaultDemo degrades instead of failing: the report is the
+			// per-rank outcome, surfaced through the profile's error
+			// counters rather than a process exit.
+			workloads.FaultDemo(env, d)
+		}, nil
 	case "square":
 		return func(env *cluster.Env) {
 			if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {

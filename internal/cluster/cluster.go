@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"ipmgo/internal/cudart"
 	"ipmgo/internal/cufft"
 	"ipmgo/internal/des"
+	"ipmgo/internal/faultsim"
 	"ipmgo/internal/gpucounters"
 	"ipmgo/internal/gpusim"
 	"ipmgo/internal/iosim"
@@ -75,6 +77,16 @@ type Config struct {
 	// MetricsInterval is the virtual-time publish period (default 50ms).
 	MetricsInterval time.Duration
 
+	// Faults, when non-nil, activates deterministic fault injection and
+	// the resilience machinery: per-rank CUDA error injectors, straggler
+	// clock skew in Compute, scheduled rank deaths and monitor panics,
+	// capped-backoff retry of transient CUDA errors, and (when Monitor is
+	// also set) a virtual-time watchdog that kills ranks whose monitored
+	// activity stalls. Every fault is keyed to virtual time and a PRNG
+	// seeded from (Plan.Seed, rank), so a faulty run is byte-identical
+	// across repetitions and worker counts.
+	Faults *faultsim.Plan
+
 	// Command is the command line recorded in the profile.
 	Command string
 	// NoiseSeed/NoiseAmp configure run-to-run variability (amp 0 = none).
@@ -121,6 +133,8 @@ type Env struct {
 
 	cudaMon *ipmcuda.Monitor
 	ompMon  *ipmomp.Monitor
+	// skew is the straggler clock multiplier applied to Compute (1 = none).
+	skew float64
 }
 
 // Parallel runs an OpenMP-style fork/join region on the rank's cores,
@@ -141,8 +155,15 @@ func (e *Env) ParallelFor(name string, nthreads, n int, iterCost func(i int) tim
 }
 
 // Compute models host computation of duration d, perturbed by the noise
-// model.
-func (e *Env) Compute(d time.Duration) { e.Proc.Sleep(e.Noise.Perturb(d)) }
+// model and stretched by the rank's straggler skew when a fault plan
+// assigns one.
+func (e *Env) Compute(d time.Duration) {
+	d = e.Noise.Perturb(d)
+	if e.skew > 0 && e.skew != 1 {
+		d = time.Duration(float64(d) * e.skew)
+	}
+	e.Proc.Sleep(d)
+}
 
 // File is an open file on the shared filesystem, from the rank's (possibly
 // monitored) point of view.
@@ -191,6 +212,14 @@ func (m monFS) Open(name string, create bool) (File, error) {
 }
 func (m monFS) Unlink(name string) error { return m.fs.Unlink(m.proc, name) }
 
+// LostRank records one rank that did not finish: killed by the fault
+// plan, by the watchdog, or still blocked when the run was truncated.
+type LostRank struct {
+	Rank   int
+	At     time.Duration
+	Reason string
+}
+
 // Result is the outcome of one job run.
 type Result struct {
 	Wallclock time.Duration
@@ -200,6 +229,22 @@ type Result struct {
 	Profilers []*cudaprof.Profiler
 	// Counters holds one counter component per node when Counters is set.
 	Counters []*gpucounters.Component
+
+	// Lost lists the ranks that died, in rank order. The profile (when
+	// monitoring is on) still carries their partial snapshots, flagged as
+	// degraded fidelity.
+	Lost []LostRank
+	// FaultsInjected counts CUDA errors delivered by the fault plan
+	// across all ranks; Retries and GaveUp count the resilience layer's
+	// recovered and abandoned transient failures.
+	FaultsInjected int64
+	Retries        int64
+	GaveUp         int64
+	// Truncated is non-empty when fault injection was active and the run
+	// ended with ranks still blocked (hung-device deadlock with the
+	// watchdog disabled, or the horizon expiring). The result is then
+	// assembled from whatever the finished ranks produced.
+	Truncated string
 }
 
 // Run executes app once on the configured cluster and returns the result.
@@ -247,12 +292,23 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 	}
 	sharedFS := iosim.NewFS(eng, cfg.FS)
 
-	monitors := make([]*ipm.Monitor, size)
+	plan := cfg.Faults
+	st := &runState{
+		cfg:        &cfg,
+		eng:        eng,
+		devices:    devices,
+		monitors:   make([]*ipm.Monitor, size),
+		injectors:  make([]*faultsim.Injector, size),
+		resilients: make([]*faultsim.Resilient, size),
+		lost:       make([]*LostRank, size),
+		done:       make([]bool, size),
+	}
+	procs := make([]*des.Proc, size)
 	ranksDone := 0
 	for rank := 0; rank < size; rank++ {
 		rank := rank
 		node := world.NodeOf(rank)
-		eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *des.Proc) {
+		procs[rank] = eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *des.Proc) {
 			env := &Env{
 				Rank:  rank,
 				Size:  size,
@@ -261,7 +317,18 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 				Dev:   devices[node],
 				Noise: noise.New(cfg.NoiseSeed*1000003+int64(rank), cfg.NoiseAmp),
 			}
-			rt := cudart.NewRuntime(p, devices[node], cfg.Runtime)
+			rtOpts := cfg.Runtime
+			if plan != nil {
+				in := plan.Injector(rank)
+				st.injectors[rank] = in
+				rtOpts.Inject = in.Inject
+				env.skew = plan.SkewFor(rank)
+				// A hanging device loss marks the (possibly shared) GPU
+				// lost, so in-flight completions never fire — the hung
+				// stream the watchdog exists to catch.
+				in.OnDeviceLost(devices[node].MarkLost)
+			}
+			rt := cudart.NewRuntime(p, devices[node], rtOpts)
 			comm, err := world.Attach(rank, p)
 			if err != nil {
 				panic(err)
@@ -279,13 +346,20 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 					mon.SetLatencyHistogram(obsHist)
 				}
 				mon.Start()
-				monitors[rank] = mon
+				st.monitors[rank] = mon
 				env.IPM = mon
 				env.cudaMon = ipmcuda.Wrap(rt, mon, p, cfg.CUDA)
 				env.CUDA = env.cudaMon
 				env.MPI = ipmmpi.Wrap(comm, mon)
 				env.FS = monFS{fs: ipmio.Wrap(sharedFS, mon), proc: p}
 				env.ompMon = ipmomp.Wrap(mon)
+			}
+			if plan != nil && !plan.Retry.Disable {
+				// Outermost layer, so each retry attempt passes through the
+				// monitor again and is recorded like any application call.
+				res := faultsim.NewResilient(env.CUDA, p, plan.Retry)
+				st.resilients[rank] = res
+				env.CUDA = res
 			}
 			h := cublas.NewHandle(env.CUDA)
 			h.SetCostOnly(cfg.LibCostOnly)
@@ -294,20 +368,100 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			fftLib.SetCostOnly(cfg.LibCostOnly)
 			env.FFT = fftLib
 			if cfg.Monitor {
-				env.BLAS = ipmblas.WrapBLAS(h, monitors[rank])
-				env.FFT = ipmblas.WrapFFT(env.FFT, monitors[rank])
+				env.BLAS = ipmblas.WrapBLAS(h, st.monitors[rank])
+				env.FFT = ipmblas.WrapFFT(env.FFT, st.monitors[rank])
 			}
 
+			defer func() {
+				if r := recover(); r != nil {
+					k, ok := r.(des.Killed)
+					if !ok {
+						panic(r) // a real bug still aborts the engine
+					}
+					// Rank death: record it, break the communicator so
+					// blocked peers fail fast, and freeze the monitor. No
+					// Flush here — it would block on a device that may be
+					// hung, and a killed proc cannot block again.
+					st.lost[rank] = &LostRank{Rank: rank, At: p.Now(), Reason: k.Reason}
+					world.MarkFailed(rank)
+				} else if env.cudaMon != nil {
+					env.cudaMon.Flush()
+				}
+				if m := st.monitors[rank]; m != nil {
+					m.Stop()
+				}
+				st.done[rank] = true
+				ranksDone++
+			}()
 			app(env)
-
-			if env.cudaMon != nil {
-				env.cudaMon.Flush()
-			}
-			if monitors[rank] != nil {
-				monitors[rank].Stop()
-			}
-			ranksDone++
 		})
+	}
+
+	if plan != nil {
+		for rank := 0; rank < size; rank++ {
+			rank := rank
+			if at, ok := plan.DeathFor(rank); ok {
+				eng.Schedule(at, func() {
+					procs[rank].Kill(fmt.Sprintf("fault plan: rank death at %v", at))
+				})
+			}
+			for _, at := range plan.MonitorPanicsFor(rank) {
+				eng.Schedule(at, func() {
+					if m := st.monitors[rank]; m != nil {
+						m.Guard("injected fault", func() { panic("injected monitor panic") })
+					}
+				})
+			}
+		}
+	}
+
+	if plan != nil && !plan.Watchdog.Disable && cfg.Monitor {
+		// Virtual-time watchdog: a rank whose monitored activity (hash
+		// table probes) has not advanced for HangTimeout is declared hung
+		// and killed, turning a silent stall (e.g. waiting on a lost
+		// device) into an explicit rank death with a partial profile. The
+		// timeout must exceed the longest legitimate gap between monitored
+		// calls, or stragglers blocked in slow collectives get killed too.
+		interval := plan.Watchdog.IntervalOrDefault()
+		hangAfter := plan.Watchdog.HangTimeoutOrDefault()
+		lastProbes := make([]uint64, size)
+		lastChange := make([]time.Duration, size)
+		var tick func()
+		tick = func() {
+			// Kill at most the single stalest rank per tick: when one rank
+			// hangs on a dead device, its peers stall too (blocked in a
+			// collective waiting for it) and would cross the timeout in the
+			// same tick. Killing the hang's origin breaks the collective,
+			// unblocks the peers, and the fresh window below lets their
+			// probes prove they recovered.
+			worst, worstAge := -1, time.Duration(0)
+			for r := 0; r < size; r++ {
+				m := st.monitors[r]
+				if m == nil || st.done[r] {
+					continue
+				}
+				if p := m.Table().Probes(); p != lastProbes[r] {
+					lastProbes[r] = p
+					lastChange[r] = eng.Now()
+					continue
+				}
+				if age := eng.Now() - lastChange[r]; age >= hangAfter && age > worstAge {
+					worst, worstAge = r, age
+				}
+			}
+			if worst >= 0 {
+				procs[worst].Kill(fmt.Sprintf("watchdog: no monitored activity for %v", hangAfter))
+				for r := 0; r < size; r++ {
+					if r != worst {
+						lastChange[r] = eng.Now()
+					}
+				}
+			}
+			if ranksDone < size {
+				eng.ScheduleAfter(interval, tick)
+			}
+		}
+		eng.ScheduleAfter(interval, tick)
 	}
 
 	if cfg.Metrics != nil {
@@ -321,7 +475,7 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 		}
 		var tick func()
 		tick = func() {
-			cfg.Metrics.Publish(cfg.Command, collectSamples(&cfg, eng, monitors, devices))
+			cfg.Metrics.Publish(cfg.Command, collectSamples(st))
 			if ranksDone < size {
 				eng.ScheduleAfter(interval, tick)
 			}
@@ -329,19 +483,59 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 		eng.ScheduleAfter(interval, tick)
 	}
 
-	if err := eng.RunFor(cfg.Horizon); err != nil {
-		return nil, fmt.Errorf("cluster: run: %w", err)
+	res := &Result{Profilers: profilers, Counters: counters}
+	if runErr := eng.RunFor(cfg.Horizon); runErr != nil {
+		var dl *des.DeadlockError
+		var hz *des.HorizonError
+		if plan == nil || (!errors.As(runErr, &dl) && !errors.As(runErr, &hz)) {
+			return nil, fmt.Errorf("cluster: run: %w", runErr)
+		}
+		// Under fault injection an unfinished run is itself a monitored
+		// outcome: mark the stuck ranks lost and salvage what the rest
+		// produced.
+		res.Truncated = runErr.Error()
+		for r := 0; r < size; r++ {
+			if st.done[r] || st.lost[r] != nil {
+				continue
+			}
+			st.lost[r] = &LostRank{Rank: r, At: eng.Now(), Reason: "run truncated: " + runErr.Error()}
+			if m := st.monitors[r]; m != nil {
+				m.Stop()
+			}
+		}
 	}
 	if cfg.Metrics != nil {
 		// Final publish with the end-of-job state.
-		cfg.Metrics.Publish(cfg.Command, collectSamples(&cfg, eng, monitors, devices))
+		cfg.Metrics.Publish(cfg.Command, collectSamples(st))
 	}
 
-	res := &Result{Wallclock: eng.Now(), Profilers: profilers, Counters: counters}
+	res.Wallclock = eng.Now()
+	for r := 0; r < size; r++ {
+		if l := st.lost[r]; l != nil {
+			res.Lost = append(res.Lost, *l)
+		}
+		if in := st.injectors[r]; in != nil {
+			res.FaultsInjected += in.Injected()
+		}
+		if rs := st.resilients[r]; rs != nil {
+			res.Retries += rs.Retries()
+			res.GaveUp += rs.GaveUp()
+		}
+	}
 	if cfg.Monitor {
 		ranks := make([]ipm.RankProfile, size)
-		for i, m := range monitors {
-			ranks[i] = ipm.Snapshot(m)
+		for i, m := range st.monitors {
+			i, m := i, m
+			rp := ipm.RankProfile{Rank: i}
+			// Guarded: a snapshot of a rank that died mid-update must
+			// degrade to an empty profile, not take down the job report.
+			m.Guard("snapshot", func() { rp = ipm.Snapshot(m) })
+			if l := st.lost[i]; l != nil {
+				rp.Lost = true
+				rp.LostAt = l.At
+				rp.LostReason = l.Reason
+			}
+			ranks[i] = rp
 		}
 		res.Profile = ipm.NewJobProfile(cfg.Command, cfg.Nodes, ranks)
 	}

@@ -25,6 +25,13 @@ type Options struct {
 	MallocCost time.Duration
 	// HostMemcpyGBs is the host-to-host copy bandwidth (default 8 GB/s).
 	HostMemcpyGBs float64
+	// Inject, when non-nil, is consulted at the top of every
+	// device-touching API call with the cudaXxx symbol name and the
+	// current virtual time. A non-nil return becomes the call's (sticky)
+	// error and the real operation is skipped — the seam
+	// internal/faultsim hooks into. The hook must be deterministic in
+	// (call, call order, virtual time); it must never read wall clock.
+	Inject func(call string, now time.Duration) error
 }
 
 func (o Options) withDefaults() Options {
@@ -110,6 +117,18 @@ func (r *Runtime) fail(err error) error {
 	return err
 }
 
+// inject consults the fault hook for a call; an injected error stands in
+// for the real operation's failure and is sticky like any other.
+func (r *Runtime) inject(call string) error {
+	if r.opts.Inject == nil {
+		return nil
+	}
+	if err := r.opts.Inject(call, r.proc.Now()); err != nil {
+		return r.fail(err)
+	}
+	return nil
+}
+
 func (r *Runtime) stream(s Stream) (*gpusim.Stream, error) {
 	if s == 0 {
 		return r.dev.DefaultStream(), nil
@@ -126,6 +145,9 @@ func (r *Runtime) stream(s Stream) (*gpusim.Stream, error) {
 func (r *Runtime) Malloc(n int64) (DevPtr, error) {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaMalloc"); err != nil {
+		return DevPtr{}, err
+	}
 	r.proc.Sleep(r.opts.MallocCost)
 	p, err := r.dev.Alloc(n)
 	if err != nil {
@@ -138,6 +160,9 @@ func (r *Runtime) Malloc(n int64) (DevPtr, error) {
 func (r *Runtime) Free(p DevPtr) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaFree"); err != nil {
+		return err
+	}
 	if err := r.dev.Free(p); err != nil {
 		return r.fail(errCode(CodeInvalidDevicePointer, "%v", err))
 	}
@@ -149,6 +174,9 @@ func (r *Runtime) Free(p DevPtr) error {
 func (r *Runtime) HostAlloc(n int64) ([]byte, error) {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaHostAlloc"); err != nil {
+		return nil, err
+	}
 	if n < 0 {
 		return nil, r.fail(errCode(CodeInvalidValue, "negative size %d", n))
 	}
@@ -223,6 +251,9 @@ func validateKind(dst, src Ptr, kind MemcpyKind) error {
 func (r *Runtime) Memcpy(dst, src Ptr, n int64, kind MemcpyKind) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaMemcpy"); err != nil {
+		return err
+	}
 	if err := validateKind(dst, src, kind); err != nil {
 		return r.fail(err)
 	}
@@ -258,6 +289,9 @@ func transferDir(kind MemcpyKind) perfmodel.TransferDir {
 func (r *Runtime) MemcpyAsync(dst, src Ptr, n int64, kind MemcpyKind, s Stream) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaMemcpyAsync"); err != nil {
+		return err
+	}
 	if err := validateKind(dst, src, kind); err != nil {
 		return r.fail(err)
 	}
@@ -282,6 +316,9 @@ func (r *Runtime) MemcpyAsync(dst, src Ptr, n int64, kind MemcpyKind, s Stream) 
 func (r *Runtime) MemcpyToSymbol(symbol string, src []byte) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaMemcpyToSymbol"); err != nil {
+		return err
+	}
 	if symbol == "" {
 		return r.fail(errCode(CodeInvalidSymbol, "empty symbol name"))
 	}
@@ -318,6 +355,9 @@ func (r *Runtime) SymbolPtr(symbol string) (DevPtr, bool) {
 func (r *Runtime) Memset(p DevPtr, value byte, n int64) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaMemset"); err != nil {
+		return err
+	}
 	r.dev.EnqueueMemset(r.dev.DefaultStream(), n, func() {
 		if b, err := r.dev.Bytes(p, n); err == nil {
 			for i := range b {
@@ -332,6 +372,9 @@ func (r *Runtime) Memset(p DevPtr, value byte, n int64) error {
 func (r *Runtime) MemGetInfo() (free, total int64, err error) {
 	r.ensureInit()
 	r.base()
+	if err = r.inject("cudaMemGetInfo"); err != nil {
+		return 0, 0, err
+	}
 	free, total = r.dev.MemInfo()
 	return free, total, nil
 }
@@ -340,6 +383,9 @@ func (r *Runtime) MemGetInfo() (free, total int64, err error) {
 func (r *Runtime) ConfigureCall(grid, block Dim3, sharedMem int64, s Stream) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaConfigureCall"); err != nil {
+		return err
+	}
 	if _, err := r.stream(s); err != nil {
 		return r.fail(err)
 	}
@@ -362,6 +408,14 @@ func (r *Runtime) SetupArgument(arg any, size, offset int64) error {
 // are asynchronous unless Options.LaunchBlocking is set.
 func (r *Runtime) Launch(fn *Func) error {
 	r.base()
+	if err := r.inject("cudaLaunch"); err != nil {
+		// The configuration is consumed even when the launch fails, as on
+		// real hardware: the next Launch needs its own ConfigureCall.
+		if len(r.pending) > 0 {
+			r.pending = r.pending[:len(r.pending)-1]
+		}
+		return err
+	}
 	if fn == nil {
 		return r.fail(errCode(CodeLaunchFailure, "nil kernel"))
 	}
@@ -407,6 +461,9 @@ func (r *Runtime) LaunchKernel(fn *Func, grid, block Dim3, s Stream, args ...any
 func (r *Runtime) StreamCreate() (Stream, error) {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaStreamCreate"); err != nil {
+		return 0, err
+	}
 	gs := r.dev.CreateStream()
 	h := r.nextStream
 	r.nextStream++
@@ -434,6 +491,9 @@ func (r *Runtime) StreamDestroy(s Stream) error {
 func (r *Runtime) StreamSynchronize(s Stream) error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaStreamSynchronize"); err != nil {
+		return err
+	}
 	var last *gpusim.Op
 	if s == 0 {
 		last = r.dev.LastOp()
@@ -454,6 +514,9 @@ func (r *Runtime) StreamSynchronize(s Stream) error {
 func (r *Runtime) EventCreate() (Event, error) {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaEventCreate"); err != nil {
+		return 0, err
+	}
 	h := r.nextEvent
 	r.nextEvent++
 	r.events[h] = r.dev.NewEvent()
@@ -471,6 +534,9 @@ func (r *Runtime) event(ev Event) (*gpusim.DevEvent, error) {
 // EventRecord inserts the event into the stream.
 func (r *Runtime) EventRecord(ev Event, s Stream) error {
 	r.base()
+	if err := r.inject("cudaEventRecord"); err != nil {
+		return err
+	}
 	de, err := r.event(ev)
 	if err != nil {
 		return r.fail(err)
@@ -500,6 +566,9 @@ func (r *Runtime) EventQuery(ev Event) error {
 // EventSynchronize blocks until the event completes.
 func (r *Runtime) EventSynchronize(ev Event) error {
 	r.base()
+	if err := r.inject("cudaEventSynchronize"); err != nil {
+		return err
+	}
 	de, err := r.event(ev)
 	if err != nil {
 		return r.fail(err)
@@ -544,6 +613,9 @@ func (r *Runtime) EventDestroy(ev Event) error {
 func (r *Runtime) ThreadSynchronize() error {
 	r.ensureInit()
 	r.base()
+	if err := r.inject("cudaThreadSynchronize"); err != nil {
+		return err
+	}
 	if last := r.dev.LastOp(); last != nil {
 		r.proc.Wait(last.Done())
 	}
@@ -603,4 +675,12 @@ func (r *Runtime) GetLastError() error {
 	err := r.lastErr
 	r.lastErr = nil
 	return err
+}
+
+// PeekAtLastError returns the sticky error without clearing it, mirroring
+// cudaPeekAtLastError — the one-bit semantic difference from GetLastError
+// that error-checking macros rely on.
+func (r *Runtime) PeekAtLastError() error {
+	r.base()
+	return r.lastErr
 }

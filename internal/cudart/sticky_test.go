@@ -1,0 +1,198 @@
+package cudart
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/perfmodel"
+)
+
+// runRT drives fn in DES process context against a fresh runtime.
+func runRT(t *testing.T, opts Options, fn func(r *Runtime)) {
+	t.Helper()
+	eng := des.NewEngine()
+	dev := gpusim.NewDevice(eng, perfmodel.TeslaC2050())
+	eng.Spawn("app", func(p *des.Proc) {
+		fn(NewRuntime(p, dev, opts))
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}
+
+// TestStickyErrorSemantics checks the CUDA error-state contract for each
+// way of reading it: GetLastError clears the sticky error,
+// PeekAtLastError does not, and polling results (cudaErrorNotReady) never
+// become sticky.
+func TestStickyErrorSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		// trigger provokes exactly one failing call and returns its error.
+		trigger func(r *Runtime) error
+		// sticky is whether the failure must be visible afterwards.
+		sticky bool
+	}{
+		{
+			name:    "invalid-memcpy-direction",
+			trigger: func(r *Runtime) error { return r.Memcpy(Ptr{}, Ptr{}, 8, MemcpyKind(99)) },
+			sticky:  true,
+		},
+		{
+			name:    "launch-without-configure",
+			trigger: func(r *Runtime) error { return r.Launch(&Func{Name: "k"}) },
+			sticky:  true,
+		},
+		{
+			name:    "unknown-stream",
+			trigger: func(r *Runtime) error { return r.StreamDestroy(Stream(7)) },
+			sticky:  true,
+		},
+		{
+			name:    "bad-set-device",
+			trigger: func(r *Runtime) error { return r.SetDevice(3) },
+			sticky:  true,
+		},
+		{
+			name: "event-query-not-ready",
+			trigger: func(r *Runtime) error {
+				ev, err := r.EventCreate()
+				if err != nil {
+					return err
+				}
+				s, err := r.StreamCreate()
+				if err != nil {
+					return err
+				}
+				if err := r.Memset(DevPtr{}, 0, 1<<20); err != nil {
+					return err
+				}
+				if err := r.EventRecord(ev, s); err != nil {
+					return err
+				}
+				return r.EventQuery(ev)
+			},
+			sticky: false,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			runRT(t, Options{}, func(r *Runtime) {
+				if err := r.GetLastError(); err != nil {
+					t.Fatalf("fresh runtime has sticky error %v", err)
+				}
+				err := tc.trigger(r)
+				if err == nil {
+					t.Fatalf("trigger did not fail")
+				}
+				if !tc.sticky {
+					if !errors.Is(err, ErrNotReady) {
+						t.Fatalf("expected cudaErrorNotReady, got %v", err)
+					}
+					if got := r.PeekAtLastError(); got != nil {
+						t.Fatalf("polling result became sticky: %v", got)
+					}
+					return
+				}
+				// Peek does not consume the error: repeated peeks agree.
+				if got := r.PeekAtLastError(); !errors.Is(got, err) {
+					t.Fatalf("PeekAtLastError = %v, want %v", got, err)
+				}
+				if got := r.PeekAtLastError(); !errors.Is(got, err) {
+					t.Fatalf("second PeekAtLastError = %v, want %v", got, err)
+				}
+				// GetLastError returns the error once and clears it.
+				if got := r.GetLastError(); !errors.Is(got, err) {
+					t.Fatalf("GetLastError = %v, want %v", got, err)
+				}
+				if got := r.GetLastError(); got != nil {
+					t.Fatalf("GetLastError did not clear: %v", got)
+				}
+				if got := r.PeekAtLastError(); got != nil {
+					t.Fatalf("PeekAtLastError after clear: %v", got)
+				}
+			})
+		})
+	}
+}
+
+// TestInjectedErrorsSticky checks injected faults behave exactly like
+// organic failures: returned, sticky, and cleared only by GetLastError.
+func TestInjectedErrorsSticky(t *testing.T) {
+	injected := &Error{Code: CodeECCUncorrectable, Detail: "injected"}
+	armed := true
+	opts := Options{Inject: func(call string, now time.Duration) error {
+		if armed && call == "cudaMemcpy" {
+			armed = false
+			return injected
+		}
+		return nil
+	}}
+	runRT(t, opts, func(r *Runtime) {
+		d, err := r.Malloc(64)
+		if err != nil {
+			t.Fatalf("malloc: %v", err)
+		}
+		host := make([]byte, 64)
+		err = r.Memcpy(DevicePtr(d), HostPtr(host), 64, MemcpyHostToDevice)
+		if !errors.Is(err, ErrECCUncorrectable) {
+			t.Fatalf("injected error = %v", err)
+		}
+		if got := r.PeekAtLastError(); !errors.Is(got, ErrECCUncorrectable) {
+			t.Fatalf("peek = %v", got)
+		}
+		// The fault was transient: the retried call succeeds but the sticky
+		// state still shows the old failure until read.
+		if err := r.Memcpy(DevicePtr(d), HostPtr(host), 64, MemcpyHostToDevice); err != nil {
+			t.Fatalf("retry: %v", err)
+		}
+		if got := r.GetLastError(); !errors.Is(got, ErrECCUncorrectable) {
+			t.Fatalf("get = %v", got)
+		}
+		if got := r.GetLastError(); got != nil {
+			t.Fatalf("not cleared: %v", got)
+		}
+	})
+}
+
+// TestErrorStringMapping is the table-driven check of the cudaError code
+// to name mapping.
+func TestErrorStringMapping(t *testing.T) {
+	cases := []struct {
+		code Code
+		want string
+	}{
+		{CodeSuccess, "cudaSuccess"},
+		{CodeMemoryAllocation, "cudaErrorMemoryAllocation"},
+		{CodeInitializationError, "cudaErrorInitializationError"},
+		{CodeInvalidValue, "cudaErrorInvalidValue"},
+		{CodeInvalidDevicePointer, "cudaErrorInvalidDevicePointer"},
+		{CodeInvalidMemcpyDirection, "cudaErrorInvalidMemcpyDirection"},
+		{CodeInvalidConfiguration, "cudaErrorInvalidConfiguration"},
+		{CodeInvalidResourceHandle, "cudaErrorInvalidResourceHandle"},
+		{CodeLaunchFailure, "cudaErrorLaunchFailure"},
+		{CodeNotReady, "cudaErrorNotReady"},
+		{CodeInvalidSymbol, "cudaErrorInvalidSymbol"},
+		{CodeECCUncorrectable, "cudaErrorECCUncorrectable"},
+		{CodeDeviceLost, "cudaErrorDeviceLost"},
+		{Code(99), "cudaError(99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.code.String(); got != tc.want {
+			t.Errorf("Code(%d).String() = %q, want %q", int(tc.code), got, tc.want)
+		}
+		if tc.code == CodeSuccess || tc.code == Code(99) {
+			continue
+		}
+		e := &Error{Code: tc.code, Detail: "d"}
+		if got := e.Error(); got != tc.want+": d" {
+			t.Errorf("Error() = %q, want %q", got, tc.want+": d")
+		}
+		if !errors.Is(e, &Error{Code: tc.code}) {
+			t.Errorf("errors.Is failed for %v", tc.code)
+		}
+	}
+}

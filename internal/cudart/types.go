@@ -38,6 +38,8 @@ const (
 	CodeLaunchFailure
 	CodeNotReady
 	CodeInvalidSymbol
+	CodeECCUncorrectable
+	CodeDeviceLost
 )
 
 var codeNames = map[Code]string{
@@ -52,6 +54,8 @@ var codeNames = map[Code]string{
 	CodeLaunchFailure:          "cudaErrorLaunchFailure",
 	CodeNotReady:               "cudaErrorNotReady",
 	CodeInvalidSymbol:          "cudaErrorInvalidSymbol",
+	CodeECCUncorrectable:       "cudaErrorECCUncorrectable",
+	CodeDeviceLost:             "cudaErrorDeviceLost",
 }
 
 func (c Code) String() string {
@@ -90,6 +94,9 @@ var (
 	ErrNotReady         = &Error{Code: CodeNotReady}
 	ErrMemoryAllocation = &Error{Code: CodeMemoryAllocation}
 	ErrInvalidValue     = &Error{Code: CodeInvalidValue}
+	ErrLaunchFailure    = &Error{Code: CodeLaunchFailure}
+	ErrECCUncorrectable = &Error{Code: CodeECCUncorrectable}
+	ErrDeviceLost       = &Error{Code: CodeDeviceLost}
 )
 
 // DevPtr is a device memory pointer (re-exported from gpusim so
@@ -263,4 +270,5 @@ type API interface {
 	GetDevice() (int, error)
 	SetDevice(dev int) error
 	GetLastError() error
+	PeekAtLastError() error
 }

@@ -15,6 +15,38 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+
+	killed     bool
+	killReason string
+}
+
+// Killed is the panic value delivered inside a process terminated with
+// Kill. The spawner may recover it to implement graceful teardown (a rank
+// dying while the rest of the job continues); any other panic value still
+// aborts the whole engine.
+type Killed struct {
+	Reason string
+}
+
+func (k Killed) Error() string { return "des: process killed: " + k.Reason }
+
+// Unrecoverable marks the kill signal as something generic recover-and-
+// continue guards (e.g. ipm.Monitor.Guard) must re-panic rather than
+// swallow: a kill is a control-flow signal, not an internal error.
+func (k Killed) Unrecoverable() bool { return true }
+
+// Kill marks the process for termination. Delivery is deterministic: the
+// kill is raised as a Killed panic at the process's next scheduling point
+// (its current block, or the next Sleep/Wait), via an event at the current
+// virtual time, so defers run inside the process goroutine. Killing a
+// finished or already-killed process is a no-op.
+func (p *Proc) Kill(reason string) {
+	if p.done || p.killed {
+		return
+	}
+	p.killed = true
+	p.killReason = reason
+	p.e.Schedule(p.e.now, func() { p.e.step(p) })
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -59,6 +91,9 @@ func (p *Proc) block(reason string) {
 	p.e.blocked[p] = reason
 	p.e.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(Killed{Reason: p.killReason})
+	}
 }
 
 // Name returns the process name given at Spawn.

@@ -1,0 +1,281 @@
+// Package faultsim injects deterministic, seeded faults into the
+// simulation substrate: CUDA errors (transient and sticky) via the
+// cudart injection seam, straggler nodes via a per-rank clock-skew
+// multiplier, rank death, and monitor-internal panics.
+//
+// Everything is keyed to virtual time plus a seeded per-rank PRNG —
+// never the wall clock — so any fault scenario is byte-identical across
+// runs and across `-j` worker counts. A plan is a JSON document loaded
+// with LoadFile (the `-faults` flag of cmd/ipmrun):
+//
+//	{
+//	  "seed": 42,
+//	  "faults": [
+//	    {"type": "cuda", "rank": 1, "at": "100ms", "code": "ecc", "count": 2},
+//	    {"type": "straggler", "rank": 3, "factor": 1.8},
+//	    {"type": "rank-death", "rank": 2, "at": "250ms"}
+//	  ]
+//	}
+package faultsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Dur is a time.Duration that unmarshals from either a Go duration
+// string ("1.5s", "250ms") or a bare number of seconds, and marshals as
+// a duration string.
+type Dur time.Duration
+
+// D returns the underlying duration.
+func (d Dur) D() time.Duration { return time.Duration(d) }
+
+func (d Dur) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as a string ("250ms").
+func (d Dur) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "250ms"-style strings or float seconds.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("faultsim: bad duration %q: %v", s, err)
+		}
+		*d = Dur(parsed)
+		return nil
+	}
+	secs, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("faultsim: bad duration %s", b)
+	}
+	*d = Dur(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Fault kinds.
+const (
+	KindCUDA         = "cuda"          // inject a CUDA error code
+	KindStraggler    = "straggler"     // multiply a rank's host compute time
+	KindRankDeath    = "rank-death"    // kill a rank at a virtual time
+	KindMonitorPanic = "monitor-panic" // panic inside the monitor (guard test)
+)
+
+// CUDA fault codes (the Code field of a "cuda" fault).
+const (
+	CodeECC        = "ecc"         // cudaErrorECCUncorrectable (transient, retryable)
+	CodeLaunch     = "launch"      // cudaErrorLaunchFailure (transient, retryable)
+	CodeDeviceLost = "device-lost" // cudaErrorDeviceLost (sticky, fatal)
+)
+
+// AllRanks as a Fault.Rank targets every rank.
+const AllRanks = -1
+
+// Fault is one injected failure. Which fields matter depends on Type:
+//
+//	cuda:          Rank, At, Code, Call (optional symbol filter),
+//	               Count (occurrences; 0 = once, unless Prob set),
+//	               Prob (per-call probability; with Count 0 = unbounded),
+//	               Hang (device-lost only: the triggering call fails loudly,
+//	               then the device dies silently — later calls pass the
+//	               injection gate and strand on completions that never
+//	               fire, producing a genuine hung stream for the watchdog;
+//	               without Hang every later call fast-fails with the
+//	               sticky device-lost error instead)
+//	straggler:     Rank, Factor (compute-time multiplier, e.g. 1.8)
+//	rank-death:    Rank, At
+//	monitor-panic: Rank, At
+type Fault struct {
+	Type   string  `json:"type"`
+	Rank   int     `json:"rank"`
+	At     Dur     `json:"at,omitempty"`
+	Code   string  `json:"code,omitempty"`
+	Call   string  `json:"call,omitempty"`
+	Count  int     `json:"count,omitempty"`
+	Prob   float64 `json:"prob,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	Hang   bool    `json:"hang,omitempty"`
+}
+
+// Watchdog configures the cluster harness's virtual-time hang detector.
+type Watchdog struct {
+	Disable     bool `json:"disable,omitempty"`
+	Interval    Dur  `json:"interval,omitempty"`     // default 250ms
+	HangTimeout Dur  `json:"hang_timeout,omitempty"` // default 2s
+}
+
+// IntervalOrDefault returns the polling interval.
+func (w Watchdog) IntervalOrDefault() time.Duration {
+	if w.Interval > 0 {
+		return w.Interval.D()
+	}
+	return 250 * time.Millisecond
+}
+
+// HangTimeoutOrDefault returns the no-progress window after which a rank
+// is declared hung.
+func (w Watchdog) HangTimeoutOrDefault() time.Duration {
+	if w.HangTimeout > 0 {
+		return w.HangTimeout.D()
+	}
+	return 2 * time.Second
+}
+
+// RetryPolicy configures transparent retry of transient CUDA faults.
+type RetryPolicy struct {
+	Disable     bool `json:"disable,omitempty"`
+	MaxAttempts int  `json:"max_attempts,omitempty"` // default 3
+	Backoff     Dur  `json:"backoff,omitempty"`      // default 100µs
+	MaxBackoff  Dur  `json:"max_backoff,omitempty"`  // default 10ms
+}
+
+// Attempts returns the total attempt budget per call.
+func (r RetryPolicy) Attempts() int {
+	if r.MaxAttempts > 0 {
+		return r.MaxAttempts
+	}
+	return 3
+}
+
+// BackoffFor returns the capped exponential delay before retry attempt
+// (attempt 0 is the first retry).
+func (r RetryPolicy) BackoffFor(attempt int) time.Duration {
+	base := r.Backoff.D()
+	if base <= 0 {
+		base = 100 * time.Microsecond
+	}
+	maxB := r.MaxBackoff.D()
+	if maxB <= 0 {
+		maxB = 10 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= maxB {
+			return maxB
+		}
+	}
+	if d > maxB {
+		return maxB
+	}
+	return d
+}
+
+// Plan is a complete fault scenario. The zero plan injects nothing.
+type Plan struct {
+	Seed     int64       `json:"seed"`
+	Watchdog Watchdog    `json:"watchdog,omitempty"`
+	Retry    RetryPolicy `json:"retry,omitempty"`
+	Faults   []Fault     `json:"faults"`
+}
+
+// Parse decodes a JSON plan, rejecting unknown fields, and validates it.
+func Parse(b []byte) (*Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("faultsim: parse plan: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadFile reads and parses a plan file.
+func LoadFile(path string) (*Plan, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: %v", err)
+	}
+	return Parse(b)
+}
+
+// Validate checks the plan for structural errors.
+func (p *Plan) Validate() error {
+	for i, f := range p.Faults {
+		where := fmt.Sprintf("faultsim: fault %d (%s)", i, f.Type)
+		switch f.Type {
+		case KindCUDA:
+			switch f.Code {
+			case CodeECC, CodeLaunch, CodeDeviceLost:
+			default:
+				return fmt.Errorf("%s: unknown code %q", where, f.Code)
+			}
+			if f.Prob < 0 || f.Prob > 1 {
+				return fmt.Errorf("%s: prob %v out of [0,1]", where, f.Prob)
+			}
+			if f.Count < 0 {
+				return fmt.Errorf("%s: negative count", where)
+			}
+		case KindStraggler:
+			if f.Factor <= 0 {
+				return fmt.Errorf("%s: factor must be > 0, got %v", where, f.Factor)
+			}
+		case KindRankDeath, KindMonitorPanic:
+			if f.At < 0 {
+				return fmt.Errorf("%s: negative time", where)
+			}
+		default:
+			return fmt.Errorf("%s: unknown fault type", where)
+		}
+		if f.Rank < AllRanks {
+			return fmt.Errorf("%s: bad rank %d", where, f.Rank)
+		}
+	}
+	return nil
+}
+
+// appliesTo reports whether the fault targets the rank.
+func (f Fault) appliesTo(rank int) bool {
+	return f.Rank == AllRanks || f.Rank == rank
+}
+
+// SkewFor returns the rank's compute-time multiplier: the product of all
+// straggler factors targeting it, or 1 when none do.
+func (p *Plan) SkewFor(rank int) float64 {
+	skew := 1.0
+	for _, f := range p.Faults {
+		if f.Type == KindStraggler && f.appliesTo(rank) {
+			skew *= f.Factor
+		}
+	}
+	return skew
+}
+
+// DeathFor returns the earliest scheduled death time for the rank.
+func (p *Plan) DeathFor(rank int) (time.Duration, bool) {
+	var at time.Duration
+	found := false
+	for _, f := range p.Faults {
+		if f.Type != KindRankDeath || !f.appliesTo(rank) {
+			continue
+		}
+		if !found || f.At.D() < at {
+			at = f.At.D()
+			found = true
+		}
+	}
+	return at, found
+}
+
+// MonitorPanicsFor returns the scheduled monitor-panic times for the
+// rank, in plan order.
+func (p *Plan) MonitorPanicsFor(rank int) []time.Duration {
+	var out []time.Duration
+	for _, f := range p.Faults {
+		if f.Type == KindMonitorPanic && f.appliesTo(rank) {
+			out = append(out, f.At.D())
+		}
+	}
+	return out
+}

@@ -1,0 +1,282 @@
+package faultsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+)
+
+func TestParsePlan(t *testing.T) {
+	spec := `{
+		"seed": 42,
+		"watchdog": {"interval": "100ms", "hang_timeout": 0.5},
+		"retry": {"max_attempts": 4, "backoff": "50us"},
+		"faults": [
+			{"type": "cuda", "rank": 1, "at": "100ms", "code": "ecc", "count": 2},
+			{"type": "cuda", "rank": -1, "code": "launch", "prob": 0.1},
+			{"type": "straggler", "rank": 3, "factor": 1.8},
+			{"type": "rank-death", "rank": 2, "at": "250ms"},
+			{"type": "monitor-panic", "rank": 0, "at": "10ms"}
+		]
+	}`
+	p, err := Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Faults) != 5 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if got := p.Watchdog.IntervalOrDefault(); got != 100*time.Millisecond {
+		t.Errorf("interval = %v", got)
+	}
+	if got := p.Watchdog.HangTimeoutOrDefault(); got != 500*time.Millisecond {
+		t.Errorf("hang timeout from float seconds = %v", got)
+	}
+	if got := p.SkewFor(3); got != 1.8 {
+		t.Errorf("SkewFor(3) = %v", got)
+	}
+	if got := p.SkewFor(0); got != 1.0 {
+		t.Errorf("SkewFor(0) = %v", got)
+	}
+	at, ok := p.DeathFor(2)
+	if !ok || at != 250*time.Millisecond {
+		t.Errorf("DeathFor(2) = %v, %v", at, ok)
+	}
+	if _, ok := p.DeathFor(1); ok {
+		t.Error("DeathFor(1) found a death")
+	}
+	if got := p.MonitorPanicsFor(0); len(got) != 1 || got[0] != 10*time.Millisecond {
+		t.Errorf("MonitorPanicsFor(0) = %v", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		`{"faults": [{"type": "nope", "rank": 0}]}`,
+		`{"faults": [{"type": "cuda", "rank": 0, "code": "bogus"}]}`,
+		`{"faults": [{"type": "cuda", "rank": 0, "code": "ecc", "prob": 2}]}`,
+		`{"faults": [{"type": "straggler", "rank": 0}]}`,
+		`{"faults": [{"type": "cuda", "rank": -2, "code": "ecc"}]}`,
+		`{"unknown_field": 1}`,
+		`{"faults": [{"type": "cuda", "rank": 0, "code": "ecc", "at": "xyz"}]}`,
+	}
+	for _, spec := range bad {
+		if _, err := Parse([]byte(spec)); err == nil {
+			t.Errorf("Parse accepted %s", spec)
+		}
+	}
+}
+
+func TestDurRoundTrip(t *testing.T) {
+	var d Dur
+	if err := d.UnmarshalJSON([]byte(`"1.5s"`)); err != nil || d.D() != 1500*time.Millisecond {
+		t.Fatalf("string form: %v %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`0.25`)); err != nil || d.D() != 250*time.Millisecond {
+		t.Fatalf("seconds form: %v %v", d, err)
+	}
+	b, err := Dur(250 * time.Millisecond).MarshalJSON()
+	if err != nil || string(b) != `"250ms"` {
+		t.Fatalf("marshal: %s %v", b, err)
+	}
+}
+
+// TestInjectorDeterminism checks two injectors built from the same plan
+// deliver identical fault streams, and different ranks draw independent
+// streams.
+func TestInjectorDeterminism(t *testing.T) {
+	p, err := Parse([]byte(`{"seed": 7, "faults": [
+		{"type": "cuda", "rank": -1, "code": "ecc", "prob": 0.3},
+		{"type": "cuda", "rank": -1, "at": "50ms", "code": "launch", "call": "cudaLaunch", "count": 1}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := []string{"cudaMemcpy", "cudaLaunch", "cudaMemset", "cudaLaunch", "cudaMalloc"}
+	stream := func(rank int) []string {
+		in := p.Injector(rank)
+		var out []string
+		for i, c := range calls {
+			now := time.Duration(i*20) * time.Millisecond
+			if err := in.Inject(c, now); err != nil {
+				out = append(out, err.Error())
+			} else {
+				out = append(out, "")
+			}
+		}
+		return out
+	}
+	a, b := stream(1), stream(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank 1 streams diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// The targeted launch fault fires exactly once for every rank: at the
+	// first cudaLaunch at/after 50ms.
+	for rank := 0; rank < 4; rank++ {
+		in := p.Injector(rank)
+		if err := in.Inject("cudaLaunch", 10*time.Millisecond); errors.Is(err, cudart.ErrLaunchFailure) {
+			t.Errorf("rank %d: launch fault fired before its time", rank)
+		}
+		if err := in.Inject("cudaMemcpy", 60*time.Millisecond); errors.Is(err, cudart.ErrLaunchFailure) {
+			t.Errorf("rank %d: launch fault fired on wrong call", rank)
+		}
+		if err := in.Inject("cudaLaunch", 60*time.Millisecond); !errors.Is(err, cudart.ErrLaunchFailure) {
+			t.Errorf("rank %d: launch fault missing: %v", rank, err)
+		}
+		if err := in.Inject("cudaLaunch", 70*time.Millisecond); errors.Is(err, cudart.ErrLaunchFailure) {
+			t.Errorf("rank %d: one-shot fault fired twice", rank)
+		}
+	}
+}
+
+// TestInjectorDeviceLost checks the loud (fail-fast) device loss: once
+// the device is lost, every later call fast-fails with the sticky error.
+func TestInjectorDeviceLost(t *testing.T) {
+	p, err := Parse([]byte(`{"faults": [
+		{"type": "cuda", "rank": 0, "at": "10ms", "code": "device-lost"}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector(0)
+	hung := 0
+	in.OnDeviceLost(func() { hung++ })
+	if err := in.Inject("cudaMemcpy", 5*time.Millisecond); err != nil {
+		t.Fatalf("fault before its time: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Inject("cudaMemcpy", 20*time.Millisecond); !errors.Is(err, cudart.ErrDeviceLost) {
+			t.Fatalf("call %d after loss = %v", i, err)
+		}
+	}
+	if hung != 0 {
+		t.Fatalf("OnDeviceLost fired %d times without hang mode", hung)
+	}
+	if in.Injected() != 3 {
+		t.Fatalf("Injected() = %d", in.Injected())
+	}
+}
+
+// TestInjectorDeviceLostHang checks the silent (hanging) device loss:
+// the triggering call fails and fires the hang callback once; later
+// calls pass the injection gate untouched so they can strand on the
+// dead device's never-firing completions.
+func TestInjectorDeviceLostHang(t *testing.T) {
+	p, err := Parse([]byte(`{"faults": [
+		{"type": "cuda", "rank": 0, "at": "10ms", "code": "device-lost", "hang": true}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Injector(0)
+	hung := 0
+	in.OnDeviceLost(func() { hung++ })
+	if err := in.Inject("cudaMemcpy", 20*time.Millisecond); !errors.Is(err, cudart.ErrDeviceLost) {
+		t.Fatalf("triggering call = %v, want device lost", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := in.Inject("cudaMemcpy", 25*time.Millisecond); err != nil {
+			t.Fatalf("call %d after silent loss = %v, want nil (call should hang, not fail)", i, err)
+		}
+	}
+	if hung != 1 {
+		t.Fatalf("OnDeviceLost fired %d times, want 1", hung)
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("Injected() = %d, want 1 (only the triggering call counts)", in.Injected())
+	}
+}
+
+// TestRetryPolicyBackoff checks the capped exponential schedule.
+func TestRetryPolicyBackoff(t *testing.T) {
+	r := RetryPolicy{Backoff: Dur(100 * time.Microsecond), MaxBackoff: Dur(500 * time.Microsecond)}
+	want := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond, 400 * time.Microsecond, 500 * time.Microsecond, 500 * time.Microsecond}
+	for i, w := range want {
+		if got := r.BackoffFor(i); got != w {
+			t.Errorf("BackoffFor(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if (RetryPolicy{}).Attempts() != 3 {
+		t.Error("default attempts != 3")
+	}
+}
+
+// flaky is a minimal cudart.API stub failing the first n Memcpy calls.
+type flaky struct {
+	cudart.API // panics if an unstubbed method is hit
+	failLeft   int
+	calls      int
+	cleared    int
+	sticky     error
+}
+
+func (f *flaky) Memcpy(dst, src cudart.Ptr, n int64, kind cudart.MemcpyKind) error {
+	f.calls++
+	if f.failLeft > 0 {
+		f.failLeft--
+		f.sticky = &cudart.Error{Code: cudart.CodeECCUncorrectable, Detail: "injected"}
+		return f.sticky
+	}
+	return nil
+}
+
+func (f *flaky) GetLastError() error {
+	f.cleared++
+	err := f.sticky
+	f.sticky = nil
+	return err
+}
+
+// TestResilientRetries checks retry-until-success, give-up on budget
+// exhaustion, non-retryable passthrough, and backoff consuming virtual
+// time.
+func TestResilientRetries(t *testing.T) {
+	eng := des.NewEngine()
+	eng.Spawn("app", func(p *des.Proc) {
+		f := &flaky{failLeft: 2}
+		r := NewResilient(f, p, RetryPolicy{MaxAttempts: 3, Backoff: Dur(time.Millisecond), MaxBackoff: Dur(time.Second)})
+		start := p.Now()
+		if err := r.Memcpy(cudart.Ptr{}, cudart.Ptr{}, 8, cudart.MemcpyHostToDevice); err != nil {
+			t.Fatalf("retry did not recover: %v", err)
+		}
+		if f.calls != 3 || r.Retries() != 2 || r.GaveUp() != 0 {
+			t.Fatalf("calls=%d retries=%d gaveUp=%d", f.calls, r.Retries(), r.GaveUp())
+		}
+		if f.cleared != 1 || f.sticky != nil {
+			t.Fatalf("sticky error not consumed after successful retry (cleared=%d)", f.cleared)
+		}
+		// 1ms + 2ms of backoff.
+		if got := p.Now() - start; got != 3*time.Millisecond {
+			t.Fatalf("backoff consumed %v of virtual time, want 3ms", got)
+		}
+
+		// Budget exhaustion.
+		f2 := &flaky{failLeft: 10}
+		r2 := NewResilient(f2, p, RetryPolicy{MaxAttempts: 3})
+		err := r2.Memcpy(cudart.Ptr{}, cudart.Ptr{}, 8, cudart.MemcpyHostToDevice)
+		if !errors.Is(err, cudart.ErrECCUncorrectable) {
+			t.Fatalf("exhausted retry = %v", err)
+		}
+		if f2.calls != 3 || r2.GaveUp() != 1 {
+			t.Fatalf("calls=%d gaveUp=%d", f2.calls, r2.GaveUp())
+		}
+
+		// Disabled policy: single attempt.
+		f3 := &flaky{failLeft: 1}
+		r3 := NewResilient(f3, p, RetryPolicy{Disable: true})
+		if err := r3.Memcpy(cudart.Ptr{}, cudart.Ptr{}, 8, cudart.MemcpyHostToDevice); err == nil {
+			t.Fatal("disabled retry recovered")
+		}
+		if f3.calls != 1 {
+			t.Fatalf("disabled retry made %d calls", f3.calls)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

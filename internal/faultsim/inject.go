@@ -1,0 +1,137 @@
+package faultsim
+
+import (
+	"math/rand"
+	"time"
+
+	"ipmgo/internal/cudart"
+)
+
+// armedFault is one CUDA fault with its remaining occurrence budget.
+type armedFault struct {
+	f    Fault
+	err  error
+	left int // -1 = unbounded
+}
+
+// Injector produces the CUDA error stream for one rank. It plugs into
+// cudart.Options.Inject and is fully deterministic: randomness comes
+// from a PRNG seeded by (plan seed, rank), and fault arming is keyed to
+// the virtual-time argument of each injection query.
+type Injector struct {
+	rank  int
+	rng   *rand.Rand
+	armed []armedFault
+
+	lost         bool
+	lostSilent   bool // Hang mode: dead device swallows calls instead of failing them
+	lostErr      error
+	onDeviceLost func()
+
+	injected int64
+}
+
+// mix folds the rank into the plan seed (splitmix64-style) so every rank
+// draws an independent, reproducible stream.
+func mix(seed int64, rank int) int64 {
+	z := uint64(seed) + uint64(rank+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Injector builds the per-rank injector for the plan. Deterministic
+// (scheduled) faults are armed ahead of probabilistic ones so a random
+// draw can never mask a fault the plan promises at a specific time.
+func (p *Plan) Injector(rank int) *Injector {
+	in := &Injector{rank: rank, rng: rand.New(rand.NewSource(mix(p.Seed, rank)))}
+	ordered := make([]Fault, 0, len(p.Faults))
+	for _, f := range p.Faults {
+		if f.Prob == 0 {
+			ordered = append(ordered, f)
+		}
+	}
+	for _, f := range p.Faults {
+		if f.Prob > 0 {
+			ordered = append(ordered, f)
+		}
+	}
+	for _, f := range ordered {
+		if f.Type != KindCUDA || !f.appliesTo(rank) {
+			continue
+		}
+		var err error
+		left := f.Count
+		switch f.Code {
+		case CodeECC:
+			err = &cudart.Error{Code: cudart.CodeECCUncorrectable, Detail: "injected"}
+		case CodeLaunch:
+			err = &cudart.Error{Code: cudart.CodeLaunchFailure, Detail: "injected"}
+		case CodeDeviceLost:
+			err = &cudart.Error{Code: cudart.CodeDeviceLost, Detail: "injected"}
+			left = -1 // device loss is sticky: every later call fails
+		}
+		if left == 0 {
+			if f.Prob > 0 {
+				left = -1 // probabilistic without a count: unbounded
+			} else {
+				left = 1 // plain one-shot
+			}
+		}
+		in.armed = append(in.armed, armedFault{f: f, err: err, left: left})
+	}
+	return in
+}
+
+// OnDeviceLost registers a callback run once when a device-lost fault
+// with Hang set fires — the cluster harness uses it to mark the gpusim
+// device lost so in-flight work hangs.
+func (in *Injector) OnDeviceLost(fn func()) { in.onDeviceLost = fn }
+
+// Injected returns the number of faults delivered so far.
+func (in *Injector) Injected() int64 { return in.injected }
+
+// Inject implements cudart.Options.Inject: called before every eligible
+// runtime call with the symbol name and current virtual time; a non-nil
+// return fails the call with that error.
+func (in *Injector) Inject(call string, now time.Duration) error {
+	if in.lost {
+		if in.lostSilent {
+			// Hanging loss: later calls are let through to the runtime,
+			// where they strand on a device whose completions never fire.
+			// Fast-failing them here would let the application notice and
+			// route around the loss — the opposite of a hung stream.
+			return nil
+		}
+		in.injected++
+		return in.lostErr
+	}
+	for i := range in.armed {
+		a := &in.armed[i]
+		if a.left == 0 || now < a.f.At.D() {
+			continue
+		}
+		if a.f.Call != "" && a.f.Call != call {
+			continue
+		}
+		if a.f.Prob > 0 && in.rng.Float64() >= a.f.Prob {
+			continue
+		}
+		if a.left > 0 {
+			a.left--
+		}
+		in.injected++
+		if a.f.Code == CodeDeviceLost {
+			in.lost = true
+			in.lostErr = a.err
+			if a.f.Hang {
+				in.lostSilent = true
+				if in.onDeviceLost != nil {
+					in.onDeviceLost()
+				}
+			}
+		}
+		return a.err
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package faultsim
+
+import (
+	"errors"
+	"time"
+
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/des"
+)
+
+// Retryable reports whether an error is a transient CUDA fault worth
+// retrying: ECC uncorrectable and launch failure. Device loss is never
+// retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, cudart.ErrECCUncorrectable) ||
+		errors.Is(err, cudart.ErrLaunchFailure)
+}
+
+// Resilient decorates a cudart.API with transparent retry of transient
+// faults, using capped exponential backoff in virtual time. It sits
+// *outside* the monitoring decorator (app → Resilient → ipmcuda.Monitor
+// → Runtime), so every attempt — including the failing ones — is
+// observed and counted by IPM, exactly as a retry macro in application
+// code would be.
+//
+// Only idempotent operations are retried. In particular the raw
+// ConfigureCall/SetupArgument/Launch triple passes through untouched
+// (a failed Launch consumes its configuration, so blind retry cannot
+// succeed); LaunchKernel, which re-expands the whole triple, is retried.
+type Resilient struct {
+	inner  cudart.API
+	proc   *des.Proc
+	policy RetryPolicy
+
+	retries int64
+	gaveUp  int64
+}
+
+var _ cudart.API = (*Resilient)(nil)
+
+// NewResilient wraps api with the retry policy. proc supplies virtual
+// time for backoff sleeps.
+func NewResilient(api cudart.API, proc *des.Proc, policy RetryPolicy) *Resilient {
+	return &Resilient{inner: api, proc: proc, policy: policy}
+}
+
+// Retries returns the number of retry attempts performed.
+func (r *Resilient) Retries() int64 { return r.retries }
+
+// GaveUp returns the number of calls that still failed after exhausting
+// the attempt budget.
+func (r *Resilient) GaveUp() int64 { return r.gaveUp }
+
+// do runs fn, retrying transient failures with capped backoff. On a
+// successful retry the sticky error left behind by the failed attempts
+// is consumed, so the application does not later observe a stale fault.
+func (r *Resilient) do(fn func() error) error {
+	err := fn()
+	if r.policy.Disable {
+		return err
+	}
+	attempt := 0
+	for err != nil && Retryable(err) && attempt < r.policy.Attempts()-1 {
+		r.retries++
+		r.proc.Sleep(r.policy.BackoffFor(attempt))
+		attempt++
+		err = fn()
+	}
+	if err != nil {
+		if Retryable(err) {
+			r.gaveUp++
+		}
+		return err
+	}
+	if attempt > 0 {
+		r.inner.GetLastError()
+	}
+	return nil
+}
+
+// Memory management.
+
+func (r *Resilient) Malloc(n int64) (cudart.DevPtr, error) {
+	var p cudart.DevPtr
+	err := r.do(func() error { var e error; p, e = r.inner.Malloc(n); return e })
+	return p, err
+}
+
+func (r *Resilient) Free(p cudart.DevPtr) error { return r.inner.Free(p) }
+
+func (r *Resilient) HostAlloc(n int64) ([]byte, error) {
+	var b []byte
+	err := r.do(func() error { var e error; b, e = r.inner.HostAlloc(n); return e })
+	return b, err
+}
+
+func (r *Resilient) Memcpy(dst, src cudart.Ptr, n int64, kind cudart.MemcpyKind) error {
+	return r.do(func() error { return r.inner.Memcpy(dst, src, n, kind) })
+}
+
+func (r *Resilient) MemcpyAsync(dst, src cudart.Ptr, n int64, kind cudart.MemcpyKind, s cudart.Stream) error {
+	return r.do(func() error { return r.inner.MemcpyAsync(dst, src, n, kind, s) })
+}
+
+func (r *Resilient) MemcpyToSymbol(symbol string, src []byte) error {
+	return r.do(func() error { return r.inner.MemcpyToSymbol(symbol, src) })
+}
+
+func (r *Resilient) Memset(p cudart.DevPtr, value byte, n int64) error {
+	return r.do(func() error { return r.inner.Memset(p, value, n) })
+}
+
+func (r *Resilient) MemGetInfo() (free, total int64, err error) {
+	err = r.do(func() error { var e error; free, total, e = r.inner.MemGetInfo(); return e })
+	return free, total, err
+}
+
+// Kernel launch.
+
+func (r *Resilient) ConfigureCall(grid, block cudart.Dim3, sharedMem int64, s cudart.Stream) error {
+	return r.inner.ConfigureCall(grid, block, sharedMem, s)
+}
+
+func (r *Resilient) SetupArgument(arg any, size, offset int64) error {
+	return r.inner.SetupArgument(arg, size, offset)
+}
+
+func (r *Resilient) Launch(fn *cudart.Func) error { return r.inner.Launch(fn) }
+
+func (r *Resilient) LaunchKernel(fn *cudart.Func, grid, block cudart.Dim3, s cudart.Stream, args ...any) error {
+	return r.do(func() error { return r.inner.LaunchKernel(fn, grid, block, s, args...) })
+}
+
+// Streams.
+
+func (r *Resilient) StreamCreate() (cudart.Stream, error) {
+	var s cudart.Stream
+	err := r.do(func() error { var e error; s, e = r.inner.StreamCreate(); return e })
+	return s, err
+}
+
+func (r *Resilient) StreamDestroy(s cudart.Stream) error { return r.inner.StreamDestroy(s) }
+
+func (r *Resilient) StreamSynchronize(s cudart.Stream) error {
+	return r.do(func() error { return r.inner.StreamSynchronize(s) })
+}
+
+// Events.
+
+func (r *Resilient) EventCreate() (cudart.Event, error) {
+	var ev cudart.Event
+	err := r.do(func() error { var e error; ev, e = r.inner.EventCreate(); return e })
+	return ev, err
+}
+
+func (r *Resilient) EventRecord(ev cudart.Event, s cudart.Stream) error {
+	return r.do(func() error { return r.inner.EventRecord(ev, s) })
+}
+
+func (r *Resilient) EventQuery(ev cudart.Event) error { return r.inner.EventQuery(ev) }
+
+func (r *Resilient) EventSynchronize(ev cudart.Event) error {
+	return r.do(func() error { return r.inner.EventSynchronize(ev) })
+}
+
+func (r *Resilient) EventElapsedTime(start, stop cudart.Event) (time.Duration, error) {
+	return r.inner.EventElapsedTime(start, stop)
+}
+
+func (r *Resilient) EventDestroy(ev cudart.Event) error { return r.inner.EventDestroy(ev) }
+
+// Device management and synchronisation.
+
+func (r *Resilient) ThreadSynchronize() error {
+	return r.do(func() error { return r.inner.ThreadSynchronize() })
+}
+
+func (r *Resilient) GetDeviceCount() (int, error) { return r.inner.GetDeviceCount() }
+
+func (r *Resilient) GetDeviceProperties() (cudart.DeviceProp, error) {
+	return r.inner.GetDeviceProperties()
+}
+
+func (r *Resilient) GetDevice() (int, error) { return r.inner.GetDevice() }
+
+func (r *Resilient) SetDevice(dev int) error { return r.inner.SetDevice(dev) }
+
+func (r *Resilient) GetLastError() error { return r.inner.GetLastError() }
+
+func (r *Resilient) PeekAtLastError() error { return r.inner.PeekAtLastError() }

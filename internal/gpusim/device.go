@@ -53,6 +53,12 @@ type Device struct {
 	busyKernel time.Duration // accumulated kernel execution time
 	nOps       int
 
+	// lost marks the device as failed (cudaErrorDeviceLost). Completion
+	// events of in-flight operations become no-ops: their Done signals
+	// never fire, so hosts synchronising on them hang — exactly the
+	// behaviour a watchdog layer has to detect.
+	lost bool
+
 	// OnKernelComplete, if set, is invoked at each kernel's completion
 	// time with its exact execution record. The CUDA-profiler substrate
 	// (internal/cudaprof) registers here; chains are the caller's job.
@@ -176,6 +182,15 @@ func (d *Device) BusyKernelTime() time.Duration { return d.busyKernel }
 
 // Ops returns the number of operations enqueued so far.
 func (d *Device) Ops() int { return d.nOps }
+
+// MarkLost fails the device. Already-scheduled completion events are
+// suppressed (their Done signals stay unfired) and kernel-completion
+// callbacks stop firing; enqueuing new work remains possible but it never
+// completes. The call is idempotent.
+func (d *Device) MarkLost() { d.lost = true }
+
+// Lost reports whether the device has been marked lost.
+func (d *Device) Lost() bool { return d.lost }
 
 // endHeap is a min-heap of kernel end times, used to enforce the
 // MaxConcurrent kernel limit.

@@ -1,0 +1,68 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// TestMarkLostSuppressesCompletions loses a device mid-flight and checks
+// that in-flight work never completes: payloads don't run, Done signals
+// don't fire, kernel-completion callbacks stop — so a host synchronising
+// on the device hangs (deadlock), which is what the cluster watchdog
+// exists to catch.
+func TestMarkLostSuppressesCompletions(t *testing.T) {
+	eng := des.NewEngine()
+	dev := NewDevice(eng, perfmodel.TeslaC2050())
+	var payloadRan, cbRan bool
+	dev.OnKernelComplete = func(KernelRecord) { cbRan = true }
+
+	cost := perfmodel.KernelCost{Fixed: 10 * time.Millisecond}
+	op := dev.LaunchKernel(dev.DefaultStream(), "k", cost, [3]int{1, 1, 1}, [3]int{1, 1, 1}, func() { payloadRan = true })
+
+	eng.Spawn("host", func(p *des.Proc) {
+		p.Wait(op.Done())
+		t.Error("wait on lost device returned")
+	})
+
+	// Lose the device strictly before the kernel's end time.
+	eng.Schedule(op.End/2, func() { dev.MarkLost() })
+
+	err := eng.Run()
+	var dl *des.DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("expected deadlock from hung stream, got %v", err)
+	}
+	if payloadRan {
+		t.Error("payload ran on lost device")
+	}
+	if cbRan {
+		t.Error("kernel-completion callback ran on lost device")
+	}
+	if !dev.Lost() {
+		t.Error("Lost() = false after MarkLost")
+	}
+}
+
+// TestMarkLostIdempotentAndLateEnqueue checks post-loss enqueues are
+// accepted but never complete, and MarkLost is idempotent.
+func TestMarkLostIdempotentAndLateEnqueue(t *testing.T) {
+	eng := des.NewEngine()
+	dev := NewDevice(eng, perfmodel.TeslaC2050())
+	dev.MarkLost()
+	dev.MarkLost()
+	ran := false
+	op := dev.EnqueueMemset(dev.DefaultStream(), 1<<20, func() { ran = true })
+	if err := eng.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ran {
+		t.Error("memset payload ran on lost device")
+	}
+	if op.Done().Fired() {
+		t.Error("Done fired on lost device")
+	}
+}

@@ -115,6 +115,9 @@ func (d *Device) enqueue(s *Stream, kind OpKind, name string, start, dur time.Du
 	}
 	d.nOps++
 	d.eng.Schedule(end, func() {
+		if d.lost {
+			return
+		}
 		if payload != nil {
 			payload()
 		}
@@ -140,7 +143,12 @@ func (d *Device) LaunchKernel(s *Stream, name string, cost perfmodel.KernelCost,
 	d.recordStreamSpan(s.id, telemetry.ClassKernel, op, 0)
 	if cb := d.OnKernelComplete; cb != nil {
 		rec := KernelRecord{Name: name, Stream: s.id, Start: start, End: op.End, GridDim: grid, BlockDim: block, Cost: cost}
-		d.eng.Schedule(op.End, func() { cb(rec) })
+		d.eng.Schedule(op.End, func() {
+			if d.lost {
+				return
+			}
+			cb(rec)
+		})
 	}
 	return op
 }

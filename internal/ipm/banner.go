@@ -60,9 +60,42 @@ func WriteBanner(w io.Writer, jp *JobProfile, opts BannerOptions) error {
 		fmt.Fprintf(bw, "# WARNING   : %d signature(s) spilled the fixed hash table (load factor %.2f);\n", spilled, load)
 		fmt.Fprintf(bw, "#             statistics above were collected at degraded fidelity\n")
 	}
+	writeFaultWarnings(bw, jp)
 	fmt.Fprintln(bw, "#")
 	hrule(bw, "")
 	return bw.err
+}
+
+// writeFaultWarnings reports the fault-model diagnostics: lost ranks,
+// missing snapshots, per-call-site errors and recovered monitor panics.
+// Healthy runs emit nothing, keeping the banner byte-identical to the
+// fault-free tool.
+func writeFaultWarnings(bw io.Writer, jp *JobProfile) {
+	lost := jp.LostRanks()
+	if len(lost) > 0 {
+		fmt.Fprintln(bw, "#")
+		for _, r := range lost {
+			fmt.Fprintf(bw, "# WARNING   : rank %d (%s) lost at %.2fs (%s)\n",
+				r.Rank, r.Host, sec(r.LostAt), r.LostReason)
+		}
+	}
+	if exp := jp.Expected(); exp > jp.NTasks() {
+		fmt.Fprintln(bw, "#")
+		fmt.Fprintf(bw, "# WARNING   : log declares %d task(s) but only %d were recovered\n",
+			exp, jp.NTasks())
+	}
+	if len(lost) > 0 || jp.Expected() > jp.NTasks() {
+		fmt.Fprintf(bw, "#             profile assembled from %d of %d rank(s) — degraded fidelity\n",
+			jp.NTasks()-len(lost), jp.Expected())
+	}
+	if n := jp.TotalErrors(); n > 0 {
+		fmt.Fprintln(bw, "#")
+		fmt.Fprintf(bw, "# WARNING   : %d monitored call(s) returned an error status\n", n)
+	}
+	if n := jp.MonitorErrors(); n > 0 {
+		fmt.Fprintln(bw, "#")
+		fmt.Fprintf(bw, "# WARNING   : %d monitor-internal error(s) recovered; monitoring data may be incomplete\n", n)
+	}
 }
 
 func writeFullHeader(bw io.Writer, jp *JobProfile) {

@@ -1,0 +1,139 @@
+package ipm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ipmgo/internal/telemetry"
+)
+
+func TestObserveErrRefCountsErrors(t *testing.T) {
+	m, _ := newTestMonitor()
+	m.Start()
+	ref := NewSigRef("cudaMemcpy(H2D)")
+	m.ObserveRef(ref, 4096, time.Millisecond)
+	m.ObserveErrRef(ref, 4096, 2*time.Millisecond)
+	m.ObserveErrRef(ref, 4096, 3*time.Millisecond)
+	s, ok := m.Table().Lookup(Sig{Name: "cudaMemcpy(H2D)", Bytes: 4096})
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if s.Count != 3 || s.Errors != 2 {
+		t.Fatalf("stats = %+v, want Count=3 Errors=2", s)
+	}
+	if s.Total != 6*time.Millisecond {
+		t.Fatalf("failed calls not timed: Total = %v", s.Total)
+	}
+}
+
+func TestObserveErrRefInstrumented(t *testing.T) {
+	m, _ := newTestMonitor()
+	m.Start()
+	// Attaching telemetry flips the monitor to the instrumented
+	// observation route; error folding must survive the detour.
+	m.AttachTelemetry(telemetry.NewRecorder(16))
+	ref := NewSigRef("MPI_Allreduce")
+	m.ObserveErrRef(ref, 8, time.Millisecond)
+	s, ok := m.Table().Lookup(Sig{Name: "MPI_Allreduce", Bytes: 8})
+	if !ok || s.Count != 1 || s.Errors != 1 {
+		t.Fatalf("instrumented error path: %+v (ok=%v)", s, ok)
+	}
+}
+
+func TestGuardRecoversAndCounts(t *testing.T) {
+	m, _ := newTestMonitor()
+	if m.InternalErrors() != 0 {
+		t.Fatal("fresh monitor has internal errors")
+	}
+	m.Guard("flush", func() { panic("slot table corrupt") })
+	m.Guard("metrics", func() {}) // healthy call: no count
+	if m.InternalErrors() != 1 {
+		t.Fatalf("InternalErrors = %d, want 1", m.InternalErrors())
+	}
+	if got := m.LastInternalError(); !strings.Contains(got, "flush") || !strings.Contains(got, "slot table corrupt") {
+		t.Fatalf("LastInternalError = %q", got)
+	}
+}
+
+// killLike mimics des.Killed without importing des: Guard must re-panic
+// anything exposing Unrecoverable() == true, because a kill is control
+// flow, not an internal monitoring error.
+type killLike struct{}
+
+func (killLike) Error() string       { return "killed" }
+func (killLike) Unrecoverable() bool { return true }
+
+func TestGuardRepanicsUnrecoverable(t *testing.T) {
+	m, _ := newTestMonitor()
+	defer func() {
+		r := recover()
+		if _, ok := r.(killLike); !ok {
+			t.Fatalf("Guard swallowed the kill: recovered %v", r)
+		}
+		if m.InternalErrors() != 0 {
+			t.Fatalf("kill counted as internal error: %d", m.InternalErrors())
+		}
+	}()
+	m.Guard("app", func() { panic(killLike{}) })
+	t.Fatal("unreachable: Guard must re-panic")
+}
+
+func TestSnapshotCarriesErrorCounters(t *testing.T) {
+	m, fc := newTestMonitor()
+	m.Start()
+	ref := NewSigRef("cudaLaunch")
+	m.ObserveErrRef(ref, 0, time.Millisecond)
+	m.Guard("flush", func() { panic("boom") })
+	fc.now = time.Second
+	m.Stop()
+	rp := Snapshot(m)
+	if rp.Errors != 1 || rp.MonitorErrors != 1 {
+		t.Fatalf("snapshot errors=%d monitorErrors=%d", rp.Errors, rp.MonitorErrors)
+	}
+}
+
+func TestBannerFaultWarnings(t *testing.T) {
+	m, fc := newTestMonitor()
+	m.Start()
+	m.ObserveErrRef(NewSigRef("cudaMemcpy(H2D)"), 64, time.Millisecond)
+	fc.now = time.Second
+	m.Stop()
+	rp := Snapshot(m)
+	rp.Lost = true
+	rp.LostAt = 700 * time.Millisecond
+	rp.LostReason = "fault plan: rank death"
+	healthy := Snapshot(m)
+	healthy.Rank = 1
+	healthy.Lost = false
+	healthy.Errors = 0
+	for i := range healthy.Entries {
+		healthy.Entries[i].Stats.Errors = 0
+	}
+	jp := NewJobProfile("./faultdemo", 2, []RankProfile{rp, healthy})
+
+	var b strings.Builder
+	if err := WriteBanner(&b, jp, BannerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"rank 0 (dirac15) lost at 0.70s (fault plan: rank death)",
+		"degraded fidelity",
+		"returned an error status",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("banner missing %q:\n%s", want, out)
+		}
+	}
+
+	// A healthy profile emits no fault block at all.
+	clean := NewJobProfile("./ok", 1, []RankProfile{healthy})
+	b.Reset()
+	if err := WriteBanner(&b, clean, BannerOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "WARNING") {
+		t.Errorf("healthy banner contains warnings:\n%s", b.String())
+	}
+}

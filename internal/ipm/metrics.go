@@ -24,6 +24,11 @@ const (
 	MetricLoadFactor = "ipm_table_load_factor"
 	MetricOverflow   = "ipm_table_overflowed_sigs"
 	MetricProbes     = "ipm_table_probes_total"
+
+	// Fault-model metrics.
+	MetricCallErrors      = "ipm_call_errors_total"
+	MetricErrors          = "ipm_errors_total"
+	MetricMonitorInternal = "ipm_monitor_internal_errors_total"
 )
 
 // MetricsSamples renders the monitor's current state as one Prometheus
@@ -54,6 +59,7 @@ func MetricsSamples(m *Monitor) []telemetry.Sample {
 	}
 
 	var hostIdle, gpuExec float64
+	var errTotal int64
 	for _, e := range m.table.Entries() {
 		labels := []telemetry.Label{
 			{Key: "rank", Value: rank},
@@ -71,6 +77,13 @@ func MetricsSamples(m *Monitor) []telemetry.Sample {
 				Type: "counter", Labels: labels, Value: e.Stats.Total.Seconds(),
 			},
 		)
+		if e.Stats.Errors > 0 {
+			out = append(out, telemetry.Sample{
+				Name: MetricCallErrors, Help: "Monitored events that returned an error status, by signature.",
+				Type: "counter", Labels: labels, Value: float64(e.Stats.Errors),
+			})
+			errTotal += e.Stats.Errors
+		}
 		switch {
 		case e.Sig.Name == HostIdleName:
 			hostIdle += e.Stats.Total.Seconds()
@@ -86,6 +99,14 @@ func MetricsSamples(m *Monitor) []telemetry.Sample {
 		telemetry.Sample{
 			Name: MetricGPUExec, Help: "Event-timed GPU kernel execution (@CUDA_EXEC_STRMxx) per rank.",
 			Type: "gauge", Labels: rankLabel, Value: gpuExec,
+		},
+		telemetry.Sample{
+			Name: MetricErrors, Help: "Monitored call errors per rank (all signatures).",
+			Type: "counter", Labels: rankLabel, Value: float64(errTotal),
+		},
+		telemetry.Sample{
+			Name: MetricMonitorInternal, Help: "Panics recovered inside the monitor itself.",
+			Type: "counter", Labels: rankLabel, Value: float64(m.internalErrs),
 		},
 	)
 	return out

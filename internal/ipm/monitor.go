@@ -47,6 +47,12 @@ type Monitor struct {
 	tel          *telemetry.Recorder
 	telTrack     string
 	obsHist      *telemetry.Histogram
+
+	// Monitoring-internal failures recovered by Guard. A monitoring bug
+	// must never abort the monitored application; it is counted and
+	// reported instead.
+	internalErrs    int64
+	lastInternalErr string
 }
 
 // NewMonitor creates a monitor for one rank. capacity <= 0 selects the
@@ -232,6 +238,26 @@ func (m *Monitor) observeInstrumented(ref SigRef, bytes int64, d time.Duration) 
 	}
 }
 
+// ObserveErrRef records one completed event that returned an error,
+// incrementing the signature's error counter alongside the usual timing
+// statistics. Failed calls still consume host time, so they stay in the
+// same hash entry as their successes; the Errors field is what telemetry
+// and the XML log export per call site.
+func (m *Monitor) ObserveErrRef(ref SigRef, bytes int64, d time.Duration) {
+	if m.instrumented {
+		m.observeInstrumented(ref, bytes, d)
+		// The instrumented path shares the success-path update; fold the
+		// error flag in with a zero-observation merge.
+		m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
+			Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()},
+			Stats{Errors: 1})
+		return
+	}
+	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
+		Sig{Name: ref.name, Bytes: bytes, Region: m.CurrentRegion()},
+		Stats{Count: 1, Total: d, Min: d, Max: d, Errors: 1})
+}
+
 // ObserveNRef is the zero-rehash form of ObserveN.
 func (m *Monitor) ObserveNRef(ref SigRef, bytes int64, s Stats) {
 	m.table.UpdateHashed(mixSig(ref.hash, m.curRegionHash, bytes),
@@ -249,3 +275,37 @@ func (m *Monitor) Timed(name string, bytes int64, fn func()) {
 // Table exposes the hash table (read-mostly; the wrapper layers update it
 // through Observe).
 func (m *Monitor) Table() *Table { return m.table }
+
+// unrecoverable matches panic values that carry control flow (e.g. a DES
+// process kill) rather than a monitoring bug. Guard re-raises them; the
+// duck-typed interface keeps ipm free of a des dependency.
+type unrecoverable interface{ Unrecoverable() bool }
+
+// Guard runs fn, recovering any panic it raises: a monitoring bug must
+// never abort the monitored application. Recovered panics increment the
+// monitor's internal-error counter, exported as the
+// monitor_internal_errors metric and reported in the banner. Guard is for
+// coarse-grained monitoring work (flushes, snapshots, metric collection)
+// — the per-event fast path carries no recover so its cost stays at the
+// PR2 baseline.
+func (m *Monitor) Guard(where string, fn func()) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if u, ok := r.(unrecoverable); ok && u.Unrecoverable() {
+			panic(r)
+		}
+		m.internalErrs++
+		m.lastInternalErr = fmt.Sprintf("%s: %v", where, r)
+	}()
+	fn()
+}
+
+// InternalErrors returns the number of monitoring-internal panics
+// recovered by Guard.
+func (m *Monitor) InternalErrors() int64 { return m.internalErrs }
+
+// LastInternalError describes the most recent recovered panic, or "".
+func (m *Monitor) LastInternalError() string { return m.lastInternalErr }

@@ -23,19 +23,34 @@ type RankProfile struct {
 	Overflow   int
 	LoadFactor float64
 	Probes     uint64
+
+	// Fault-model diagnostics: Errors sums per-signature error counts,
+	// MonitorErrors counts panics recovered inside the monitor itself, and
+	// Lost/LostAt/LostReason describe a rank that died mid-run (its entries
+	// are then a truncated, degraded-fidelity view of its execution).
+	Errors        int64
+	MonitorErrors int64
+	Lost          bool
+	LostAt        time.Duration
+	LostReason    string
 }
 
 // Snapshot freezes a monitor into a RankProfile.
 func Snapshot(m *Monitor) RankProfile {
-	return RankProfile{
-		Rank:       m.rank,
-		Host:       m.host,
-		Wallclock:  m.Wallclock(),
-		Entries:    m.table.Entries(),
-		Overflow:   m.table.Overflowed(),
-		LoadFactor: m.table.LoadFactor(),
-		Probes:     m.table.Probes(),
+	rp := RankProfile{
+		Rank:          m.rank,
+		Host:          m.host,
+		Wallclock:     m.Wallclock(),
+		Entries:       m.table.Entries(),
+		Overflow:      m.table.Overflowed(),
+		LoadFactor:    m.table.LoadFactor(),
+		Probes:        m.table.Probes(),
+		MonitorErrors: m.internalErrs,
 	}
+	for _, e := range rp.Entries {
+		rp.Errors += e.Stats.Errors
+	}
+	return rp
 }
 
 // DomainTime sums the rank's host time in a domain. Pseudo-entries are
@@ -70,6 +85,12 @@ type JobProfile struct {
 	Stop    string
 	Nodes   int
 	Ranks   []RankProfile
+
+	// ExpectedRanks is the job size the run was launched with. When it
+	// exceeds len(Ranks) the profile is partial: some ranks produced no
+	// snapshot at all (e.g. a truncated log). Zero means "same as
+	// len(Ranks)".
+	ExpectedRanks int
 }
 
 // NewJobProfile assembles a job profile from rank snapshots, sorted by
@@ -245,6 +266,50 @@ func (jp *JobProfile) OverflowedSigs() (spilled int, worstLoad float64) {
 		}
 	}
 	return spilled, worstLoad
+}
+
+// Expected returns the launched job size: ExpectedRanks when recorded,
+// else the number of rank snapshots present.
+func (jp *JobProfile) Expected() int {
+	if jp.ExpectedRanks > len(jp.Ranks) {
+		return jp.ExpectedRanks
+	}
+	return len(jp.Ranks)
+}
+
+// LostRanks returns the rank snapshots marked lost, in rank order.
+func (jp *JobProfile) LostRanks() []RankProfile {
+	var out []RankProfile
+	for _, r := range jp.Ranks {
+		if r.Lost {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalErrors sums per-call-site error counts across ranks.
+func (jp *JobProfile) TotalErrors() int64 {
+	var n int64
+	for _, r := range jp.Ranks {
+		n += r.Errors
+	}
+	return n
+}
+
+// MonitorErrors sums monitoring-internal recovered panics across ranks.
+func (jp *JobProfile) MonitorErrors() int64 {
+	var n int64
+	for _, r := range jp.Ranks {
+		n += r.MonitorErrors
+	}
+	return n
+}
+
+// Degraded reports whether the profile carries any degraded-fidelity
+// marker: lost ranks, missing snapshots, or monitor-internal errors.
+func (jp *JobProfile) Degraded() bool {
+	return len(jp.LostRanks()) > 0 || jp.Expected() > len(jp.Ranks) || jp.MonitorErrors() > 0
 }
 
 // Imbalance returns max/avg for one function across ranks — the paper's

@@ -21,6 +21,10 @@ type Stats struct {
 	Total time.Duration
 	Min   time.Duration
 	Max   time.Duration
+	// Errors counts the calls (already included in Count) that returned a
+	// non-success status — the per-call-site error counters the fault
+	// model exports.
+	Errors int64
 }
 
 // Add folds one observation into the statistics.
@@ -38,6 +42,13 @@ func (s *Stats) Add(d time.Duration) {
 // Merge folds another accumulator into s (used for cross-rank and
 // cross-signature aggregation).
 func (s *Stats) Merge(o Stats) {
+	// Errors merges independently of Count so an error flag can be folded
+	// into an entry the timing update already created. The zero test keeps
+	// the (overwhelmingly common) success path from read-modify-writing
+	// the entry's error word at all.
+	if o.Errors != 0 {
+		s.Errors += o.Errors
+	}
 	if o.Count == 0 {
 		return
 	}

@@ -25,6 +25,15 @@ type XMLLog struct {
 	Tasks     []XMLTask `xml:"task"`
 }
 
+// NExpected returns the declared job size, falling back to the number of
+// task elements actually present (older or hand-built logs).
+func (doc *XMLLog) NExpected() int {
+	if doc.NTasks > len(doc.Tasks) {
+		return doc.NTasks
+	}
+	return len(doc.Tasks)
+}
+
 // XMLTask is one rank's profile. The hashtable_* attributes surface the
 // monitor's own fidelity (fill ratio, spilled signatures, probe steps),
 // so ipm_parse can report post-mortem whether the statistics were
@@ -37,6 +46,11 @@ type XMLTask struct {
 	HashLoad     float64     `xml:"hashtable_load,attr,omitempty"`
 	HashOverflow int         `xml:"hashtable_overflow,attr,omitempty"`
 	HashProbes   uint64      `xml:"hashtable_probes,attr,omitempty"`
+	Errors       int64       `xml:"error_total,attr,omitempty"`
+	MonitorErrs  int64       `xml:"monitor_errors,attr,omitempty"`
+	Status       string      `xml:"status,attr,omitempty"` // "lost" for a dead rank
+	LostAt       float64     `xml:"lost_at,attr,omitempty"`
+	LostReason   string      `xml:"lost_reason,attr,omitempty"`
 	Regions      []XMLRegion `xml:"region"`
 }
 
@@ -48,12 +62,13 @@ type XMLRegion struct {
 
 // XMLFunc is one hash table entry.
 type XMLFunc struct {
-	Name  string  `xml:"name,attr"`
-	Bytes int64   `xml:"bytes,attr"`
-	Count int64   `xml:"count,attr"`
-	TTot  float64 `xml:"ttot,attr"`
-	TMin  float64 `xml:"tmin,attr"`
-	TMax  float64 `xml:"tmax,attr"`
+	Name   string  `xml:"name,attr"`
+	Bytes  int64   `xml:"bytes,attr"`
+	Count  int64   `xml:"count,attr"`
+	TTot   float64 `xml:"ttot,attr"`
+	TMin   float64 `xml:"tmin,attr"`
+	TMax   float64 `xml:"tmax,attr"`
+	Errors int64   `xml:"error_count,attr,omitempty"`
 }
 
 // globalRegionName is how the implicit whole-program region appears in the
@@ -89,6 +104,12 @@ func ToXML(jp *JobProfile) *XMLLog {
 		task := XMLTask{
 			Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds(),
 			HashLoad: r.LoadFactor, HashOverflow: r.Overflow, HashProbes: r.Probes,
+			Errors: r.Errors, MonitorErrs: r.MonitorErrors,
+		}
+		if r.Lost {
+			task.Status = "lost"
+			task.LostAt = r.LostAt.Seconds()
+			task.LostReason = r.LostReason
 		}
 		// Group entries by region, preserving the sorted entry order.
 		regionIdx := make(map[string]int)
@@ -101,12 +122,13 @@ func ToXML(jp *JobProfile) *XMLLog {
 				task.Regions = append(task.Regions, XMLRegion{Name: label})
 			}
 			task.Regions[i].Funcs = append(task.Regions[i].Funcs, XMLFunc{
-				Name:  e.Sig.Name,
-				Bytes: e.Sig.Bytes,
-				Count: e.Stats.Count,
-				TTot:  e.Stats.Total.Seconds(),
-				TMin:  e.Stats.Min.Seconds(),
-				TMax:  e.Stats.Max.Seconds(),
+				Name:   e.Sig.Name,
+				Bytes:  e.Sig.Bytes,
+				Count:  e.Stats.Count,
+				TTot:   e.Stats.Total.Seconds(),
+				TMin:   e.Stats.Min.Seconds(),
+				TMax:   e.Stats.Max.Seconds(),
+				Errors: e.Stats.Errors,
 			})
 		}
 		doc.Tasks = append(doc.Tasks, task)
@@ -142,24 +164,36 @@ func FromXML(doc *XMLLog) *JobProfile {
 		rp := RankProfile{
 			Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock),
 			LoadFactor: t.HashLoad, Overflow: t.HashOverflow, Probes: t.HashProbes,
+			Errors: t.Errors, MonitorErrors: t.MonitorErrs,
+			Lost: t.Status == "lost", LostAt: secsToDuration(t.LostAt), LostReason: t.LostReason,
 		}
 		for _, reg := range t.Regions {
 			for _, f := range reg.Funcs {
 				rp.Entries = append(rp.Entries, Entry{
 					Sig: Sig{Name: f.Name, Bytes: f.Bytes, Region: regionFromLabel(reg.Name)},
 					Stats: Stats{
-						Count: f.Count,
-						Total: secsToDuration(f.TTot),
-						Min:   secsToDuration(f.TMin),
-						Max:   secsToDuration(f.TMax),
+						Count:  f.Count,
+						Total:  secsToDuration(f.TTot),
+						Min:    secsToDuration(f.TMin),
+						Max:    secsToDuration(f.TMax),
+						Errors: f.Errors,
 					},
 				})
+			}
+		}
+		if rp.Errors == 0 {
+			// Logs without a rolled-up error_total still get the sum.
+			for _, e := range rp.Entries {
+				rp.Errors += e.Stats.Errors
 			}
 		}
 		ranks = append(ranks, rp)
 	}
 	jp := NewJobProfile(doc.Command, doc.NHosts, ranks)
 	jp.Start, jp.Stop = doc.Start, doc.Stop
+	if doc.NTasks > len(doc.Tasks) {
+		jp.ExpectedRanks = doc.NTasks
+	}
 	return jp
 }
 

@@ -1,0 +1,225 @@
+package ipm
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ParseReport describes what the tolerant parser recovered from a
+// damaged log and what it had to guess at.
+type ParseReport struct {
+	Warnings       []string
+	Truncated      bool // input ended mid-document
+	TasksRecovered int
+	TasksDeclared  int // ntasks attribute, 0 if never seen
+}
+
+func (pr *ParseReport) warnf(format string, args ...any) {
+	pr.Warnings = append(pr.Warnings, fmt.Sprintf(format, args...))
+}
+
+// ParseXMLTolerant reads an IPM XML log, tolerating truncation and
+// attribute corruption: a crashed or killed job writes exactly this kind
+// of log, and a post-mortem tool that refuses to read it is useless at
+// the one moment it matters. Instead of the strict decoder it walks the
+// token stream, keeping every complete task seen so far, salvaging the
+// in-progress task at a mid-document EOF, and turning malformed numeric
+// attributes into warnings plus zero values.
+//
+// The error return is non-nil only when nothing at all is recoverable
+// (no ipm_log root element). Every concession made is listed in the
+// report, and the profile's ExpectedRanks is set from the ntasks
+// attribute so downstream consumers see the run as partial rather than
+// small.
+func ParseXMLTolerant(r io.Reader) (*JobProfile, *ParseReport, error) {
+	rep := &ParseReport{}
+	dec := xml.NewDecoder(r)
+	// Non-strict: unclosed elements get invented end tags instead of
+	// failing the whole document — a rank that died before writing its
+	// closing tags is the expected case here, not an anomaly.
+	dec.Strict = false
+
+	var doc XMLLog
+	seenRoot := false
+	var cur *XMLTask      // task being assembled, nil outside <task>
+	var curRegion *XMLRegion
+
+	finishTask := func() {
+		if cur != nil {
+			doc.Tasks = append(doc.Tasks, *cur)
+			cur = nil
+			curRegion = nil
+		}
+	}
+
+	attrInt := func(where string, a xml.Attr) int64 {
+		v, err := strconv.ParseInt(a.Value, 10, 64)
+		if err != nil {
+			rep.warnf("%s: bad %s attribute %q, using 0", where, a.Name.Local, a.Value)
+			return 0
+		}
+		return v
+	}
+	attrFloat := func(where string, a xml.Attr) float64 {
+		v, err := strconv.ParseFloat(a.Value, 64)
+		if err != nil {
+			rep.warnf("%s: bad %s attribute %q, using 0", where, a.Name.Local, a.Value)
+			return 0
+		}
+		return v
+	}
+
+loop:
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A syntax error (truncation mid-tag, stray bytes) ends the
+			// parse; everything assembled so far is kept.
+			rep.Truncated = true
+			rep.warnf("log truncated or corrupt: %v", err)
+			break
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok {
+			if ee, ok := tok.(xml.EndElement); ok {
+				switch ee.Name.Local {
+				case "task":
+					finishTask()
+				case "region":
+					curRegion = nil
+				}
+			}
+			continue
+		}
+		switch se.Name.Local {
+		case "ipm_log":
+			if seenRoot {
+				rep.warnf("nested ipm_log element ignored")
+				continue
+			}
+			seenRoot = true
+			for _, a := range se.Attr {
+				switch a.Name.Local {
+				case "version":
+					doc.Version = a.Value
+				case "command":
+					doc.Command = a.Value
+				case "ntasks":
+					doc.NTasks = int(attrInt("ipm_log", a))
+				case "nhosts":
+					doc.NHosts = int(attrInt("ipm_log", a))
+				case "start":
+					doc.Start = a.Value
+				case "stop":
+					doc.Stop = a.Value
+				case "wallclock":
+					doc.Wallclock = attrFloat("ipm_log", a)
+				}
+			}
+		case "task":
+			if !seenRoot {
+				rep.warnf("task element before ipm_log root, skipped")
+				if err := dec.Skip(); err != nil {
+					rep.Truncated = true
+					break loop
+				}
+				continue
+			}
+			if cur != nil {
+				// Interleaved/unclosed task: keep what the previous one had.
+				rep.warnf("task (rank %d) not closed before next task, kept partial", cur.Rank)
+				finishTask()
+			}
+			cur = &XMLTask{}
+			where := "task"
+			for _, a := range se.Attr {
+				switch a.Name.Local {
+				case "mpi_rank":
+					cur.Rank = int(attrInt(where, a))
+				case "host":
+					cur.Host = a.Value
+				case "wallclock":
+					cur.Wallclock = attrFloat(where, a)
+				case "hashtable_load":
+					cur.HashLoad = attrFloat(where, a)
+				case "hashtable_overflow":
+					cur.HashOverflow = int(attrInt(where, a))
+				case "hashtable_probes":
+					cur.HashProbes = uint64(attrInt(where, a))
+				case "error_total":
+					cur.Errors = attrInt(where, a)
+				case "monitor_errors":
+					cur.MonitorErrs = attrInt(where, a)
+				case "status":
+					cur.Status = a.Value
+				case "lost_at":
+					cur.LostAt = attrFloat(where, a)
+				case "lost_reason":
+					cur.LostReason = a.Value
+				}
+			}
+		case "region":
+			if cur == nil {
+				rep.warnf("region element outside task, skipped")
+				if err := dec.Skip(); err != nil {
+					rep.Truncated = true
+					break loop
+				}
+				continue
+			}
+			cur.Regions = append(cur.Regions, XMLRegion{})
+			curRegion = &cur.Regions[len(cur.Regions)-1]
+			for _, a := range se.Attr {
+				if a.Name.Local == "name" {
+					curRegion.Name = a.Value
+				}
+			}
+		case "func":
+			if curRegion == nil {
+				rep.warnf("func element outside region, skipped")
+				continue
+			}
+			var f XMLFunc
+			where := "func"
+			for _, a := range se.Attr {
+				switch a.Name.Local {
+				case "name":
+					f.Name = a.Value
+					where = "func " + a.Value
+				case "bytes":
+					f.Bytes = attrInt(where, a)
+				case "count":
+					f.Count = attrInt(where, a)
+				case "ttot":
+					f.TTot = attrFloat(where, a)
+				case "tmin":
+					f.TMin = attrFloat(where, a)
+				case "tmax":
+					f.TMax = attrFloat(where, a)
+				case "error_count":
+					f.Errors = attrInt(where, a)
+				}
+			}
+			curRegion.Funcs = append(curRegion.Funcs, f)
+		}
+	}
+	if !seenRoot {
+		return nil, rep, fmt.Errorf("ipm: no ipm_log root element found")
+	}
+	if cur != nil {
+		rep.Truncated = true
+		rep.warnf("log ends inside task (rank %d), kept partial", cur.Rank)
+		finishTask()
+	}
+	rep.TasksRecovered = len(doc.Tasks)
+	rep.TasksDeclared = doc.NTasks
+	if doc.NTasks > len(doc.Tasks) {
+		rep.warnf("log declares %d task(s) but only %d recovered", doc.NTasks, len(doc.Tasks))
+	}
+	return FromXML(&doc), rep, nil
+}

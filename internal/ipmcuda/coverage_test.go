@@ -50,6 +50,7 @@ func TestEveryWrapperRecordsItsSymbol(t *testing.T) {
 		api.GetDevice()
 		api.SetDevice(0)
 		api.GetLastError()
+		api.PeekAtLastError()
 		api.Free(d)
 
 		// Driver surface.
@@ -73,7 +74,7 @@ func TestEveryWrapperRecordsItsSymbol(t *testing.T) {
 		"cudaEventElapsedTime", "cudaEventDestroy",
 		"cudaStreamSynchronize", "cudaThreadSynchronize", "cudaStreamDestroy",
 		"cudaGetDeviceCount", "cudaGetDeviceProperties", "cudaGetDevice", "cudaSetDevice",
-		"cudaGetLastError", "cudaFree",
+		"cudaGetLastError", "cudaPeekAtLastError", "cudaFree",
 		"cuInit", "cuMemAlloc", "cuMemcpyHtoD", "cuMemsetD8", "cuLaunchKernel",
 		"cuStreamSynchronize", "cuCtxSynchronize", "cuMemcpyDtoH", "cuMemFree",
 	}
@@ -106,10 +107,10 @@ func TestWrapperErrorPassThrough(t *testing.T) {
 		}
 	}
 	m := run(t, Options{KernelTiming: true}, app)
-	if s := lookup(t, m, "cudaStreamSynchronize"); s.Count != 1 {
-		t.Errorf("failed call not recorded: %+v", s)
+	if s := lookup(t, m, "cudaStreamSynchronize"); s.Count != 1 || s.Errors != 1 {
+		t.Errorf("failed call not recorded/counted: %+v", s)
 	}
-	if s := lookup(t, m, "cudaLaunch"); s.Count != 1 {
-		t.Errorf("failed launch not recorded: %+v", s)
+	if s := lookup(t, m, "cudaLaunch"); s.Count != 1 || s.Errors != 1 {
+		t.Errorf("failed launch not recorded/counted: %+v", s)
 	}
 }

@@ -20,6 +20,7 @@
 package ipmcuda
 
 import (
+	"errors"
 	"time"
 
 	"ipmgo/internal/cudart"
@@ -195,6 +196,27 @@ func (m *Monitor) timed(ref ipm.SigRef, bytes int64, fn func()) {
 	}
 }
 
+// timedE is the error-propagating form of timed: a call returning a
+// non-success status additionally increments the signature's error
+// counter, so the fault model can attribute failures per call site.
+// cudaErrorNotReady is a polling result, not a failure, and is never
+// counted.
+func (m *Monitor) timedE(ref ipm.SigRef, bytes int64, fn func() error) error {
+	m.overhead()
+	begin := m.mon.Now()
+	err := fn()
+	d := m.mon.Now() - begin
+	if err != nil && !errors.Is(err, cudart.ErrNotReady) {
+		m.mon.ObserveErrRef(ref, bytes, d)
+	} else {
+		m.mon.ObserveRef(ref, bytes, d)
+	}
+	if m.opts.CheckEveryCall {
+		m.checkKTT()
+	}
+	return err
+}
+
 // ---- Kernel timing table (Section III-B) ----
 
 // findSlot returns a free KTT slot index or -1.
@@ -284,8 +306,12 @@ func (m *Monitor) Flush() {
 	if !m.opts.KernelTiming {
 		return
 	}
-	m.inner.ThreadSynchronize()
-	m.checkKTT()
+	// Guarded: a KTT bookkeeping bug at finalisation must not take down an
+	// application that already ran to completion.
+	m.mon.Guard("ktt-flush", func() {
+		m.inner.ThreadSynchronize()
+		m.checkKTT()
+	})
 }
 
 // ---- Host idle measurement (Section III-C) ----

@@ -38,6 +38,7 @@ var (
 	refGetDevice      = ipm.NewSigRef("cudaGetDevice")
 	refSetDevice      = ipm.NewSigRef("cudaSetDevice")
 	refGetLastError   = ipm.NewSigRef("cudaGetLastError")
+	refPeekLastError  = ipm.NewSigRef("cudaPeekAtLastError")
 	refHostIdle       = ipm.NewSigRef(ipm.HostIdleName)
 	refCuInit         = ipm.NewSigRef("cuInit")
 	refCuMemAlloc     = ipm.NewSigRef("cuMemAlloc")

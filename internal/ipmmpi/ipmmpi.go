@@ -57,112 +57,98 @@ func (c *Comm) Size() int { return c.inner.Size() }
 // Proc returns the host process.
 func (c *Comm) Proc() *des.Proc { return c.inner.Proc() }
 
-func (c *Comm) timed(ref ipm.SigRef, bytes int64, fn func()) {
+// timedE times fn and records it under ref; a non-nil error additionally
+// increments the signature's error counter. Unlike CUDA, MPI has no
+// "not ready" polling status — every failure is a real failure (in this
+// fault model, a broken communicator or dead peer), so all of them count.
+func (c *Comm) timedE(ref ipm.SigRef, bytes int64, fn func() error) error {
 	begin := c.mon.Now()
-	fn()
-	c.mon.ObserveRef(ref, bytes, c.mon.Now()-begin)
+	err := fn()
+	d := c.mon.Now() - begin
+	if err != nil {
+		c.mon.ObserveErrRef(ref, bytes, d)
+	} else {
+		c.mon.ObserveRef(ref, bytes, d)
+	}
+	return err
 }
 
 // Send wraps MPI_Send.
 func (c *Comm) Send(data []byte, dest, tag int) error {
-	var err error
-	c.timed(refSend, int64(len(data)), func() { err = c.inner.Send(data, dest, tag) })
-	return err
+	return c.timedE(refSend, int64(len(data)), func() error { return c.inner.Send(data, dest, tag) })
 }
 
 // Recv wraps MPI_Recv.
 func (c *Comm) Recv(buf []byte, source, tag int) (mpisim.Status, error) {
 	var st mpisim.Status
-	var err error
-	c.timed(refRecv, int64(len(buf)), func() { st, err = c.inner.Recv(buf, source, tag) })
+	err := c.timedE(refRecv, int64(len(buf)), func() (e error) { st, e = c.inner.Recv(buf, source, tag); return e })
 	return st, err
 }
 
 // Isend wraps MPI_Isend.
 func (c *Comm) Isend(data []byte, dest, tag int) (*mpisim.Request, error) {
 	var req *mpisim.Request
-	var err error
-	c.timed(refIsend, int64(len(data)), func() { req, err = c.inner.Isend(data, dest, tag) })
+	err := c.timedE(refIsend, int64(len(data)), func() (e error) { req, e = c.inner.Isend(data, dest, tag); return e })
 	return req, err
 }
 
 // Irecv wraps MPI_Irecv.
 func (c *Comm) Irecv(buf []byte, source, tag int) (*mpisim.Request, error) {
 	var req *mpisim.Request
-	var err error
-	c.timed(refIrecv, int64(len(buf)), func() { req, err = c.inner.Irecv(buf, source, tag) })
+	err := c.timedE(refIrecv, int64(len(buf)), func() (e error) { req, e = c.inner.Irecv(buf, source, tag); return e })
 	return req, err
 }
 
 // Wait wraps MPI_Wait.
 func (c *Comm) Wait(req *mpisim.Request) (mpisim.Status, error) {
 	var st mpisim.Status
-	var err error
-	c.timed(refWait, 0, func() { st, err = c.inner.Wait(req) })
+	err := c.timedE(refWait, 0, func() (e error) { st, e = c.inner.Wait(req); return e })
 	return st, err
 }
 
 // Waitall wraps MPI_Waitall.
 func (c *Comm) Waitall(reqs []*mpisim.Request) error {
-	var err error
-	c.timed(refWaitall, 0, func() { err = c.inner.Waitall(reqs) })
-	return err
+	return c.timedE(refWaitall, 0, func() error { return c.inner.Waitall(reqs) })
 }
 
 // Barrier wraps MPI_Barrier.
 func (c *Comm) Barrier() error {
-	var err error
-	c.timed(refBarrier, 0, func() { err = c.inner.Barrier() })
-	return err
+	return c.timedE(refBarrier, 0, func() error { return c.inner.Barrier() })
 }
 
 // Bcast wraps MPI_Bcast.
 func (c *Comm) Bcast(data []byte, root int) error {
-	var err error
-	c.timed(refBcast, int64(len(data)), func() { err = c.inner.Bcast(data, root) })
-	return err
+	return c.timedE(refBcast, int64(len(data)), func() error { return c.inner.Bcast(data, root) })
 }
 
 // Reduce wraps MPI_Reduce.
 func (c *Comm) Reduce(send, recv []byte, op mpisim.Op, root int) error {
-	var err error
-	c.timed(refReduce, int64(len(send)), func() { err = c.inner.Reduce(send, recv, op, root) })
-	return err
+	return c.timedE(refReduce, int64(len(send)), func() error { return c.inner.Reduce(send, recv, op, root) })
 }
 
 // Allreduce wraps MPI_Allreduce.
 func (c *Comm) Allreduce(send, recv []byte, op mpisim.Op) error {
-	var err error
-	c.timed(refAllreduce, int64(len(send)), func() { err = c.inner.Allreduce(send, recv, op) })
-	return err
+	return c.timedE(refAllreduce, int64(len(send)), func() error { return c.inner.Allreduce(send, recv, op) })
 }
 
 // Gather wraps MPI_Gather.
 func (c *Comm) Gather(send, recv []byte, root int) error {
-	var err error
-	c.timed(refGather, int64(len(send)), func() { err = c.inner.Gather(send, recv, root) })
-	return err
+	return c.timedE(refGather, int64(len(send)), func() error { return c.inner.Gather(send, recv, root) })
 }
 
 // Allgather wraps MPI_Allgather.
 func (c *Comm) Allgather(send, recv []byte) error {
-	var err error
-	c.timed(refAllgather, int64(len(send)), func() { err = c.inner.Allgather(send, recv) })
-	return err
+	return c.timedE(refAllgather, int64(len(send)), func() error { return c.inner.Allgather(send, recv) })
 }
 
 // Scatter wraps MPI_Scatter.
 func (c *Comm) Scatter(send, recv []byte, root int) error {
-	var err error
-	c.timed(refScatter, int64(len(recv)), func() { err = c.inner.Scatter(send, recv, root) })
-	return err
+	return c.timedE(refScatter, int64(len(recv)), func() error { return c.inner.Scatter(send, recv, root) })
 }
 
 // Alltoall wraps MPI_Alltoall.
 func (c *Comm) Alltoall(send, recv []byte) error {
-	var err error
-	c.timed(refAlltoall, int64(len(send)), func() { err = c.inner.Alltoall(send, recv) })
-	return err
+	return c.timedE(refAlltoall, int64(len(send)), func() error { return c.inner.Alltoall(send, recv) })
 }
 
 // Pcontrol implements IPM's region interface (MPI_Pcontrol in the real

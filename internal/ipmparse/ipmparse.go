@@ -16,8 +16,17 @@ import (
 	"ipmgo/internal/ipm"
 )
 
-// Load reads an IPM XML profiling log.
+// Load reads an IPM XML profiling log, rejecting malformed input.
 func Load(r io.Reader) (*ipm.JobProfile, error) { return ipm.ParseXML(r) }
+
+// LoadTolerant reads an IPM XML profiling log in salvage mode: truncated
+// documents (a rank died mid-write), interleaved or unclosed task
+// elements, and corrupt attributes are recovered as far as possible, and
+// the report describes what was lost. This is how ipm_parse must behave
+// on the log of a job that did not end cleanly.
+func LoadTolerant(r io.Reader) (*ipm.JobProfile, *ipm.ParseReport, error) {
+	return ipm.ParseXMLTolerant(r)
+}
 
 // WriteBanner regenerates the termination banner from a parsed log.
 func WriteBanner(w io.Writer, jp *ipm.JobProfile, full bool) error {

@@ -1,0 +1,164 @@
+package ipmparse
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipmgo/internal/ipm"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// funcCount sums the call count recorded for one function name.
+func funcCount(rp ipm.RankProfile, name string) int64 {
+	var n int64
+	for _, e := range rp.Entries {
+		if e.Sig.Name == name {
+			n += e.Stats.Count
+		}
+	}
+	return n
+}
+
+// loadFixture runs the tolerant loader on one testdata log.
+func loadFixture(t *testing.T, name string) (*ipm.JobProfile, *ipm.ParseReport) {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jp, rep, err := LoadTolerant(f)
+	if err != nil {
+		t.Fatalf("LoadTolerant(%s): %v", name, err)
+	}
+	return jp, rep
+}
+
+// checkGolden regenerates the partial-report banner and compares it with
+// the checked-in golden (go test -update rewrites them).
+func checkGolden(t *testing.T, name string, jp *ipm.JobProfile) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBanner(&buf, jp, false); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("banner differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+func TestTolerantTruncatedMidTag(t *testing.T) {
+	// The strict loader must refuse this log outright.
+	f, err := os.Open(filepath.Join("testdata", "truncated_midtag.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(f); err == nil {
+		t.Error("strict Load accepted a mid-tag-truncated log")
+	}
+	f.Close()
+
+	jp, rep := loadFixture(t, "truncated_midtag.xml")
+	if !rep.Truncated {
+		t.Error("truncation not reported")
+	}
+	if rep.TasksRecovered != 2 || rep.TasksDeclared != 4 {
+		t.Errorf("recovered %d of %d tasks, want 2 of 4", rep.TasksRecovered, rep.TasksDeclared)
+	}
+	if jp.ExpectedRanks != 4 || jp.Expected() != 4 {
+		t.Errorf("ExpectedRanks = %d, want 4", jp.ExpectedRanks)
+	}
+	if !jp.Degraded() {
+		t.Error("partial profile not marked degraded")
+	}
+	if len(jp.Ranks) != 2 {
+		t.Fatalf("ranks = %d", len(jp.Ranks))
+	}
+	// Rank 0 arrived complete, with its per-call-site error counter.
+	if got := jp.Ranks[0].FuncTime("cudaMalloc"); got == 0 {
+		t.Error("rank 0 cudaMalloc lost")
+	}
+	if jp.Ranks[0].Errors != 2 {
+		t.Errorf("rank 0 errors = %d, want 2", jp.Ranks[0].Errors)
+	}
+	// Rank 1 was cut mid-func but keeps its identity and lost marker.
+	r1 := jp.Ranks[1]
+	if !r1.Lost || r1.LostReason != "fault plan: rank death at 700ms" {
+		t.Errorf("rank 1 lost marker not recovered: %+v", r1)
+	}
+	lost := jp.LostRanks()
+	if len(lost) != 1 || lost[0].Rank != 1 {
+		t.Errorf("LostRanks = %v", lost)
+	}
+	checkGolden(t, "truncated_midtag.banner.golden", jp)
+}
+
+func TestTolerantInterleavedTasks(t *testing.T) {
+	jp, rep := loadFixture(t, "interleaved.xml")
+	if rep.TasksRecovered != 2 {
+		t.Fatalf("recovered %d tasks, want 2", rep.TasksRecovered)
+	}
+	var interleaveWarned bool
+	for _, w := range rep.Warnings {
+		if strings.Contains(w, "not closed before next task") {
+			interleaveWarned = true
+		}
+	}
+	if !interleaveWarned {
+		t.Errorf("no interleave warning in %q", rep.Warnings)
+	}
+	// Rank 0's partial content survives alongside rank 1's full task.
+	if got := jp.Ranks[0].FuncTime("cudaMalloc"); got == 0 {
+		t.Error("rank 0 partial task lost its func entry")
+	}
+	if got := jp.Ranks[1].FuncTime("MPI_Barrier"); got == 0 {
+		t.Error("rank 1 complete task damaged")
+	}
+	checkGolden(t, "interleaved.banner.golden", jp)
+}
+
+func TestTolerantCorruptAttributes(t *testing.T) {
+	jp, rep := loadFixture(t, "corrupt_attrs.xml")
+	if rep.Truncated {
+		t.Error("attribute corruption misreported as truncation")
+	}
+	if rep.TasksRecovered != 2 {
+		t.Fatalf("recovered %d tasks, want 2", rep.TasksRecovered)
+	}
+	// Three corrupt attributes, three warnings, three zero values.
+	if len(rep.Warnings) != 3 {
+		t.Errorf("warnings = %q, want 3 entries", rep.Warnings)
+	}
+	if got := funcCount(jp.Ranks[0], "cudaMalloc"); got != 0 {
+		t.Errorf("corrupt count not zeroed: %d", got)
+	}
+	// The sibling with intact attributes is untouched.
+	if got := funcCount(jp.Ranks[0], "cudaMemcpy(H2D)"); got != 40 {
+		t.Errorf("intact func damaged: count = %d", got)
+	}
+	checkGolden(t, "corrupt_attrs.banner.golden", jp)
+}
+
+func TestTolerantRejectsNonLog(t *testing.T) {
+	if _, _, err := LoadTolerant(strings.NewReader("<html><body>404</body></html>")); err == nil {
+		t.Error("tolerant loader accepted a document with no ipm_log root")
+	}
+	if _, _, err := LoadTolerant(strings.NewReader("")); err == nil {
+		t.Error("tolerant loader accepted empty input")
+	}
+}

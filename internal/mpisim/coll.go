@@ -34,10 +34,15 @@ type collState struct {
 func (c *comm) enterColl(kind string, contrib []byte, root int, op Op,
 	finish func(st *collState) []time.Duration) (*collState, error) {
 
+	w := c.w
+	// A broken communicator fails collectives immediately: survivors must
+	// not rendezvous with ranks that can never arrive.
+	if err := w.failedErr(); err != nil {
+		return nil, err
+	}
 	seq := c.seq[kind]
 	c.seq[kind] = seq + 1
 	key := collKey{kind, seq}
-	w := c.w
 	st, ok := w.colls[key]
 	if !ok {
 		st = &collState{

@@ -1,0 +1,139 @@
+package mpisim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ipmgo/internal/des"
+	"ipmgo/internal/perfmodel"
+)
+
+// failWorld spawns size ranks running fn and marks victim failed at
+// failAt. It returns the engine error.
+func failWorld(t *testing.T, size, victim int, failAt time.Duration, fn func(c Comm) error) error {
+	t.Helper()
+	eng := des.NewEngine()
+	w, err := NewWorld(eng, Config{Size: size, Net: perfmodel.QDRInfiniBand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < size; rank++ {
+		rank := rank
+		eng.Spawn("rank", func(p *des.Proc) {
+			c, err := w.Attach(rank, p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if rank == victim {
+				// The victim idles past its death time; the harness layer is
+				// what actually kills the process, here we only model the
+				// communicator's view.
+				p.Sleep(10 * time.Second)
+				return
+			}
+			if err := fn(c); err != nil && !errors.Is(err, ErrRankFailed) {
+				t.Errorf("rank %d: unexpected error %v", rank, err)
+			}
+		})
+	}
+	eng.Schedule(failAt, func() { w.MarkFailed(victim) })
+	return eng.RunFor(time.Minute)
+}
+
+// TestMarkFailedBreaksPendingCollective checks ranks already blocked in a
+// collective wake with RankFailedError when a peer dies.
+func TestMarkFailedBreaksPendingCollective(t *testing.T) {
+	gotErr := 0
+	err := failWorld(t, 4, 2, 50*time.Millisecond, func(c Comm) error {
+		err := c.Barrier()
+		if errors.Is(err, ErrRankFailed) {
+			gotErr++
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if gotErr != 3 {
+		t.Fatalf("got %d RankFailedError, want 3", gotErr)
+	}
+}
+
+// TestCollectiveAfterFailureFastFails checks collectives entered after
+// the failure error out instead of recreating a rendezvous that can never
+// complete.
+func TestCollectiveAfterFailureFastFails(t *testing.T) {
+	err := failWorld(t, 4, 1, 0, func(c Comm) error {
+		c.Proc().Sleep(100 * time.Millisecond) // failure strikes first
+		buf := make([]byte, 8)
+		err := c.Allreduce(buf, buf, OpSum)
+		if !errors.Is(err, ErrRankFailed) {
+			t.Errorf("rank %d: Allreduce after failure = %v, want RankFailedError", c.Rank(), err)
+		}
+		var rfe *RankFailedError
+		if errors.As(err, &rfe) && rfe.Rank != 1 {
+			t.Errorf("failure attributed to rank %d, want 1", rfe.Rank)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+}
+
+// TestP2PWithDeadRank checks point-to-point semantics around a dead peer:
+// posted receives fail, new receives from the dead source fail, sends to
+// it fail, and messages it sent before dying are still deliverable.
+func TestP2PWithDeadRank(t *testing.T) {
+	eng := des.NewEngine()
+	w, err := NewWorld(eng, Config{Size: 2, Net: perfmodel.QDRInfiniBand()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Spawn("rank0", func(p *des.Proc) {
+		c, _ := w.Attach(0, p)
+		buf := make([]byte, 8)
+		// Posted before death, no message in flight: fails at death time.
+		_, err := c.Recv(buf, 1, 7)
+		if !errors.Is(err, ErrRankFailed) {
+			t.Errorf("pending recv = %v, want RankFailedError", err)
+		}
+		// The early message rank 1 sent before dying is still delivered.
+		if _, err := c.Recv(buf, 1, 9); err != nil {
+			t.Errorf("recv of pre-death message: %v", err)
+		}
+		// Posted after death with nothing queued: immediate failure.
+		if _, err := c.Recv(buf, 1, 11); !errors.Is(err, ErrRankFailed) {
+			t.Errorf("post-death recv = %v, want RankFailedError", err)
+		}
+		if err := c.Send(buf, 1, 0); !errors.Is(err, ErrRankFailed) {
+			t.Errorf("send to dead rank = %v, want RankFailedError", err)
+		}
+		if _, err := c.Isend(buf, 1, 0); !errors.Is(err, ErrRankFailed) {
+			t.Errorf("isend to dead rank = %v, want RankFailedError", err)
+		}
+	})
+	eng.Spawn("rank1", func(p *des.Proc) {
+		c, _ := w.Attach(1, p)
+		// Send one message on a tag rank 0 only receives after the death.
+		if _, err := c.Isend(make([]byte, 8), 0, 9); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(time.Second)
+	})
+	eng.Schedule(100*time.Millisecond, func() { w.MarkFailed(1) })
+	if err := eng.RunFor(time.Minute); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if !w.Failed(1) || w.Failed(0) || w.FailedCount() != 1 {
+		t.Fatalf("failure bookkeeping wrong: failed(1)=%v failed(0)=%v count=%d",
+			w.Failed(1), w.Failed(0), w.FailedCount())
+	}
+	// Idempotent.
+	w.MarkFailed(1)
+	if w.FailedCount() != 1 {
+		t.Fatal("MarkFailed not idempotent")
+	}
+}

@@ -80,6 +80,10 @@ type World struct {
 
 	colls    map[collKey]*collState
 	nextColl int
+
+	failed    []bool // nil until the first failure
+	nFailed   int
+	firstFail int
 }
 
 // Config describes the parallel job layout.

@@ -65,6 +65,13 @@ func (w *World) postRecv(dst int, r *recvReq) {
 			return
 		}
 	}
+	// A receive naming a dead source with no already-sent message can
+	// never complete — fail it instead of queueing it forever.
+	if r.src != AnySource && w.Failed(r.src) {
+		r.req.err = &RankFailedError{Rank: r.src}
+		r.req.sig.Fire()
+		return
+	}
 	w.posted[dst] = append(w.posted[dst], r)
 }
 
@@ -100,6 +107,9 @@ func (c *comm) Isend(data []byte, dest, tag int) (*Request, error) {
 	if err := c.checkRank(dest, false); err != nil {
 		return nil, err
 	}
+	if c.w.Failed(dest) {
+		return nil, &RankFailedError{Rank: dest}
+	}
 	m := &message{
 		src:     c.rank,
 		tag:     tag,
@@ -120,6 +130,9 @@ func (c *comm) Isend(data []byte, dest, tag int) (*Request, error) {
 func (c *comm) Send(data []byte, dest, tag int) error {
 	if err := c.checkRank(dest, false); err != nil {
 		return err
+	}
+	if c.w.Failed(dest) {
+		return &RankFailedError{Rank: dest}
 	}
 	now := c.proc.Now()
 	m := &message{

@@ -1,0 +1,109 @@
+package workloads
+
+import (
+	"time"
+
+	"ipmgo/internal/cluster"
+	"ipmgo/internal/cudart"
+	"ipmgo/internal/gpusim"
+	"ipmgo/internal/mpisim"
+	"ipmgo/internal/perfmodel"
+)
+
+// FaultDemoConfig parameterises the fault-injection demonstration
+// workload: a compact iterative MPI+CUDA stencil-style loop whose every
+// step exercises the full monitored surface (compute, H2D, kernel, D2H,
+// allreduce), written so that any injected failure degrades the run
+// instead of crashing it.
+type FaultDemoConfig struct {
+	// Steps is the number of iterations (default 40).
+	Steps int
+	// N is the working-set size in float64 elements (default 1<<14).
+	N int
+	// StepCompute is the host compute time per step (default 2ms) — the
+	// quantity a straggler fault stretches.
+	StepCompute time.Duration
+}
+
+// DefaultFaultDemo returns the e2e/demo parameters: a ~250ms-per-rank
+// run, long enough for mid-run faults at 50-220ms to land inside it.
+func DefaultFaultDemo() FaultDemoConfig {
+	return FaultDemoConfig{Steps: 40, N: 1 << 14, StepCompute: 2 * time.Millisecond}
+}
+
+func (c FaultDemoConfig) withDefaults() FaultDemoConfig {
+	if c.Steps <= 0 {
+		c.Steps = 40
+	}
+	if c.N <= 0 {
+		c.N = 1 << 14
+	}
+	if c.StepCompute <= 0 {
+		c.StepCompute = 2 * time.Millisecond
+	}
+	return c
+}
+
+// FaultDemoReport summarises how a rank's run degraded under faults.
+type FaultDemoReport struct {
+	Steps     int // steps fully completed
+	CUDAFails int // CUDA calls that returned an error (after any retries)
+	MPIFails  int // collectives that returned an error
+	CommOK    bool
+}
+
+// FaultDemo runs the demonstration loop. It NEVER panics on an injected
+// failure: CUDA errors are counted and the step's device work skipped,
+// and the first MPI failure (a dead peer breaking the communicator)
+// permanently downgrades the run to communication-free mode — exactly
+// the behaviour a monitoring pipeline must survive to produce a partial
+// profile from the surviving ranks.
+func FaultDemo(env *cluster.Env, cfg FaultDemoConfig) FaultDemoReport {
+	cfg = cfg.withDefaults()
+	rep := FaultDemoReport{CommOK: true}
+	size := gpusim.F64Bytes(cfg.N)
+	host := make([]byte, size)
+	kernel := &cudart.Func{
+		Name:      "relax",
+		FixedCost: perfmodel.KernelCost{Fixed: 300 * time.Microsecond},
+	}
+
+	dptr, err := env.CUDA.Malloc(size)
+	if err != nil {
+		// Without device memory the run degrades to host compute and
+		// (while possible) collectives.
+		rep.CUDAFails++
+	}
+	sum := make([]byte, 8)
+	for step := 0; step < cfg.Steps; step++ {
+		if env.IPM != nil {
+			env.IPM.EnterRegion("relax-step")
+		}
+		env.Compute(cfg.StepCompute)
+		if err == nil {
+			if e := env.CUDA.Memcpy(cudart.DevicePtr(dptr), cudart.HostPtr(host), size, cudart.MemcpyHostToDevice); e != nil {
+				rep.CUDAFails++
+			} else if e := env.CUDA.LaunchKernel(kernel, cudart.Dim3{X: cfg.N / 256}, cudart.Dim3{X: 256}, 0, dptr, cfg.N); e != nil {
+				rep.CUDAFails++
+			} else if e := env.CUDA.Memcpy(cudart.HostPtr(host), cudart.DevicePtr(dptr), size, cudart.MemcpyDeviceToHost); e != nil {
+				rep.CUDAFails++
+			}
+		}
+		if rep.CommOK {
+			if e := env.MPI.Allreduce(mpisim.Float64Bytes([]float64{float64(step)}), sum, mpisim.OpSum); e != nil {
+				rep.MPIFails++
+				rep.CommOK = false // broken communicator: stop collectives
+			}
+		}
+		if env.IPM != nil {
+			env.IPM.ExitRegion()
+		}
+		rep.Steps++
+	}
+	if err == nil {
+		if e := env.CUDA.Free(dptr); e != nil {
+			rep.CUDAFails++
+		}
+	}
+	return rep
+}
