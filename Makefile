@@ -6,11 +6,11 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr3.json
-BENCH_BASE ?= BENCH_pr2.json
-BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry
+BENCH_OUT ?= BENCH_pr4.json
+BENCH_BASE ?= BENCH_pr3.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg
 
-.PHONY: build vet test race race-faults verify bench experiments trace faults clean
+.PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check experiments trace faults clean
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 # the worker pool itself, the ensemble experiments that fan out on it,
 # and the core packages those simulations exercise.
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry
+	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore
 
 # Race-enabled pass over the fault-injection machinery: the end-to-end
 # fault scenarios (rank death, hung-device watchdog, straggler skew,
@@ -34,7 +34,31 @@ race-faults:
 	$(GO) test -race -run 'RankDeath|Watchdog|Straggler|MonitorPanic' .
 	$(GO) test -race ./internal/faultsim ./internal/mpisim ./internal/gpusim ./internal/ipmparse
 
-verify: build vet test race-faults
+# Start the center-wide profile store (POST /ingest, GET /agg, /jobs,
+# /regress, /metrics) with a write-ahead log for restart recovery.
+serve:
+	mkdir -p results
+	$(GO) run ./cmd/ipmserve -addr :8080 -wal results/profiles.wal
+
+# Hammer an in-process ipmserve with concurrent synthetic ingest+query
+# traffic and verify deterministic output (see ipmserve -selftest).
+serve-load:
+	$(GO) run ./cmd/ipmserve -selftest -selftest-jobs 200
+
+# End-to-end over real HTTP, race-enabled: ingest the sample profile
+# from results/ and pin /agg to a golden, then the 120-job concurrent
+# load/recovery scenario.
+serve-e2e:
+	$(GO) test -race -run ServeE2E .
+
+# Short native-fuzz pass over both parser entry points (strict and
+# tolerant); longer sessions: go test -fuzz FuzzTolerant ./internal/ipmparse
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ipmparse
+	$(GO) test -run '^$$' -fuzz FuzzTolerant -fuzztime $(FUZZTIME) ./internal/ipmparse
+
+verify: build vet test race-faults serve-e2e fuzz
 
 # -p 1 serialises the per-package test binaries: the ensemble benchmarks
 # saturate all cores, and letting them run beside the nanosecond-scale
@@ -44,6 +68,12 @@ verify: build vet test race-faults
 BENCH_COUNT ?= 5
 bench:
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -compare $(BENCH_BASE)
+
+# Like bench, but fail (exit 3) if any benchmark regressed more than
+# BENCH_THRESHOLD percent in ns/op against the baseline snapshot.
+BENCH_THRESHOLD ?= 15
+bench-check:
+	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -compare $(BENCH_BASE) -threshold $(BENCH_THRESHOLD)
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

@@ -26,6 +26,10 @@
 // BENCH_pr2.json, ...) can be diffed in CI:
 //
 //	go test -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_pr2.json -compare BENCH_pr1.json
+//
+// With -threshold PCT (alongside -compare) the command becomes a CI
+// gate: any benchmark whose ns/op regressed by more than PCT percent is
+// listed and the command exits non-zero (see `make bench-check`).
 package main
 
 import (
@@ -52,6 +56,7 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "output JSON file (required)")
 	compare := flag.String("compare", "", "previous snapshot to print ns/op deltas against")
+	threshold := flag.Float64("threshold", 0, "with -compare: exit non-zero when any ns/op regression exceeds this percentage")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o FILE is required")
@@ -79,23 +84,33 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(results), *out)
 	if *compare != "" {
-		if err := printComparison(os.Stderr, *compare, results); err != nil {
+		regressed, err := printComparison(os.Stderr, *compare, results, *threshold)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
 			os.Exit(1)
+		}
+		if *threshold > 0 && len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL: %d benchmark(s) regressed beyond %.1f%%:\n", len(regressed), *threshold)
+			for _, n := range regressed {
+				fmt.Fprintf(os.Stderr, "benchjson:   %s\n", n)
+			}
+			os.Exit(3)
 		}
 	}
 }
 
 // printComparison renders a ns/op delta table between a previous snapshot
-// and the current results, for the benchmarks present in both.
-func printComparison(w io.Writer, oldPath string, cur map[string]Result) error {
+// and the current results, for the benchmarks present in both, and
+// returns the names whose regression exceeds threshold percent (empty
+// when threshold is zero).
+func printComparison(w io.Writer, oldPath string, cur map[string]Result, threshold float64) ([]string, error) {
 	data, err := os.ReadFile(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	old := make(map[string]Result)
 	if err := json.Unmarshal(data, &old); err != nil {
-		return fmt.Errorf("parsing %s: %w", oldPath, err)
+		return nil, fmt.Errorf("parsing %s: %w", oldPath, err)
 	}
 	names := make([]string, 0, len(cur))
 	for n := range cur {
@@ -105,20 +120,26 @@ func printComparison(w io.Writer, oldPath string, cur map[string]Result) error {
 	}
 	if len(names) == 0 {
 		fmt.Fprintf(w, "benchjson: no common benchmarks with %s\n", oldPath)
-		return nil
+		return nil, nil
 	}
 	sort.Strings(names)
+	var regressed []string
 	fmt.Fprintf(w, "benchjson: ns/op vs %s\n", oldPath)
 	fmt.Fprintf(w, "%-50s %12s %12s %8s\n", "benchmark", "old", "new", "delta")
 	for _, n := range names {
 		o, c := old[n], cur[n]
 		delta := "n/a"
 		if o.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(c.NsPerOp-o.NsPerOp)/o.NsPerOp)
+			pct := 100 * (c.NsPerOp - o.NsPerOp) / o.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			if threshold > 0 && pct > threshold {
+				delta += " <-- REGRESSION"
+				regressed = append(regressed, n)
+			}
 		}
 		fmt.Fprintf(w, "%-50s %12.2f %12.2f %8s\n", n, o.NsPerOp, c.NsPerOp, delta)
 	}
-	return nil
+	return regressed, nil
 }
 
 // parseLine extracts a benchmark result from one output line. Returns

@@ -15,6 +15,10 @@
 // plan (internal/faultsim): injected CUDA errors, stragglers, rank
 // deaths, monitor panics. The faultdemo workload is written to degrade
 // gracefully under any of them.
+//
+// With -ingest URL the finished profile is additionally POSTed to a
+// running ipmserve (cmd/ipmserve) with capped-backoff retry; a dead or
+// flaky server degrades to a warning and never fails the run.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"ipmgo/internal/faultsim"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
+	"ipmgo/internal/profstore"
 	"ipmgo/internal/telemetry"
 	"ipmgo/internal/workloads"
 )
@@ -49,6 +54,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. :9090)")
 	hold := flag.Duration("hold", 0, "keep the /metrics endpoint up this long after the run")
 	faults := flag.String("faults", "", "JSON fault plan (see internal/faultsim); activates deterministic fault injection")
+	ingest := flag.String("ingest", "", "POST the finished profile to this ipmserve URL (e.g. http://localhost:8080)")
+	ingestTags := flag.String("ingest-tags", "", "comma-separated tags attached to the ingested profile")
+	ingestID := flag.String("ingest-id", "", "job id for the ingested profile (default: derived from content)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -154,6 +162,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: %d of %d spans dropped (raise -trace-cap for a complete trace)\n", d, rec.Total())
 		}
 		fmt.Fprintf(os.Stderr, "trace written to %s (%d spans) — open in https://ui.perfetto.dev\n", *traceOut, len(spans))
+	}
+	if *ingest != "" {
+		// The post rides the same capped-backoff schedule the fault model
+		// uses for transient CUDA errors (faultsim.RetryPolicy); a store
+		// that stays down costs a warning, never the run: the profile is
+		// already safe on stdout/-xml.
+		var tags []string
+		if *ingestTags != "" {
+			tags = strings.Split(*ingestTags, ",")
+		}
+		poster := &profstore.Poster{
+			URL: *ingest,
+			Policy: faultsim.RetryPolicy{
+				MaxAttempts: 5,
+				Backoff:     faultsim.Dur(200 * time.Millisecond),
+				MaxBackoff:  faultsim.Dur(2 * time.Second),
+			},
+		}
+		id, attempts, err := poster.PostProfile(res.Profile, *ingestID, tags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: ingest to %s failed after %d attempt(s): %v (run unaffected)\n",
+				*ingest, attempts, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "profile ingested as %s (%d attempt(s))\n", id, attempts)
+		}
 	}
 	if reg != nil && *hold > 0 {
 		fmt.Fprintf(os.Stderr, "holding /metrics for %v\n", *hold)

@@ -1,0 +1,91 @@
+// Command ipmserve is the center-wide profile store and query service:
+// the ingestion layer that turns single-job IPM XML logs into
+// workload-level views (paper Section II — IPM runs on every job, and
+// the value is in aggregating thousands of profiles).
+//
+// Usage:
+//
+//	ipmserve [-addr :8080] [-wal results/profstore.wal]
+//
+// Endpoints:
+//
+//	POST /ingest?id=&tags=a,b   ingest one IPM XML log (tolerant parse)
+//	GET  /jobs[?sel=&format=html]
+//	GET  /job/{id}
+//	GET  /agg[?sel=tag:T&top=N&format=html]
+//	GET  /regress?base=&head=[&threshold=PCT&format=html]
+//	GET  /metrics               Prometheus text format
+//
+// Selectors are a job id, "tag:T" or "cmd:C"; /regress compares two
+// jobs or two tag-sets per call-site signature.
+//
+// With -selftest the command runs the built-in load generator instead
+// of serving: it ingests a synthetic corpus concurrently while querying
+// /agg, then proves query determinism across reads and across a WAL
+// kill/recover cycle, exiting non-zero on any violation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"ipmgo/internal/profstore"
+	"ipmgo/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	wal := flag.String("wal", "", "append-only WAL path; empty = in-memory store")
+	selftest := flag.Bool("selftest", false, "run the load generator + determinism checks and exit")
+	jobs := flag.Int("selftest-jobs", 120, "selftest: synthetic profiles to ingest")
+	workers := flag.Int("selftest-workers", 8, "selftest: concurrent ingest workers")
+	flag.Parse()
+
+	if *selftest {
+		rep, err := profstore.SelfTest(profstore.SelfTestOptions{
+			Jobs: *jobs, Workers: *workers,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve: selftest FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("selftest ok: %d jobs, %d ranks, %d concurrent queries, /agg %d bytes, WAL recovered %d records\n",
+			rep.Jobs, rep.Ranks, rep.Queries, rep.AggBytes, rep.WALRecovered)
+		return
+	}
+
+	var store *profstore.Store
+	if *wal != "" {
+		var recovered, skipped int
+		var err error
+		store, recovered, skipped, err = profstore.Open(*wal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ipmserve: WAL %s: %d job(s) recovered, %d record(s) skipped\n",
+			*wal, recovered, skipped)
+	} else {
+		store = profstore.New()
+		fmt.Fprintln(os.Stderr, "ipmserve: in-memory store (no -wal; corpus is lost on exit)")
+	}
+	defer store.Close()
+
+	srv := profstore.NewServer(store, telemetry.NewRegistry())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipmserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ipmserve: serving on http://%s/ (%d job(s) loaded)\n", ln.Addr(), store.Len())
+	if err := http.Serve(ln, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "ipmserve:", err)
+		os.Exit(1)
+	}
+}

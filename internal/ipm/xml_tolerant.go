@@ -43,7 +43,7 @@ func ParseXMLTolerant(r io.Reader) (*JobProfile, *ParseReport, error) {
 
 	var doc XMLLog
 	seenRoot := false
-	var cur *XMLTask      // task being assembled, nil outside <task>
+	var cur *XMLTask // task being assembled, nil outside <task>
 	var curRegion *XMLRegion
 
 	finishTask := func() {

@@ -1,0 +1,109 @@
+package ipmparse
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipmgo/internal/ipm"
+)
+
+// Native fuzz targets for the two parser entry points. The contract
+// under test: the strict loader may reject anything but must never
+// panic, and the tolerant loader — which the profile store feeds with
+// arbitrary network input — must never panic AND must always hand back
+// a profile the downstream consumers (banner, XML re-encode) can
+// process without panicking. `make fuzz` runs a short pass as part of
+// `make verify`; longer runs just raise -fuzztime.
+
+// maxFuzzInput caps the document size under fuzz. The interesting bug
+// surface is structural (torn tags, bad attributes, interleaved
+// regions), all reachable well under this; without a cap the mutator
+// drifts toward documents with thousands of bare <task> elements whose
+// O(ranks × funcs) banner render drops the exec rate to single digits.
+const maxFuzzInput = 16 << 10
+
+// seedCorpus feeds every checked-in fixture plus a couple of
+// hand-picked structural edge cases.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.xml"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, fx := range fixtures {
+		data, err := os.ReadFile(fx)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`<?xml version="1.0"?><ipm_log version="2.0" command="./x" ntasks="1" nhosts="1" wallclock="1.0"><task mpi_rank="0" host="h" wallclock="1.0"><region name="ipm_global"><func name="MPI_Barrier" bytes="0" count="1" ttot="0.5" tmin="0.5" tmax="0.5"></func></region></task></ipm_log>`))
+	f.Add([]byte(`<ipm_log ntasks="99999999"><task mpi_rank="-5" wallclock="nan">`))
+	f.Add([]byte(`<ipm_log><task><region><func name="a" count="9223372036854775807" ttot="1e308"/></region></task></ipm_log>`))
+	f.Add([]byte("<ipm_log>\xff\xfe<task"))
+}
+
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip("oversized input")
+		}
+		jp, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if jp == nil {
+			t.Fatal("strict Load returned nil profile and nil error")
+		}
+		// Whatever the strict decoder accepted must survive the full
+		// downstream pipeline.
+		if err := WriteBanner(io.Discard, jp, true); err != nil {
+			t.Fatalf("banner on accepted profile: %v", err)
+		}
+		if err := ipm.WriteXML(io.Discard, jp); err != nil {
+			t.Fatalf("re-encode of accepted profile: %v", err)
+		}
+	})
+}
+
+func FuzzTolerant(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > maxFuzzInput {
+			t.Skip("oversized input")
+		}
+		jp, rep, err := LoadTolerant(bytes.NewReader(data))
+		if err != nil {
+			// Total rejection is allowed only when there is no ipm_log
+			// root at all; it must never coexist with a profile.
+			if jp != nil {
+				t.Fatal("tolerant load returned both a profile and an error")
+			}
+			return
+		}
+		if jp == nil || rep == nil {
+			t.Fatal("tolerant load returned nil profile or report without error")
+		}
+		// Salvaged profiles flow into the profile store and ipm_parse:
+		// every downstream consumer must cope with whatever was recovered.
+		if err := WriteBanner(io.Discard, jp, true); err != nil {
+			t.Fatalf("banner on salvaged profile: %v", err)
+		}
+		if err := WriteHTML(io.Discard, jp); err != nil {
+			t.Fatalf("HTML on salvaged profile: %v", err)
+		}
+		if err := ipm.WriteXML(io.Discard, jp); err != nil {
+			t.Fatalf("re-encode of salvaged profile: %v", err)
+		}
+		for _, w := range rep.Warnings {
+			if strings.TrimSpace(w) == "" {
+				t.Fatal("empty warning recorded")
+			}
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package profstore
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// This file computes the cross-job rollups behind GET /agg: the
+// workload-level views that motivate running IPM on every job (paper
+// Section II). Every slice in the report has a total ordering (time
+// descending, then name ascending) and every number is accumulated as an
+// integer duration before a single final float conversion, so the same
+// corpus renders byte-identically regardless of ingest order, shard
+// layout, or how many goroutines filled the store.
+
+// AggOptions selects and sizes an aggregation.
+type AggOptions struct {
+	Sel  string // job selector (see Store.Select); "" = whole corpus
+	TopN int    // rows kept in the top-kernel and imbalance tables (default 10)
+}
+
+// CallSiteAgg is one call-site signature rolled up across jobs and ranks.
+type CallSiteAgg struct {
+	Name     string  `json:"name"`
+	Domain   string  `json:"domain"` // MPI / CUDA / CUBLAS / CUFFT / pseudo / other
+	Calls    int64   `json:"calls"`
+	Errors   int64   `json:"errors,omitempty"`
+	Seconds  float64 `json:"seconds"`
+	PerCall  float64 `json:"per_call_seconds"`
+	WallPct  float64 `json:"wall_pct"`
+	Transfer bool    `json:"transfer,omitempty"`
+}
+
+// KernelAgg is one GPU kernel rolled up across streams, ranks and jobs.
+type KernelAgg struct {
+	Kernel   string  `json:"kernel"`
+	Launches int64   `json:"launches"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// ImbalanceAgg reports the worst per-rank load imbalance (max/avg) seen
+// for one call site, and the job it occurred in.
+type ImbalanceAgg struct {
+	Name       string  `json:"name"`
+	MaxOverAvg float64 `json:"max_over_avg"`
+	WorstJob   string  `json:"worst_job"`
+}
+
+// AggReport is the GET /agg response body.
+type AggReport struct {
+	Selector  string `json:"selector,omitempty"`
+	Jobs      int    `json:"jobs"`
+	Ranks     int    `json:"ranks"`
+	LostRanks int    `json:"lost_ranks,omitempty"`
+	Salvaged  int    `json:"salvaged_jobs,omitempty"`
+
+	WallclockSeconds float64 `json:"wallclock_seconds"` // summed over ranks
+	GPUSeconds       float64 `json:"gpu_seconds"`
+	TransferSeconds  float64 `json:"transfer_seconds"`
+	HostIdleSeconds  float64 `json:"host_idle_seconds"`
+	MPISeconds       float64 `json:"mpi_seconds"`
+
+	// Fleet fractions of total rank wallclock: how busy the GPUs were
+	// and how long hosts sat blocked behind them.
+	GPUBusyFraction     float64 `json:"gpu_busy_fraction"`
+	HostBlockedFraction float64 `json:"host_blocked_fraction"`
+
+	CallSites  []CallSiteAgg  `json:"call_sites"`
+	TopKernels []KernelAgg    `json:"top_kernels"`
+	Imbalance  []ImbalanceAgg `json:"imbalance"`
+}
+
+// isTransfer classifies a host call site as a host<->device transfer.
+func isTransfer(name string) bool {
+	return strings.Contains(name, "Memcpy") || strings.Contains(name, "Memset")
+}
+
+// isGPUExec matches the per-stream kernel-execution pseudo entries
+// (@CUDA_EXEC_STRMxx without a :kernel suffix), the basis of the paper's
+// GPU utilisation metric.
+func isGPUExec(name string) bool {
+	return strings.HasPrefix(name, "@CUDA_EXEC_STRM") && !strings.Contains(name, ":")
+}
+
+// kernelOf extracts the kernel name from a per-kernel pseudo entry
+// (@CUDA_EXEC_STRMxx:kernel), or "" when the entry is not one.
+func kernelOf(name string) string {
+	if !strings.HasPrefix(name, "@CUDA_EXEC_STRM") {
+		return ""
+	}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		return name[i+1:]
+	}
+	return ""
+}
+
+// Aggregate computes the cross-job rollup for the selected jobs.
+func (s *Store) Aggregate(opts AggOptions) *AggReport {
+	jobs := s.Select(opts.Sel)
+	return aggregateJobs(jobs, opts)
+}
+
+func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
+	topN := opts.TopN
+	if topN <= 0 {
+		topN = 10
+	}
+	rep := &AggReport{Selector: opts.Sel, Jobs: len(jobs)}
+
+	type siteAcc struct {
+		stats ipm.Stats
+	}
+	sites := make(map[string]*siteAcc)
+	kernels := make(map[string]*ipm.Stats)
+	worst := make(map[string]ImbalanceAgg)
+
+	var wall, gpu, xfer, idle, mpi time.Duration
+	for _, job := range jobs {
+		jp := job.Profile
+		rep.Ranks += len(jp.Ranks)
+		rep.LostRanks += len(jp.LostRanks())
+		if job.Salvaged {
+			rep.Salvaged++
+		}
+		for _, r := range jp.Ranks {
+			wall += r.Wallclock
+			for _, e := range r.Entries {
+				name := e.Sig.Name
+				switch {
+				case isGPUExec(name):
+					gpu += e.Stats.Total
+				case name == ipm.HostIdleName:
+					idle += e.Stats.Total
+				case e.Sig.Pseudo():
+					// Per-kernel pseudo entries are tallied below; other
+					// pseudo entries only appear in the call-site table.
+				case isTransfer(name):
+					xfer += e.Stats.Total
+				}
+				if ipm.Classify(name) == ipm.DomainMPI {
+					mpi += e.Stats.Total
+				}
+				if k := kernelOf(name); k != "" {
+					st, ok := kernels[k]
+					if !ok {
+						st = &ipm.Stats{}
+						kernels[k] = st
+					}
+					st.Merge(e.Stats)
+					continue // per-kernel entries double the stream totals; keep them out of call sites
+				}
+				acc, ok := sites[name]
+				if !ok {
+					acc = &siteAcc{}
+					sites[name] = acc
+				}
+				acc.stats.Merge(e.Stats)
+			}
+		}
+		// Per-rank imbalance (max/avg) per call site, worst job wins.
+		// Single-rank jobs carry no balance information.
+		if len(jp.Ranks) > 1 {
+			for _, ft := range jp.FuncTotals() {
+				imb := jp.Imbalance(ft.Name)
+				w, ok := worst[ft.Name]
+				if !ok || imb > w.MaxOverAvg || (imb == w.MaxOverAvg && job.ID < w.WorstJob) {
+					worst[ft.Name] = ImbalanceAgg{Name: ft.Name, MaxOverAvg: imb, WorstJob: job.ID}
+				}
+			}
+		}
+	}
+
+	rep.WallclockSeconds = wall.Seconds()
+	rep.GPUSeconds = gpu.Seconds()
+	rep.TransferSeconds = xfer.Seconds()
+	rep.HostIdleSeconds = idle.Seconds()
+	rep.MPISeconds = mpi.Seconds()
+	if wall > 0 {
+		rep.GPUBusyFraction = float64(gpu) / float64(wall)
+		rep.HostBlockedFraction = float64(idle) / float64(wall)
+	}
+
+	rep.CallSites = make([]CallSiteAgg, 0, len(sites))
+	for name, acc := range sites {
+		row := CallSiteAgg{
+			Name:     name,
+			Domain:   ipm.Classify(name).String(),
+			Calls:    acc.stats.Count,
+			Errors:   acc.stats.Errors,
+			Seconds:  acc.stats.Total.Seconds(),
+			Transfer: !strings.HasPrefix(name, "@") && isTransfer(name),
+		}
+		if acc.stats.Count > 0 {
+			row.PerCall = acc.stats.Avg().Seconds()
+		}
+		if wall > 0 {
+			row.WallPct = 100 * float64(acc.stats.Total) / float64(wall)
+		}
+		rep.CallSites = append(rep.CallSites, row)
+	}
+	sort.Slice(rep.CallSites, func(i, j int) bool {
+		a, b := rep.CallSites[i], rep.CallSites[j]
+		if a.Seconds != b.Seconds {
+			return a.Seconds > b.Seconds
+		}
+		return a.Name < b.Name
+	})
+
+	rep.TopKernels = make([]KernelAgg, 0, len(kernels))
+	for k, st := range kernels {
+		rep.TopKernels = append(rep.TopKernels, KernelAgg{
+			Kernel: k, Launches: st.Count, Seconds: st.Total.Seconds(),
+		})
+	}
+	sort.Slice(rep.TopKernels, func(i, j int) bool {
+		a, b := rep.TopKernels[i], rep.TopKernels[j]
+		if a.Seconds != b.Seconds {
+			return a.Seconds > b.Seconds
+		}
+		return a.Kernel < b.Kernel
+	})
+	if len(rep.TopKernels) > topN {
+		rep.TopKernels = rep.TopKernels[:topN]
+	}
+
+	rep.Imbalance = make([]ImbalanceAgg, 0, len(worst))
+	for _, w := range worst {
+		rep.Imbalance = append(rep.Imbalance, w)
+	}
+	sort.Slice(rep.Imbalance, func(i, j int) bool {
+		a, b := rep.Imbalance[i], rep.Imbalance[j]
+		if a.MaxOverAvg != b.MaxOverAvg {
+			return a.MaxOverAvg > b.MaxOverAvg
+		}
+		return a.Name < b.Name
+	})
+	if len(rep.Imbalance) > topN {
+		rep.Imbalance = rep.Imbalance[:topN]
+	}
+	return rep
+}

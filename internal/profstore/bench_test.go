@@ -1,0 +1,100 @@
+package profstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The store benchmarks back the tentpole claim that the corpus sustains
+// concurrent ingest and aggregation: ingest fans out across shards, and
+// aggregation reads run against a live, growing store.
+
+// benchCorpus pre-renders n synthetic XML documents (rendering cost is
+// not what is being measured).
+func benchCorpus(b *testing.B, n int) [][]byte {
+	b.Helper()
+	docs := make([][]byte, n)
+	for i := range docs {
+		docs[i] = syntheticXML(b, 42, i)
+	}
+	return docs
+}
+
+// BenchmarkProfstoreIngest measures parallel ingest throughput into the
+// sharded store (tolerant parse + WAL-less insert).
+func BenchmarkProfstoreIngest(b *testing.B) {
+	docs := benchCorpus(b, 64)
+	s := New()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			// Distinct ids: measure insert, not replacement, pressure.
+			doc := docs[int(i)%len(docs)]
+			if _, err := s.Ingest(doc, fmt.Sprintf("j%d", i), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkProfstoreAgg measures full-corpus aggregation over a
+// 100-job corpus — the hot query of the service.
+func BenchmarkProfstoreAgg(b *testing.B) {
+	docs := benchCorpus(b, 100)
+	s := New()
+	for i, doc := range docs {
+		if _, err := s.Ingest(doc, fmt.Sprintf("j%d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Aggregate(AggOptions{}); rep.Jobs != 100 {
+			b.Fatalf("jobs = %d", rep.Jobs)
+		}
+	}
+}
+
+// BenchmarkProfstoreAggUnderIngest measures aggregation latency while
+// parallel writers keep mutating the store — the mixed workload the
+// per-shard RWMutex design exists for.
+func BenchmarkProfstoreAggUnderIngest(b *testing.B) {
+	docs := benchCorpus(b, 64)
+	s := New()
+	for i, doc := range docs {
+		if _, err := s.Ingest(doc, fmt.Sprintf("j%d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Replacement ingests: constant store size, live write load.
+				id := fmt.Sprintf("j%d", i%len(docs))
+				if _, err := s.Ingest(docs[i%len(docs)], id, nil); err != nil {
+					return
+				}
+				_ = w
+			}
+		}(w)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := s.Aggregate(AggOptions{}); rep.Jobs != len(docs) {
+			b.Fatalf("jobs = %d", rep.Jobs)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package profstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"ipmgo/internal/faultsim"
+	"ipmgo/internal/ipm"
+)
+
+// This file is the ingest client side: how a finished run posts its
+// profile to a (possibly flaky) center-wide store. It reuses the
+// fault model's capped-exponential RetryPolicy — the same schedule
+// faultsim.Resilient applies to transient CUDA faults — because the
+// failure mode is the same: a transient infrastructure hiccup that a
+// bounded number of spaced retries rides out, and that must degrade
+// into a warning rather than fail the job.
+
+// Poster posts IPM XML profiles to an ipmserve /ingest endpoint with
+// capped-backoff retry.
+type Poster struct {
+	// URL is the server base ("http://host:port") or the full /ingest URL.
+	URL string
+	// Policy is the retry schedule; the zero value means 3 attempts with
+	// 100µs..10ms capped exponential backoff (faultsim defaults).
+	Policy faultsim.RetryPolicy
+	// Client is the HTTP client; nil uses a 10s-timeout default.
+	Client *http.Client
+	// Sleep is the backoff sleep, injectable for tests; nil = time.Sleep.
+	// Unlike Resilient this runs after the simulation, so it waits in
+	// wall time, not virtual time.
+	Sleep func(time.Duration)
+}
+
+// ingestURL builds the final /ingest URL with id and tags parameters.
+func (p *Poster) ingestURL(id string, tags []string) (string, error) {
+	base := p.URL
+	if !strings.Contains(base, "/ingest") {
+		base = strings.TrimSuffix(base, "/") + "/ingest"
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("profstore: bad ingest URL %q: %v", p.URL, err)
+	}
+	q := u.Query()
+	if id != "" {
+		q.Set("id", id)
+	}
+	if len(tags) > 0 {
+		q.Set("tags", strings.Join(tags, ","))
+	}
+	u.RawQuery = q.Encode()
+	return u.String(), nil
+}
+
+// retryableStatus reports whether an HTTP status is worth retrying:
+// server-side failures and throttling, never client errors (a 400 will
+// fail identically on every attempt).
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// PostXML posts one XML document, retrying transient failures with the
+// capped backoff schedule. It returns the attempts made alongside the
+// final error, so the caller can log how hard the post had to try.
+func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, err error) {
+	target, err := p.ingestURL(id, tags)
+	if err != nil {
+		return 0, err
+	}
+	client := p.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	budget := p.Policy.Attempts()
+	for attempt := 0; ; attempt++ {
+		attempts++
+		err = postOnce(client, target, xml)
+		if err == nil {
+			return attempts, nil
+		}
+		var se *statusError
+		if errors.As(err, &se) && !retryableStatus(se.code) {
+			return attempts, err // permanent rejection
+		}
+		if p.Policy.Disable || attempt >= budget-1 {
+			return attempts, err
+		}
+		sleep(p.Policy.BackoffFor(attempt))
+	}
+}
+
+// PostProfile serialises a profile to IPM XML and posts it.
+func (p *Poster) PostProfile(jp *ipm.JobProfile, id string, tags []string) (string, int, error) {
+	var buf bytes.Buffer
+	if err := ipm.WriteXML(&buf, jp); err != nil {
+		return "", 0, fmt.Errorf("profstore: encoding profile: %w", err)
+	}
+	xml := buf.Bytes()
+	if id == "" {
+		id = DeriveID(xml)
+	}
+	attempts, err := p.PostXML(xml, id, tags)
+	return id, attempts, err
+}
+
+// statusError is a non-2xx ingest response.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.code, e.body)
+}
+
+func postOnce(client *http.Client, target string, xml []byte) error {
+	resp, err := client.Post(target, "application/xml", bytes.NewReader(xml))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{code: resp.StatusCode, body: strings.TrimSpace(string(body))}
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

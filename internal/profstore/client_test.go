@@ -1,0 +1,105 @@
+package profstore
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipmgo/internal/faultsim"
+	"ipmgo/internal/telemetry"
+)
+
+// flakyHandler fails the first n requests with 503, then delegates.
+type flakyHandler struct {
+	fails atomic.Int64
+	next  http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.fails.Add(-1) >= 0 {
+		http.Error(w, "catching fire", http.StatusServiceUnavailable)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func TestPosterRetriesTransientFailures(t *testing.T) {
+	store := New()
+	fh := &flakyHandler{next: NewServer(store, telemetry.NewRegistry()).Handler()}
+	fh.fails.Store(2)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	var slept []time.Duration
+	p := &Poster{
+		URL:    ts.URL,
+		Policy: faultsim.RetryPolicy{MaxAttempts: 4, Backoff: faultsim.Dur(time.Millisecond), MaxBackoff: faultsim.Dur(4 * time.Millisecond)},
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	}
+	id, attempts, err := p.PostProfile(SyntheticProfile(3, 0), "", []string{"retry"})
+	if err != nil {
+		t.Fatalf("post failed despite retry budget: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s then success)", attempts)
+	}
+	if len(slept) != 2 || slept[0] != time.Millisecond || slept[1] != 2*time.Millisecond {
+		t.Errorf("backoff schedule = %v, want [1ms 2ms]", slept)
+	}
+	if got := store.Get(id); got == nil || got.Tags[0] != "retry" {
+		t.Errorf("profile not stored under %s", id)
+	}
+}
+
+func TestPosterGivesUpAfterBudget(t *testing.T) {
+	fh := &flakyHandler{next: http.NotFoundHandler()}
+	fh.fails.Store(100)
+	ts := httptest.NewServer(fh)
+	defer ts.Close()
+
+	p := &Poster{URL: ts.URL, Policy: faultsim.RetryPolicy{MaxAttempts: 3},
+		Sleep: func(time.Duration) {}}
+	_, attempts, err := p.PostProfile(SyntheticProfile(3, 1), "", nil)
+	if err == nil {
+		t.Fatal("post against a dead server succeeded")
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want the full budget of 3", attempts)
+	}
+}
+
+func TestPosterDoesNotRetryPermanentRejection(t *testing.T) {
+	// A 400 (unparseable body) must not be retried: it fails identically
+	// every time.
+	store := New()
+	ts := httptest.NewServer(NewServer(store, telemetry.NewRegistry()).Handler())
+	defer ts.Close()
+
+	p := &Poster{URL: ts.URL, Policy: faultsim.RetryPolicy{MaxAttempts: 5},
+		Sleep: func(time.Duration) { t.Error("slept before a permanent failure") }}
+	attempts, err := p.PostXML([]byte("not xml"), "", nil)
+	if err == nil || attempts != 1 {
+		t.Errorf("attempts = %d err = %v, want 1 attempt and an error", attempts, err)
+	}
+	if !strings.Contains(err.Error(), "400") {
+		t.Errorf("error does not surface the status: %v", err)
+	}
+}
+
+func TestPosterURLForms(t *testing.T) {
+	p := &Poster{URL: "http://host:1234"}
+	u, err := p.ingestURL("j1", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != "http://host:1234/ingest?id=j1&tags=a%2Cb" {
+		t.Errorf("ingestURL = %s", u)
+	}
+	p = &Poster{URL: "http://host:1234/ingest"}
+	if u, _ = p.ingestURL("", nil); u != "http://host:1234/ingest" {
+		t.Errorf("explicit /ingest URL rewritten: %s", u)
+	}
+}

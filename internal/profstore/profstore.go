@@ -1,0 +1,319 @@
+// Package profstore is the center-wide profile store: the ingestion and
+// query layer that turns single-job IPM profiles into workload-level
+// views (paper Section II — IPM is deployed on every job at NERSC, and
+// the value comes from aggregating thousands of XML logs).
+//
+// The store is sharded for concurrent ingest (per-shard RWMutex keyed by
+// job id hash) and durable via an append-only JSONL write-ahead log: a
+// restarted server replays the WAL and recovers its exact corpus, and
+// because every query output is deterministically ordered, the recovered
+// store answers /agg and /regress byte-identically to the pre-restart
+// one.
+//
+// Profiles enter through the tolerant parser (internal/ipmparse
+// semantics): a truncated or corrupt log from a crashed job is salvaged
+// rather than rejected, and the concessions made are counted and
+// surfaced per job and in the Prometheus metrics.
+package profstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ipmgo/internal/ipm"
+)
+
+// numShards is the number of lock shards. A power of two so the shard
+// index is a mask of the id hash; 16 comfortably exceeds the core counts
+// the ingest benchmarks run on.
+const numShards = 16
+
+// Job is one ingested profile with its store metadata.
+type Job struct {
+	ID       string          // deterministic: caller-supplied or content hash
+	Tags     []string        // sorted, deduplicated
+	Command  string          // from the profile header
+	Salvaged bool            // tolerant parse made concessions
+	Warnings int             // number of parse warnings recorded
+	Ranks    int             // rank snapshots recovered
+	Bytes    int             // size of the ingested XML document
+	Profile  *ipm.JobProfile `json:"-"`
+}
+
+// shard is one lock-striped partition of the corpus.
+type shard struct {
+	mu   sync.RWMutex
+	jobs map[string]*Job
+}
+
+// Store is the sharded, concurrency-safe profile corpus.
+type Store struct {
+	shards [numShards]shard
+
+	// wal guards the append-only log; nil when the store is in-memory
+	// only. Appends are serialised independently of the shard locks so
+	// ingests into different shards only contend on the file write.
+	walMu sync.Mutex
+	wal   *os.File
+
+	jobs     atomic.Int64 // corpus size (gauge)
+	ranks    atomic.Int64 // total rank snapshots held (gauge)
+	ingests  atomic.Int64 // successful ingests, including replacements
+	salvaged atomic.Int64 // ingests the tolerant parser had to salvage
+	replaced atomic.Int64 // ingests that replaced an existing job id
+}
+
+// New returns an in-memory store (no WAL).
+func New() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*Job)
+	}
+	return s
+}
+
+// Open returns a store backed by the append-only WAL at path, replaying
+// any existing log first. A torn final record (a crash mid-append) is
+// skipped, mirroring how the tolerant parser treats a torn XML log; the
+// number of records recovered and skipped is returned.
+func Open(path string) (s *Store, recovered, skipped int, err error) {
+	s = New()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("profstore: opening WAL: %w", err)
+	}
+	recovered, skipped, err = s.replay(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, 0, 0, fmt.Errorf("profstore: seeking WAL end: %w", err)
+	}
+	s.wal = f
+	return s, recovered, skipped, nil
+}
+
+// Close releases the WAL file, if any.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// walRecord is one JSONL line of the write-ahead log. The raw XML is the
+// durable form: replay re-ingests it through the same tolerant parse, so
+// a recovered store is bit-for-bit the store that wrote the log.
+type walRecord struct {
+	ID   string   `json:"id"`
+	Tags []string `json:"tags,omitempty"`
+	XML  string   `json:"xml"`
+}
+
+// replay re-ingests every complete WAL record.
+func (s *Store) replay(f *os.File) (recovered, skipped int, err error) {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn or corrupt record: only trust what parsed cleanly.
+			skipped++
+			continue
+		}
+		if _, err := s.ingest([]byte(rec.XML), rec.ID, rec.Tags, false); err != nil {
+			skipped++
+			continue
+		}
+		recovered++
+	}
+	if err := sc.Err(); err != nil {
+		return recovered, skipped, fmt.Errorf("profstore: reading WAL: %w", err)
+	}
+	return recovered, skipped, nil
+}
+
+// DeriveID returns the deterministic content-derived job id used when
+// the client does not supply one: FNV-1a over the XML bytes. The same
+// document always lands under the same id, making ingest idempotent.
+func DeriveID(xml []byte) string {
+	h := fnv.New64a()
+	h.Write(xml)
+	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// normTags sorts, deduplicates and drops empty tags.
+func normTags(tags []string) []string {
+	out := make([]string, 0, len(tags))
+	for _, t := range tags {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return slicesCompact(out)
+}
+
+func slicesCompact(in []string) []string {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (s *Store) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &s.shards[h.Sum32()&(numShards-1)]
+}
+
+// Ingest parses one IPM XML document tolerantly and adds it to the
+// corpus (and WAL). An empty id derives one from the content. Returns
+// the stored job; the only error is an unrecoverable parse (no ipm_log
+// root at all) or a WAL write failure.
+func (s *Store) Ingest(xml []byte, id string, tags []string) (*Job, error) {
+	return s.ingest(xml, id, tags, true)
+}
+
+func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, error) {
+	jp, rep, err := ipm.ParseXMLTolerant(bytes.NewReader(xml))
+	if err != nil {
+		return nil, fmt.Errorf("profstore: ingest: %w", err)
+	}
+	if id == "" {
+		id = DeriveID(xml)
+	}
+	job := &Job{
+		ID:       id,
+		Tags:     normTags(tags),
+		Command:  jp.Command,
+		Salvaged: rep.Truncated || len(rep.Warnings) > 0,
+		Warnings: len(rep.Warnings),
+		Ranks:    len(jp.Ranks),
+		Bytes:    len(xml),
+		Profile:  jp,
+	}
+
+	// WAL before store: a record that made it to the log is the ingest;
+	// the in-memory insert is recoverable from it but not vice versa.
+	if logIt && s.wal != nil {
+		rec, err := json.Marshal(walRecord{ID: id, Tags: job.Tags, XML: string(xml)})
+		if err != nil {
+			return nil, fmt.Errorf("profstore: encoding WAL record: %w", err)
+		}
+		rec = append(rec, '\n')
+		s.walMu.Lock()
+		_, werr := s.wal.Write(rec)
+		s.walMu.Unlock()
+		if werr != nil {
+			return nil, fmt.Errorf("profstore: appending WAL: %w", werr)
+		}
+	}
+
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	prev, existed := sh.jobs[id]
+	sh.jobs[id] = job
+	sh.mu.Unlock()
+
+	s.ingests.Add(1)
+	if job.Salvaged {
+		s.salvaged.Add(1)
+	}
+	if existed {
+		s.replaced.Add(1)
+		s.ranks.Add(int64(job.Ranks - prev.Ranks))
+	} else {
+		s.jobs.Add(1)
+		s.ranks.Add(int64(job.Ranks))
+	}
+	return job, nil
+}
+
+// Get returns the job with the given id, or nil.
+func (s *Store) Get(id string) *Job {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.jobs[id]
+}
+
+// Len returns the corpus size.
+func (s *Store) Len() int { return int(s.jobs.Load()) }
+
+// RankCount returns the total rank snapshots held.
+func (s *Store) RankCount() int { return int(s.ranks.Load()) }
+
+// Ingests, Salvaged and Replaced expose the ingest counters for metrics.
+func (s *Store) Ingests() int64  { return s.ingests.Load() }
+func (s *Store) Salvaged() int64 { return s.salvaged.Load() }
+func (s *Store) Replaced() int64 { return s.replaced.Load() }
+
+// Select resolves a job selector to the matching jobs, sorted by id —
+// the deterministic iteration order every aggregate is computed in.
+// Selectors:
+//
+//	""          every job
+//	"tag:T"     jobs carrying tag T
+//	"cmd:C"     jobs whose command is C
+//	anything    the single job with that id (empty result if absent)
+func (s *Store) Select(sel string) []*Job {
+	var match func(*Job) bool
+	switch {
+	case sel == "":
+		match = func(*Job) bool { return true }
+	case strings.HasPrefix(sel, "tag:"):
+		want := strings.TrimPrefix(sel, "tag:")
+		match = func(j *Job) bool {
+			for _, t := range j.Tags {
+				if t == want {
+					return true
+				}
+			}
+			return false
+		}
+	case strings.HasPrefix(sel, "cmd:"):
+		want := strings.TrimPrefix(sel, "cmd:")
+		match = func(j *Job) bool { return j.Command == want }
+	default:
+		if j := s.Get(sel); j != nil {
+			return []*Job{j}
+		}
+		return nil
+	}
+	var out []*Job
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, j := range sh.jobs {
+			if match(j) {
+				out = append(out, j)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// List returns every job's metadata, sorted by id.
+func (s *Store) List() []*Job { return s.Select("") }

@@ -1,0 +1,381 @@
+package profstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ipmgo/internal/telemetry"
+)
+
+// Server wraps a Store with the HTTP query surface of cmd/ipmserve and
+// its Prometheus self-metrics. All responses are deterministic for a
+// fixed corpus: JSON is rendered from fully-sorted report structs, and
+// the HTML views iterate the same slices.
+type Server struct {
+	store *Store
+	reg   *telemetry.Registry
+	lat   *telemetry.Histogram
+
+	parseErrors atomic.Int64
+	httpErrors  atomic.Int64
+	queries     [qCount]atomic.Int64
+}
+
+// query classes for the per-endpoint counters.
+const (
+	qIngest = iota
+	qJobs
+	qJob
+	qAgg
+	qRegress
+	qCount
+)
+
+var queryNames = [qCount]string{"ingest", "jobs", "job", "agg", "regress"}
+
+// Metric family names served on /metrics.
+const (
+	MetricIngest      = "profstore_ingest_total"
+	MetricSalvaged    = "profstore_ingest_salvaged_total"
+	MetricReplaced    = "profstore_ingest_replaced_total"
+	MetricParseErrors = "profstore_parse_errors_total"
+	MetricHTTPErrors  = "profstore_http_errors_total"
+	MetricJobs        = "profstore_jobs"
+	MetricRanks       = "profstore_ranks"
+	MetricQueries     = "profstore_queries_total"
+	MetricQuerySecs   = "profstore_query_seconds"
+)
+
+// NewServer builds the HTTP layer over store, registering its query
+// latency histogram with reg (which also serves /metrics).
+func NewServer(store *Store, reg *telemetry.Registry) *Server {
+	return &Server{
+		store: store,
+		reg:   reg,
+		lat: reg.Histogram(MetricQuerySecs, "Profile store query latency.",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}),
+	}
+}
+
+// publishMetrics snapshots the store and server counters into the
+// registry; called before every /metrics render so scrapes always see
+// current values.
+func (s *Server) publishMetrics() {
+	samples := []telemetry.Sample{
+		{Name: MetricIngest, Help: "Profiles ingested (including re-ingests).", Type: "counter", Value: float64(s.store.Ingests())},
+		{Name: MetricSalvaged, Help: "Ingested profiles the tolerant parser had to salvage.", Type: "counter", Value: float64(s.store.Salvaged())},
+		{Name: MetricReplaced, Help: "Ingests that replaced an existing job id.", Type: "counter", Value: float64(s.store.Replaced())},
+		{Name: MetricParseErrors, Help: "Ingest bodies rejected as unparseable.", Type: "counter", Value: float64(s.parseErrors.Load())},
+		{Name: MetricHTTPErrors, Help: "Requests answered with a 4xx/5xx status.", Type: "counter", Value: float64(s.httpErrors.Load())},
+		{Name: MetricJobs, Help: "Jobs in the corpus.", Type: "gauge", Value: float64(s.store.Len())},
+		{Name: MetricRanks, Help: "Rank snapshots in the corpus.", Type: "gauge", Value: float64(s.store.RankCount())},
+	}
+	for q := 0; q < qCount; q++ {
+		samples = append(samples, telemetry.Sample{
+			Name: MetricQueries, Help: "Queries served by endpoint.", Type: "counter",
+			Labels: []telemetry.Label{{Key: "endpoint", Value: queryNames[q]}},
+			Value:  float64(s.queries[q].Load()),
+		})
+	}
+	s.reg.Publish("profstore", samples)
+}
+
+// observe records one served query in the counters and the latency
+// histogram.
+func (s *Server) observe(q int, start time.Time) {
+	s.queries[q].Add(1)
+	s.lat.Observe(time.Since(start).Seconds())
+}
+
+// Handler returns the route mux: the query surface plus /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /job/{id}", s.handleJob)
+	mux.HandleFunc("GET /agg", s.handleAgg)
+	mux.HandleFunc("GET /regress", s.handleRegress)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.publishMetrics()
+		s.reg.Handler().ServeHTTP(w, r)
+	}))
+	return mux
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.httpErrors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+// writeJSON renders v as indented JSON (deterministic: struct fields in
+// declaration order, every slice pre-sorted).
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.httpErrors.Add(1)
+	}
+}
+
+// IngestResponse is the POST /ingest response body.
+type IngestResponse struct {
+	ID       string   `json:"id"`
+	Ranks    int      `json:"ranks"`
+	Salvaged bool     `json:"salvaged"`
+	Warnings int      `json:"warnings"`
+	Tags     []string `json:"tags,omitempty"`
+}
+
+// maxIngestBytes bounds one ingest body (a center-wide store must not be
+// OOM-able by a single malformed client).
+const maxIngestBytes = 64 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qIngest, start)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxIngestBytes {
+		s.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxIngestBytes)
+		return
+	}
+	var tags []string
+	if t := r.URL.Query().Get("tags"); t != "" {
+		tags = strings.Split(t, ",")
+	}
+	job, err := s.store.Ingest(body, r.URL.Query().Get("id"), tags)
+	if err != nil {
+		s.parseErrors.Add(1)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, IngestResponse{
+		ID: job.ID, Ranks: job.Ranks, Salvaged: job.Salvaged,
+		Warnings: job.Warnings, Tags: job.Tags,
+	})
+}
+
+// JobMeta is one row of the GET /jobs listing.
+type JobMeta struct {
+	ID               string   `json:"id"`
+	Command          string   `json:"command"`
+	Tags             []string `json:"tags,omitempty"`
+	Ranks            int      `json:"ranks"`
+	LostRanks        int      `json:"lost_ranks,omitempty"`
+	WallclockSeconds float64  `json:"wallclock_seconds"`
+	GPUPercent       float64  `json:"gpu_pct"`
+	CommPercent      float64  `json:"comm_pct"`
+	Salvaged         bool     `json:"salvaged,omitempty"`
+}
+
+func metaOf(j *Job) JobMeta {
+	return JobMeta{
+		ID: j.ID, Command: j.Command, Tags: j.Tags, Ranks: j.Ranks,
+		LostRanks:        len(j.Profile.LostRanks()),
+		WallclockSeconds: j.Profile.Wallclock().Seconds(),
+		GPUPercent:       j.Profile.GPUPercent(),
+		CommPercent:      j.Profile.CommPercent(),
+		Salvaged:         j.Salvaged,
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qJobs, start)
+	jobs := s.store.Select(r.URL.Query().Get("sel"))
+	metas := make([]JobMeta, 0, len(jobs))
+	for _, j := range jobs {
+		metas = append(metas, metaOf(j))
+	}
+	if wantsHTML(r) {
+		renderHTML(w, jobsTmpl, metas)
+		return
+	}
+	s.writeJSON(w, metas)
+}
+
+// JobDetail is the GET /job/{id} response body.
+type JobDetail struct {
+	JobMeta
+	ExpectedRanks int           `json:"expected_ranks"`
+	Degraded      bool          `json:"degraded,omitempty"`
+	Errors        int64         `json:"errors,omitempty"`
+	CallSites     []CallSiteAgg `json:"call_sites"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qJob, start)
+	id := r.PathValue("id")
+	job := s.store.Get(id)
+	if job == nil {
+		s.fail(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	agg := aggregateJobs([]*Job{job}, AggOptions{})
+	s.writeJSON(w, JobDetail{
+		JobMeta:       metaOf(job),
+		ExpectedRanks: job.Profile.Expected(),
+		Degraded:      job.Profile.Degraded(),
+		Errors:        job.Profile.TotalErrors(),
+		CallSites:     agg.CallSites,
+	})
+}
+
+func (s *Server) handleAgg(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qAgg, start)
+	topN := 0
+	if t := r.URL.Query().Get("top"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n <= 0 {
+			s.fail(w, http.StatusBadRequest, "bad top=%q", t)
+			return
+		}
+		topN = n
+	}
+	rep := s.store.Aggregate(AggOptions{Sel: r.URL.Query().Get("sel"), TopN: topN})
+	if wantsHTML(r) {
+		renderHTML(w, aggTmpl, rep)
+		return
+	}
+	s.writeJSON(w, rep)
+}
+
+func (s *Server) handleRegress(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qRegress, start)
+	q := r.URL.Query()
+	base, head := q.Get("base"), q.Get("head")
+	if base == "" || head == "" {
+		s.fail(w, http.StatusBadRequest, "base= and head= are required (job id, tag:T or cmd:C)")
+		return
+	}
+	opts := RegressOptions{Base: base, Head: head}
+	if t := q.Get("threshold"); t != "" {
+		v, err := strconv.ParseFloat(t, 64)
+		if err != nil || v <= 0 {
+			s.fail(w, http.StatusBadRequest, "bad threshold=%q", t)
+			return
+		}
+		opts.Threshold = v
+	}
+	rep := s.store.Regress(opts)
+	if rep.BaseJobs == 0 || rep.HeadJobs == 0 {
+		s.fail(w, http.StatusNotFound, "base matched %d job(s), head %d", rep.BaseJobs, rep.HeadJobs)
+		return
+	}
+	if wantsHTML(r) {
+		renderHTML(w, regressTmpl, rep)
+		return
+	}
+	s.writeJSON(w, rep)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, indexHTML)
+}
+
+// wantsHTML reports whether the request asked for the HTML table view.
+func wantsHTML(r *http.Request) bool { return r.URL.Query().Get("format") == "html" }
+
+func renderHTML(w http.ResponseWriter, t *template.Template, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	t.Execute(w, data)
+}
+
+const htmlStyle = `<style>
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; margin-bottom: 2em; }
+th, td { border: 1px solid #999; padding: 0.2em 0.6em; text-align: right; }
+th { background: #eee; }
+td.l, th.l { text-align: left; }
+.bad { color: #a00; font-weight: bold; }
+.good { color: #070; }
+</style>`
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ipmserve</title>` + htmlStyle + `</head><body>
+<h1>IPM profile store</h1>
+<ul>
+<li><a href="/jobs?format=html">/jobs</a> — ingested profiles (JSON without format=html)</li>
+<li><a href="/agg?format=html">/agg</a> — cross-job rollup (sel=, top=)</li>
+<li>/regress?base=&amp;head= — per-call-site comparison (threshold=)</li>
+<li><a href="/metrics">/metrics</a> — Prometheus metrics</li>
+</ul>
+<p>POST IPM XML logs to /ingest?tags=a,b to grow the corpus.</p>
+</body></html>
+`
+
+var jobsTmpl = template.Must(template.New("jobs").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ipmserve: jobs</title>` + htmlStyle + `</head><body>
+<h1>Jobs ({{len .}})</h1>
+<table>
+<tr><th class="l">id</th><th class="l">command</th><th class="l">tags</th><th>ranks</th><th>lost</th><th>wallclock [s]</th><th>%gpu</th><th>%comm</th><th>salvaged</th></tr>
+{{range .}}<tr><td class="l"><a href="/job/{{.ID}}">{{.ID}}</a></td><td class="l">{{.Command}}</td><td class="l">{{range .Tags}}{{.}} {{end}}</td><td>{{.Ranks}}</td><td>{{.LostRanks}}</td><td>{{printf "%.3f" .WallclockSeconds}}</td><td>{{printf "%.2f" .GPUPercent}}</td><td>{{printf "%.2f" .CommPercent}}</td><td>{{if .Salvaged}}yes{{end}}</td></tr>
+{{end}}</table>
+</body></html>
+`))
+
+const aggTmplText = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ipmserve: aggregate</title>` + htmlStyle + `</head><body>
+<h1>Fleet aggregate{{with .Selector}} ({{.}}){{end}}</h1>
+<table>
+<tr><th class="l">jobs</th><td>{{.Jobs}}</td></tr>
+<tr><th class="l">ranks</th><td>{{.Ranks}} ({{.LostRanks}} lost)</td></tr>
+<tr><th class="l">salvaged jobs</th><td>{{.Salvaged}}</td></tr>
+<tr><th class="l">wallclock [s]</th><td>{{printf "%.3f" .WallclockSeconds}}</td></tr>
+<tr><th class="l">GPU busy</th><td>{{printf "%.2f%%" (mulf .GPUBusyFraction 100)}}</td></tr>
+<tr><th class="l">host blocked</th><td>{{printf "%.2f%%" (mulf .HostBlockedFraction 100)}}</td></tr>
+<tr><th class="l">transfer [s]</th><td>{{printf "%.4f" .TransferSeconds}}</td></tr>
+<tr><th class="l">MPI [s]</th><td>{{printf "%.4f" .MPISeconds}}</td></tr>
+</table>
+<h2>Call sites</h2>
+<table>
+<tr><th class="l">name</th><th class="l">domain</th><th>calls</th><th>errors</th><th>time [s]</th><th>per call [s]</th><th>%wall</th></tr>
+{{range .CallSites}}<tr><td class="l">{{.Name}}</td><td class="l">{{.Domain}}</td><td>{{.Calls}}</td><td>{{.Errors}}</td><td>{{printf "%.4f" .Seconds}}</td><td>{{printf "%.6f" .PerCall}}</td><td>{{printf "%.2f" .WallPct}}</td></tr>
+{{end}}</table>
+<h2>Top kernels</h2>
+<table>
+<tr><th class="l">kernel</th><th>launches</th><th>GPU time [s]</th></tr>
+{{range .TopKernels}}<tr><td class="l">{{.Kernel}}</td><td>{{.Launches}}</td><td>{{printf "%.4f" .Seconds}}</td></tr>
+{{end}}</table>
+<h2>Worst per-rank imbalance (max/avg)</h2>
+<table>
+<tr><th class="l">name</th><th>max/avg</th><th class="l">worst job</th></tr>
+{{range .Imbalance}}<tr><td class="l">{{.Name}}</td><td>{{printf "%.2f" .MaxOverAvg}}</td><td class="l">{{.WorstJob}}</td></tr>
+{{end}}</table>
+</body></html>
+`
+
+var aggTmpl = template.Must(template.New("agg").Funcs(template.FuncMap{
+	"mulf": func(a, b float64) float64 { return a * b },
+}).Parse(aggTmplText))
+
+var regressTmpl = template.Must(template.New("regress").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ipmserve: regress</title>` + htmlStyle + `</head><body>
+<h1>Regression: {{.Base}} &rarr; {{.Head}}</h1>
+<p>{{.BaseJobs}} base job(s), {{.HeadJobs}} head job(s), threshold {{printf "%.1f%%" .Threshold}},
+<span {{if .Regressions}}class="bad"{{end}}>{{.Regressions}} regression(s)</span>.</p>
+<table>
+<tr><th class="l">name</th><th>base/call [s]</th><th>head/call [s]</th><th>delta</th><th class="l">status</th></tr>
+{{range .Rows}}<tr><td class="l">{{.Name}}</td><td>{{printf "%.6f" .BasePerCall}}</td><td>{{printf "%.6f" .HeadPerCall}}</td><td>{{printf "%+.1f%%" .DeltaPct}}</td><td class="l{{if .Regressed}} bad{{end}}{{if eq .Status "improved"}} good{{end}}">{{.Status}}</td></tr>
+{{end}}</table>
+</body></html>
+`))

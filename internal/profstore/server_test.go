@@ -1,0 +1,245 @@
+package profstore
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipmgo/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// newTestServer stands up the full HTTP surface over a fresh in-memory
+// store with the base/head fixtures ingested under known ids and tags.
+func newTestServer(t *testing.T) (*httptest.Server, *Store) {
+	t.Helper()
+	store := New()
+	if _, err := store.Ingest(fixture(t, "base.xml"), "base", []string{"nightly"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Ingest(fixture(t, "head.xml"), "head", []string{"today"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store, telemetry.NewRegistry())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// checkGolden compares body with the checked-in golden JSON fixture
+// (go test -update rewrites them).
+func checkGolden(t *testing.T, name string, body []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("%s differs from golden:\ngot:\n%s\nwant:\n%s", name, body, want)
+	}
+}
+
+func TestAggGolden(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/agg")
+	if code != http.StatusOK {
+		t.Fatalf("/agg: %d: %s", code, body)
+	}
+	checkGolden(t, "agg.golden.json", body)
+
+	// Byte-identical on a second read.
+	_, again := get(t, ts.URL+"/agg")
+	if !bytes.Equal(body, again) {
+		t.Error("/agg differs between two reads of the same corpus")
+	}
+}
+
+func TestAggGoldenIngestOrderInvariant(t *testing.T) {
+	// The same corpus ingested in the opposite order must render the
+	// same /agg bytes.
+	store := New()
+	if _, err := store.Ingest(fixture(t, "head.xml"), "head", []string{"today"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Ingest(fixture(t, "base.xml"), "base", []string{"nightly"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store, telemetry.NewRegistry()).Handler())
+	defer ts.Close()
+	_, body := get(t, ts.URL+"/agg")
+	checkGolden(t, "agg.golden.json", body)
+}
+
+func TestRegressGolden(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/regress?base=base&head=head&threshold=10")
+	if code != http.StatusOK {
+		t.Fatalf("/regress: %d: %s", code, body)
+	}
+	checkGolden(t, "regress.golden.json", body)
+
+	// MPI_Allreduce got slower per call, the memcpys faster; the new
+	// cudaStreamSynchronize site exists only in head.
+	s := string(body)
+	for _, want := range []string{
+		`"name": "MPI_Allreduce"`,
+		`"status": "regressed"`,
+		`"status": "improved"`,
+		`"status": "head-only"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("/regress response missing %s", want)
+		}
+	}
+}
+
+func TestRegressTagSets(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/regress?base=tag:nightly&head=tag:today")
+	if code != http.StatusOK {
+		t.Fatalf("tag-set regress: %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), `"base_jobs": 1`) {
+		t.Errorf("tag selector did not resolve: %s", body)
+	}
+}
+
+func TestRegressErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, url := range []string{
+		"/regress",                                  // missing params
+		"/regress?base=base&head=nope",              // head matches nothing
+		"/regress?base=base&head=head&threshold=-1", // bad threshold
+	} {
+		if code, _ := get(t, ts.URL+url); code == http.StatusOK {
+			t.Errorf("GET %s succeeded, want error", url)
+		}
+	}
+}
+
+func TestJobsAndJobEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body := get(t, ts.URL+"/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/jobs: %d", code)
+	}
+	if !strings.Contains(string(body), `"id": "base"`) || !strings.Contains(string(body), `"id": "head"`) {
+		t.Errorf("/jobs missing ingested ids: %s", body)
+	}
+	code, body = get(t, ts.URL+"/job/base")
+	if code != http.StatusOK {
+		t.Fatalf("/job/base: %d", code)
+	}
+	if !strings.Contains(string(body), `"expected_ranks": 2`) {
+		t.Errorf("/job/base detail incomplete: %s", body)
+	}
+	if code, _ = get(t, ts.URL+"/job/nope"); code != http.StatusNotFound {
+		t.Errorf("/job/nope = %d, want 404", code)
+	}
+}
+
+func TestHTMLViews(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, url := range []string{"/agg?format=html", "/jobs?format=html", "/regress?base=base&head=head&format=html", "/"} {
+		code, body := get(t, ts.URL+url)
+		if code != http.StatusOK {
+			t.Errorf("GET %s: %d", url, code)
+			continue
+		}
+		if !strings.Contains(string(body), "<html>") {
+			t.Errorf("GET %s did not render HTML", url)
+		}
+	}
+}
+
+func TestIngestEndpointAndMetrics(t *testing.T) {
+	ts, store := newTestServer(t)
+
+	// Ingest a salvaged (truncated) document over HTTP.
+	doc := fixture(t, "base.xml")
+	resp, err := http.Post(ts.URL+"/ingest?id=cut&tags=partial", "application/xml",
+		bytes.NewReader(doc[:len(doc)*2/3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"salvaged": true`) {
+		t.Errorf("salvage not surfaced in ingest response: %s", body)
+	}
+	if store.Len() != 3 {
+		t.Errorf("store holds %d jobs, want 3", store.Len())
+	}
+
+	// A garbage body is a counted parse error.
+	resp, err = http.Post(ts.URL+"/ingest", "application/xml", strings.NewReader("nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage ingest = %d, want 400", resp.StatusCode)
+	}
+
+	_, metrics := get(t, ts.URL+"/metrics")
+	m := string(metrics)
+	for _, want := range []string{
+		MetricIngest + " 3",
+		MetricSalvaged + " 1",
+		MetricParseErrors + " 1",
+		MetricJobs + " 3",
+		fmt.Sprintf(`%s{endpoint="ingest"} 2`, MetricQueries),
+		MetricQuerySecs + "_bucket",
+		MetricQuerySecs + "_count",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+func TestIngestBodyLimit(t *testing.T) {
+	ts, _ := newTestServer(t)
+	huge := bytes.Repeat([]byte("x"), maxIngestBytes+2)
+	resp, err := http.Post(ts.URL+"/ingest", "application/xml", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized ingest = %d, want 413", resp.StatusCode)
+	}
+}
