@@ -6,11 +6,11 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr4.json
-BENCH_BASE ?= BENCH_pr3.json
-BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg
+BENCH_OUT ?= BENCH_pr5.json
+BENCH_BASE ?= BENCH_pr4.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord
 
-.PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check experiments trace faults clean
+.PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check profile experiments trace faults clean
 
 build:
 	$(GO) build ./...
@@ -23,9 +23,10 @@ test:
 
 # Race-enabled pass over the packages that run simulations concurrently:
 # the worker pool itself, the ensemble experiments that fan out on it,
-# and the core packages those simulations exercise.
+# and the core packages those simulations exercise (including the DES
+# event pool the whole simulator schedules through).
 race:
-	$(GO) test -race ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore
+	$(GO) test -race ./internal/des ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore
 
 # Race-enabled pass over the fault-injection machinery: the end-to-end
 # fault scenarios (rank death, hung-device watchdog, straggler skew,
@@ -58,7 +59,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ipmparse
 	$(GO) test -run '^$$' -fuzz FuzzTolerant -fuzztime $(FUZZTIME) ./internal/ipmparse
 
-verify: build vet test race-faults serve-e2e fuzz
+verify: build vet test race-faults serve-e2e fuzz bench-check
 
 # -p 1 serialises the per-package test binaries: the ensemble benchmarks
 # saturate all cores, and letting them run beside the nanosecond-scale
@@ -69,11 +70,28 @@ BENCH_COUNT ?= 5
 bench:
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -compare $(BENCH_BASE)
 
-# Like bench, but fail (exit 3) if any benchmark regressed more than
-# BENCH_THRESHOLD percent in ns/op against the baseline snapshot.
-BENCH_THRESHOLD ?= 15
+# Like bench, but a CI gate: fail (exit 3) if any benchmark regressed
+# more than BENCH_THRESHOLD percent in ns/op or allocs/op against the
+# committed PR-5 snapshot. Writes its measurements to results/ so it
+# never clobbers the committed baseline. The threshold is forgiving
+# because shared CI boxes jitter; the min-of-BENCH_COUNT noise floor
+# (see cmd/benchjson) absorbs most of it.
+BENCH_THRESHOLD ?= 30
+BENCH_CHECK_BASE ?= BENCH_pr5.json
 bench-check:
-	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o $(BENCH_OUT) -compare $(BENCH_BASE) -threshold $(BENCH_THRESHOLD)
+	mkdir -p results
+	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o results/bench_check.json -compare $(BENCH_CHECK_BASE) -threshold $(BENCH_THRESHOLD)
+
+# Capture CPU + allocation profiles of the heaviest bundled workload
+# (an HPL run) for pprof analysis; see EXPERIMENTS.md "Profiling the
+# simulator" for the reading recipe.
+PROFILE_WORKLOAD ?= hpl
+profile:
+	mkdir -p results
+	$(GO) run ./cmd/ipmrun -cpuprofile results/cpu.pprof -memprofile results/allocs.pprof \
+		-nodes 4 $(PROFILE_WORKLOAD) > /dev/null
+	@echo "profiles: results/cpu.pprof results/allocs.pprof"
+	@echo "read with: go tool pprof -top results/cpu.pprof"
 
 experiments:
 	$(GO) run ./cmd/experiments -quick
@@ -95,4 +113,4 @@ faults:
 	$(GO) run ./cmd/ipmparse results/faultdemo_rankdeath.xml > /dev/null
 
 clean:
-	rm -f $(BENCH_OUT)
+	rm -f results/bench_check.json results/cpu.pprof results/allocs.pprof

@@ -28,7 +28,8 @@
 //	go test -bench . -benchmem ./... | go run ./cmd/benchjson -o BENCH_pr2.json -compare BENCH_pr1.json
 //
 // With -threshold PCT (alongside -compare) the command becomes a CI
-// gate: any benchmark whose ns/op regressed by more than PCT percent is
+// gate: any benchmark whose ns/op — or, when both snapshots carry
+// -benchmem metrics, allocs/op — regressed by more than PCT percent is
 // listed and the command exits non-zero (see `make bench-check`).
 package main
 
@@ -124,20 +125,35 @@ func printComparison(w io.Writer, oldPath string, cur map[string]Result, thresho
 	}
 	sort.Strings(names)
 	var regressed []string
-	fmt.Fprintf(w, "benchjson: ns/op vs %s\n", oldPath)
-	fmt.Fprintf(w, "%-50s %12s %12s %8s\n", "benchmark", "old", "new", "delta")
+	fmt.Fprintf(w, "benchjson: ns/op and allocs/op vs %s\n", oldPath)
+	fmt.Fprintf(w, "%-50s %12s %12s %10s %12s\n", "benchmark", "old ns/op", "new ns/op", "ns delta", "allocs delta")
 	for _, n := range names {
 		o, c := old[n], cur[n]
+		bad := false
 		delta := "n/a"
 		if o.NsPerOp > 0 {
 			pct := 100 * (c.NsPerOp - o.NsPerOp) / o.NsPerOp
 			delta = fmt.Sprintf("%+.1f%%", pct)
 			if threshold > 0 && pct > threshold {
-				delta += " <-- REGRESSION"
-				regressed = append(regressed, n)
+				bad = true
 			}
 		}
-		fmt.Fprintf(w, "%-50s %12.2f %12.2f %8s\n", n, o.NsPerOp, c.NsPerOp, delta)
+		// Gate allocation counts too: allocs/op is near-deterministic, so a
+		// regression there is a code change, not scheduler noise.
+		allocDelta := "n/a"
+		if o.HasMem && c.HasMem && o.AllocsPerOp > 0 {
+			pct := 100 * float64(c.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp)
+			allocDelta = fmt.Sprintf("%+.1f%%", pct)
+			if threshold > 0 && pct > threshold {
+				bad = true
+			}
+		}
+		line := fmt.Sprintf("%-50s %12.2f %12.2f %10s %12s", n, o.NsPerOp, c.NsPerOp, delta, allocDelta)
+		if bad {
+			line += " <-- REGRESSION"
+			regressed = append(regressed, n)
+		}
+		fmt.Fprintln(w, line)
 	}
 	return regressed, nil
 }

@@ -30,7 +30,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strings"
 
 	"ipmgo/internal/profstore"
 	"ipmgo/internal/telemetry"
@@ -40,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	wal := flag.String("wal", "", "append-only WAL path; empty = in-memory store")
 	selftest := flag.Bool("selftest", false, "run the load generator + determinism checks and exit")
+	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling a live store)")
 	jobs := flag.Int("selftest-jobs", 120, "selftest: synthetic profiles to ingest")
 	workers := flag.Int("selftest-workers", 8, "selftest: concurrent ingest workers")
 	flag.Parse()
@@ -78,13 +81,33 @@ func main() {
 	defer store.Close()
 
 	srv := profstore.NewServer(store, telemetry.NewRegistry())
+	handler := srv.Handler()
+	if *withPprof {
+		// The store handler owns "/"; route only the pprof subtree past it
+		// so profiling a live server never shadows a query endpoint.
+		app := handler
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+				mux.ServeHTTP(w, r)
+				return
+			}
+			app.ServeHTTP(w, r)
+		})
+		fmt.Fprintln(os.Stderr, "ipmserve: pprof enabled under /debug/pprof/")
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipmserve:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "ipmserve: serving on http://%s/ (%d job(s) loaded)\n", ln.Addr(), store.Len())
-	if err := http.Serve(ln, srv.Handler()); err != nil {
+	if err := http.Serve(ln, handler); err != nil {
 		fmt.Fprintln(os.Stderr, "ipmserve:", err)
 		os.Exit(1)
 	}

@@ -9,10 +9,18 @@
 // FIFO sequence numbers breaking ties), never on wall-clock timing.
 //
 // All timestamps are time.Duration offsets from the start of the run.
+//
+// Event storage is allocation-free in steady state: event payloads live in
+// an engine-owned slot pool recycled through a free list, the priority
+// queue is a 4-ary implicit heap over a flat slice of (at, seq, slot)
+// entries, and cancelled events are dropped lazily when they surface at
+// the root. Because every entry carries a unique sequence number, the
+// (at, seq) order is total and the pop order is independent of the heap's
+// internal layout — the rewrite is byte-for-byte compatible with the
+// container/heap engine it replaced.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -25,61 +33,190 @@ import (
 // Processes spawned on the engine may freely use the engine because the
 // engine guarantees only one of them runs at a time.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	queue  eventHeap
-	yield  chan struct{}
-	live   int // processes that have been spawned and not yet finished
-	nextID int
-	err    error // first process panic, sticky
+	now     time.Duration
+	seq     uint64
+	heap    []heapEnt
+	slots   []slot
+	free    []int32 // free slot indexes, LIFO
+	pending int     // live (scheduled, uncancelled, unfired) events
+	yield   chan struct{}
+	live    int // processes that have been spawned and not yet finished
+	nextID  int
+	err     error // first process panic, sticky
 
-	blocked map[*Proc]string // blocked process -> reason, for deadlock reports
+	procs []*Proc // every spawned process, for deadlock reports
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{
-		yield:   make(chan struct{}),
-		blocked: make(map[*Proc]string),
-	}
+	return &Engine{yield: make(chan struct{})}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Runner is an event payload dispatched without a closure: scheduling a
+// Runner stores only the interface pair in the event slot, so callers that
+// already own a heap object (a GPU op, a request) can be completed with
+// zero per-event allocations.
+type Runner interface{ Run() }
+
+// slotKind discriminates the payload stored in an event slot. Dedicated
+// kinds for the hot paths (process resume, signal fire, Runner) avoid the
+// closure allocation a func()-only design would force on every Sleep,
+// Wait wake-up and async completion.
+type slotKind uint8
+
+const (
+	slotFree slotKind = iota
+	slotFn
+	slotStep // resume slot.proc
+	slotFire // fire slot.sig
+	slotRun  // run slot.run
+)
+
+// slot holds one scheduled event's payload. Slots are recycled through the
+// engine free list; gen increments on every free so stale Event handles
+// (and stale heap entries for cancelled events) can be recognised.
+type slot struct {
+	fn   func()
+	proc *Proc
+	sig  *Signal
+	run  Runner
+	gen  uint32
+	kind slotKind
+}
+
+// heapEnt is one priority-queue entry: the ordering key inline (no pointer
+// chase, no interface boxing) plus the slot it resolves to. gen snapshots
+// the slot generation at schedule time; a mismatch at pop time means the
+// event was cancelled and the entry is dropped.
+type heapEnt struct {
+	at   time.Duration
+	seq  uint64
+	slot int32
+	gen  uint32
+}
+
 // Event is a handle to a scheduled callback. It can be cancelled before it
-// fires.
+// fires. The zero Event is inert: Cancel on it is a no-op.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	index     int // heap index, -1 when not queued
-	cancelled bool
+	e    *Engine
+	at   time.Duration
+	slot int32
+	gen  uint32
 }
 
 // At returns the virtual time the event is scheduled for.
-func (ev *Event) At() time.Duration { return ev.at }
+func (ev Event) At() time.Duration { return ev.at }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+// fired (or cancelling twice) is a no-op: the slot generation has moved on
+// and the handle no longer matches.
+func (ev Event) Cancel() {
+	e := ev.e
+	if e == nil {
+		return
+	}
+	s := &e.slots[ev.slot]
+	if s.gen != ev.gen || s.kind == slotFree {
+		return
+	}
+	e.freeSlot(ev.slot)
+	e.pending--
+	// The heap entry stays put; run drops it lazily when it reaches the
+	// root and its generation no longer matches.
+}
+
+// allocSlot returns a free slot index, growing the pool only when the free
+// list is empty.
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		i := e.free[n-1]
+		e.free = e.free[:n-1]
+		return i
+	}
+	e.slots = append(e.slots, slot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot recycles a slot: clear payload references (so fired events do
+// not retain closures or processes), bump the generation, push on the free
+// list.
+func (e *Engine) freeSlot(i int32) {
+	s := &e.slots[i]
+	s.fn = nil
+	s.proc = nil
+	s.sig = nil
+	s.run = nil
+	s.kind = slotFree
+	s.gen++
+	e.free = append(e.free, i)
+}
+
+// push enqueues slot i at time at with the next sequence number.
+func (e *Engine) push(at time.Duration, i int32) {
+	e.heap = append(e.heap, heapEnt{at: at, seq: e.seq, slot: i, gen: e.slots[i].gen})
+	e.seq++
+	e.pending++
+	e.siftUp(len(e.heap) - 1)
+}
 
 // Schedule registers fn to run at virtual time at. Times before the current
 // clock are clamped to the current clock (the event runs "immediately",
 // after already-queued events with the same timestamp).
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(at time.Duration, fn func()) Event {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.kind = slotFn
+	s.fn = fn
+	e.push(at, i)
+	return Event{e: e, at: at, slot: i, gen: s.gen}
 }
 
 // ScheduleAfter registers fn to run d from now. Negative d is clamped to 0.
-func (e *Engine) ScheduleAfter(d time.Duration, fn func()) *Event {
+func (e *Engine) ScheduleAfter(d time.Duration, fn func()) Event {
 	return e.Schedule(e.now+d, fn)
+}
+
+// ScheduleRunner registers r.Run to run at virtual time at, storing only
+// the interface pair — no closure allocation.
+func (e *Engine) ScheduleRunner(at time.Duration, r Runner) Event {
+	if at < e.now {
+		at = e.now
+	}
+	i := e.allocSlot()
+	s := &e.slots[i]
+	s.kind = slotRun
+	s.run = r
+	e.push(at, i)
+	return Event{e: e, at: at, slot: i, gen: s.gen}
+}
+
+// scheduleStep enqueues a process resume — the Sleep/Fire/Spawn/Kill hot
+// path, allocation-free.
+func (e *Engine) scheduleStep(at time.Duration, p *Proc) {
+	if at < e.now {
+		at = e.now
+	}
+	i := e.allocSlot()
+	e.slots[i].kind = slotStep
+	e.slots[i].proc = p
+	e.push(at, i)
+}
+
+// scheduleFire enqueues a signal fire (FireAt), allocation-free.
+func (e *Engine) scheduleFire(at time.Duration, sig *Signal) {
+	if at < e.now {
+		at = e.now
+	}
+	i := e.allocSlot()
+	e.slots[i].kind = slotFire
+	e.slots[i].sig = sig
+	e.push(at, i)
 }
 
 // DeadlockError is returned by Run when no events remain but processes are
@@ -114,26 +251,44 @@ func (e *Engine) Run() error { return e.run(-1) }
 func (e *Engine) RunFor(horizon time.Duration) error { return e.run(horizon) }
 
 func (e *Engine) run(horizon time.Duration) error {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		ev.index = -1
-		if ev.cancelled {
+	for len(e.heap) > 0 {
+		root := e.heap[0]
+		s := &e.slots[root.slot]
+		if s.gen != root.gen {
+			// Cancelled: the slot moved on. Drop the stale entry.
+			e.popRoot()
 			continue
 		}
-		if horizon >= 0 && ev.at > horizon {
-			heap.Push(&e.queue, ev) // put back for inspection
-			return &HorizonError{Horizon: horizon, Pending: e.queue.Len()}
+		if horizon >= 0 && root.at > horizon {
+			// Next event is beyond the horizon. Report without popping:
+			// the queue is left exactly as it was for inspection.
+			return &HorizonError{Horizon: horizon, Pending: e.pending}
 		}
-		e.now = ev.at
-		ev.fn()
+		e.popRoot()
+		e.now = root.at
+		e.pending--
+		kind, fn, proc, sig, run := s.kind, s.fn, s.proc, s.sig, s.run
+		e.freeSlot(root.slot)
+		switch kind {
+		case slotFn:
+			fn()
+		case slotStep:
+			e.step(proc)
+		case slotFire:
+			sig.Fire()
+		case slotRun:
+			run.Run()
+		}
 		if e.err != nil {
 			return e.err
 		}
 	}
 	if e.live > 0 {
 		var blocked []string
-		for p, reason := range e.blocked {
-			blocked = append(blocked, p.name+": "+reason)
+		for _, p := range e.procs {
+			if !p.done && p.blockKind != blockNone {
+				blocked = append(blocked, p.name+": "+p.blockReason())
+			}
 		}
 		sort.Strings(blocked)
 		return &DeadlockError{Now: e.now, Blocked: blocked}
@@ -141,42 +296,69 @@ func (e *Engine) run(horizon time.Duration) error {
 	return nil
 }
 
-// Pending reports the number of queued (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancelled {
-			n++
+// Pending reports the number of queued (uncancelled) events in O(1).
+func (e *Engine) Pending() int { return e.pending }
+
+// The priority queue is a 4-ary implicit min-heap ordered by (at, seq).
+// 4-ary halves the tree depth of a binary heap, and because siftDown
+// scans the four children of one parent — 96 contiguous bytes, at most
+// two cache lines — the extra comparisons are cheaper than the extra
+// levels they remove. Sequence numbers are unique, so the order is total
+// and pop order never depends on the heap's internal layout.
+
+func entLess(a, b heapEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ent := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entLess(ent, h[parent]) {
+			break
 		}
+		h[i] = h[parent]
+		i = parent
 	}
-	return n
+	h[i] = ent
 }
 
-// eventHeap orders events by (time, sequence number).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// popRoot removes the minimum entry.
+func (e *Engine) popRoot() {
+	h := e.heap
+	n := len(h) - 1
+	ent := h[n]
+	e.heap = h[:n]
+	if n == 0 {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	h = e.heap
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		min := first
+		for c := first + 1; c < last; c++ {
+			if entLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !entLess(h[min], ent) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = ent
 }

@@ -310,6 +310,203 @@ func TestPendingCount(t *testing.T) {
 	}
 }
 
+func TestCancelStaleHandleAfterReuse(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(time.Second, func() { t.Error("cancelled event ran") })
+	stale.Cancel()
+	ran := false
+	// The freed slot is reused with a bumped generation; the stale handle
+	// must not be able to cancel the new occupant.
+	fresh := e.Schedule(2*time.Second, func() { ran = true })
+	stale.Cancel()
+	stale.Cancel() // double-cancel is a no-op too
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("fresh event did not run after stale Cancel")
+	}
+	// Cancel after fire is also a no-op and must not free a reused slot.
+	fresh.Cancel()
+	ran2 := false
+	e.Schedule(3*time.Second, func() { ran2 = true })
+	fresh.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran2 {
+		t.Error("event scheduled after run did not fire")
+	}
+}
+
+func TestZeroEventCancelIsNoop(t *testing.T) {
+	var ev Event
+	ev.Cancel() // must not panic
+}
+
+func TestHorizonLeavesQueueIntact(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, at := range []time.Duration{time.Second, 3 * time.Second, 5 * time.Second} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	err := e.RunFor(2 * time.Second)
+	var h *HorizonError
+	if !errors.As(err, &h) {
+		t.Fatalf("err = %v, want HorizonError", err)
+	}
+	if h.Pending != 2 {
+		t.Errorf("HorizonError.Pending = %d, want 2", h.Pending)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending after horizon = %d, want 2", e.Pending())
+	}
+	// The horizon hit must not have mutated the queue: a later Run picks
+	// up exactly the remaining events, in order.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestPendingAfterFireAndCancel(t *testing.T) {
+	e := NewEngine()
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	for i := 0; i < 4; i++ {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending after cancels = %d, want 6", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", e.Pending())
+	}
+}
+
+// Property: interleaved schedules and cancels preserve (at, seq) order of
+// the surviving events.
+func TestPropCancelPreservesOrder(t *testing.T) {
+	prop := func(offsets []uint16, cancelMask []bool) bool {
+		e := NewEngine()
+		type rec struct {
+			at  time.Duration
+			idx int
+		}
+		var want []rec
+		var got []int
+		for i, o := range offsets {
+			i := i
+			at := time.Duration(o) * time.Microsecond
+			ev := e.Schedule(at, func() { got = append(got, i) })
+			if i < len(cancelMask) && cancelMask[i] {
+				ev.Cancel()
+				continue
+			}
+			want = append(want, rec{at, i})
+		}
+		sort.SliceStable(want, func(a, b int) bool { return want[a].at < want[b].at })
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleFireZeroAllocSteadyState pins the headline property of the
+// slot-pool engine: once the pool and heap have grown to working size,
+// Schedule + fire allocates nothing.
+func TestScheduleFireZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	round := func() {
+		base := e.Now()
+		for j := 0; j < 256; j++ {
+			e.Schedule(base+time.Duration(j)*time.Microsecond, fn)
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // grow pool, heap and free list to steady state
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Errorf("schedule+fire steady state = %v allocs/round, want 0", allocs)
+	}
+}
+
+// TestCancelZeroAllocSteadyState: cancelling recycles through the free
+// list without allocating either.
+func TestCancelZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	round := func() {
+		base := e.Now()
+		for j := 0; j < 256; j++ {
+			ev := e.Schedule(base+time.Duration(j)*time.Microsecond, fn)
+			if j%2 == 1 {
+				ev.Cancel()
+			}
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round()
+	if allocs := testing.AllocsPerRun(50, round); allocs != 0 {
+		t.Errorf("schedule+cancel steady state = %v allocs/round, want 0", allocs)
+	}
+}
+
+// BenchmarkDESScheduleRun measures the steady-state schedule+fire round
+// trip on a warm engine (1000 events per op); allocs/op must stay 0.
+func BenchmarkDESScheduleRun(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	run := func() {
+		base := e.Now()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(base+time.Duration(j)*time.Microsecond, fn)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

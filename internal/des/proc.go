@@ -18,6 +18,31 @@ type Proc struct {
 
 	killed     bool
 	killReason string
+
+	// Block-site bookkeeping for deadlock diagnostics. The reason string
+	// is only rendered if a deadlock is actually reported, keeping
+	// formatting (fmt, string concat) off the Sleep/Wait hot path.
+	blockKind uint8
+	blockDur  time.Duration
+	blockSig  *Signal
+}
+
+const (
+	blockNone uint8 = iota
+	blockSleep
+	blockWait
+)
+
+// blockReason renders the diagnostic for a blocked process. Cold path:
+// called only when building a DeadlockError.
+func (p *Proc) blockReason() string {
+	switch p.blockKind {
+	case blockSleep:
+		return fmt.Sprintf("sleeping %v", p.blockDur)
+	case blockWait:
+		return "waiting on " + p.blockSig.name
+	}
+	return "blocked"
 }
 
 // Killed is the panic value delivered inside a process terminated with
@@ -46,7 +71,7 @@ func (p *Proc) Kill(reason string) {
 	}
 	p.killed = true
 	p.killReason = reason
-	p.e.Schedule(p.e.now, func() { p.e.step(p) })
+	p.e.scheduleStep(p.e.now, p)
 }
 
 // Spawn creates a process executing fn and schedules it to start at the
@@ -56,6 +81,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, id: e.nextID, name: name, resume: make(chan struct{})}
 	e.nextID++
 	e.live++
+	e.procs = append(e.procs, p)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -65,13 +91,12 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			}
 			p.done = true
 			p.e.live--
-			delete(p.e.blocked, p)
 			p.e.yield <- struct{}{}
 		}()
 		<-p.resume
 		fn(p)
 	}()
-	e.Schedule(e.now, func() { e.step(p) })
+	e.scheduleStep(e.now, p)
 	return p
 }
 
@@ -80,15 +105,15 @@ func (e *Engine) step(p *Proc) {
 	if p.done {
 		return
 	}
-	delete(e.blocked, p)
+	p.blockKind = blockNone
+	p.blockSig = nil
 	p.resume <- struct{}{}
 	<-e.yield
 }
 
-// block parks the calling process until the engine resumes it.
-// reason is recorded for deadlock diagnostics.
-func (p *Proc) block(reason string) {
-	p.e.blocked[p] = reason
+// block parks the calling process until the engine resumes it. The caller
+// records its block site in p.blockKind/blockDur/blockSig beforehand.
+func (p *Proc) block() {
 	p.e.yield <- struct{}{}
 	<-p.resume
 	if p.killed {
@@ -115,8 +140,10 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.e.Schedule(p.e.now+d, func() { p.e.step(p) })
-	p.block(fmt.Sprintf("sleeping %v", d))
+	p.e.scheduleStep(p.e.now+d, p)
+	p.blockKind = blockSleep
+	p.blockDur = d
+	p.block()
 }
 
 // Wait blocks the process until the signal fires. If the signal has
@@ -125,8 +152,10 @@ func (p *Proc) Wait(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
-	p.block("waiting on " + s.name)
+	s.addWaiter(p)
+	p.blockKind = blockWait
+	p.blockSig = s
+	p.block()
 }
 
 // WaitAll blocks until every signal has fired.

@@ -50,6 +50,12 @@ type Device struct {
 
 	mem *memPool
 
+	// slab is the current allocation chunk for Ops. Ops live for the whole
+	// run (streams, events and profilers keep pointers into them), so the
+	// slab only amortises: one heap allocation per opSlabSize ops instead
+	// of one per op.
+	slab []Op
+
 	busyKernel time.Duration // accumulated kernel execution time
 	nOps       int
 
@@ -69,11 +75,23 @@ type Device struct {
 	// names are memoized so the per-op cost is a map lookup, and span
 	// timestamps are the exact schedule the simulator computed at enqueue
 	// time — the device-side ground truth of the paper's KTT.
-	tel        *telemetry.Recorder
-	telName    string
-	telStreams map[int]string
-	telH2D     string
-	telD2H     string
+	tel     *telemetry.Recorder
+	telName string
+	telGen  int // bumped on AttachTelemetry; invalidates Stream.telTrack
+	telH2D  string
+	telD2H  string
+}
+
+// opSlabSize is the Op chunk size; see Device.slab.
+const opSlabSize = 128
+
+// newOp returns a fresh zeroed Op from the slab.
+func (d *Device) newOp() *Op {
+	if len(d.slab) == cap(d.slab) {
+		d.slab = make([]Op, 0, opSlabSize)
+	}
+	d.slab = d.slab[:len(d.slab)+1]
+	return &d.slab[len(d.slab)-1]
 }
 
 // KernelRecord is the exact ground-truth execution record of one kernel,
@@ -113,30 +131,31 @@ func NewDevice(eng *des.Engine, spec perfmodel.GPUSpec) *Device {
 func (d *Device) AttachTelemetry(rec *telemetry.Recorder, name string) {
 	d.tel = rec
 	d.telName = name
-	d.telStreams = map[int]string{}
+	d.telGen++ // drop track names cached under the previous attachment
 	d.telH2D = name + "/copyH2D"
 	d.telD2H = name + "/copyD2H"
 }
 
-// streamTrack returns the memoized track name of a stream.
-func (d *Device) streamTrack(id int) string {
-	if t, ok := d.telStreams[id]; ok {
-		return t
+// streamTrack returns the track name of a stream, cached on the Stream
+// itself (built with fmt once per stream per telemetry attachment, then a
+// field read per op).
+func (d *Device) streamTrack(s *Stream) string {
+	if s.telGen != d.telGen || s.telTrack == "" {
+		s.telTrack = fmt.Sprintf("%s/strm%02d", d.telName, s.id)
+		s.telGen = d.telGen
 	}
-	t := fmt.Sprintf("%s/strm%02d", d.telName, id)
-	d.telStreams[id] = t
-	return t
+	return s.telTrack
 }
 
 // recordStreamSpan emits one span on the op's stream track when
 // telemetry is attached. The disabled path is a single nil check; track
-// names are memoized per stream.
-func (d *Device) recordStreamSpan(streamID int, class telemetry.SpanClass, op *Op, bytes int64) {
+// names are cached per stream.
+func (d *Device) recordStreamSpan(s *Stream, class telemetry.SpanClass, op *Op, bytes int64) {
 	if d.tel == nil {
 		return
 	}
 	d.tel.Record(telemetry.Span{
-		Track: d.streamTrack(streamID), Name: op.Name, Class: class,
+		Track: d.streamTrack(s), Name: op.Name, Class: class,
 		Start: op.Start, End: op.End, Bytes: bytes,
 	})
 }

@@ -35,7 +35,7 @@ func (d *Device) NewEvent() *DevEvent { return &DevEvent{dev: d} }
 func (ev *DevEvent) Record(s *Stream) {
 	ready := ev.dev.earliest(s)
 	ev.op = ev.dev.enqueue(s, OpEventRecord, "eventRecord", ready, ev.dev.spec.EventRecordCost, nil)
-	ev.dev.recordStreamSpan(s.id, telemetry.ClassGPU, ev.op, 0)
+	ev.dev.recordStreamSpan(s, telemetry.ClassGPU, ev.op, 0)
 	ev.recorded = true
 }
 
@@ -51,7 +51,7 @@ func (ev *DevEvent) Done() *des.Signal {
 	if !ev.recorded {
 		return nil
 	}
-	return ev.op.done
+	return ev.op.Done()
 }
 
 // Timestamp returns the device-timeline completion time of the event.

@@ -15,6 +15,9 @@ type Stream struct {
 	dev  *Device
 	tail time.Duration // completion of the latest op on this stream
 	last *Op
+
+	telTrack string // cached telemetry track name, see Device.streamTrack
+	telGen   int    // Device.telGen this cache entry belongs to
 }
 
 // ID returns the stream identifier (0 for the NULL stream).
@@ -56,17 +59,39 @@ func (k OpKind) String() string {
 // Op is a scheduled device operation. Its timing is fixed at enqueue time
 // (the simulator schedules greedily in enqueue order, which is exact for a
 // non-preemptive device) and its Done signal fires at completion.
+//
+// Ops are carved from a device-owned slab and carry their completion
+// signal inline, so enqueuing costs no per-op heap allocation; the op
+// itself is the des.Runner the engine dispatches at completion time.
 type Op struct {
 	Kind   OpKind
 	Name   string
 	Stream int
 	Start  time.Duration
 	End    time.Duration
-	done   *des.Signal
+
+	dev     *Device
+	payload func()
+	done    des.Signal
 }
 
 // Done returns the completion signal.
-func (o *Op) Done() *des.Signal { return o.done }
+func (o *Op) Done() *des.Signal { return &o.done }
+
+// Run fires the op's completion. It implements des.Runner: the engine
+// dispatches the op directly at its end time, with no closure allocated
+// at enqueue. On a lost device the completion is suppressed — the Done
+// signal never fires, so synchronising hosts hang (see Device.MarkLost).
+func (o *Op) Run() {
+	if o.dev.lost {
+		return
+	}
+	if fn := o.payload; fn != nil {
+		o.payload = nil
+		fn()
+	}
+	o.done.Fire()
+}
 
 // Duration returns the operation's execution time.
 func (o *Op) Duration() time.Duration { return o.End - o.Start }
@@ -94,14 +119,15 @@ func (d *Device) earliest(s *Stream) time.Duration {
 // for dur, registering the payload to run at completion.
 func (d *Device) enqueue(s *Stream, kind OpKind, name string, start, dur time.Duration, payload func()) *Op {
 	end := start + dur
-	op := &Op{
-		Kind:   kind,
-		Name:   name,
-		Stream: s.id,
-		Start:  start,
-		End:    end,
-		done:   d.eng.NewSignal(kind.String() + ":" + name),
-	}
+	op := d.newOp()
+	op.Kind = kind
+	op.Name = name
+	op.Stream = s.id
+	op.Start = start
+	op.End = end
+	op.dev = d
+	op.payload = payload
+	d.eng.InitSignal(&op.done, name)
 	s.tail = end
 	s.last = op
 	if end > d.allTail {
@@ -114,15 +140,7 @@ func (d *Device) enqueue(s *Stream, kind OpKind, name string, start, dur time.Du
 		d.lastOp = op
 	}
 	d.nOps++
-	d.eng.Schedule(end, func() {
-		if d.lost {
-			return
-		}
-		if payload != nil {
-			payload()
-		}
-		op.done.Fire()
-	})
+	d.eng.ScheduleRunner(end, op)
 	return op
 }
 
@@ -140,7 +158,7 @@ func (d *Device) LaunchKernel(s *Stream, name string, cost perfmodel.KernelCost,
 	start := d.kernelStart(ready, dur)
 	op := d.enqueue(s, OpKernel, name, start, dur, fn)
 	d.busyKernel += dur
-	d.recordStreamSpan(s.id, telemetry.ClassKernel, op, 0)
+	d.recordStreamSpan(s, telemetry.ClassKernel, op, 0)
 	if cb := d.OnKernelComplete; cb != nil {
 		rec := KernelRecord{Name: name, Stream: s.id, Start: start, End: op.End, GridDim: grid, BlockDim: block, Cost: cost}
 		d.eng.Schedule(op.End, func() {
@@ -151,6 +169,22 @@ func (d *Device) LaunchKernel(s *Stream, name string, cost perfmodel.KernelCost,
 		})
 	}
 	return op
+}
+
+// memcpyOpNames pre-interns the per-direction op labels so EnqueueCopy
+// does not rebuild the same string on every transfer. The strings must
+// stay byte-identical to "memcpy(" + dir.String() + ")".
+var memcpyOpNames = [...]string{
+	perfmodel.HostToDevice:   "memcpy(H2D)",
+	perfmodel.DeviceToHost:   "memcpy(D2H)",
+	perfmodel.DeviceToDevice: "memcpy(D2D)",
+}
+
+func memcpyOpName(dir perfmodel.TransferDir) string {
+	if int(dir) < len(memcpyOpNames) && memcpyOpNames[dir] != "" {
+		return memcpyOpNames[dir]
+	}
+	return "memcpy(" + dir.String() + ")"
 }
 
 // EnqueueCopy enqueues a PCIe (or intra-device) copy of n bytes. The copy
@@ -169,7 +203,7 @@ func (d *Device) EnqueueCopy(s *Stream, dir perfmodel.TransferDir, n int64, pinn
 		}
 	}
 	dur := perfmodel.TransferCost(d.spec, dir, n, pinned)
-	op := d.enqueue(s, OpCopy, "memcpy("+dir.String()+")", ready, dur, fn)
+	op := d.enqueue(s, OpCopy, memcpyOpName(dir), ready, dur, fn)
 	switch dir {
 	case perfmodel.HostToDevice:
 		d.h2dTail = op.End
@@ -185,7 +219,7 @@ func (d *Device) EnqueueCopy(s *Stream, dir perfmodel.TransferDir, n int64, pinn
 		case perfmodel.DeviceToHost:
 			track = d.telD2H
 		default:
-			track = d.streamTrack(s.id)
+			track = d.streamTrack(s)
 		}
 		d.tel.Record(telemetry.Span{
 			Track: track, Name: op.Name, Class: telemetry.ClassCopy,
@@ -205,6 +239,6 @@ func (d *Device) EnqueueMemset(s *Stream, n int64, fn func()) *Op {
 		dur = time.Microsecond
 	}
 	op := d.enqueue(s, OpMemset, "memset", ready, dur, fn)
-	d.recordStreamSpan(s.id, telemetry.ClassGPU, op, n)
+	d.recordStreamSpan(s, telemetry.ClassGPU, op, n)
 	return op
 }

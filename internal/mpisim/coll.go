@@ -52,7 +52,7 @@ func (c *comm) enterColl(kind string, contrib []byte, root int, op Op,
 			done:     make([]*des.Signal, w.size),
 		}
 		for i := range st.done {
-			st.done[i] = w.eng.NewSignal(fmt.Sprintf("%s[%d]@%d", kind, seq, i))
+			st.done[i] = w.eng.NewSignal(kind)
 		}
 		w.colls[key] = st
 	}

@@ -116,7 +116,7 @@ func (c *comm) Isend(data []byte, dest, tag int) (*Request, error) {
 		data:    append([]byte(nil), data...),
 		arrival: c.w.arrivalAt(c.proc.Now(), int64(len(data)), c.rank, dest),
 	}
-	req := &Request{sig: c.w.eng.NewSignal(fmt.Sprintf("isend %d->%d", c.rank, dest))}
+	req := &Request{sig: c.w.eng.NewSignal("isend")}
 	c.w.postMessage(dest, m)
 	// Local completion: buffer handed off; model the injection overhead as
 	// the latency term only.
@@ -151,7 +151,7 @@ func (c *comm) Irecv(buf []byte, source, tag int) (*Request, error) {
 	if err := c.checkRank(source, true); err != nil {
 		return nil, err
 	}
-	req := &Request{sig: c.w.eng.NewSignal(fmt.Sprintf("irecv @%d", c.rank))}
+	req := &Request{sig: c.w.eng.NewSignal("irecv")}
 	c.w.postRecv(c.rank, &recvReq{src: source, tag: tag, buf: buf, req: req})
 	return req, nil
 }

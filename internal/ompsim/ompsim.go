@@ -67,7 +67,7 @@ func Parallel(master *des.Proc, nthreads int, body func(tid int, p *des.Proc)) (
 	done := make([]*des.Signal, nthreads)
 	for tid := 1; tid < nthreads; tid++ {
 		tid := tid
-		done[tid] = eng.NewSignal(fmt.Sprintf("omp-join-%d", tid))
+		done[tid] = eng.NewSignal("omp-join")
 		eng.Spawn(fmt.Sprintf("%s.t%d", master.Name(), tid), func(p *des.Proc) {
 			body(tid, p)
 			stats.ThreadBusy[tid] = p.Now() - start

@@ -97,12 +97,33 @@ func kernelOf(name string) string {
 	return ""
 }
 
-// Aggregate computes the cross-job rollup for the selected jobs.
+// Aggregate computes the cross-job rollup for the selected jobs. Repeated
+// aggregations of an unchanged store are served from the epoch-keyed memo
+// cache (see memo.go); the returned report is shared and must not be
+// mutated.
 func (s *Store) Aggregate(opts AggOptions) *AggReport {
-	jobs := s.Select(opts.Sel)
-	return aggregateJobs(jobs, opts)
+	if opts.TopN <= 0 {
+		opts.TopN = 10
+	}
+	key := memoKey{kind: "agg", a: opts.Sel, n: opts.TopN}
+	ep := s.epoch.Load()
+	if rep, ok := s.memoLookup(ep, key); ok {
+		return rep.(*AggReport)
+	}
+	rep := s.aggregateCold(opts)
+	s.memoStore(ep, key, rep)
+	return rep
 }
 
+// aggregateCold is the uncached aggregation path (also what the cold-path
+// benchmark measures).
+func (s *Store) aggregateCold(opts AggOptions) *AggReport {
+	return aggregateJobs(s.Select(opts.Sel), opts)
+}
+
+// aggregateJobs merges the per-job rollups. Each job was reduced once at
+// ingest; the query-time cost is proportional to the number of distinct
+// call sites and kernels, not the number of rank entries.
 func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	topN := opts.TopN
 	if topN <= 0 {
@@ -110,65 +131,46 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	}
 	rep := &AggReport{Selector: opts.Sel, Jobs: len(jobs)}
 
-	type siteAcc struct {
-		stats ipm.Stats
-	}
-	sites := make(map[string]*siteAcc)
+	sites := make(map[string]*ipm.Stats)
 	kernels := make(map[string]*ipm.Stats)
 	worst := make(map[string]ImbalanceAgg)
 
 	var wall, gpu, xfer, idle, mpi time.Duration
 	for _, job := range jobs {
-		jp := job.Profile
-		rep.Ranks += len(jp.Ranks)
-		rep.LostRanks += len(jp.LostRanks())
+		ro := job.roll()
+		rep.Ranks += job.Ranks
+		rep.LostRanks += ro.lostRanks
 		if job.Salvaged {
 			rep.Salvaged++
 		}
-		for _, r := range jp.Ranks {
-			wall += r.Wallclock
-			for _, e := range r.Entries {
-				name := e.Sig.Name
-				switch {
-				case isGPUExec(name):
-					gpu += e.Stats.Total
-				case name == ipm.HostIdleName:
-					idle += e.Stats.Total
-				case e.Sig.Pseudo():
-					// Per-kernel pseudo entries are tallied below; other
-					// pseudo entries only appear in the call-site table.
-				case isTransfer(name):
-					xfer += e.Stats.Total
-				}
-				if ipm.Classify(name) == ipm.DomainMPI {
-					mpi += e.Stats.Total
-				}
-				if k := kernelOf(name); k != "" {
-					st, ok := kernels[k]
-					if !ok {
-						st = &ipm.Stats{}
-						kernels[k] = st
-					}
-					st.Merge(e.Stats)
-					continue // per-kernel entries double the stream totals; keep them out of call sites
-				}
-				acc, ok := sites[name]
-				if !ok {
-					acc = &siteAcc{}
-					sites[name] = acc
-				}
-				acc.stats.Merge(e.Stats)
+		wall += ro.wall
+		gpu += ro.gpu
+		xfer += ro.xfer
+		idle += ro.idle
+		mpi += ro.mpi
+		for name, st := range ro.sites {
+			acc, ok := sites[name]
+			if !ok {
+				acc = &ipm.Stats{}
+				sites[name] = acc
 			}
+			acc.Merge(st)
+		}
+		for k, st := range ro.kernels {
+			acc, ok := kernels[k]
+			if !ok {
+				acc = &ipm.Stats{}
+				kernels[k] = acc
+			}
+			acc.Merge(st)
 		}
 		// Per-rank imbalance (max/avg) per call site, worst job wins.
-		// Single-rank jobs carry no balance information.
-		if len(jp.Ranks) > 1 {
-			for _, ft := range jp.FuncTotals() {
-				imb := jp.Imbalance(ft.Name)
-				w, ok := worst[ft.Name]
-				if !ok || imb > w.MaxOverAvg || (imb == w.MaxOverAvg && job.ID < w.WorstJob) {
-					worst[ft.Name] = ImbalanceAgg{Name: ft.Name, MaxOverAvg: imb, WorstJob: job.ID}
-				}
+		// Jobs arrive sorted by id (Select) and each rollup lists every
+		// site once, so this reproduces the original walk exactly.
+		for _, ia := range ro.imb {
+			w, ok := worst[ia.Name]
+			if !ok || ia.MaxOverAvg > w.MaxOverAvg || (ia.MaxOverAvg == w.MaxOverAvg && ia.WorstJob < w.WorstJob) {
+				worst[ia.Name] = ia
 			}
 		}
 	}
@@ -188,16 +190,16 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 		row := CallSiteAgg{
 			Name:     name,
 			Domain:   ipm.Classify(name).String(),
-			Calls:    acc.stats.Count,
-			Errors:   acc.stats.Errors,
-			Seconds:  acc.stats.Total.Seconds(),
+			Calls:    acc.Count,
+			Errors:   acc.Errors,
+			Seconds:  acc.Total.Seconds(),
 			Transfer: !strings.HasPrefix(name, "@") && isTransfer(name),
 		}
-		if acc.stats.Count > 0 {
-			row.PerCall = acc.stats.Avg().Seconds()
+		if acc.Count > 0 {
+			row.PerCall = acc.Avg().Seconds()
 		}
 		if wall > 0 {
-			row.WallPct = 100 * float64(acc.stats.Total) / float64(wall)
+			row.WallPct = 100 * float64(acc.Total) / float64(wall)
 		}
 		rep.CallSites = append(rep.CallSites, row)
 	}

@@ -46,6 +46,10 @@ type Job struct {
 	Ranks    int             // rank snapshots recovered
 	Bytes    int             // size of the ingested XML document
 	Profile  *ipm.JobProfile `json:"-"`
+
+	// rollup is the per-job pre-aggregation, computed once at ingest and
+	// immutable afterwards (see rollup.go).
+	rollup *rollup
 }
 
 // shard is one lock-striped partition of the corpus.
@@ -69,6 +73,13 @@ type Store struct {
 	ingests  atomic.Int64 // successful ingests, including replacements
 	salvaged atomic.Int64 // ingests the tolerant parser had to salvage
 	replaced atomic.Int64 // ingests that replaced an existing job id
+
+	// epoch advances after every shard insert; the memo cache (memo.go)
+	// keys cached /agg and /regress reports by it.
+	epoch     atomic.Uint64
+	memoMu    sync.Mutex
+	memoEpoch uint64
+	memo      map[memoKey]any
 }
 
 // New returns an in-memory store (no WAL).
@@ -211,6 +222,7 @@ func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, 
 		Ranks:    len(jp.Ranks),
 		Bytes:    len(xml),
 		Profile:  jp,
+		rollup:   computeRollup(jp, id),
 	}
 
 	// WAL before store: a record that made it to the log is the ingest;
@@ -234,6 +246,9 @@ func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, 
 	prev, existed := sh.jobs[id]
 	sh.jobs[id] = job
 	sh.mu.Unlock()
+	// Invalidate cached aggregates only after the job is visible, so a
+	// cache miss that follows this bump always sees the new corpus.
+	s.epoch.Add(1)
 
 	s.ingests.Add(1)
 	if job.Salvaged {

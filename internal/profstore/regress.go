@@ -50,28 +50,39 @@ type RegressReport struct {
 
 // siteTotals rolls up per-call-site stats (name level, kernels excluded
 // the same way Aggregate excludes them) for one side of the comparison.
+// The per-job reduction happened at ingest; this only merges rollups.
 func siteTotals(jobs []*Job) map[string]ipm.Stats {
 	out := make(map[string]ipm.Stats)
 	for _, job := range jobs {
-		for _, r := range job.Profile.Ranks {
-			for _, e := range r.Entries {
-				if kernelOf(e.Sig.Name) != "" {
-					continue
-				}
-				st := out[e.Sig.Name]
-				st.Merge(e.Stats)
-				out[e.Sig.Name] = st
-			}
+		for name, st := range job.roll().sites {
+			cur := out[name]
+			cur.Merge(st)
+			out[name] = cur
 		}
 	}
 	return out
 }
 
 // Regress compares the base selection against the head selection.
+// Repeated comparisons of an unchanged store are served from the
+// epoch-keyed memo cache (see memo.go); the returned report is shared and
+// must not be mutated.
 func (s *Store) Regress(opts RegressOptions) *RegressReport {
 	if opts.Threshold <= 0 {
 		opts.Threshold = 10
 	}
+	key := memoKey{kind: "regress", a: opts.Base, b: opts.Head, th: opts.Threshold}
+	ep := s.epoch.Load()
+	if rep, ok := s.memoLookup(ep, key); ok {
+		return rep.(*RegressReport)
+	}
+	rep := s.regressCold(opts)
+	s.memoStore(ep, key, rep)
+	return rep
+}
+
+// regressCold is the uncached comparison path.
+func (s *Store) regressCold(opts RegressOptions) *RegressReport {
 	baseJobs := s.Select(opts.Base)
 	headJobs := s.Select(opts.Head)
 	base := siteTotals(baseJobs)

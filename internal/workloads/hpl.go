@@ -1,7 +1,9 @@
 package workloads
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
 	"ipmgo/internal/cluster"
@@ -80,6 +82,18 @@ func HPL(env *cluster.Env, cfg HPLConfig) error {
 		return err
 	}
 
+	// Per-iteration buffers and launch descriptors are hoisted out of the
+	// loop: Bcast/Allreduce copy or consume their arguments before any
+	// rank returns from the collective, and LaunchKernel reads the Func at
+	// launch time, so reuse is safe and keeps the panel loop off the heap.
+	kernFns := make([]*cudart.Func, len(hplKernels))
+	for ki, k := range hplKernels {
+		kernFns[ki] = &cudart.Func{Name: k.name}
+	}
+	panelBuf := make([]byte, int(4<<20*cfg.Scale)+1)
+	pivot := mpisim.Float64Bytes([]float64{0})
+	recv := make([]byte, 8)
+
 	for i := 0; i < cfg.Iterations; i++ {
 		f := 1 - float64(i)/float64(cfg.Iterations)
 		f2 := f * f
@@ -96,7 +110,7 @@ func HPL(env *cluster.Env, cfg HPLConfig) error {
 		}
 
 		var gpuWork time.Duration
-		for _, k := range hplKernels {
+		for ki, k := range hplKernels {
 			frac := f
 			if k.quadratic {
 				frac = f2
@@ -109,7 +123,8 @@ func HPL(env *cluster.Env, cfg HPLConfig) error {
 				d = time.Microsecond
 			}
 			gpuWork += d
-			fn := &cudart.Func{Name: k.name, FixedCost: perfmodel.KernelCost{Fixed: d}}
+			fn := kernFns[ki]
+			fn.FixedCost = perfmodel.KernelCost{Fixed: d}
 			if err := env.CUDA.LaunchKernel(fn, cudart.Dim3{X: 512}, cudart.Dim3{X: 128}, stream); err != nil {
 				return err
 			}
@@ -138,11 +153,11 @@ func HPL(env *cluster.Env, cfg HPLConfig) error {
 		// Broadcast the factored panel (rotating root) and agree on the
 		// pivot.
 		root := i % env.Size
-		if err := env.MPI.Bcast(make([]byte, int(4<<20*f*cfg.Scale)+1), root); err != nil {
+		if err := env.MPI.Bcast(panelBuf[:int(4<<20*f*cfg.Scale)+1], root); err != nil {
 			return err
 		}
-		recv := make([]byte, 8)
-		if err := env.MPI.Allreduce(mpisim.Float64Bytes([]float64{f}), recv, mpisim.OpMax); err != nil {
+		binary.LittleEndian.PutUint64(pivot, math.Float64bits(f))
+		if err := env.MPI.Allreduce(pivot, recv, mpisim.OpMax); err != nil {
 			return err
 		}
 	}
@@ -151,7 +166,6 @@ func HPL(env *cluster.Env, cfg HPLConfig) error {
 	if err := env.CUDA.Memcpy(cudart.HostPtr(nil), cudart.DevicePtr(dOut), 1<<20, cudart.MemcpyDeviceToHost); err != nil {
 		return err
 	}
-	recv := make([]byte, 8)
 	if err := env.MPI.Allreduce(mpisim.Float64Bytes([]float64{1}), recv, mpisim.OpSum); err != nil {
 		return err
 	}
