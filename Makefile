@@ -6,8 +6,8 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
-BENCH_BASE ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr6.json
+BENCH_BASE ?= BENCH_pr5.json
 BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord
 
 .PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check profile experiments trace faults clean
@@ -53,11 +53,13 @@ serve-e2e:
 	$(GO) test -race -run ServeE2E .
 
 # Short native-fuzz pass over both parser entry points (strict and
-# tolerant); longer sessions: go test -fuzz FuzzTolerant ./internal/ipmparse
+# tolerant) and the streaming-scanner differential; longer sessions:
+# go test -fuzz FuzzScanVsParse ./internal/profstore
 FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ipmparse
 	$(GO) test -run '^$$' -fuzz FuzzTolerant -fuzztime $(FUZZTIME) ./internal/ipmparse
+	$(GO) test -run '^$$' -fuzz FuzzScanVsParse -fuzztime $(FUZZTIME) ./internal/profstore
 
 verify: build vet test race-faults serve-e2e fuzz bench-check
 
@@ -72,12 +74,12 @@ bench:
 
 # Like bench, but a CI gate: fail (exit 3) if any benchmark regressed
 # more than BENCH_THRESHOLD percent in ns/op or allocs/op against the
-# committed PR-5 snapshot. Writes its measurements to results/ so it
+# committed PR-6 snapshot. Writes its measurements to results/ so it
 # never clobbers the committed baseline. The threshold is forgiving
 # because shared CI boxes jitter; the min-of-BENCH_COUNT noise floor
 # (see cmd/benchjson) absorbs most of it.
 BENCH_THRESHOLD ?= 30
-BENCH_CHECK_BASE ?= BENCH_pr5.json
+BENCH_CHECK_BASE ?= BENCH_pr6.json
 bench-check:
 	mkdir -p results
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o results/bench_check.json -compare $(BENCH_CHECK_BASE) -threshold $(BENCH_THRESHOLD)

@@ -49,6 +49,7 @@ import (
 type Result struct {
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"` // present when the benchmark used b.SetBytes
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	HasMem      bool    `json:"has_mem"` // true when -benchmem metrics were present
@@ -126,7 +127,7 @@ func printComparison(w io.Writer, oldPath string, cur map[string]Result, thresho
 	sort.Strings(names)
 	var regressed []string
 	fmt.Fprintf(w, "benchjson: ns/op and allocs/op vs %s\n", oldPath)
-	fmt.Fprintf(w, "%-50s %12s %12s %10s %12s\n", "benchmark", "old ns/op", "new ns/op", "ns delta", "allocs delta")
+	fmt.Fprintf(w, "%-50s %12s %12s %10s %12s %10s\n", "benchmark", "old ns/op", "new ns/op", "ns delta", "allocs delta", "MB/s")
 	for _, n := range names {
 		o, c := old[n], cur[n]
 		bad := false
@@ -148,7 +149,16 @@ func printComparison(w io.Writer, oldPath string, cur map[string]Result, thresho
 				bad = true
 			}
 		}
-		line := fmt.Sprintf("%-50s %12.2f %12.2f %10s %12s", n, o.NsPerOp, c.NsPerOp, delta, allocDelta)
+		// Throughput is informational (it moves inversely with ns/op,
+		// which is already gated): shown when either snapshot carries it.
+		mbs := "n/a"
+		switch {
+		case o.MBPerSec > 0 && c.MBPerSec > 0:
+			mbs = fmt.Sprintf("%.0f->%.0f", o.MBPerSec, c.MBPerSec)
+		case c.MBPerSec > 0:
+			mbs = fmt.Sprintf("%.0f", c.MBPerSec)
+		}
+		line := fmt.Sprintf("%-50s %12.2f %12.2f %10s %12s %10s", n, o.NsPerOp, c.NsPerOp, delta, allocDelta, mbs)
 		if bad {
 			line += " <-- REGRESSION"
 			regressed = append(regressed, n)
@@ -185,6 +195,10 @@ func parseLine(line string) (string, Result, bool) {
 			if v, err := strconv.ParseFloat(val, 64); err == nil {
 				r.NsPerOp = v
 				seen = true
+			}
+		case "MB/s":
+			if v, err := strconv.ParseFloat(val, 64); err == nil {
+				r.MBPerSec = v
 			}
 		case "B/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {

@@ -58,8 +58,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipmserve: selftest FAILED:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("selftest ok: %d jobs, %d ranks, %d concurrent queries, /agg %d bytes, WAL recovered %d records\n",
-			rep.Jobs, rep.Ranks, rep.Queries, rep.AggBytes, rep.WALRecovered)
+		fmt.Printf("selftest ok: %d jobs, %d ranks, ingest %.1f MB/s end to end, %d concurrent queries, /agg %d bytes, WAL recovered %d records\n",
+			rep.Jobs, rep.Ranks, rep.IngestMBPerSec(), rep.Queries, rep.AggBytes, rep.WALRecovered)
 		return
 	}
 

@@ -145,20 +145,62 @@ func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
 			CUDA:      secs(r.DomainTime(ipm.DomainCUDA)),
 		})
 	}
+	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
+
 	top := fts
 	if len(top) > 10 {
 		top = top[:10]
 	}
-	for _, ft := range top {
-		s := jp.FuncSpread(ft.Name)
+	// Balance rows need a per-rank spread for each top event. Collect all
+	// of them in one pass over the rank entries rather than re-walking
+	// every rank per name (FuncSpread) and then again for the imbalance
+	// ratio — on wide jobs that was 2×top×ranks entry scans.
+	idx := make(map[string]int, len(top))
+	for i, ft := range top {
+		idx[ft.Name] = i
+	}
+	vals := make([][]time.Duration, len(top))
+	for i := range vals {
+		vals[i] = make([]time.Duration, len(jp.Ranks))
+	}
+	for ri, r := range jp.Ranks {
+		for _, e := range r.Entries {
+			if i, ok := idx[e.Sig.Name]; ok {
+				vals[i][ri] += e.Stats.Total
+			}
+		}
+	}
+	for i, ft := range top {
+		// The same min/avg/max fold FuncSpread applies, over the
+		// prefetched values; imbalance is max/avg of that spread.
+		var min, max, total time.Duration
+		if len(vals[i]) > 0 {
+			min, max = vals[i][0], vals[i][0]
+		}
+		for _, v := range vals[i] {
+			total += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		var avg time.Duration
+		if len(vals[i]) > 0 {
+			avg = total / time.Duration(len(vals[i]))
+		}
+		imb := 0.0
+		if avg != 0 {
+			imb = float64(max) / float64(avg)
+		}
 		rep.Balance = append(rep.Balance, htmlBalance{
 			Name:      ft.Name,
-			Min:       secs(s.Min),
-			Avg:       secs(s.Avg),
-			Max:       secs(s.Max),
-			Imbalance: fmt.Sprintf("%.2f", jp.Imbalance(ft.Name)),
+			Min:       secs(min),
+			Avg:       secs(avg),
+			Max:       secs(max),
+			Imbalance: fmt.Sprintf("%.2f", imb),
 		})
 	}
-	sort.Slice(rep.Ranks, func(i, j int) bool { return rep.Ranks[i].Rank < rep.Ranks[j].Rank })
 	return htmlTmpl.Execute(w, rep)
 }

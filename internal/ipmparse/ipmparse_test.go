@@ -1,6 +1,7 @@
 package ipmparse
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -70,6 +71,41 @@ func TestHTMLReport(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("HTML missing %q", want)
+		}
+	}
+}
+
+// TestHTMLBalanceMatchesFuncSpread pins the one-pass balance section to
+// the per-name reference walk it replaced: every top-event row must
+// carry exactly the FuncSpread/Imbalance figures, with unbalanced ranks
+// so min, avg and max actually differ.
+func TestHTMLBalanceMatchesFuncSpread(t *testing.T) {
+	mk := func(rank int, scale time.Duration) ipm.RankProfile {
+		return ipm.RankProfile{
+			Rank: rank, Host: "n0", Wallclock: 4 * time.Second,
+			Entries: []ipm.Entry{
+				{Sig: ipm.Sig{Name: "MPI_Allreduce"},
+					Stats: ipm.Stats{Count: 1, Total: scale, Min: scale, Max: scale}},
+				{Sig: ipm.Sig{Name: "MPI_Wait"},
+					Stats: ipm.Stats{Count: 1, Total: 3 * scale, Min: 3 * scale, Max: 3 * scale}},
+			},
+		}
+	}
+	jp := ipm.NewJobProfile("./skew", 3, []ipm.RankProfile{
+		mk(0, 100*time.Millisecond), mk(1, 700*time.Millisecond), mk(2, 250*time.Millisecond),
+	})
+	var sb strings.Builder
+	if err := WriteHTML(&sb, jp); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, ft := range jp.FuncTotals() {
+		s := jp.FuncSpread(ft.Name)
+		want := ft.Name + "</td><td>" + secs(s.Min) + "</td><td>" + secs(s.Avg) +
+			"</td><td>" + secs(s.Max) + "</td><td>" +
+			fmt.Sprintf("%.2f", jp.Imbalance(ft.Name)) + "</td>"
+		if !strings.Contains(out, want) {
+			t.Errorf("balance row for %s missing or wrong, want fragment %q in:\n%s", ft.Name, want, out)
 		}
 	}
 }

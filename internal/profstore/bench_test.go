@@ -41,6 +41,34 @@ func BenchmarkProfstoreIngest(b *testing.B) {
 	})
 }
 
+// BenchmarkProfstoreIngestStream measures single-goroutine streaming
+// ingest over a fixed corpus, reporting MB/s (the paper's operative
+// number: what one collector core sustains) alongside ns/op and
+// allocs/op. Replacement ingests keep the store size constant so the
+// figure isolates the scan → rollup → insert path.
+func BenchmarkProfstoreIngestStream(b *testing.B) {
+	docs := benchCorpus(b, 64)
+	var total int64
+	for _, d := range docs {
+		total += int64(len(d))
+	}
+	s := New()
+	ids := make([]string, len(docs))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("j%d", i)
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, doc := range docs {
+			if _, err := s.Ingest(doc, ids[j], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkProfstoreAgg measures full-corpus aggregation over a
 // 100-job corpus — deliberately pinned to the uncached path (the
 // rollup merge), so the snapshot keeps tracking the real recompute cost

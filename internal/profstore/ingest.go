@@ -1,0 +1,407 @@
+package profstore
+
+import (
+	"slices"
+	"sync"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// This file is the streaming ingest hot path: one pass over the raw XML
+// computes the content-hash id, the per-job rollup and the WAL record,
+// with all scratch state pooled and reused across uploads. The
+// byte-level scan itself lives in ipm.ScanXMLTolerant; everything here
+// is the reduction that used to run over the JobProfile DOM
+// (computeRollup) re-expressed as a ScanSink, plus the cleanliness
+// prescan that decides whether the fast path applies at all.
+//
+// Correctness rests on two properties, both enforced by differential
+// tests and FuzzScanVsParse:
+//
+//  1. the scanner's event stream matches ParseXMLTolerant on every
+//     input it accepts (see scan.go for the bail-out contract), and
+//  2. folding entries per name first and merging the per-name subtotals
+//     afterwards yields the same rollup as computeRollup's flat fold —
+//     ipm.Stats.Merge is commutative and associative over non-empty
+//     operands, zero-count operands contribute nothing, and the
+//     unconditional duration sums are plain integer addition.
+
+// cleanByte marks the bytes on which the fast scanner is byte-exact
+// with encoding/xml: printable ASCII plus tab/LF/CR, minus '&' (entity
+// expansion rewrites the text).
+var cleanByte = func() (t [256]bool) {
+	for c := 0x20; c < 0x7f; c++ {
+		t[c] = true
+	}
+	t['\t'], t['\n'], t['\r'] = true, true, true
+	t['&'] = false
+	return
+}()
+
+// fnv1aOffset/fnv1aPrime are the FNV-1a 64-bit parameters, matching
+// hash/fnv (and therefore DeriveID).
+const (
+	fnv1aOffset = 14695981039346656037
+	fnv1aPrime  = 1099511628211
+)
+
+// prescanHash walks the document once, computing the FNV-1a content
+// hash (the derived job id) and the fast-path cleanliness verdict in
+// the same pass.
+func prescanHash(xml []byte) (hash uint64, clean bool) {
+	h := uint64(fnv1aOffset)
+	clean = true
+	for _, b := range xml {
+		h = (h ^ uint64(b)) * fnv1aPrime
+		clean = clean && cleanByte[b]
+	}
+	return h, clean
+}
+
+// prescanClean is prescanHash without the hash, for ingests that supply
+// an id; it exits at the first disqualifying byte.
+func prescanClean(xml []byte) bool {
+	for _, b := range xml {
+		if !cleanByte[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// formatID renders a content hash as the derived job id, equal to
+// DeriveID's fmt.Sprintf("j%016x", h) without the fmt round trip.
+func formatID(h uint64) string {
+	const hex = "0123456789abcdef"
+	var b [17]byte
+	b[0] = 'j'
+	for i := 16; i >= 1; i-- {
+		b[i] = hex[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}
+
+// nameAcc accumulates everything the rollup needs about one call-site
+// name: the merged Stats (sites/kernels tables), the unconditional
+// duration sum (gpu/idle/xfer/mpi classification and the imbalance
+// total), and the per-task fold behind the max/avg imbalance.
+type nameAcc struct {
+	name   string
+	kernel string // kernelOf(name), computed once at interning
+
+	run uint64 // last sink run that touched this acc (lazy reset)
+
+	merged ipm.Stats
+	raw    time.Duration // unconditional sum of entry totals
+
+	// Per-task imbalance fold: curSum accumulates within the task
+	// numbered lastTask; crossing into a new task folds it into
+	// maxSum/seen. Mirrors spreadOf over per-rank FuncTime values.
+	curSum   time.Duration
+	lastTask int
+	maxSum   time.Duration
+	seen     int
+}
+
+// fold closes the pending per-task sum, if any.
+func (a *nameAcc) fold() {
+	if a.lastTask == 0 {
+		return
+	}
+	if a.seen == 0 || a.curSum > a.maxSum {
+		a.maxSum = a.curSum
+	}
+	a.seen++
+	a.curSum = 0
+	a.lastTask = 0
+}
+
+// maxAccCache bounds the cross-ingest name cache; a scratch that has
+// seen more distinct names than this is reset wholesale rather than
+// growing without bound on adversarial corpora.
+const maxAccCache = 4096
+
+// rollupSink reduces a scan's event stream straight into rollup form.
+// It is reused across ingests via the scratch pool: the accs map
+// persists (interned names, allocated nameAccs) while per-run state is
+// reset lazily through the run counter.
+type rollupSink struct {
+	run  uint64
+	accs map[string]*nameAcc
+	list []*nameAcc // accs touched this run, in first-appearance order
+
+	cmds map[string]string // interned command strings
+
+	// Per-run document state.
+	command   string
+	taskIdx   int
+	tasks     int
+	wall      time.Duration
+	gpu       time.Duration
+	xfer      time.Duration
+	idle      time.Duration
+	mpi       time.Duration
+	lostRanks int
+}
+
+func newRollupSink() *rollupSink {
+	return &rollupSink{
+		accs: make(map[string]*nameAcc),
+		cmds: make(map[string]string),
+	}
+}
+
+// reset prepares the sink for a new document without discarding the
+// interned name cache.
+func (k *rollupSink) reset() {
+	k.run++
+	k.list = k.list[:0]
+	k.command = ""
+	k.taskIdx = 0
+	k.tasks = 0
+	k.wall, k.gpu, k.xfer, k.idle, k.mpi = 0, 0, 0, 0, 0
+	k.lostRanks = 0
+	if len(k.accs) > maxAccCache {
+		k.accs = make(map[string]*nameAcc)
+	}
+	if len(k.cmds) > maxAccCache {
+		k.cmds = make(map[string]string)
+	}
+}
+
+func (k *rollupSink) Header(h *ipm.ScanHeader) {
+	cmd, ok := k.cmds[string(h.Command)] // no-alloc []byte map key lookup
+	if !ok {
+		cmd = string(h.Command)
+		k.cmds[cmd] = cmd
+	}
+	k.command = cmd
+}
+
+func (k *rollupSink) TaskStart(t *ipm.ScanTask) {
+	k.taskIdx++
+	k.wall += t.Wallclock
+	if t.Lost {
+		k.lostRanks++
+	}
+}
+
+func (k *rollupSink) TaskEnd() { k.tasks++ }
+
+// lookup returns the accumulator for name, interning it on first sight
+// and lazily resetting stale per-run state.
+func (k *rollupSink) lookup(name []byte) *nameAcc {
+	acc := k.accs[string(name)] // no-alloc []byte map key lookup
+	if acc == nil {
+		n := string(name)
+		acc = &nameAcc{name: n, kernel: kernelOf(n)}
+		k.accs[n] = acc
+	}
+	if acc.run != k.run {
+		acc.run = k.run
+		acc.merged = ipm.Stats{}
+		acc.raw, acc.curSum, acc.maxSum = 0, 0, 0
+		acc.lastTask, acc.seen = 0, 0
+		k.list = append(k.list, acc)
+	}
+	return acc
+}
+
+func (k *rollupSink) Entry(e *ipm.ScanEntry) {
+	name := e.Name
+	total := e.Total
+	// The classification switch of computeRollup, on raw bytes.
+	switch {
+	case isGPUExecB(name):
+		k.gpu += total
+	case string(name) == ipm.HostIdleName:
+		k.idle += total
+	case len(name) > 0 && name[0] == '@':
+		// Other pseudo entries: tallied only via sites/kernels below.
+	case isTransferB(name):
+		k.xfer += total
+	}
+	if hasPrefixB(name, "MPI_") { // Classify == DomainMPI ('@' wins first, but "MPI_" excludes it)
+		k.mpi += total
+	}
+
+	acc := k.lookup(name)
+	if acc.lastTask != k.taskIdx {
+		acc.fold()
+		acc.lastTask = k.taskIdx
+	}
+	acc.curSum += total
+	acc.raw += total
+	acc.merged.Merge(ipm.Stats{
+		Count: e.Count, Total: e.Total, Min: e.Min, Max: e.Max, Errors: e.Errors,
+	})
+}
+
+func hasPrefixB(b []byte, p string) bool {
+	return len(b) >= len(p) && string(b[:len(p)]) == p
+}
+
+func containsB(b []byte, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(b); i++ {
+		if string(b[i:i+len(sub)]) == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// isTransferB / isGPUExecB are the byte-slice twins of agg.go's
+// classifiers.
+func isTransferB(b []byte) bool { return containsB(b, "Memcpy") || containsB(b, "Memset") }
+
+func isGPUExecB(b []byte) bool {
+	return hasPrefixB(b, "@CUDA_EXEC_STRM") && !containsB(b, ":")
+}
+
+// build materializes the accumulated state into the immutable rollup,
+// byte-identical to computeRollup over the equivalent JobProfile.
+func (k *rollupSink) build(jobID string) *rollup {
+	ro := &rollup{
+		wall: k.wall, gpu: k.gpu, xfer: k.xfer, idle: k.idle, mpi: k.mpi,
+		lostRanks: k.lostRanks,
+		sites:     make(map[string]ipm.Stats),
+		kernels:   make(map[string]ipm.Stats),
+	}
+	for _, acc := range k.list {
+		acc.fold()
+		if acc.kernel != "" {
+			st := ro.kernels[acc.kernel]
+			st.Merge(acc.merged)
+			ro.kernels[acc.kernel] = st
+			continue
+		}
+		ro.sites[acc.name] = acc.merged
+	}
+	if k.tasks > 1 {
+		// FuncTotals order: merged total descending, then name — the
+		// comparator is a total order (names are unique), so any sort
+		// reproduces it.
+		slices.SortFunc(k.list, func(a, b *nameAcc) int {
+			switch {
+			case a.merged.Total != b.merged.Total:
+				if a.merged.Total > b.merged.Total {
+					return -1
+				}
+				return 1
+			case a.name < b.name:
+				return -1
+			case a.name > b.name:
+				return 1
+			}
+			return 0
+		})
+		for _, acc := range k.list {
+			// spreadOf over per-rank FuncTime: ranks without the name
+			// contribute zeros, so the max is clamped at zero when any
+			// rank missed it.
+			max := acc.maxSum
+			if acc.seen < k.tasks && max < 0 {
+				max = 0
+			}
+			avg := acc.raw / time.Duration(k.tasks)
+			mo := 0.0
+			if avg != 0 {
+				mo = float64(max) / float64(avg)
+			}
+			ro.imb = append(ro.imb, ImbalanceAgg{
+				Name: acc.name, MaxOverAvg: mo, WorstJob: jobID,
+			})
+		}
+	}
+	return ro
+}
+
+// ingestScratch is the pooled per-ingest working set: the sink, the
+// scanner's parse report (its warning slice's backing array is reused)
+// and the WAL encode buffer.
+type ingestScratch struct {
+	sink   *rollupSink
+	rep    ipm.ParseReport
+	walBuf []byte
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &ingestScratch{sink: newRollupSink()} },
+}
+
+// resetReport clears a recycled ParseReport, keeping the warning
+// slice's capacity.
+func resetReport(rep *ipm.ParseReport) {
+	rep.Warnings = rep.Warnings[:0]
+	rep.Truncated = false
+	rep.TasksRecovered = 0
+	rep.TasksDeclared = 0
+}
+
+// appendJSONBytes appends s as a JSON string literal, byte-identical
+// to how json.Marshal renders a Go string: the two-character escapes
+// for quote/backslash/\n\r\t, \u00xx for '<', '>', '&' (HTML escaping
+// is on for Marshal) and remaining control bytes, ASCII raw. ok=false
+// (buffer contents then unusable) for non-ASCII bytes, where Marshal's
+// UTF-8 validation takes over — callers fall back to json.Marshal for
+// the whole record.
+func appendJSONBytes[T string | []byte](buf []byte, s T) ([]byte, bool) {
+	const hex = "0123456789abcdef"
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			buf = append(buf, '\\', '"')
+		case c == '\\':
+			buf = append(buf, '\\', '\\')
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c == '<' || c == '>' || c == '&' || c < 0x20:
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		case c < 0x80:
+			buf = append(buf, c)
+		default:
+			return buf, false
+		}
+	}
+	return append(buf, '"'), true
+}
+
+// appendWALRecord renders walRecord{id, tags, xml} plus the trailing
+// newline exactly as the json.Marshal path would, without the
+// reflection walk or the intermediate string(xml) copy. ok=false means
+// some field needs encoding/json's full escaping.
+func appendWALRecord(buf []byte, id string, tags []string, xml []byte) ([]byte, bool) {
+	var ok bool
+	buf = append(buf, `{"id":`...)
+	if buf, ok = appendJSONBytes(buf, id); !ok {
+		return buf, false
+	}
+	if len(tags) > 0 { // tags,omitempty
+		buf = append(buf, `,"tags":[`...)
+		for i, t := range tags {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			if buf, ok = appendJSONBytes(buf, t); !ok {
+				return buf, false
+			}
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, `,"xml":`...)
+	if buf, ok = appendJSONBytes(buf, xml); !ok {
+		return buf, false
+	}
+	return append(buf, '}', '\n'), true
+}

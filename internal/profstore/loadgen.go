@@ -95,9 +95,20 @@ type SelfTestReport struct {
 	Ranks         int
 	Queries       int64
 	AggBytes      int
+	IngestBytes   int64 // XML bytes posted through /ingest
 	WALRecovered  int
 	WALSkipped    int
 	IngestElapsed time.Duration
+}
+
+// IngestMBPerSec is the end-to-end ingest throughput the run sustained:
+// XML bytes posted over the wall-clock ingest phase (which includes the
+// HTTP round trips and the concurrent query load).
+func (r *SelfTestReport) IngestMBPerSec() float64 {
+	if r.IngestElapsed <= 0 {
+		return 0
+	}
+	return float64(r.IngestBytes) / 1e6 / r.IngestElapsed.Seconds()
 }
 
 // SelfTest runs the full ingest/query/recover cycle and returns an
@@ -191,21 +202,31 @@ func SelfTest(opts SelfTestOptions) (*SelfTestReport, error) {
 		}()
 	}
 
-	// Ingest workers: each posts its share of the synthetic corpus.
+	// Ingest workers: each renders and posts its share of the synthetic
+	// corpus, counting the XML bytes that cross the wire so the report
+	// can state the end-to-end ingest throughput.
 	poster := &Poster{URL: base, Policy: faultsim.RetryPolicy{MaxAttempts: 4}}
 	jobs := make(chan int)
+	var ingestBytes atomic.Int64
 	var writers sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		writers.Add(1)
 		go func() {
 			defer writers.Done()
+			var buf bytes.Buffer
 			for i := range jobs {
-				jp := SyntheticProfile(opts.Seed, i)
+				buf.Reset()
+				if err := ipm.WriteXML(&buf, SyntheticProfile(opts.Seed, i)); err != nil {
+					record(fmt.Errorf("selftest: encoding job %d: %w", i, err))
+					return
+				}
+				xml := buf.Bytes()
 				tags := []string{"selftest", fmt.Sprintf("batch:%d", i%2)}
-				if _, _, err := poster.PostProfile(jp, "", tags); err != nil {
+				if _, err := poster.PostXML(xml, DeriveID(xml), tags); err != nil {
 					record(fmt.Errorf("selftest: ingest job %d: %w", i, err))
 					return
 				}
+				ingestBytes.Add(int64(len(xml)))
 			}
 		}()
 	}
@@ -218,6 +239,7 @@ func SelfTest(opts SelfTestOptions) (*SelfTestReport, error) {
 	readers.Wait()
 	rep.IngestElapsed = time.Since(start)
 	rep.Queries = queries.Load()
+	rep.IngestBytes = ingestBytes.Load()
 	if err := failed(); err != nil {
 		hs.Close()
 		store.Close()
@@ -296,8 +318,8 @@ func SelfTest(opts SelfTestOptions) (*SelfTestReport, error) {
 	if !bytes.Equal(reg1, reg3) {
 		return rep, fmt.Errorf("selftest: /regress differs after WAL recovery")
 	}
-	logf("selftest: %d jobs (%d ranks) ingested in %v, %d queries served concurrently, /agg deterministic (%d bytes) incl. after WAL recovery of %d records",
-		rep.Jobs, rep.Ranks, rep.IngestElapsed.Round(time.Millisecond), rep.Queries, rep.AggBytes, recovered)
+	logf("selftest: %d jobs (%d ranks, %.1f MB) ingested in %v (%.1f MB/s end to end), %d queries served concurrently, /agg deterministic (%d bytes) incl. after WAL recovery of %d records",
+		rep.Jobs, rep.Ranks, float64(rep.IngestBytes)/1e6, rep.IngestElapsed.Round(time.Millisecond), rep.IngestMBPerSec(), rep.Queries, rep.AggBytes, recovered)
 	return rep, nil
 }
 

@@ -38,18 +38,46 @@ const numShards = 16
 
 // Job is one ingested profile with its store metadata.
 type Job struct {
-	ID       string          // deterministic: caller-supplied or content hash
-	Tags     []string        // sorted, deduplicated
-	Command  string          // from the profile header
-	Salvaged bool            // tolerant parse made concessions
-	Warnings int             // number of parse warnings recorded
-	Ranks    int             // rank snapshots recovered
-	Bytes    int             // size of the ingested XML document
-	Profile  *ipm.JobProfile `json:"-"`
+	ID       string   // deterministic: caller-supplied or content hash
+	Tags     []string // sorted, deduplicated
+	Command  string   // from the profile header
+	Salvaged bool     // tolerant parse made concessions
+	Warnings int      // number of parse warnings recorded
+	Ranks    int      // rank snapshots recovered
+	Bytes    int      // size of the ingested XML document
+
+	// The streaming ingest path never builds the JobProfile DOM; it
+	// retains the raw document instead and Profile() parses it lazily on
+	// first use (the /jobs and /job/{id} detail paths). The fallback
+	// DOM-parse path pre-sets prof and retains nothing.
+	raw      []byte
+	profOnce sync.Once
+	prof     *ipm.JobProfile
 
 	// rollup is the per-job pre-aggregation, computed once at ingest and
 	// immutable afterwards (see rollup.go).
 	rollup *rollup
+}
+
+// Profile returns the job's full DOM profile, parsing the retained
+// document on first use. Safe for concurrent callers; the parse runs at
+// most once per job.
+func (j *Job) Profile() *ipm.JobProfile {
+	j.profOnce.Do(func() {
+		if j.prof != nil {
+			return
+		}
+		jp, _, err := ipm.ParseXMLTolerant(bytes.NewReader(j.raw))
+		if err != nil {
+			// Unreachable for documents the streaming scanner accepted
+			// (it found the ipm_log root); keep a usable zero profile
+			// rather than a nil deref if that invariant ever breaks.
+			jp = ipm.NewJobProfile(j.Command, 0, nil)
+		}
+		j.prof = jp
+		j.raw = nil
+	})
+	return j.prof
 }
 
 // shard is one lock-striped partition of the corpus.
@@ -73,6 +101,12 @@ type Store struct {
 	ingests  atomic.Int64 // successful ingests, including replacements
 	salvaged atomic.Int64 // ingests the tolerant parser had to salvage
 	replaced atomic.Int64 // ingests that replaced an existing job id
+	bytesIn  atomic.Int64 // XML bytes successfully ingested
+
+	// forceDOM disables the streaming scan fast path so tests can drive
+	// the ParseXMLTolerant fallback on inputs the scanner would accept
+	// and compare the two end to end.
+	forceDOM bool
 
 	// epoch advances after every shard insert; the memo cache (memo.go)
 	// keys cached /agg and /regress reports by it.
@@ -205,34 +239,94 @@ func (s *Store) Ingest(xml []byte, id string, tags []string) (*Job, error) {
 	return s.ingest(xml, id, tags, true)
 }
 
+// ingest is the one-pass streaming write path: a prescan settles the
+// content-hash id and whether the zero-copy scanner applies, then a
+// single scan over the bytes produces the rollup, the job metadata and
+// (via the pooled buffer) the WAL record. Documents off the scanner's
+// fast-path grammar — non-ASCII, entities, truncation, decoder
+// oddities — take the original ParseXMLTolerant + computeRollup route,
+// which is the semantic reference the scanner must agree with
+// (FuzzScanVsParse enforces exactly that).
 func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, error) {
-	jp, rep, err := ipm.ParseXMLTolerant(bytes.NewReader(xml))
-	if err != nil {
-		return nil, fmt.Errorf("profstore: ingest: %w", err)
-	}
+	sc := scratchPool.Get().(*ingestScratch)
+	defer scratchPool.Put(sc)
+
+	var clean bool
 	if id == "" {
-		id = DeriveID(xml)
+		var hash uint64
+		hash, clean = prescanHash(xml)
+		id = formatID(hash) // == DeriveID(xml)
+	} else {
+		clean = prescanClean(xml)
 	}
+	if s.forceDOM {
+		clean = false
+	}
+
+	var (
+		ro       *rollup
+		jp       *ipm.JobProfile
+		command  string
+		salvaged bool
+		warnings int
+		nranks   int
+	)
+	if clean {
+		sc.sink.reset()
+		resetReport(&sc.rep)
+		if ok, serr := ipm.ScanXMLTolerant(xml, sc.sink, &sc.rep); ok {
+			if serr != nil {
+				return nil, fmt.Errorf("profstore: ingest: %w", serr)
+			}
+			ro = sc.sink.build(id)
+			command = sc.sink.command
+			warnings = len(sc.rep.Warnings)
+			salvaged = sc.rep.Truncated || warnings > 0
+			nranks = sc.sink.tasks
+		}
+	}
+	if ro == nil {
+		var rep *ipm.ParseReport
+		var err error
+		jp, rep, err = ipm.ParseXMLTolerant(bytes.NewReader(xml))
+		if err != nil {
+			return nil, fmt.Errorf("profstore: ingest: %w", err)
+		}
+		ro = computeRollup(jp, id)
+		command = jp.Command
+		warnings = len(rep.Warnings)
+		salvaged = rep.Truncated || warnings > 0
+		nranks = len(jp.Ranks)
+	}
+
 	job := &Job{
 		ID:       id,
 		Tags:     normTags(tags),
-		Command:  jp.Command,
-		Salvaged: rep.Truncated || len(rep.Warnings) > 0,
-		Warnings: len(rep.Warnings),
-		Ranks:    len(jp.Ranks),
+		Command:  command,
+		Salvaged: salvaged,
+		Warnings: warnings,
+		Ranks:    nranks,
 		Bytes:    len(xml),
-		Profile:  jp,
-		rollup:   computeRollup(jp, id),
+		prof:     jp,
+		rollup:   ro,
+	}
+	if jp == nil {
+		// Streaming path: keep the raw bytes for the lazy DOM parse.
+		job.raw = append([]byte(nil), xml...)
 	}
 
 	// WAL before store: a record that made it to the log is the ingest;
 	// the in-memory insert is recoverable from it but not vice versa.
 	if logIt && s.wal != nil {
-		rec, err := json.Marshal(walRecord{ID: id, Tags: job.Tags, XML: string(xml)})
-		if err != nil {
-			return nil, fmt.Errorf("profstore: encoding WAL record: %w", err)
+		rec, fastOK := appendWALRecord(sc.walBuf[:0], id, job.Tags, xml)
+		sc.walBuf = rec[:0] // keep the grown buffer for the next ingest
+		if !fastOK {
+			m, err := json.Marshal(walRecord{ID: id, Tags: job.Tags, XML: string(xml)})
+			if err != nil {
+				return nil, fmt.Errorf("profstore: encoding WAL record: %w", err)
+			}
+			rec = append(m, '\n')
 		}
-		rec = append(rec, '\n')
 		s.walMu.Lock()
 		_, werr := s.wal.Write(rec)
 		s.walMu.Unlock()
@@ -251,6 +345,7 @@ func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, 
 	s.epoch.Add(1)
 
 	s.ingests.Add(1)
+	s.bytesIn.Add(int64(len(xml)))
 	if job.Salvaged {
 		s.salvaged.Add(1)
 	}
@@ -278,10 +373,12 @@ func (s *Store) Len() int { return int(s.jobs.Load()) }
 // RankCount returns the total rank snapshots held.
 func (s *Store) RankCount() int { return int(s.ranks.Load()) }
 
-// Ingests, Salvaged and Replaced expose the ingest counters for metrics.
-func (s *Store) Ingests() int64  { return s.ingests.Load() }
-func (s *Store) Salvaged() int64 { return s.salvaged.Load() }
-func (s *Store) Replaced() int64 { return s.replaced.Load() }
+// Ingests, Salvaged, Replaced and IngestedBytes expose the ingest
+// counters for metrics.
+func (s *Store) Ingests() int64       { return s.ingests.Load() }
+func (s *Store) Salvaged() int64      { return s.salvaged.Load() }
+func (s *Store) Replaced() int64      { return s.replaced.Load() }
+func (s *Store) IngestedBytes() int64 { return s.bytesIn.Load() }
 
 // Select resolves a job selector to the matching jobs, sorted by id —
 // the deterministic iteration order every aggregate is computed in.

@@ -79,6 +79,45 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 	}
 }
 
+// TestConcurrentStreamVsDOMIngest runs the same corpus through a
+// streaming store and a forced-DOM store, both under concurrent ingest
+// with live /agg readers, and demands byte-identical aggregates. Under
+// -race this doubles as the proof that the pooled scan scratch is safe
+// across goroutines.
+func TestConcurrentStreamVsDOMIngest(t *testing.T) {
+	const jobs, writers = 60, 8
+	build := func(forceDOM bool) []byte {
+		s := New()
+		s.forceDOM = forceDOM
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					if _, err := s.Ingest(syntheticXML(t, 13, i), "", nil); err != nil {
+						t.Error(err)
+						return
+					}
+					s.Aggregate(AggOptions{})
+				}
+			}()
+		}
+		for i := 0; i < jobs; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		return aggJSON(t, s)
+	}
+	fast := build(false)
+	slow := build(true)
+	if !bytes.Equal(fast, slow) {
+		t.Errorf("streaming and DOM ingest disagree:\nstream:\n%s\ndom:\n%s", fast, slow)
+	}
+}
+
 // TestAggregateMatchesAcrossIngestPartitioning ingests the same corpus
 // with 1 and with 8 workers and demands identical aggregate bytes —
 // the -j-invariance property the ensemble driver established, extended

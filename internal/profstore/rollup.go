@@ -93,5 +93,5 @@ func (j *Job) roll() *rollup {
 	if j.rollup != nil {
 		return j.rollup
 	}
-	return computeRollup(j.Profile, j.ID)
+	return computeRollup(j.Profile(), j.ID)
 }

@@ -43,6 +43,7 @@ var queryNames = [qCount]string{"ingest", "jobs", "job", "agg", "regress"}
 // Metric family names served on /metrics.
 const (
 	MetricIngest      = "profstore_ingest_total"
+	MetricIngestBytes = "ipm_ingest_bytes_total"
 	MetricSalvaged    = "profstore_ingest_salvaged_total"
 	MetricReplaced    = "profstore_ingest_replaced_total"
 	MetricParseErrors = "profstore_parse_errors_total"
@@ -70,6 +71,7 @@ func NewServer(store *Store, reg *telemetry.Registry) *Server {
 func (s *Server) publishMetrics() {
 	samples := []telemetry.Sample{
 		{Name: MetricIngest, Help: "Profiles ingested (including re-ingests).", Type: "counter", Value: float64(s.store.Ingests())},
+		{Name: MetricIngestBytes, Help: "XML bytes ingested (including re-ingests).", Type: "counter", Value: float64(s.store.IngestedBytes())},
 		{Name: MetricSalvaged, Help: "Ingested profiles the tolerant parser had to salvage.", Type: "counter", Value: float64(s.store.Salvaged())},
 		{Name: MetricReplaced, Help: "Ingests that replaced an existing job id.", Type: "counter", Value: float64(s.store.Replaced())},
 		{Name: MetricParseErrors, Help: "Ingest bodies rejected as unparseable.", Type: "counter", Value: float64(s.parseErrors.Load())},
@@ -184,12 +186,13 @@ type JobMeta struct {
 }
 
 func metaOf(j *Job) JobMeta {
+	p := j.Profile()
 	return JobMeta{
 		ID: j.ID, Command: j.Command, Tags: j.Tags, Ranks: j.Ranks,
-		LostRanks:        len(j.Profile.LostRanks()),
-		WallclockSeconds: j.Profile.Wallclock().Seconds(),
-		GPUPercent:       j.Profile.GPUPercent(),
-		CommPercent:      j.Profile.CommPercent(),
+		LostRanks:        len(p.LostRanks()),
+		WallclockSeconds: p.Wallclock().Seconds(),
+		GPUPercent:       p.GPUPercent(),
+		CommPercent:      p.CommPercent(),
 		Salvaged:         j.Salvaged,
 	}
 }
@@ -228,11 +231,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	agg := aggregateJobs([]*Job{job}, AggOptions{})
+	p := job.Profile()
 	s.writeJSON(w, JobDetail{
 		JobMeta:       metaOf(job),
-		ExpectedRanks: job.Profile.Expected(),
-		Degraded:      job.Profile.Degraded(),
-		Errors:        job.Profile.TotalErrors(),
+		ExpectedRanks: p.Expected(),
+		Degraded:      p.Degraded(),
+		Errors:        p.TotalErrors(),
 		CallSites:     agg.CallSites,
 	})
 }

@@ -217,6 +217,7 @@ func TestIngestEndpointAndMetrics(t *testing.T) {
 	m := string(metrics)
 	for _, want := range []string{
 		MetricIngest + " 3",
+		fmt.Sprintf("%s %d", MetricIngestBytes, store.IngestedBytes()),
 		MetricSalvaged + " 1",
 		MetricParseErrors + " 1",
 		MetricJobs + " 3",
