@@ -6,9 +6,9 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
-BENCH_BASE ?= BENCH_pr5.json
-BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord
+BENCH_OUT ?= BENCH_pr7.json
+BENCH_BASE ?= BENCH_pr6.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord|BenchmarkQueueSubmit
 
 .PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check profile experiments trace faults clean
 
@@ -26,7 +26,7 @@ test:
 # and the core packages those simulations exercise (including the DES
 # event pool the whole simulator schedules through).
 race:
-	$(GO) test -race ./internal/des ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore
+	$(GO) test -race ./internal/des ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore ./internal/cmdqueue
 
 # Race-enabled pass over the fault-injection machinery: the end-to-end
 # fault scenarios (rank death, hung-device watchdog, straggler skew,
@@ -74,12 +74,12 @@ bench:
 
 # Like bench, but a CI gate: fail (exit 3) if any benchmark regressed
 # more than BENCH_THRESHOLD percent in ns/op or allocs/op against the
-# committed PR-6 snapshot. Writes its measurements to results/ so it
+# committed PR-7 snapshot. Writes its measurements to results/ so it
 # never clobbers the committed baseline. The threshold is forgiving
 # because shared CI boxes jitter; the min-of-BENCH_COUNT noise floor
 # (see cmd/benchjson) absorbs most of it.
 BENCH_THRESHOLD ?= 30
-BENCH_CHECK_BASE ?= BENCH_pr6.json
+BENCH_CHECK_BASE ?= BENCH_pr7.json
 bench-check:
 	mkdir -p results
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o results/bench_check.json -compare $(BENCH_CHECK_BASE) -threshold $(BENCH_THRESHOLD)

@@ -350,5 +350,16 @@ func BenchmarkEnsembleParallel(b *testing.B) {
 				}
 			}
 		})
+		// The same ensemble with the driver command-queue layer between
+		// the runtime and the device: the delta prices the queue's
+		// batching and submit-stall accounting.
+		b.Run(fmt.Sprintf("queue-j%d", j), func(b *testing.B) {
+			o := experiments.Options{Quick: true, Seed: 2011, Workers: j, Queue: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig8(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

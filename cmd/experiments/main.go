@@ -38,7 +38,16 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (fig4..fig11, table1)")
 	jobs := flag.Int("j", parallel.DefaultWorkers(), "max concurrent simulations (ensembles and figures)")
 	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address while experiments run")
+	queue := flag.Bool("queue", false, "model the driver command-submission queue in every job")
+	queueFlush := flag.Int("queue-flush", 0, "queue flush depth in commands (implies -queue; 0 = default)")
+	queueFlushUS := flag.Int("queue-flush-us", 0, "queue flush timer in virtual microseconds (implies -queue; 0 = default, negative disables)")
 	flag.Parse()
+
+	q := queueSettings{
+		enabled:  *queue || *queueFlush != 0 || *queueFlushUS != 0,
+		depth:    *queueFlush,
+		interval: time.Duration(*queueFlushUS) * time.Microsecond,
+	}
 
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
@@ -54,23 +63,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
-	if err := run(*quick, *seed, *out, *only, *jobs, reg); err != nil {
+	if err := run(*quick, *seed, *out, *only, *jobs, reg, q); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
+// queueSettings carries the command-queue flags into the run options.
+type queueSettings struct {
+	enabled  bool
+	depth    int
+	interval time.Duration
+}
+
 // writeFn persists one named artifact and logs the path.
 type writeFn func(name, content string) error
 
-func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.Registry) error {
+func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.Registry, q queueSettings) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	if jobs < 1 {
 		jobs = 1
 	}
-	o := experiments.Options{Quick: quick, Seed: seed, Workers: jobs, Metrics: reg}
+	o := experiments.Options{
+		Quick: quick, Seed: seed, Workers: jobs, Metrics: reg,
+		Queue: q.enabled, QueueFlushDepth: q.depth, QueueFlushInterval: q.interval,
+	}
 
 	type exp struct {
 		name string

@@ -55,6 +55,9 @@ func main() {
 	traceCap := flag.Int("trace-cap", telemetry.DefaultCapacity, "telemetry ring capacity in spans (oldest dropped beyond)")
 	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus /metrics endpoint on this address (e.g. :9090)")
 	hold := flag.Duration("hold", 0, "keep the /metrics endpoint up this long after the run")
+	queue := flag.Bool("queue", false, "model the driver command-submission queue (per-context batching)")
+	queueFlush := flag.Int("queue-flush", 0, "queue flush depth in commands (implies -queue; 0 = default)")
+	queueFlushUS := flag.Int("queue-flush-us", 0, "queue flush timer in virtual microseconds (implies -queue; 0 = default, negative disables)")
 	faults := flag.String("faults", "", "JSON fault plan (see internal/faultsim); activates deterministic fault injection")
 	ingest := flag.String("ingest", "", "POST the finished profile to this ipmserve URL (e.g. http://localhost:8080)")
 	ingestTags := flag.String("ingest-tags", "", "comma-separated tags attached to the ingested profile")
@@ -109,6 +112,11 @@ func main() {
 	cfg.NoiseSeed = *seed
 	cfg.NoiseAmp = 0.01
 	cfg.Command = "./" + name
+	if *queue || *queueFlush != 0 || *queueFlushUS != 0 {
+		cfg.Queue = true
+		cfg.QueueFlushDepth = *queueFlush
+		cfg.QueueFlushInterval = time.Duration(*queueFlushUS) * time.Microsecond
+	}
 
 	if *faults != "" {
 		plan, err := faultsim.LoadFile(*faults)
@@ -186,7 +194,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ipmrun:", err)
 			os.Exit(1)
 		}
-		if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+		if err := telemetry.WriteChromeTraceCounters(f, spans, rec.CounterSnapshot()); err != nil {
 			f.Close()
 			fmt.Fprintln(os.Stderr, "ipmrun: trace:", err)
 			os.Exit(1)

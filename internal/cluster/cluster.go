@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"ipmgo/internal/cmdqueue"
 	"ipmgo/internal/cublas"
 	"ipmgo/internal/cudaprof"
 	"ipmgo/internal/cudart"
@@ -46,6 +47,18 @@ type Config struct {
 	FS iosim.Spec
 	// Runtime tunes the CUDA runtime's host-side costs.
 	Runtime cudart.Options
+
+	// Queue enables the driver command-queue layer: each rank's CUDA
+	// context gets a submission queue ("ctx<rank>/q0") batching kernel
+	// launches, memcpys, memsets and event records between the runtime
+	// API and the device. QueueFlushDepth/QueueFlushInterval tune the
+	// flush heuristics (0 selects cmdqueue defaults). When Monitor is
+	// also set, per-call-site submit stall is folded into the IPM hash
+	// table; when Telemetry/Metrics are set, each queue gets a Perfetto
+	// track (submit spans + depth counter) and labeled Prometheus series.
+	Queue              bool
+	QueueFlushDepth    int
+	QueueFlushInterval time.Duration
 
 	// Monitor enables IPM; CUDA selects the CUDA-layer features.
 	Monitor bool
@@ -283,6 +296,28 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 		)
 	}
 
+	// Queue metric families are shared across ranks; each rank memoizes
+	// its own per-queue cells inside the spawn closure below.
+	var depthVec, flushVec *telemetry.Vec
+	var stallHist *telemetry.Histogram
+	if cfg.Queue && cfg.Metrics != nil {
+		depthVec = cfg.Metrics.GaugeVec(
+			"ipm_queue_depth",
+			"Commands currently buffered in the context's submission queue.",
+			"queue",
+		)
+		flushVec = cfg.Metrics.CounterVec(
+			"ipm_queue_flushes_total",
+			"Batches submitted from the context's queue to the device.",
+			"queue",
+		)
+		stallHist = cfg.Metrics.Histogram(
+			"ipm_submit_stall_ns",
+			"Virtual time a command waited in the submission queue before device hand-off, in nanoseconds.",
+			telemetry.ExpBuckets(64, 2, 16),
+		)
+	}
+
 	world, err := mpisim.NewWorld(eng, mpisim.Config{Size: size, Net: cfg.Net, RanksPerNode: cfg.RanksPerNode})
 	if err != nil {
 		return nil, err
@@ -327,6 +362,41 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 				// lost, so in-flight completions never fire — the hung
 				// stream the watchdog exists to catch.
 				in.OnDeviceLost(devices[node].MarkLost)
+			}
+			if cfg.Queue {
+				qname := fmt.Sprintf("ctx%d/q0", rank)
+				qopts := &cmdqueue.Options{
+					FlushDepth:    cfg.QueueFlushDepth,
+					FlushInterval: cfg.QueueFlushInterval,
+					Name:          qname,
+					Telemetry:     cfg.Telemetry,
+				}
+				if depthVec != nil {
+					qopts.Depth = depthVec.With(qname)
+					qopts.Flushes = flushVec.With(qname)
+					qopts.Stall = stallHist
+				}
+				if cfg.Monitor {
+					// Submit stall folds into the same hash-table row as
+					// the call's host timing: the site names the queue
+					// reports are byte-identical to the ipmcuda signatures,
+					// and the SigRef is memoized per site so the flush path
+					// stays allocation-free in steady state.
+					refs := make(map[string]ipm.SigRef, 16)
+					qopts.OnSubmit = func(site string, bytes int64, stall time.Duration) {
+						m := env.IPM
+						if m == nil {
+							return // flush before the monitor attached
+						}
+						ref, ok := refs[site]
+						if !ok {
+							ref = ipm.NewSigRef(site)
+							refs[site] = ref
+						}
+						m.ObserveNRef(ref, bytes, ipm.Stats{Submits: 1, SubmitStall: stall})
+					}
+				}
+				rtOpts.Queue = qopts
 			}
 			rt := cudart.NewRuntime(p, devices[node], rtOpts)
 			comm, err := world.Attach(rank, p)

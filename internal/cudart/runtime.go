@@ -3,6 +3,7 @@ package cudart
 import (
 	"time"
 
+	"ipmgo/internal/cmdqueue"
 	"ipmgo/internal/des"
 	"ipmgo/internal/gpusim"
 	"ipmgo/internal/perfmodel"
@@ -32,6 +33,14 @@ type Options struct {
 	// internal/faultsim hooks into. The hook must be deterministic in
 	// (call, call order, virtual time); it must never read wall clock.
 	Inject func(call string, now time.Duration) error
+	// Queue, when non-nil, routes kernel launches, memcpys, memsets and
+	// event records through a driver command-queue (internal/cmdqueue)
+	// instead of handing them to the device directly: commands batch in
+	// the context's submission queue and reach the device at flush time
+	// (size/timer/sync-point heuristics), making launch→submit latency
+	// part of the simulated schedule and observable as submit stall.
+	// Nil preserves the direct path bit-for-bit.
+	Queue *cmdqueue.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -75,13 +84,14 @@ type Runtime struct {
 	pending    []launchConfig
 	symbols    map[string]DevPtr
 	lastErr    error
+	queue      *cmdqueue.Queue // nil: direct submission path
 }
 
 var _ API = (*Runtime)(nil)
 
 // NewRuntime creates a CUDA context for the host process on the device.
 func NewRuntime(proc *des.Proc, dev *gpusim.Device, opts Options) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		proc:       proc,
 		dev:        dev,
 		opts:       opts.withDefaults(),
@@ -91,6 +101,31 @@ func NewRuntime(proc *des.Proc, dev *gpusim.Device, opts Options) *Runtime {
 		nextEvent:  1,
 		symbols:    make(map[string]DevPtr),
 	}
+	if r.opts.Queue != nil {
+		r.queue = cmdqueue.New(dev, *r.opts.Queue)
+	}
+	return r
+}
+
+// Queue returns the context's command queue, or nil on the direct path.
+func (r *Runtime) Queue() *cmdqueue.Queue { return r.queue }
+
+// queueFail maps a command-queue error (a lost device draining its
+// batch) to the runtime's sticky cudaErrorDeviceLost.
+func (r *Runtime) queueFail(err error) error {
+	return r.fail(errCode(CodeDeviceLost, "command queue: %v", err))
+}
+
+// flushQueue force-submits the context's queued commands at a host
+// synchronisation point. No-op on the direct path.
+func (r *Runtime) flushQueue() error {
+	if r.queue == nil {
+		return nil
+	}
+	if err := r.queue.Flush(); err != nil {
+		return r.queueFail(err)
+	}
+	return nil
 }
 
 // Proc returns the host process the runtime is bound to.
@@ -266,9 +301,43 @@ func (r *Runtime) Memcpy(dst, src Ptr, n int64, kind MemcpyKind) error {
 	}
 	dir := transferDir(kind)
 	pinned := src.Pinned || dst.Pinned
+	if r.queue != nil {
+		// Synchronous copy: enqueue, force the batch out (a sync point
+		// flushes the context's queue), then wait for the copy — the last
+		// op the flush placed on the NULL stream.
+		if err := r.queue.EnqueueCopy(r.dev.DefaultStream(), memcpySites[kind], dir, n, pinned, r.memcpyPayload(dst, src, n, kind)); err != nil {
+			return r.queueFail(err)
+		}
+		if err := r.flushQueue(); err != nil {
+			return err
+		}
+		if last := r.dev.DefaultStream().Last(); last != nil {
+			r.proc.Wait(last.Done())
+		}
+		return nil
+	}
 	op := r.dev.EnqueueCopy(r.dev.DefaultStream(), dir, n, pinned, r.memcpyPayload(dst, src, n, kind))
 	r.proc.Wait(op.Done())
 	return nil
+}
+
+// memcpySites / memcpyAsyncSites pre-intern the direction-tagged call
+// sites stall is attributed to. The strings must stay byte-identical to
+// the signature names ipmcuda records ("cudaMemcpy(H2D)", ...), so the
+// queue's OnSubmit hook folds stall into the same hash-table row as the
+// call's host timing.
+var memcpySites = [...]string{
+	MemcpyHostToHost:     "cudaMemcpy(H2H)",
+	MemcpyHostToDevice:   "cudaMemcpy(H2D)",
+	MemcpyDeviceToHost:   "cudaMemcpy(D2H)",
+	MemcpyDeviceToDevice: "cudaMemcpy(D2D)",
+}
+
+var memcpyAsyncSites = [...]string{
+	MemcpyHostToHost:     "cudaMemcpyAsync(H2H)",
+	MemcpyHostToDevice:   "cudaMemcpyAsync(H2D)",
+	MemcpyDeviceToHost:   "cudaMemcpyAsync(D2H)",
+	MemcpyDeviceToDevice: "cudaMemcpyAsync(D2D)",
 }
 
 func transferDir(kind MemcpyKind) perfmodel.TransferDir {
@@ -306,6 +375,12 @@ func (r *Runtime) MemcpyAsync(dst, src Ptr, n int64, kind MemcpyKind, s Stream) 
 		return nil
 	}
 	pinned := src.Pinned || dst.Pinned
+	if r.queue != nil {
+		if err := r.queue.EnqueueCopy(gs, memcpyAsyncSites[kind], transferDir(kind), n, pinned, r.memcpyPayload(dst, src, n, kind)); err != nil {
+			return r.queueFail(err)
+		}
+		return nil
+	}
 	r.dev.EnqueueCopy(gs, transferDir(kind), n, pinned, r.memcpyPayload(dst, src, n, kind))
 	return nil
 }
@@ -332,11 +407,24 @@ func (r *Runtime) MemcpyToSymbol(symbol string, src []byte) error {
 		}
 		r.symbols[symbol] = p
 	}
-	op := r.dev.EnqueueCopy(r.dev.DefaultStream(), perfmodel.HostToDevice, n, false, func() {
+	payload := func() {
 		if b, err := r.dev.Bytes(p, n); err == nil {
 			copy(b, src)
 		}
-	})
+	}
+	if r.queue != nil {
+		if err := r.queue.EnqueueCopy(r.dev.DefaultStream(), "cudaMemcpyToSymbol", perfmodel.HostToDevice, n, false, payload); err != nil {
+			return r.queueFail(err)
+		}
+		if err := r.flushQueue(); err != nil {
+			return err
+		}
+		if last := r.dev.DefaultStream().Last(); last != nil {
+			r.proc.Wait(last.Done())
+		}
+		return nil
+	}
+	op := r.dev.EnqueueCopy(r.dev.DefaultStream(), perfmodel.HostToDevice, n, false, payload)
 	r.proc.Wait(op.Done())
 	return nil
 }
@@ -358,13 +446,20 @@ func (r *Runtime) Memset(p DevPtr, value byte, n int64) error {
 	if err := r.inject("cudaMemset"); err != nil {
 		return err
 	}
-	r.dev.EnqueueMemset(r.dev.DefaultStream(), n, func() {
+	payload := func() {
 		if b, err := r.dev.Bytes(p, n); err == nil {
 			for i := range b {
 				b[i] = value
 			}
 		}
-	})
+	}
+	if r.queue != nil {
+		if err := r.queue.EnqueueMemset(r.dev.DefaultStream(), "cudaMemset", n, payload); err != nil {
+			return r.queueFail(err)
+		}
+		return nil
+	}
+	r.dev.EnqueueMemset(r.dev.DefaultStream(), n, payload)
 	return nil
 }
 
@@ -435,6 +530,20 @@ func (r *Runtime) Launch(fn *Func) error {
 		ctx := LaunchContext{Dev: r.dev, Grid: cfg.grid, Block: cfg.block, Args: cfg.args}
 		body = func() { fn.Body(ctx) }
 	}
+	if r.queue != nil {
+		if err := r.queue.EnqueueKernel(gs, "cudaLaunch", fn.Name, cost, cfg.grid.norm(), cfg.block.norm(), body); err != nil {
+			return r.queueFail(err)
+		}
+		if r.opts.LaunchBlocking {
+			if err := r.flushQueue(); err != nil {
+				return err
+			}
+			if last := gs.Last(); last != nil {
+				r.proc.Wait(last.Done())
+			}
+		}
+		return nil
+	}
 	op := r.dev.LaunchKernel(gs, fn.Name, cost, cfg.grid.norm(), cfg.block.norm(), body)
 	if r.opts.LaunchBlocking {
 		r.proc.Wait(op.Done())
@@ -478,6 +587,10 @@ func (r *Runtime) StreamDestroy(s Stream) error {
 	if !ok {
 		return r.fail(errCode(CodeInvalidResourceHandle, "unknown stream %d", s))
 	}
+	// Queued commands may still reference the stream; submit them first.
+	if err := r.flushQueue(); err != nil {
+		return err
+	}
 	delete(r.streams, s)
 	if err := r.dev.DestroyStream(gs); err != nil {
 		return r.fail(errCode(CodeInvalidResourceHandle, "%v", err))
@@ -492,6 +605,9 @@ func (r *Runtime) StreamSynchronize(s Stream) error {
 	r.ensureInit()
 	r.base()
 	if err := r.inject("cudaStreamSynchronize"); err != nil {
+		return err
+	}
+	if err := r.flushQueue(); err != nil {
 		return err
 	}
 	var last *gpusim.Op
@@ -545,6 +661,12 @@ func (r *Runtime) EventRecord(ev Event, s Stream) error {
 	if err != nil {
 		return r.fail(err)
 	}
+	if r.queue != nil {
+		if err := r.queue.EnqueueEventRecord(gs, "cudaEventRecord", de); err != nil {
+			return r.queueFail(err)
+		}
+		return nil
+	}
 	de.Record(gs)
 	return nil
 }
@@ -572,6 +694,10 @@ func (r *Runtime) EventSynchronize(ev Event) error {
 	de, err := r.event(ev)
 	if err != nil {
 		return r.fail(err)
+	}
+	// The record may still be queued; flush so Done() sees the real op.
+	if err := r.flushQueue(); err != nil {
+		return err
 	}
 	if sig := de.Done(); sig != nil {
 		r.proc.Wait(sig)
@@ -614,6 +740,9 @@ func (r *Runtime) ThreadSynchronize() error {
 	r.ensureInit()
 	r.base()
 	if err := r.inject("cudaThreadSynchronize"); err != nil {
+		return err
+	}
+	if err := r.flushQueue(); err != nil {
 		return err
 	}
 	if last := r.dev.LastOp(); last != nil {

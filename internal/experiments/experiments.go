@@ -35,6 +35,19 @@ type Options struct {
 	// every job an experiment runs (see cluster.Config.Metrics), so a
 	// long experiment sweep can be watched from a /metrics endpoint.
 	Metrics *telemetry.Registry
+	// Queue enables the driver command-queue layer on every job an
+	// experiment runs; QueueFlushDepth/QueueFlushInterval tune the flush
+	// heuristics (see cluster.Config).
+	Queue              bool
+	QueueFlushDepth    int
+	QueueFlushInterval time.Duration
+}
+
+// applyQueue copies the queue settings onto one job's cluster config.
+func (o Options) applyQueue(cfg *cluster.Config) {
+	cfg.Queue = o.Queue
+	cfg.QueueFlushDepth = o.QueueFlushDepth
+	cfg.QueueFlushInterval = o.QueueFlushInterval
 }
 
 // workers returns the effective pool size (serial unless set).
@@ -58,6 +71,7 @@ func runSquare(o Options, opts ipmcuda.Options) (*ipm.JobProfile, error) {
 	cfg.Monitor = true
 	cfg.CUDA = opts
 	cfg.Metrics = o.Metrics
+	o.applyQueue(&cfg)
 	cfg.Command = "./cuda.ipm"
 	res, err := cluster.Run(cfg, func(env *cluster.Env) {
 		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {
@@ -119,6 +133,7 @@ func Fig7(o Options) (string, error) {
 		Trace:        func(ev ipmcuda.TraceEvent) { events = append(events, ev) },
 	}
 	cfg.Metrics = o.Metrics
+	o.applyQueue(&cfg)
 	cfg.Command = "./cuda.ipm"
 	_, err := cluster.Run(cfg, func(env *cluster.Env) {
 		if err := workloads.Square(env, workloads.DefaultSquare()); err != nil {

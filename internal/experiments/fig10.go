@@ -56,6 +56,7 @@ func Fig10(o Options) ([]Fig10Row, error) {
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.LibCostOnly = true
 		cfg.Metrics = o.Metrics
+		o.applyQueue(&cfg)
 		cfg.Command = "./paratec.x"
 		cfg.NoiseSeed = o.Seed + int64(procs)
 		cfg.NoiseAmp = 0.01

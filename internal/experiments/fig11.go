@@ -51,6 +51,7 @@ func Fig11(o Options) (*Fig11Result, error) {
 	cfg.CUDA = monitoringFor(true, true)
 	cfg.Runtime = workloads.AmberRuntimeOptions()
 	cfg.Metrics = o.Metrics
+	o.applyQueue(&cfg)
 	cfg.Command = "pmemd.cuda_MPI -O -i mdin -c inpcrd.equil"
 	cfg.NoiseSeed = o.Seed + 7
 	cfg.NoiseAmp = 0.01

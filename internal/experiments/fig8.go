@@ -67,6 +67,7 @@ func Fig8(o Options) (*Fig8Result, error) {
 		cfg.Monitor = monitored
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.Metrics = o.Metrics
+		o.applyQueue(&cfg)
 		cfg.Command = "./xhpl.cuda"
 		cfg.NoiseSeed = o.Seed + int64(i) + 1
 		cfg.NoiseAmp = 0.03

@@ -39,6 +39,7 @@ func Fig9(o Options) (*Fig9Result, error) {
 	cfg.Monitor = true
 	cfg.CUDA = monitoringFor(true, true)
 	cfg.Metrics = o.Metrics
+	o.applyQueue(&cfg)
 	cfg.Command = "./xhpl.cuda"
 	cfg.NoiseSeed = o.Seed + 42
 	cfg.NoiseAmp = 0.02

@@ -34,6 +34,7 @@ func Table1(o Options) ([]Table1Row, error) {
 		cfg.CUDA = monitoringFor(true, true)
 		cfg.CUDAProfile = true
 		cfg.Metrics = o.Metrics
+		o.applyQueue(&cfg)
 		cfg.Command = "./" + bench.Name
 		res, err := cluster.Run(cfg, func(env *cluster.Env) {
 			if err := bench.Run(env); err != nil {

@@ -33,6 +33,11 @@ type RankProfile struct {
 	Lost          bool
 	LostAt        time.Duration
 	LostReason    string
+
+	// SubmitStall sums per-signature command-queue submit stall — time
+	// commands spent queued between enqueue and driver flush. Zero when
+	// the run did not use command queues.
+	SubmitStall time.Duration
 }
 
 // Snapshot freezes a monitor into a RankProfile.
@@ -49,6 +54,7 @@ func Snapshot(m *Monitor) RankProfile {
 	}
 	for _, e := range rp.Entries {
 		rp.Errors += e.Stats.Errors
+		rp.SubmitStall += e.Stats.SubmitStall
 	}
 	return rp
 }
@@ -295,6 +301,15 @@ func (jp *JobProfile) TotalErrors() int64 {
 		n += r.Errors
 	}
 	return n
+}
+
+// TotalSubmitStall sums command-queue submit stall across ranks.
+func (jp *JobProfile) TotalSubmitStall() time.Duration {
+	var t time.Duration
+	for _, r := range jp.Ranks {
+		t += r.SubmitStall
+	}
+	return t
 }
 
 // MonitorErrors sums monitoring-internal recovered panics across ranks.

@@ -64,6 +64,7 @@ type ScanTask struct {
 	Overflow      int
 	Probes        uint64
 	Errors        int64
+	SubmitStall   time.Duration
 	MonitorErrors int64
 	Lost          bool
 	LostAt        time.Duration
@@ -72,14 +73,16 @@ type ScanTask struct {
 
 // ScanEntry is one func element inside a region: one hash-table entry.
 type ScanEntry struct {
-	Region []byte // enclosing region's name attribute, "" if absent
-	Name   []byte
-	Bytes  int64
-	Count  int64
-	Total  time.Duration
-	Min    time.Duration
-	Max    time.Duration
-	Errors int64
+	Region      []byte // enclosing region's name attribute, "" if absent
+	Name        []byte
+	Bytes       int64
+	Count       int64
+	Total       time.Duration
+	Min         time.Duration
+	Max         time.Duration
+	Errors      int64
+	Submits     int64
+	SubmitStall time.Duration
 }
 
 // ScanSink receives the event stream of one document. Slices passed in
@@ -548,6 +551,8 @@ func (s *scanner) attr(kind int, name, val []byte) {
 			s.task.Probes = uint64(s.attrInt("task", name, val))
 		case "error_total":
 			s.task.Errors = s.attrInt("task", name, val)
+		case "submit_stall_total":
+			s.task.SubmitStall = secsToDuration(s.attrFloat("task", name, val))
 		case "monitor_errors":
 			s.task.MonitorErrors = s.attrInt("task", name, val)
 		case "status":
@@ -577,6 +582,10 @@ func (s *scanner) attr(kind int, name, val []byte) {
 			s.entry.Max = secsToDuration(s.funcFloat(name, val))
 		case "error_count":
 			s.entry.Errors = s.funcInt(name, val)
+		case "submit_count":
+			s.entry.Submits = s.funcInt(name, val)
+		case "submit_stall":
+			s.entry.SubmitStall = secsToDuration(s.funcFloat(name, val))
 		}
 	}
 }

@@ -17,6 +17,8 @@ type countSink struct {
 		region, name string
 		total        time.Duration
 		count        int64
+		submits      int64
+		submitStall  time.Duration
 	}
 }
 
@@ -37,6 +39,8 @@ func (c *countSink) Entry(e *ScanEntry) {
 	c.lastEntry.name = string(e.Name)
 	c.lastEntry.total = e.Total
 	c.lastEntry.count = e.Count
+	c.lastEntry.submits = e.Submits
+	c.lastEntry.submitStall = e.SubmitStall
 }
 
 func (c *countSink) TaskEnd() { c.taskEnds++ }
@@ -86,23 +90,23 @@ func TestScanBailCases(t *testing.T) {
 	// Inputs where the non-strict decoder has behavior the scanner does
 	// not replicate: each must bail (ok=false), never mis-parse.
 	for _, doc := range []string{
-		"<ipm_log>",                               // EOF with open element
-		"<ipm_log><task rank=\"0\">",              // EOF inside task
-		"<ipm_log",                                // EOF mid-tag
-		"<a><b></a></b>",                          // mismatched end tags
-		"<a>]]></a>",                              // ]]> in char data
-		"<a x=\"<\"/>",                            // '<' in attribute value
-		"<a x=\"1\r2\"/>",                         // '\r' in attribute value (decoder normalises)
-		"<a x=1/>",                                // unquoted attribute
-		"<a x/>",                                  // valueless attribute
-		"<ns:a/>",                                 // ':' in name
-		"<a 1x=\"1\"/>",                           // name not [A-Za-z_]...
-		"<!-- c --><a/>",                          // <! construct
-		"<!DOCTYPE a><a/>",                        // directive
+		"<ipm_log>",                  // EOF with open element
+		"<ipm_log><task rank=\"0\">", // EOF inside task
+		"<ipm_log",                   // EOF mid-tag
+		"<a><b></a></b>",             // mismatched end tags
+		"<a>]]></a>",                 // ]]> in char data
+		"<a x=\"<\"/>",               // '<' in attribute value
+		"<a x=\"1\r2\"/>",            // '\r' in attribute value (decoder normalises)
+		"<a x=1/>",                   // unquoted attribute
+		"<a x/>",                     // valueless attribute
+		"<ns:a/>",                    // ':' in name
+		"<a 1x=\"1\"/>",              // name not [A-Za-z_]...
+		"<!-- c --><a/>",             // <! construct
+		"<!DOCTYPE a><a/>",           // directive
 		"<?xml version=\"1.0\" encoding=\"latin-1\"?><a/>", // non-UTF-8 PI
-		"</a>",                                    // stray end tag
-		"<a/ >",                                   // space after self-closing slash
-		"</a x=\"1\">",                            // junk in end tag
+		"</a>",         // stray end tag
+		"<a/ >",        // space after self-closing slash
+		"</a x=\"1\">", // junk in end tag
 	} {
 		sink := &countSink{}
 		var rep ParseReport
@@ -120,18 +124,18 @@ func TestScanTolerance(t *testing.T) {
 		warnings int
 	}{
 		{`<ipm_log></ipm_log>`, 0},
-		{`<ipm_log/><ipm_log/>`, 1},                           // second root: nested-ignored warning
-		{`<ipm_log><unknown><deep/></unknown></ipm_log>`, 0},  // unknown elements skipped
-		{`<ipm_log cmd = "x" ></ipm_log>`, 0},                 // ws around '='
+		{`<ipm_log/><ipm_log/>`, 1},                                                    // second root: nested-ignored warning
+		{`<ipm_log><unknown><deep/></unknown></ipm_log>`, 0},                           // unknown elements skipped
+		{`<ipm_log cmd = "x" ></ipm_log>`, 0},                                          // ws around '='
 		{`<ipm_log><task mpi_rank="0"><task mpi_rank="1"></task></task></ipm_log>`, 1}, // interleaved tasks
-		{`<ipm_log><region name="r"/></ipm_log>`, 1},          // region outside task
-		{`<ipm_log><func name="f"/></ipm_log>`, 1},            // func outside region
-		{`<ipm_log ntasks="4"></ipm_log>`, 1},                 // declared > recovered
-		{`<ipm_log wallclock="bogus"></ipm_log>`, 1},          // bad numeric attribute
-		{`text<ipm_log></ipm_log>trailing`, 0},                // stray top-level text
-		{`<ipm_log cmd="a" cmd="b"></ipm_log>`, 0},            // duplicate attr, last wins
-		{`<ipm_log></ipm_log >`, 0},                           // ws before end-tag '>'
-		{`<?pi anything?><ipm_log/>`, 0},                      // non-xml PI
+		{`<ipm_log><region name="r"/></ipm_log>`, 1},                                   // region outside task
+		{`<ipm_log><func name="f"/></ipm_log>`, 1},                                     // func outside region
+		{`<ipm_log ntasks="4"></ipm_log>`, 1},                                          // declared > recovered
+		{`<ipm_log wallclock="bogus"></ipm_log>`, 1},                                   // bad numeric attribute
+		{`text<ipm_log></ipm_log>trailing`, 0},                                         // stray top-level text
+		{`<ipm_log cmd="a" cmd="b"></ipm_log>`, 0},                                     // duplicate attr, last wins
+		{`<ipm_log></ipm_log >`, 0},                                                    // ws before end-tag '>'
+		{`<?pi anything?><ipm_log/>`, 0},                                               // non-xml PI
 	} {
 		sink, rep, ok, err := scan(t, tc.doc)
 		if !ok {
@@ -180,11 +184,11 @@ func TestScanNoRootError(t *testing.T) {
 func TestParseInt64MatchesStrconv(t *testing.T) {
 	cases := []string{
 		"0", "1", "-1", "42", "007", "-007",
-		"9223372036854775807",    // MaxInt64
-		"-9223372036854775808",   // MinInt64
-		"9223372036854775808",    // overflow
-		"-9223372036854775809",   // underflow
-		"92233720368547758070",   // way over
+		"9223372036854775807",  // MaxInt64
+		"-9223372036854775808", // MinInt64
+		"9223372036854775808",  // overflow
+		"-9223372036854775809", // underflow
+		"92233720368547758070", // way over
 		"", "-", "+1", "1x", "x", "1_0", " 1", "1 ",
 	}
 	for _, s := range cases {
@@ -208,7 +212,7 @@ func TestParseFloat64MatchesStrconv(t *testing.T) {
 		"0", "0.0", "1", "1.5", "-1.5", "3.25", "0.001", "123456.789",
 		"1e3", "1.5e-3", "2.5E+7", "-0", "-0.0",
 		"0.1", "0.2", "0.3", // classic non-exact decimals: must defer or match
-		"9007199254740993",  // 2^53+1: mantissa over 53 bits
+		"9007199254740993", // 2^53+1: mantissa over 53 bits
 		"1e22", "1e23", "1e37", "1e38", "-1e-22", "1e-23",
 		"12345678901234567890", // >19 sig digits
 		"1.7976931348623157e308",

@@ -25,6 +25,13 @@ type Stats struct {
 	// non-success status — the per-call-site error counters the fault
 	// model exports.
 	Errors int64
+	// Submits counts the driver command-queue submissions attributed to
+	// this call site, and SubmitStall the summed enqueue→flush latency of
+	// those commands. Both are zero when the run did not use command
+	// queues; like Errors they merge independently of Count so the queue
+	// layer can fold stall time into an entry the timing update created.
+	Submits     int64
+	SubmitStall time.Duration
 }
 
 // Add folds one observation into the statistics.
@@ -48,6 +55,10 @@ func (s *Stats) Merge(o Stats) {
 	// the entry's error word at all.
 	if o.Errors != 0 {
 		s.Errors += o.Errors
+	}
+	if o.Submits != 0 {
+		s.Submits += o.Submits
+		s.SubmitStall += o.SubmitStall
 	}
 	if o.Count == 0 {
 		return

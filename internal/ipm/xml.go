@@ -47,6 +47,7 @@ type XMLTask struct {
 	HashOverflow int         `xml:"hashtable_overflow,attr,omitempty"`
 	HashProbes   uint64      `xml:"hashtable_probes,attr,omitempty"`
 	Errors       int64       `xml:"error_total,attr,omitempty"`
+	SubmitStall  float64     `xml:"submit_stall_total,attr,omitempty"`
 	MonitorErrs  int64       `xml:"monitor_errors,attr,omitempty"`
 	Status       string      `xml:"status,attr,omitempty"` // "lost" for a dead rank
 	LostAt       float64     `xml:"lost_at,attr,omitempty"`
@@ -60,15 +61,20 @@ type XMLRegion struct {
 	Funcs []XMLFunc `xml:"func"`
 }
 
-// XMLFunc is one hash table entry.
+// XMLFunc is one hash table entry. The submit_* attributes carry the
+// driver command-queue accounting (submission count and summed
+// enqueue→flush stall, seconds); they are omitted when zero so logs from
+// runs without command queues stay byte-identical to older versions.
 type XMLFunc struct {
-	Name   string  `xml:"name,attr"`
-	Bytes  int64   `xml:"bytes,attr"`
-	Count  int64   `xml:"count,attr"`
-	TTot   float64 `xml:"ttot,attr"`
-	TMin   float64 `xml:"tmin,attr"`
-	TMax   float64 `xml:"tmax,attr"`
-	Errors int64   `xml:"error_count,attr,omitempty"`
+	Name        string  `xml:"name,attr"`
+	Bytes       int64   `xml:"bytes,attr"`
+	Count       int64   `xml:"count,attr"`
+	TTot        float64 `xml:"ttot,attr"`
+	TMin        float64 `xml:"tmin,attr"`
+	TMax        float64 `xml:"tmax,attr"`
+	Errors      int64   `xml:"error_count,attr,omitempty"`
+	SubmitN     int64   `xml:"submit_count,attr,omitempty"`
+	SubmitStall float64 `xml:"submit_stall,attr,omitempty"`
 }
 
 // globalRegionName is how the implicit whole-program region appears in the
@@ -104,7 +110,7 @@ func ToXML(jp *JobProfile) *XMLLog {
 		task := XMLTask{
 			Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds(),
 			HashLoad: r.LoadFactor, HashOverflow: r.Overflow, HashProbes: r.Probes,
-			Errors: r.Errors, MonitorErrs: r.MonitorErrors,
+			Errors: r.Errors, SubmitStall: r.SubmitStall.Seconds(), MonitorErrs: r.MonitorErrors,
 		}
 		if r.Lost {
 			task.Status = "lost"
@@ -122,13 +128,15 @@ func ToXML(jp *JobProfile) *XMLLog {
 				task.Regions = append(task.Regions, XMLRegion{Name: label})
 			}
 			task.Regions[i].Funcs = append(task.Regions[i].Funcs, XMLFunc{
-				Name:   e.Sig.Name,
-				Bytes:  e.Sig.Bytes,
-				Count:  e.Stats.Count,
-				TTot:   e.Stats.Total.Seconds(),
-				TMin:   e.Stats.Min.Seconds(),
-				TMax:   e.Stats.Max.Seconds(),
-				Errors: e.Stats.Errors,
+				Name:        e.Sig.Name,
+				Bytes:       e.Sig.Bytes,
+				Count:       e.Stats.Count,
+				TTot:        e.Stats.Total.Seconds(),
+				TMin:        e.Stats.Min.Seconds(),
+				TMax:        e.Stats.Max.Seconds(),
+				Errors:      e.Stats.Errors,
+				SubmitN:     e.Stats.Submits,
+				SubmitStall: e.Stats.SubmitStall.Seconds(),
 			})
 		}
 		doc.Tasks = append(doc.Tasks, task)
@@ -164,7 +172,7 @@ func FromXML(doc *XMLLog) *JobProfile {
 		rp := RankProfile{
 			Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock),
 			LoadFactor: t.HashLoad, Overflow: t.HashOverflow, Probes: t.HashProbes,
-			Errors: t.Errors, MonitorErrors: t.MonitorErrs,
+			Errors: t.Errors, SubmitStall: secsToDuration(t.SubmitStall), MonitorErrors: t.MonitorErrs,
 			Lost: t.Status == "lost", LostAt: secsToDuration(t.LostAt), LostReason: t.LostReason,
 		}
 		for _, reg := range t.Regions {
@@ -172,11 +180,13 @@ func FromXML(doc *XMLLog) *JobProfile {
 				rp.Entries = append(rp.Entries, Entry{
 					Sig: Sig{Name: f.Name, Bytes: f.Bytes, Region: regionFromLabel(reg.Name)},
 					Stats: Stats{
-						Count:  f.Count,
-						Total:  secsToDuration(f.TTot),
-						Min:    secsToDuration(f.TMin),
-						Max:    secsToDuration(f.TMax),
-						Errors: f.Errors,
+						Count:       f.Count,
+						Total:       secsToDuration(f.TTot),
+						Min:         secsToDuration(f.TMin),
+						Max:         secsToDuration(f.TMax),
+						Errors:      f.Errors,
+						Submits:     f.SubmitN,
+						SubmitStall: secsToDuration(f.SubmitStall),
 					},
 				})
 			}
@@ -185,6 +195,12 @@ func FromXML(doc *XMLLog) *JobProfile {
 			// Logs without a rolled-up error_total still get the sum.
 			for _, e := range rp.Entries {
 				rp.Errors += e.Stats.Errors
+			}
+		}
+		if rp.SubmitStall == 0 {
+			// Likewise for logs predating submit_stall_total.
+			for _, e := range rp.Entries {
+				rp.SubmitStall += e.Stats.SubmitStall
 			}
 		}
 		ranks = append(ranks, rp)

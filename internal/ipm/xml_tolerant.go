@@ -153,6 +153,8 @@ loop:
 					cur.HashProbes = uint64(attrInt(where, a))
 				case "error_total":
 					cur.Errors = attrInt(where, a)
+				case "submit_stall_total":
+					cur.SubmitStall = attrFloat(where, a)
 				case "monitor_errors":
 					cur.MonitorErrs = attrInt(where, a)
 				case "status":
@@ -203,6 +205,10 @@ loop:
 					f.TMax = attrFloat(where, a)
 				case "error_count":
 					f.Errors = attrInt(where, a)
+				case "submit_count":
+					f.SubmitN = attrInt(where, a)
+				case "submit_stall":
+					f.SubmitStall = attrFloat(where, a)
 				}
 			}
 			curRegion.Funcs = append(curRegion.Funcs, f)

@@ -45,9 +45,12 @@ type htmlReport struct {
 	CommPct   string
 	GPUPct    string
 	IdlePct   string
-	Funcs     []htmlFunc
-	Ranks     []htmlRank
-	Balance   []htmlBalance
+	// SubmitStall is the job-wide command-queue submit stall; empty when
+	// the run did not model the queue layer, which drops the row.
+	SubmitStall string
+	Funcs       []htmlFunc
+	Ranks       []htmlRank
+	Balance     []htmlBalance
 }
 
 type htmlFunc struct {
@@ -55,6 +58,8 @@ type htmlFunc struct {
 	Time    string
 	Count   int64
 	PctWall string
+	Submits int64
+	Stall   string
 }
 
 type htmlRank struct {
@@ -90,11 +95,12 @@ td.l, th.l { text-align: left; }
 <tr><th class="l">%comm</th><td>{{.CommPct}}</td></tr>
 <tr><th class="l">%gpu</th><td>{{.GPUPct}}</td></tr>
 <tr><th class="l">%host idle</th><td>{{.IdlePct}}</td></tr>
-</table>
+{{if .SubmitStall}}<tr><th class="l">submit stall</th><td>{{.SubmitStall}}</td></tr>
+{{end}}</table>
 <h2>Events</h2>
 <table>
-<tr><th class="l">name</th><th>time [s]</th><th>count</th><th>%wall</th></tr>
-{{range .Funcs}}<tr><td class="l">{{.Name}}</td><td>{{.Time}}</td><td>{{.Count}}</td><td>{{.PctWall}}</td></tr>
+<tr><th class="l">name</th><th>time [s]</th><th>count</th><th>%wall</th><th>submits</th><th>stall [s]</th></tr>
+{{range .Funcs}}<tr><td class="l">{{.Name}}</td><td>{{.Time}}</td><td>{{.Count}}</td><td>{{.PctWall}}</td><td>{{.Submits}}</td><td>{{.Stall}}</td></tr>
 {{end}}</table>
 <h2>Tasks</h2>
 <table>
@@ -123,6 +129,9 @@ func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
 		GPUPct:    fmt.Sprintf("%.2f", jp.GPUPercent()),
 		IdlePct:   fmt.Sprintf("%.2f", jp.HostIdlePercent()),
 	}
+	if st := jp.TotalSubmitStall(); st > 0 {
+		rep.SubmitStall = secs(st) + " s"
+	}
 	fts := jp.FuncTotals()
 	for _, ft := range fts {
 		pct := 0.0
@@ -134,6 +143,8 @@ func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
 			Time:    secs(ft.Stats.Total),
 			Count:   ft.Stats.Count,
 			PctWall: fmt.Sprintf("%.2f", pct),
+			Submits: ft.Stats.Submits,
+			Stall:   secs(ft.Stats.SubmitStall),
 		})
 	}
 	for _, r := range jp.Ranks {

@@ -32,6 +32,11 @@ type CallSiteAgg struct {
 	PerCall  float64 `json:"per_call_seconds"`
 	WallPct  float64 `json:"wall_pct"`
 	Transfer bool    `json:"transfer,omitempty"`
+	// Submits/SubmitStallSeconds surface the driver command-queue layer:
+	// how many commands this call site pushed through a submission queue
+	// and the total virtual time they waited before device hand-off.
+	Submits            int64   `json:"submits,omitempty"`
+	SubmitStallSeconds float64 `json:"submit_stall_seconds,omitempty"`
 }
 
 // KernelAgg is one GPU kernel rolled up across streams, ranks and jobs.
@@ -62,6 +67,9 @@ type AggReport struct {
 	TransferSeconds  float64 `json:"transfer_seconds"`
 	HostIdleSeconds  float64 `json:"host_idle_seconds"`
 	MPISeconds       float64 `json:"mpi_seconds"`
+	// SubmitStallSeconds sums command-queue submit stall over every rank
+	// of every selected job (zero when no job modelled the queue layer).
+	SubmitStallSeconds float64 `json:"submit_stall_seconds,omitempty"`
 
 	// Fleet fractions of total rank wallclock: how busy the GPUs were
 	// and how long hosts sat blocked behind them.
@@ -135,7 +143,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	kernels := make(map[string]*ipm.Stats)
 	worst := make(map[string]ImbalanceAgg)
 
-	var wall, gpu, xfer, idle, mpi time.Duration
+	var wall, gpu, xfer, idle, mpi, stall time.Duration
 	for _, job := range jobs {
 		ro := job.roll()
 		rep.Ranks += job.Ranks
@@ -148,6 +156,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 		xfer += ro.xfer
 		idle += ro.idle
 		mpi += ro.mpi
+		stall += ro.stall
 		for name, st := range ro.sites {
 			acc, ok := sites[name]
 			if !ok {
@@ -180,6 +189,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	rep.TransferSeconds = xfer.Seconds()
 	rep.HostIdleSeconds = idle.Seconds()
 	rep.MPISeconds = mpi.Seconds()
+	rep.SubmitStallSeconds = stall.Seconds()
 	if wall > 0 {
 		rep.GPUBusyFraction = float64(gpu) / float64(wall)
 		rep.HostBlockedFraction = float64(idle) / float64(wall)
@@ -194,7 +204,9 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 			Errors:   acc.Errors,
 			Seconds:  acc.Total.Seconds(),
 			Transfer: !strings.HasPrefix(name, "@") && isTransfer(name),
+			Submits:  acc.Submits,
 		}
+		row.SubmitStallSeconds = acc.SubmitStall.Seconds()
 		if acc.Count > 0 {
 			row.PerCall = acc.Avg().Seconds()
 		}

@@ -106,7 +106,8 @@ func diffScan(t testing.TB, data []byte) bool {
 // and imbalance slices are interchangeable.
 func rollupEqual(a, b *rollup) bool {
 	if a.wall != b.wall || a.gpu != b.gpu || a.xfer != b.xfer ||
-		a.idle != b.idle || a.mpi != b.mpi || a.lostRanks != b.lostRanks {
+		a.idle != b.idle || a.mpi != b.mpi || a.stall != b.stall ||
+		a.lostRanks != b.lostRanks {
 		return false
 	}
 	if len(a.sites) != len(b.sites) || len(a.kernels) != len(b.kernels) ||

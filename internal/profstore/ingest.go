@@ -144,6 +144,14 @@ type rollupSink struct {
 	idle      time.Duration
 	mpi       time.Duration
 	lostRanks int
+
+	// Submit-stall fold. The task-level attribute wins when present;
+	// logs predating it fall back to summing the entry attributes —
+	// mirroring FromXML's re-derivation, so scanning stays differential
+	// with the parse path.
+	stall          time.Duration
+	taskStall      time.Duration
+	taskEntryStall time.Duration
 }
 
 func newRollupSink() *rollupSink {
@@ -163,6 +171,7 @@ func (k *rollupSink) reset() {
 	k.tasks = 0
 	k.wall, k.gpu, k.xfer, k.idle, k.mpi = 0, 0, 0, 0, 0
 	k.lostRanks = 0
+	k.stall, k.taskStall, k.taskEntryStall = 0, 0, 0
 	if len(k.accs) > maxAccCache {
 		k.accs = make(map[string]*nameAcc)
 	}
@@ -183,12 +192,22 @@ func (k *rollupSink) Header(h *ipm.ScanHeader) {
 func (k *rollupSink) TaskStart(t *ipm.ScanTask) {
 	k.taskIdx++
 	k.wall += t.Wallclock
+	k.taskStall = t.SubmitStall
+	k.taskEntryStall = 0
 	if t.Lost {
 		k.lostRanks++
 	}
 }
 
-func (k *rollupSink) TaskEnd() { k.tasks++ }
+func (k *rollupSink) TaskEnd() {
+	k.tasks++
+	if k.taskStall != 0 {
+		k.stall += k.taskStall
+	} else {
+		k.stall += k.taskEntryStall
+	}
+	k.taskStall, k.taskEntryStall = 0, 0
+}
 
 // lookup returns the accumulator for name, interning it on first sight
 // and lazily resetting stale per-run state.
@@ -234,8 +253,10 @@ func (k *rollupSink) Entry(e *ipm.ScanEntry) {
 	}
 	acc.curSum += total
 	acc.raw += total
+	k.taskEntryStall += e.SubmitStall
 	acc.merged.Merge(ipm.Stats{
 		Count: e.Count, Total: e.Total, Min: e.Min, Max: e.Max, Errors: e.Errors,
+		Submits: e.Submits, SubmitStall: e.SubmitStall,
 	})
 }
 
@@ -268,6 +289,7 @@ func isGPUExecB(b []byte) bool {
 func (k *rollupSink) build(jobID string) *rollup {
 	ro := &rollup{
 		wall: k.wall, gpu: k.gpu, xfer: k.xfer, idle: k.idle, mpi: k.mpi,
+		stall:     k.stall,
 		lostRanks: k.lostRanks,
 		sites:     make(map[string]ipm.Stats),
 		kernels:   make(map[string]ipm.Stats),

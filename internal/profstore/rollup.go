@@ -17,11 +17,12 @@ import (
 // A rollup is immutable once built; concurrent aggregations may read it
 // without locking.
 type rollup struct {
-	wall time.Duration // summed rank wallclock
-	gpu  time.Duration // @CUDA_EXEC_STRMxx stream totals
-	xfer time.Duration // host-side Memcpy/Memset call-site totals
-	idle time.Duration // @CUDA_HOST_IDLE
-	mpi  time.Duration // DomainMPI call sites
+	wall  time.Duration // summed rank wallclock
+	gpu   time.Duration // @CUDA_EXEC_STRMxx stream totals
+	xfer  time.Duration // host-side Memcpy/Memset call-site totals
+	idle  time.Duration // @CUDA_HOST_IDLE
+	mpi   time.Duration // DomainMPI call sites
+	stall time.Duration // command-queue submit stall summed over ranks
 
 	lostRanks int
 
@@ -46,6 +47,7 @@ func computeRollup(jp *ipm.JobProfile, jobID string) *rollup {
 	}
 	for _, r := range jp.Ranks {
 		ro.wall += r.Wallclock
+		ro.stall += r.SubmitStall
 		if r.Lost {
 			ro.lostRanks++
 		}

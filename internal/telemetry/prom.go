@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bufio"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -43,6 +44,7 @@ type Registry struct {
 	mu      sync.RWMutex
 	sources map[string][]Sample
 	hists   map[string]*Histogram
+	vecs    map[string]*Vec
 
 	publishes atomic.Uint64
 }
@@ -52,6 +54,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		sources: make(map[string][]Sample),
 		hists:   make(map[string]*Histogram),
+		vecs:    make(map[string]*Vec),
 	}
 }
 
@@ -82,6 +85,86 @@ func (g *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	h := NewHistogram(name, help, bounds)
 	g.hists[name] = h
 	return h
+}
+
+// Vec is a labeled metric family: one metric name, one label key, and a
+// lazily created cell per label value (`ipm_queue_depth{queue="ctx0/q0"}`
+// style). Per-queue metrics use it so a run with N queues does not need N
+// pre-registered series. Safe for concurrent use; the hot path (a
+// memoized *VecCell) is a single atomic op.
+type Vec struct {
+	name string
+	help string
+	typ  string // "counter" or "gauge"
+	key  string // label key
+
+	mu    sync.RWMutex
+	cells map[string]*VecCell
+}
+
+// VecCell is one series of a Vec. Values are float64 bits in an atomic
+// word; callers memoize the cell and Add/Set without further lookups.
+type VecCell struct {
+	bits atomic.Uint64
+}
+
+// Add increments the cell (counter-style).
+func (c *VecCell) Add(d float64) {
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Set replaces the cell value (gauge-style).
+func (c *VecCell) Set(v float64) { c.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current cell value.
+func (c *VecCell) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// With returns the cell for one label value, creating it on first use.
+func (v *Vec) With(labelValue string) *VecCell {
+	v.mu.RLock()
+	c, ok := v.cells[labelValue]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.cells[labelValue]; ok {
+		return c
+	}
+	c = &VecCell{}
+	v.cells[labelValue] = c
+	return c
+}
+
+func (g *Registry) vec(name, help, typ, labelKey string) *Vec {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.vecs[name]; ok {
+		return v
+	}
+	v := &Vec{name: name, help: help, typ: typ, key: labelKey, cells: make(map[string]*VecCell)}
+	g.vecs[name] = v
+	return v
+}
+
+// CounterVec returns the labeled counter family with the given name,
+// creating it on first use (help/labelKey are ignored when it already
+// exists, like Histogram).
+func (g *Registry) CounterVec(name, help, labelKey string) *Vec {
+	return g.vec(name, help, "counter", labelKey)
+}
+
+// GaugeVec returns the labeled gauge family with the given name, creating
+// it on first use.
+func (g *Registry) GaugeVec(name, help, labelKey string) *Vec {
+	return g.vec(name, help, "gauge", labelKey)
 }
 
 // fnum renders a metric value in the shortest exact form.
@@ -129,9 +212,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	for _, h := range g.hists {
 		hists = append(hists, h)
 	}
+	vecs := make([]*Vec, 0, len(g.vecs))
+	for _, v := range g.vecs {
+		vecs = append(vecs, v)
+	}
 	g.mu.RUnlock()
 
-	names := make([]string, 0, len(byFamily)+len(hists))
+	names := make([]string, 0, len(byFamily)+len(hists)+len(vecs))
 	for n := range byFamily {
 		names = append(names, n)
 	}
@@ -140,12 +227,21 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		histByName[h.name] = h
 		names = append(names, h.name)
 	}
+	vecByName := make(map[string]*Vec, len(vecs))
+	for _, v := range vecs {
+		vecByName[v.name] = v
+		names = append(names, v.name)
+	}
 	sort.Strings(names)
 
 	bw := bufio.NewWriter(w)
 	for _, name := range names {
 		if h, ok := histByName[name]; ok {
 			writeHistogram(bw, h)
+			continue
+		}
+		if v, ok := vecByName[name]; ok {
+			writeVec(bw, v)
 			continue
 		}
 		fam := byFamily[name]
@@ -184,6 +280,26 @@ func writeHistogram(bw *bufio.Writer, h *Histogram) {
 	bw.WriteString(h.name + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
 	bw.WriteString(h.name + "_sum " + fnum(h.Sum()) + "\n")
 	bw.WriteString(h.name + "_count " + strconv.FormatUint(cum, 10) + "\n")
+}
+
+// writeVec renders a labeled family, one line per cell sorted by label
+// value, so output stays deterministic however the cells were created.
+func writeVec(bw *bufio.Writer, v *Vec) {
+	if v.help != "" {
+		bw.WriteString("# HELP " + v.name + " " + v.help + "\n")
+	}
+	bw.WriteString("# TYPE " + v.name + " " + v.typ + "\n")
+	v.mu.RLock()
+	labels := make([]string, 0, len(v.cells))
+	for l := range v.cells {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		bw.WriteString(v.name + "{" + v.key + `="` + escapeLabel(l) + `"} ` +
+			fnum(v.cells[l].Value()) + "\n")
+	}
+	v.mu.RUnlock()
 }
 
 // Handler returns the /metrics HTTP handler.

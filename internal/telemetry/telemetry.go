@@ -53,6 +53,9 @@ const (
 	ClassIdle
 	// ClassLib is an accelerated-library call (CUBLAS, CUFFT).
 	ClassLib
+	// ClassQueue is driver command-queue activity (a batch submit span on
+	// a per-queue track).
+	ClassQueue
 	// ClassOther is everything else (I/O, OpenMP, pseudo entries).
 	ClassOther
 )
@@ -78,6 +81,8 @@ func (c SpanClass) String() string {
 		return "idle"
 	case ClassLib:
 		return "lib"
+	case ClassQueue:
+		return "queue"
 	}
 	return "other"
 }
@@ -98,6 +103,17 @@ type Span struct {
 // Duration returns the span length.
 func (s Span) Duration() time.Duration { return s.End - s.Start }
 
+// CounterPoint is one sample of a numeric counter track (e.g. a command
+// queue's depth over virtual time). The trace exporter renders counter
+// points as Chrome "C" events, which Perfetto draws as a stepped area
+// chart on its own track.
+type CounterPoint struct {
+	Track string
+	Name  string // series name within the track, e.g. "depth"
+	Time  time.Duration
+	Value float64
+}
+
 // DefaultCapacity is the default ring size: enough for the bundled
 // workloads at full scale while keeping the buffer tens of megabytes.
 const DefaultCapacity = 1 << 18
@@ -112,6 +128,13 @@ type Recorder struct {
 	mu    sync.Mutex
 	ring  []Span
 	total atomic.Uint64 // spans ever recorded (monotone)
+
+	// Counter points live in their own drop-oldest ring, allocated lazily
+	// on the first RecordCounter (runs without command queues pay nothing)
+	// at a quarter of the span capacity: depth samples are batched per
+	// flush, so they arrive far less often than spans.
+	cring  []CounterPoint
+	ctotal atomic.Uint64
 }
 
 // NewRecorder creates a recorder holding at most capacity spans.
@@ -134,6 +157,74 @@ func (r *Recorder) Record(s Span) {
 	r.ring[n%uint64(len(r.ring))] = s
 	r.total.Store(n + 1)
 	r.mu.Unlock()
+}
+
+// RecordCounter appends one counter point, overwriting the oldest if the
+// counter ring is full. Safe for concurrent use; a no-op on a nil
+// recorder.
+func (r *Recorder) RecordCounter(p CounterPoint) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.cring == nil {
+		c := len(r.ring) / 4
+		if c < 1024 {
+			c = 1024
+		}
+		r.cring = make([]CounterPoint, c)
+	}
+	n := r.ctotal.Load()
+	r.cring[n%uint64(len(r.cring))] = p
+	r.ctotal.Store(n + 1)
+	r.mu.Unlock()
+}
+
+// CounterTotal returns the number of counter points ever recorded,
+// including dropped ones.
+func (r *Recorder) CounterTotal() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ctotal.Load()
+}
+
+// CounterDropped returns how many counter points were overwritten before
+// being read.
+func (r *Recorder) CounterDropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	c := uint64(len(r.cring))
+	r.mu.Unlock()
+	if n := r.ctotal.Load(); c > 0 && n > c {
+		return n - c
+	}
+	return 0
+}
+
+// CounterSnapshot copies the retained counter points in recording order
+// (oldest first).
+func (r *Recorder) CounterSnapshot() []CounterPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.ctotal.Load()
+	if n == 0 {
+		return nil
+	}
+	c := uint64(len(r.cring))
+	if n <= c {
+		return append([]CounterPoint(nil), r.cring[:n]...)
+	}
+	oldest := n % c
+	out := make([]CounterPoint, 0, c)
+	out = append(out, r.cring[oldest:]...)
+	out = append(out, r.cring[:oldest]...)
+	return out
 }
 
 // Cap returns the ring capacity.

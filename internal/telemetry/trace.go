@@ -40,14 +40,21 @@ func splitTrack(track string) (proc, thread string) {
 
 // assignTracks maps every distinct track to a (pid, tid) pair: processes
 // numbered 1.. in sorted order, threads numbered 1.. in sorted track
-// order within each process.
-func assignTracks(spans []Span) (map[string]trackID, []string) {
+// order within each process. extra lists counter tracks that carry no
+// spans of their own but still need ids.
+func assignTracks(spans []Span, extra []string) (map[string]trackID, []string) {
 	seen := make(map[string]bool)
 	tracks := make([]string, 0, 8)
 	for _, s := range spans {
 		if !seen[s.Track] {
 			seen[s.Track] = true
 			tracks = append(tracks, s.Track)
+		}
+	}
+	for _, t := range extra {
+		if !seen[t] {
+			seen[t] = true
+			tracks = append(tracks, t)
 		}
 	}
 	sort.Strings(tracks)
@@ -82,6 +89,16 @@ func usec(ns int64) string {
 // WriteChromeTrace writes the spans as a Chrome Trace Event JSON
 // document loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
 func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return WriteChromeTraceCounters(w, spans, nil)
+}
+
+// WriteChromeTraceCounters writes spans plus counter tracks (Chrome "C"
+// events — queue depth over virtual time renders as a stepped area chart
+// in Perfetto). Counter points are emitted after the span events, sorted
+// by (time, track, name) with recording order as the final tiebreak, so
+// the document stays byte-identical for a fixed input. With no counters
+// the output is byte-identical to WriteChromeTrace.
+func WriteChromeTraceCounters(w io.Writer, spans []Span, counters []CounterPoint) error {
 	sorted := append([]Span(nil), spans...)
 	sort.SliceStable(sorted, func(i, j int) bool {
 		a, b := sorted[i], sorted[j]
@@ -96,7 +113,22 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		}
 		return a.Name < b.Name
 	})
-	ids, tracks := assignTracks(sorted)
+	csorted := append([]CounterPoint(nil), counters...)
+	sort.SliceStable(csorted, func(i, j int) bool {
+		a, b := csorted[i], csorted[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		return a.Name < b.Name
+	})
+	ctracks := make([]string, 0, 4)
+	for _, p := range csorted {
+		ctracks = append(ctracks, p.Track)
+	}
+	ids, tracks := assignTracks(sorted, ctracks)
 
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
@@ -145,6 +177,28 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 			sb.WriteString("}")
 		}
 		sb.WriteString("}")
+		emit(sb.String())
+	}
+
+	// Counter events. Chrome keys a counter by (pid, name); prefixing the
+	// thread keeps two queues of the same process on distinct charts.
+	for _, p := range csorted {
+		id := ids[p.Track]
+		_, thread := splitTrack(p.Track)
+		var sb strings.Builder
+		sb.WriteString("{\"ph\":\"C\",\"name\":")
+		sb.WriteString(jstr(thread + " " + p.Name))
+		sb.WriteString(",\"ts\":")
+		sb.WriteString(usec(int64(p.Time)))
+		sb.WriteString(",\"pid\":")
+		sb.WriteString(strconv.Itoa(id.pid))
+		sb.WriteString(",\"tid\":")
+		sb.WriteString(strconv.Itoa(id.tid))
+		sb.WriteString(",\"args\":{")
+		sb.WriteString(jstr(p.Name))
+		sb.WriteString(":")
+		sb.WriteString(strconv.FormatFloat(p.Value, 'g', -1, 64))
+		sb.WriteString("}}")
 		emit(sb.String())
 	}
 

@@ -1,0 +1,167 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// sampleCounters is the queue-depth counter track riding alongside
+// sampleSpans: two submission queues of one rank stepping their depth.
+func sampleCounters() []CounterPoint {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	return []CounterPoint{
+		{Track: "ctx0/q0", Name: "depth", Time: ms(1), Value: 1},
+		{Track: "ctx0/q0", Name: "depth", Time: ms(2), Value: 2},
+		{Track: "ctx0/q0", Name: "depth", Time: ms(3), Value: 0},
+		{Track: "ctx0/q1", Name: "depth", Time: ms(2), Value: 1},
+		{Track: "ctx0/q1", Name: "depth", Time: ms(6), Value: 0},
+	}
+}
+
+func TestChromeTraceCountersGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTraceCounters(&buf, sampleSpans(), sampleCounters()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_counters_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace output differs from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceCountersNilMatchesPlain guards the compatibility
+// contract: with no counters the two writers are byte-identical, so
+// every existing golden stays valid.
+func TestChromeTraceCountersNilMatchesPlain(t *testing.T) {
+	var plain, withNil bytes.Buffer
+	if err := WriteChromeTrace(&plain, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTraceCounters(&withNil, sampleSpans(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), withNil.Bytes()) {
+		t.Error("WriteChromeTraceCounters(nil) differs from WriteChromeTrace")
+	}
+}
+
+func TestChromeTraceCountersDeterministic(t *testing.T) {
+	spans, counters := sampleSpans(), sampleCounters()
+	var a, b bytes.Buffer
+	if err := WriteChromeTraceCounters(&a, spans, counters); err != nil {
+		t.Fatal(err)
+	}
+	rs := make([]Span, len(spans))
+	for i, s := range spans {
+		rs[len(spans)-1-i] = s
+	}
+	rc := make([]CounterPoint, len(counters))
+	for i, p := range counters {
+		rc[len(counters)-1-i] = p
+	}
+	if err := WriteChromeTraceCounters(&b, rs, rc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("counter trace output depends on input order")
+	}
+}
+
+func TestChromeTraceCountersSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTraceCounters(&buf, sampleSpans(), sampleCounters()); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var counters, lastX, firstC int
+	firstC = -1
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			lastX = i
+		case "C":
+			counters++
+			if firstC < 0 {
+				firstC = i
+			}
+			// The counter name is thread-prefixed so two queues of the
+			// same process chart separately; args carries the series.
+			if ev.Name != "q0 depth" && ev.Name != "q1 depth" {
+				t.Errorf("counter name = %q, want q0/q1 depth", ev.Name)
+			}
+			if _, ok := ev.Args["depth"]; !ok {
+				t.Errorf("counter %q missing depth arg: %v", ev.Name, ev.Args)
+			}
+			if ev.Pid == 0 || ev.Tid == 0 {
+				t.Errorf("counter %q missing pid/tid", ev.Name)
+			}
+		}
+	}
+	if counters != len(sampleCounters()) {
+		t.Errorf("counter events = %d, want %d", counters, len(sampleCounters()))
+	}
+	if firstC >= 0 && firstC < lastX {
+		t.Error("counter events interleaved with span events; want all counters after spans")
+	}
+	// The counter-only tracks still get thread metadata.
+	named := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if n, ok := ev.Args["name"].(string); ok {
+				named[n] = true
+			}
+		}
+	}
+	for _, th := range []string{"q0", "q1"} {
+		if !named[th] {
+			t.Errorf("missing thread_name metadata for counter track %q", th)
+		}
+	}
+}
+
+// TestCounterRing checks the recorder's counter ring: lazy allocation,
+// oldest-first snapshots, and drop accounting past capacity.
+func TestCounterRing(t *testing.T) {
+	rec := NewRecorder(16) // counter ring floors at 1024 points
+	if got := rec.CounterSnapshot(); got != nil {
+		t.Errorf("fresh recorder counter snapshot = %v, want nil", got)
+	}
+	const total = 1030 // 6 past the ring floor: oldest 6 overwritten
+	for i := 0; i < total; i++ {
+		rec.RecordCounter(CounterPoint{Track: "ctx0/q0", Name: "depth",
+			Time: time.Duration(i) * time.Millisecond, Value: float64(i)})
+	}
+	pts := rec.CounterSnapshot()
+	if len(pts) != 1024 {
+		t.Fatalf("snapshot holds %d points, want 1024 (capacity)", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(i + total - 1024); p.Value != want {
+			t.Fatalf("point %d value = %v, want %v (oldest-first order)", i, p.Value, want)
+		}
+	}
+	if rec.CounterTotal() != total || rec.CounterDropped() != total-1024 {
+		t.Errorf("total/dropped = %d/%d, want %d/%d", rec.CounterTotal(), rec.CounterDropped(), total, total-1024)
+	}
+	var nilRec *Recorder
+	nilRec.RecordCounter(CounterPoint{}) // nil-safe no-op
+	if nilRec.CounterSnapshot() != nil || nilRec.CounterTotal() != 0 {
+		t.Error("nil recorder counter accessors not zero")
+	}
+}

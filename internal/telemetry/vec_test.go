@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestVecRender(t *testing.T) {
+	g := NewRegistry()
+	depth := g.GaugeVec("ipm_queue_depth", "Queued commands.", "queue")
+	flushes := g.CounterVec("ipm_queue_flushes_total", "Batches submitted.", "queue")
+	// Cells created out of label order: render must sort by label value.
+	depth.With("ctx1/q0").Set(3)
+	depth.With("ctx0/q0").Set(1)
+	flushes.With("ctx0/q0").Add(2)
+	flushes.With("ctx0/q0").Add(3)
+
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ipm_queue_depth Queued commands.
+# TYPE ipm_queue_depth gauge
+ipm_queue_depth{queue="ctx0/q0"} 1
+ipm_queue_depth{queue="ctx1/q0"} 3
+# HELP ipm_queue_flushes_total Batches submitted.
+# TYPE ipm_queue_flushes_total counter
+ipm_queue_flushes_total{queue="ctx0/q0"} 5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("vec render:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestVecLabelEscaping(t *testing.T) {
+	g := NewRegistry()
+	v := g.GaugeVec("odd_labels", "", "queue")
+	v.With(`ctx"0\q` + "\n" + `0`).Set(1)
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE odd_labels gauge
+odd_labels{queue="ctx\"0\\q\n0"} 1
+`
+	if got := sb.String(); got != want {
+		t.Errorf("escaped render:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestVecRenderDeterministic(t *testing.T) {
+	render := func(labels []string) string {
+		g := NewRegistry()
+		v := g.CounterVec("ipm_queue_flushes_total", "Flushes.", "queue")
+		for i, l := range labels {
+			v.With(l).Add(float64(i + 1))
+		}
+		var sb strings.Builder
+		if err := g.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := render([]string{"ctx0/q0", "ctx1/q0", "ctx2/q0"})
+	// Same cells created in reverse order with the values adjusted to
+	// match: render output must not depend on creation order.
+	g := NewRegistry()
+	v := g.CounterVec("ipm_queue_flushes_total", "Flushes.", "queue")
+	v.With("ctx2/q0").Add(3)
+	v.With("ctx1/q0").Add(2)
+	v.With("ctx0/q0").Add(1)
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if b := sb.String(); a != b {
+		t.Errorf("render depends on cell creation order:\n%s\nvs:\n%s", a, b)
+	}
+}
+
+func TestVecFirstRegistrationWins(t *testing.T) {
+	g := NewRegistry()
+	a := g.CounterVec("m", "first help", "queue")
+	b := g.CounterVec("m", "ignored", "other")
+	if a != b {
+		t.Fatal("same name returned distinct Vec instances")
+	}
+	var sb strings.Builder
+	if err := g.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.Contains(got, "first help") || strings.Contains(got, "ignored") {
+		t.Errorf("second registration overrode the first: %s", got)
+	}
+}
+
+func TestVecCellConcurrency(t *testing.T) {
+	g := NewRegistry()
+	v := g.CounterVec("c", "", "queue")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cell := v.With("shared")
+			for i := 0; i < 1000; i++ {
+				cell.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.With("shared").Value(); got != 8000 {
+		t.Errorf("concurrent adds lost updates: %v, want 8000", got)
+	}
+}
