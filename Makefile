@@ -10,7 +10,7 @@ BENCH_OUT ?= BENCH_pr7.json
 BENCH_BASE ?= BENCH_pr6.json
 BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord|BenchmarkQueueSubmit
 
-.PHONY: build vet test race race-faults serve serve-load serve-e2e fuzz verify bench bench-check profile experiments trace faults clean
+.PHONY: build vet test race race-faults serve serve-load serve-e2e soak soak-short fuzz verify bench bench-check profile experiments trace faults clean
 
 build:
 	$(GO) build ./...
@@ -52,16 +52,29 @@ serve-load:
 serve-e2e:
 	$(GO) test -race -run ServeE2E .
 
+# Kill/restart durability soak: ipmserve re-execs itself as a child
+# server over a WAL, sustains concurrent ingest, SIGKILLs the child
+# mid-ingest N times, and gates on byte-identical /agg + /regress vs a
+# never-killed reference and zero lost acknowledged jobs. `soak-short`
+# is the bounded CI variant wired into `make verify`.
+soak:
+	$(GO) run ./cmd/ipmserve -soak -soak-jobs 400 -soak-cycles 6 -soak-timeout 120s
+
+soak-short:
+	$(GO) run ./cmd/ipmserve -soak -soak-jobs 80 -soak-cycles 3 -soak-timeout 30s
+
 # Short native-fuzz pass over both parser entry points (strict and
-# tolerant) and the streaming-scanner differential; longer sessions:
+# tolerant), the streaming-scanner differential, and the framed-WAL
+# replay path; longer sessions:
 # go test -fuzz FuzzScanVsParse ./internal/profstore
 FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ipmparse
 	$(GO) test -run '^$$' -fuzz FuzzTolerant -fuzztime $(FUZZTIME) ./internal/ipmparse
 	$(GO) test -run '^$$' -fuzz FuzzScanVsParse -fuzztime $(FUZZTIME) ./internal/profstore
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/profstore
 
-verify: build vet test race-faults serve-e2e fuzz bench-check
+verify: build vet test race-faults serve-e2e soak-short fuzz bench-check
 
 # -p 1 serialises the per-package test binaries: the ensemble benchmarks
 # saturate all cores, and letting them run beside the nanosecond-scale

@@ -224,11 +224,15 @@ func main() {
 				Backoff:     faultsim.Dur(200 * time.Millisecond),
 				MaxBackoff:  faultsim.Dur(2 * time.Second),
 			},
+			Reg: reg, // ipm_ingest_{posts,retries,failures}_total on -metrics-addr
 		}
 		id, attempts, err := poster.PostProfile(res.Profile, *ingestID, tags)
+		st := poster.Stats()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "warning: ingest to %s failed after %d attempt(s): %v (run unaffected)\n",
-				*ingest, attempts, err)
+			fmt.Fprintf(os.Stderr, "warning: ingest to %s failed after %d attempt(s) (%d retried, %d failed): %v (run unaffected)\n",
+				*ingest, attempts, st.Retries, st.Failures, err)
+		} else if st.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "profile ingested as %s after %d attempt(s) (%d retried)\n", id, attempts, st.Retries)
 		} else {
 			fmt.Fprintf(os.Stderr, "profile ingested as %s (%d attempt(s))\n", id, attempts)
 		}

@@ -5,35 +5,47 @@
 //
 // Usage:
 //
-//	ipmserve [-addr :8080] [-wal results/profstore.wal]
+//	ipmserve [-addr :8080] [-wal results/profstore.wal] [-compact-every N]
 //
 // Endpoints:
 //
 //	POST /ingest?id=&tags=a,b   ingest one IPM XML log (tolerant parse)
+//	POST /compact               fold snapshot+WAL and truncate the log
 //	GET  /jobs[?sel=&format=html]
 //	GET  /job/{id}
 //	GET  /agg[?sel=tag:T&top=N&format=html]
 //	GET  /regress?base=&head=[&threshold=PCT&format=html]
+//	GET  /healthz               liveness; /readyz = writable (503 when
+//	                            draining or degraded read-only)
 //	GET  /metrics               Prometheus text format
 //
 // Selectors are a job id, "tag:T" or "cmd:C"; /regress compares two
 // jobs or two tag-sets per call-site signature.
 //
+// SIGTERM/SIGINT trigger graceful shutdown: /readyz flips to 503, in-
+// flight requests drain, the WAL is flushed and fsynced, and with
+// -snapshot-on-exit the corpus is compacted before exit.
+//
 // With -selftest the command runs the built-in load generator instead
-// of serving: it ingests a synthetic corpus concurrently while querying
-// /agg, then proves query determinism across reads and across a WAL
-// kill/recover cycle, exiting non-zero on any violation.
+// of serving; with -soak it runs the kill/restart durability harness,
+// re-executing itself as the server child and repeatedly SIGKILLing it
+// mid-ingest. Both exit non-zero on any violation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"ipmgo/internal/faultsim"
 	"ipmgo/internal/profstore"
 	"ipmgo/internal/telemetry"
 )
@@ -41,18 +53,28 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	wal := flag.String("wal", "", "append-only WAL path; empty = in-memory store")
+	walSync := flag.Int("wal-sync", 1, "fsync the WAL every N appends (1 = every acked ingest is on disk)")
+	compactEvery := flag.Int("compact-every", 0, "snapshot+truncate the WAL after N appends (0 = only via POST /compact)")
+	snapOnExit := flag.Bool("snapshot-on-exit", false, "compact the WAL into a snapshot during graceful shutdown")
+	diskFaults := flag.String("disk-faults", "", "JSON disk-fault plan injected into the WAL write path (see testdata/faults/)")
 	selftest := flag.Bool("selftest", false, "run the load generator + determinism checks and exit")
 	withPprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling a live store)")
 	jobs := flag.Int("selftest-jobs", 120, "selftest: synthetic profiles to ingest")
 	workers := flag.Int("selftest-workers", 8, "selftest: concurrent ingest workers")
+	soak := flag.Bool("soak", false, "run the kill/restart soak harness and exit")
+	soakJobs := flag.Int("soak-jobs", 200, "soak: synthetic profiles to ingest")
+	soakWorkers := flag.Int("soak-workers", 4, "soak: concurrent ingest workers")
+	soakCycles := flag.Int("soak-cycles", 3, "soak: SIGKILL/restart cycles")
+	soakTimeout := flag.Duration("soak-timeout", 120*time.Second, "soak: wall-clock budget")
 	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
 
 	if *selftest {
 		rep, err := profstore.SelfTest(profstore.SelfTestOptions{
-			Jobs: *jobs, Workers: *workers,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			},
+			Jobs: *jobs, Workers: *workers, Logf: logf,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipmserve: selftest FAILED:", err)
@@ -63,20 +85,67 @@ func main() {
 		return
 	}
 
-	var store *profstore.Store
-	if *wal != "" {
-		var recovered, skipped int
-		var err error
-		store, recovered, skipped, err = profstore.Open(*wal)
+	if *soak {
+		exe, err := os.Executable()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ipmserve:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "ipmserve: WAL %s: %d job(s) recovered, %d record(s) skipped\n",
-			*wal, recovered, skipped)
+		rep, err := profstore.Soak(profstore.SoakOptions{
+			ServerCmd: []string{exe},
+			Jobs:      *soakJobs, Workers: *soakWorkers, Cycles: *soakCycles,
+			CompactEvery: *compactEvery, Timeout: *soakTimeout, Logf: logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve: soak FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("soak ok: %d jobs acked (%d retried through kill windows), %d kills, %d restarts, /agg byte-identical (%d bytes), %v\n",
+			rep.Acked, rep.Retried, rep.Kills, rep.Restarts, rep.AggBytes, rep.Elapsed.Round(time.Millisecond))
+		return
+	}
+
+	var store *profstore.Store
+	if *wal != "" {
+		opts := profstore.StoreOptions{
+			SyncEvery:    *walSync,
+			CompactEvery: *compactEvery,
+			OnSnapshot: func(info profstore.SnapshotInfo, err error) {
+				if err != nil {
+					logf("ipmserve: background compaction failed: %v", err)
+					return
+				}
+				logf("ipmserve: compacted %d job(s) into %s (%d stale record(s) dropped)",
+					info.Jobs, info.Path, info.Dropped)
+			},
+		}
+		if *diskFaults != "" {
+			plan, err := faultsim.LoadDiskPlan(*diskFaults)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipmserve:", err)
+				os.Exit(1)
+			}
+			opts.WrapWAL = func(inner profstore.WriteSyncer) profstore.WriteSyncer {
+				return plan.Wrap(inner)
+			}
+			logf("ipmserve: WAL disk-fault injection armed from %s (%d fault(s))", *diskFaults, len(plan.Faults))
+		}
+		var st profstore.RecoveryStats
+		var err error
+		store, st, err = profstore.OpenStore(*wal, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve:", err)
+			os.Exit(1)
+		}
+		if st.SnapshotSeq != 0 {
+			logf("ipmserve: WAL %s: %d job(s) recovered (%d from snapshot %d, %d WAL record(s) replayed), %d skipped",
+				*wal, st.Recovered, st.SnapshotJobs, st.SnapshotSeq, st.WALRecords, st.Skipped)
+		} else {
+			logf("ipmserve: WAL %s: %d job(s) recovered, %d record(s) skipped", *wal, st.Recovered, st.Skipped)
+		}
 	} else {
 		store = profstore.New()
-		fmt.Fprintln(os.Stderr, "ipmserve: in-memory store (no -wal; corpus is lost on exit)")
+		logf("ipmserve: in-memory store (no -wal; corpus is lost on exit)")
 	}
 	defer store.Close()
 
@@ -99,16 +168,52 @@ func main() {
 			}
 			app.ServeHTTP(w, r)
 		})
-		fmt.Fprintln(os.Stderr, "ipmserve: pprof enabled under /debug/pprof/")
+		logf("ipmserve: pprof enabled under /debug/pprof/")
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipmserve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "ipmserve: serving on http://%s/ (%d job(s) loaded)\n", ln.Addr(), store.Len())
-	if err := http.Serve(ln, handler); err != nil {
+	logf("ipmserve: serving on http://%s/ (%d job(s) loaded)", ln.Addr(), store.Len())
+
+	hs := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
 		fmt.Fprintln(os.Stderr, "ipmserve:", err)
 		os.Exit(1)
+	case sig := <-sigc:
+		// Graceful shutdown: stop advertising readiness, drain in-flight
+		// requests, then flush (and optionally compact) the WAL. A second
+		// signal — or the drain deadline — forces the exit; the WAL makes
+		// even that safe.
+		logf("ipmserve: %v: draining", sig)
+		srv.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		go func() {
+			<-sigc
+			cancel()
+		}()
+		if err := hs.Shutdown(ctx); err != nil {
+			logf("ipmserve: drain cut short: %v", err)
+		}
+		cancel()
+		if *snapOnExit {
+			if info, err := store.Snapshot(); err != nil {
+				logf("ipmserve: snapshot on exit failed: %v", err)
+			} else {
+				logf("ipmserve: compacted %d job(s) into %s", info.Jobs, info.Path)
+			}
+		}
+		if err := store.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve: closing store:", err)
+			os.Exit(1)
+		}
+		logf("ipmserve: WAL flushed, bye")
 	}
 }

@@ -1,0 +1,179 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// Disk-fault injection: the storage twin of the CUDA Injector. A
+// FaultyWriter wraps the WriteSyncer a durable store appends through
+// (in practice profstore's WAL file) and fails deterministic operations
+// according to a DiskPlan — EIO on write or fsync, a short write, or a
+// full disk. Plans are keyed by operation index, not wall time, so a
+// test or soak run injects the same fault at the same append every run.
+
+// WriteSyncer is the write-plus-fsync surface a durable log appends
+// through. *os.File satisfies it; so does FaultyWriter, which is the
+// point: the wrapper is transparent to the store.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
+
+// Disk fault kinds.
+const (
+	DiskEIO   = "eio"   // the operation fails with EIO
+	DiskShort = "short" // a write stops halfway (io.ErrShortWrite)
+	DiskFull  = "full"  // the operation fails with ENOSPC
+)
+
+// DiskFault is one injected storage fault.
+type DiskFault struct {
+	// Op selects the operation stream: "write" or "sync".
+	Op string `json:"op"`
+	// At is the 1-based index of the Op-type operation at (and, while
+	// the occurrence budget lasts, after) which the fault fires.
+	At int `json:"at"`
+	// Kind is the failure mode: "eio", "short" (write only) or "full".
+	Kind string `json:"kind"`
+	// Count bounds the occurrences: 0 means one, -1 means sticky (every
+	// eligible operation fails — a dead disk rather than a glitch).
+	Count int `json:"count,omitempty"`
+}
+
+// DiskPlan is a deterministic schedule of storage faults.
+type DiskPlan struct {
+	Comment string      `json:"comment,omitempty"`
+	Faults  []DiskFault `json:"faults"`
+}
+
+// ParseDiskPlan decodes and validates a JSON disk-fault plan.
+func ParseDiskPlan(data []byte) (*DiskPlan, error) {
+	var p DiskPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faultsim: parsing disk plan: %w", err)
+	}
+	for i, f := range p.Faults {
+		switch f.Op {
+		case "write", "sync":
+		default:
+			return nil, fmt.Errorf("faultsim: disk fault %d: unknown op %q (want write or sync)", i, f.Op)
+		}
+		switch f.Kind {
+		case DiskEIO, DiskFull:
+		case DiskShort:
+			if f.Op != "write" {
+				return nil, fmt.Errorf("faultsim: disk fault %d: kind short applies only to writes", i)
+			}
+		default:
+			return nil, fmt.Errorf("faultsim: disk fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.At < 1 {
+			return nil, fmt.Errorf("faultsim: disk fault %d: at must be >= 1 (operation index)", i)
+		}
+		if f.Count < -1 {
+			return nil, fmt.Errorf("faultsim: disk fault %d: bad count %d", i, f.Count)
+		}
+	}
+	return &p, nil
+}
+
+// LoadDiskPlan reads a disk-fault plan from a JSON file.
+func LoadDiskPlan(path string) (*DiskPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: reading disk plan: %w", err)
+	}
+	return ParseDiskPlan(data)
+}
+
+// armedDisk is one disk fault with its remaining occurrence budget.
+type armedDisk struct {
+	f    DiskFault
+	left int // -1 = sticky
+}
+
+// FaultyWriter injects the plan's faults into an inner WriteSyncer.
+// Not safe for concurrent use on its own; the store's WAL mutex already
+// serialises appends, which is the seam it is meant to wrap.
+type FaultyWriter struct {
+	inner  WriteSyncer
+	armed  []armedDisk
+	writes int // operations seen per stream, 1-based after increment
+	syncs  int
+
+	injected int64
+}
+
+// Wrap builds the fault-injecting wrapper around inner.
+func (p *DiskPlan) Wrap(inner WriteSyncer) *FaultyWriter {
+	fw := &FaultyWriter{inner: inner}
+	for _, f := range p.Faults {
+		left := f.Count
+		if left == 0 {
+			left = 1
+		}
+		fw.armed = append(fw.armed, armedDisk{f: f, left: left})
+	}
+	return fw
+}
+
+// Injected returns the number of faults delivered so far.
+func (fw *FaultyWriter) Injected() int64 { return fw.injected }
+
+// pick returns the first armed fault eligible for the op at index n,
+// consuming one occurrence.
+func (fw *FaultyWriter) pick(op string, n int) *DiskFault {
+	for i := range fw.armed {
+		a := &fw.armed[i]
+		if a.f.Op != op || a.left == 0 || n < a.f.At {
+			continue
+		}
+		if a.left > 0 {
+			a.left--
+		}
+		fw.injected++
+		return &a.f
+	}
+	return nil
+}
+
+func diskErr(kind string) error {
+	switch kind {
+	case DiskFull:
+		return fmt.Errorf("faultsim: injected disk full: %w", syscall.ENOSPC)
+	default:
+		return fmt.Errorf("faultsim: injected I/O error: %w", syscall.EIO)
+	}
+}
+
+// Write passes through to the inner writer unless a write fault is due.
+// A short write commits half the buffer for real — the torn-record shape
+// a crash mid-append leaves on disk — before reporting failure.
+func (fw *FaultyWriter) Write(b []byte) (int, error) {
+	fw.writes++
+	f := fw.pick("write", fw.writes)
+	if f == nil {
+		return fw.inner.Write(b)
+	}
+	if f.Kind == DiskShort {
+		n, err := fw.inner.Write(b[:len(b)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	return 0, diskErr(f.Kind)
+}
+
+// Sync passes through unless a sync fault is due.
+func (fw *FaultyWriter) Sync() error {
+	fw.syncs++
+	if f := fw.pick("sync", fw.syncs); f != nil {
+		return diskErr(f.Kind)
+	}
+	return fw.inner.Sync()
+}

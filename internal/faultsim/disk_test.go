@@ -1,0 +1,121 @@
+package faultsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// memWS is an in-memory WriteSyncer recording what reached the "disk".
+type memWS struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (m *memWS) Write(b []byte) (int, error) { return m.buf.Write(b) }
+func (m *memWS) Sync() error                 { m.syncs++; return nil }
+
+func TestDiskPlanValidation(t *testing.T) {
+	bad := []string{
+		`{"faults":[{"op":"read","at":1,"kind":"eio"}]}`,
+		`{"faults":[{"op":"write","at":0,"kind":"eio"}]}`,
+		`{"faults":[{"op":"write","at":1,"kind":"rot"}]}`,
+		`{"faults":[{"op":"sync","at":1,"kind":"short"}]}`,
+		`{"faults":[{"op":"write","at":1,"kind":"eio","count":-2}]}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		if _, err := ParseDiskPlan([]byte(s)); err == nil {
+			t.Errorf("plan %s parsed without error", s)
+		}
+	}
+	good := `{"comment":"c","faults":[{"op":"write","at":3,"kind":"short"},{"op":"sync","at":1,"kind":"full","count":-1}]}`
+	if _, err := ParseDiskPlan([]byte(good)); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+func TestFaultyWriterDeterministicFiring(t *testing.T) {
+	plan, err := ParseDiskPlan([]byte(`{"faults":[{"op":"write","at":3,"kind":"eio"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		m := &memWS{}
+		fw := plan.Wrap(m)
+		for i := 1; i <= 5; i++ {
+			_, err := fw.Write([]byte("x"))
+			if i == 3 {
+				if !errors.Is(err, syscall.EIO) {
+					t.Fatalf("run %d write %d: err = %v, want EIO", run, i, err)
+				}
+			} else if err != nil {
+				t.Fatalf("run %d write %d failed: %v", run, i, err)
+			}
+		}
+		if got := m.buf.String(); got != "xxxx" {
+			t.Errorf("run %d: disk holds %q, want 4 writes through", run, got)
+		}
+		if fw.Injected() != 1 {
+			t.Errorf("run %d: injected = %d, want 1", run, fw.Injected())
+		}
+	}
+}
+
+func TestFaultyWriterShortWriteCommitsHalf(t *testing.T) {
+	plan, err := ParseDiskPlan([]byte(`{"faults":[{"op":"write","at":1,"kind":"short"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &memWS{}
+	fw := plan.Wrap(m)
+	n, werr := fw.Write([]byte("abcdefgh"))
+	if werr != io.ErrShortWrite || n != 4 {
+		t.Fatalf("short write: n=%d err=%v, want 4, ErrShortWrite", n, werr)
+	}
+	if m.buf.String() != "abcd" {
+		t.Errorf("disk holds %q, want the torn half %q", m.buf.String(), "abcd")
+	}
+}
+
+func TestFaultyWriterStickySyncFull(t *testing.T) {
+	plan, err := ParseDiskPlan([]byte(`{"faults":[{"op":"sync","at":2,"kind":"full","count":-1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &memWS{}
+	fw := plan.Wrap(m)
+	if err := fw.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if err := fw.Sync(); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("sync %d: err = %v, want sticky ENOSPC", i, err)
+		}
+	}
+	if m.syncs != 1 {
+		t.Errorf("inner syncs = %d, want 1", m.syncs)
+	}
+}
+
+// TestSampleDiskPlansParse keeps the shipped disk-fault recipes valid:
+// every testdata/faults/disk_*.json must load.
+func TestSampleDiskPlansParse(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "faults", "disk_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no sample disk plans found: %v", err)
+	}
+	for _, m := range matches {
+		p, err := LoadDiskPlan(m)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if len(p.Faults) == 0 || p.Comment == "" {
+			t.Errorf("%s: sample plans must carry faults and a comment", m)
+		}
+	}
+}

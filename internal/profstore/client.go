@@ -7,11 +7,14 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ipmgo/internal/faultsim"
 	"ipmgo/internal/ipm"
+	"ipmgo/internal/telemetry"
 )
 
 // This file is the ingest client side: how a finished run posts its
@@ -21,6 +24,30 @@ import (
 // failure mode is the same: a transient infrastructure hiccup that a
 // bounded number of spaced retries rides out, and that must degrade
 // into a warning rather than fail the job.
+//
+// One failure mode gets special treatment: a 503 with a Retry-After
+// header is the store saying "up, but not accepting writes right now"
+// (read-only degradation, shutdown drain). That is not a dead server —
+// the client honors the advertised delay and retries on a separate,
+// more patient budget instead of burning its transient-failure attempts.
+
+// Client metric names (published when Poster.Reg is set).
+const (
+	MetricIngestPosts    = "ipm_ingest_posts_total"
+	MetricIngestRetries  = "ipm_ingest_retries_total"
+	MetricIngestFailures = "ipm_ingest_failures_total"
+)
+
+// maxRetryAfter caps how long the client believes a Retry-After header;
+// a degraded store advertising an hour should not stall a job epilogue.
+const maxRetryAfter = 10 * time.Second
+
+// PosterStats are the cumulative counters of one Poster.
+type PosterStats struct {
+	Posts    int64 // documents posted (success or final failure)
+	Retries  int64 // extra attempts beyond the first, per document
+	Failures int64 // documents that exhausted every attempt
+}
 
 // Poster posts IPM XML profiles to an ipmserve /ingest endpoint with
 // capped-backoff retry.
@@ -30,12 +57,45 @@ type Poster struct {
 	// Policy is the retry schedule; the zero value means 3 attempts with
 	// 100µs..10ms capped exponential backoff (faultsim defaults).
 	Policy faultsim.RetryPolicy
+	// ReadOnlyAttempts bounds the retries spent on 503+Retry-After
+	// responses (a degraded or draining store). 0 means 8. These do not
+	// consume the transient-failure budget in Policy.
+	ReadOnlyAttempts int
 	// Client is the HTTP client; nil uses a 10s-timeout default.
 	Client *http.Client
 	// Sleep is the backoff sleep, injectable for tests; nil = time.Sleep.
 	// Unlike Resilient this runs after the simulation, so it waits in
 	// wall time, not virtual time.
 	Sleep func(time.Duration)
+	// Reg, when non-nil, receives the poster counters as
+	// ipm_ingest_{posts,retries,failures}_total on every post.
+	Reg *telemetry.Registry
+
+	posts    atomic.Int64
+	retries  atomic.Int64
+	failures atomic.Int64
+}
+
+// Stats returns the cumulative post/retry/failure counters.
+func (p *Poster) Stats() PosterStats {
+	return PosterStats{
+		Posts:    p.posts.Load(),
+		Retries:  p.retries.Load(),
+		Failures: p.failures.Load(),
+	}
+}
+
+// publish pushes the counters into the registry (no-op without one).
+func (p *Poster) publish() {
+	if p.Reg == nil {
+		return
+	}
+	st := p.Stats()
+	p.Reg.Publish("ingestclient", []telemetry.Sample{
+		{Name: MetricIngestPosts, Help: "Profiles posted to the store (success or final failure).", Type: "counter", Value: float64(st.Posts)},
+		{Name: MetricIngestRetries, Help: "Ingest attempts beyond the first.", Type: "counter", Value: float64(st.Retries)},
+		{Name: MetricIngestFailures, Help: "Profiles that exhausted every ingest attempt.", Type: "counter", Value: float64(st.Failures)},
+	})
 }
 
 // ingestURL builds the final /ingest URL with id and tags parameters.
@@ -67,8 +127,9 @@ func retryableStatus(code int) bool {
 }
 
 // PostXML posts one XML document, retrying transient failures with the
-// capped backoff schedule. It returns the attempts made alongside the
-// final error, so the caller can log how hard the post had to try.
+// capped backoff schedule and honoring Retry-After on 503s from a
+// degraded store. It returns the attempts made alongside the final
+// error, so the caller can log how hard the post had to try.
 func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, err error) {
 	target, err := p.ingestURL(id, tags)
 	if err != nil {
@@ -82,21 +143,49 @@ func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, er
 	if sleep == nil {
 		sleep = time.Sleep
 	}
+	p.posts.Add(1)
+	defer func() {
+		if attempts > 1 {
+			p.retries.Add(int64(attempts - 1))
+		}
+		if err != nil {
+			p.failures.Add(1)
+		}
+		p.publish()
+	}()
 	budget := p.Policy.Attempts()
-	for attempt := 0; ; attempt++ {
+	roBudget := p.ReadOnlyAttempts
+	if roBudget <= 0 {
+		roBudget = 8
+	}
+	for attempt, roAttempt := 0, 0; ; {
 		attempts++
 		err = postOnce(client, target, xml)
 		if err == nil {
 			return attempts, nil
 		}
 		var se *statusError
-		if errors.As(err, &se) && !retryableStatus(se.code) {
-			return attempts, err // permanent rejection
+		if errors.As(err, &se) {
+			if se.retryAfter > 0 && se.code == http.StatusServiceUnavailable {
+				// The store is alive but not writable (read-only
+				// degradation or shutdown drain): wait as told, on the
+				// patient budget.
+				if p.Policy.Disable || roAttempt >= roBudget-1 {
+					return attempts, err
+				}
+				roAttempt++
+				sleep(se.retryAfter)
+				continue
+			}
+			if !retryableStatus(se.code) {
+				return attempts, err // permanent rejection
+			}
 		}
 		if p.Policy.Disable || attempt >= budget-1 {
 			return attempts, err
 		}
 		sleep(p.Policy.BackoffFor(attempt))
+		attempt++
 	}
 }
 
@@ -116,12 +205,31 @@ func (p *Poster) PostProfile(jp *ipm.JobProfile, id string, tags []string) (stri
 
 // statusError is a non-2xx ingest response.
 type statusError struct {
-	code int
-	body string
+	code       int
+	body       string
+	retryAfter time.Duration // parsed Retry-After header, 0 if absent
 }
 
 func (e *statusError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.code, e.body)
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value, capped at
+// maxRetryAfter. (The HTTP-date form is not produced by ipmserve and is
+// ignored.)
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 func postOnce(client *http.Client, target string, xml []byte) error {
@@ -132,7 +240,11 @@ func postOnce(client *http.Client, target string, xml []byte) error {
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &statusError{code: resp.StatusCode, body: strings.TrimSpace(string(body))}
+		return &statusError{
+			code:       resp.StatusCode,
+			body:       strings.TrimSpace(string(body)),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil

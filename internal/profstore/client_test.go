@@ -103,3 +103,97 @@ func TestPosterURLForms(t *testing.T) {
 		t.Errorf("explicit /ingest URL rewritten: %s", u)
 	}
 }
+
+// readonlyHandler answers 503 + Retry-After for the first n requests —
+// a store degraded to read-only — then recovers.
+type readonlyHandler struct {
+	fails atomic.Int64
+	next  http.Handler
+}
+
+func (h *readonlyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.fails.Add(-1) >= 0 {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "read-only", http.StatusServiceUnavailable)
+		return
+	}
+	h.next.ServeHTTP(w, r)
+}
+
+// TestPosterHonorsRetryAfter: a 503 with Retry-After is a live-but-
+// degraded store, not a dead one — the client must sleep the advertised
+// delay on its separate, patient budget and succeed once the store
+// recovers, even with no transient-retry budget at all.
+func TestPosterHonorsRetryAfter(t *testing.T) {
+	store := New()
+	h := &readonlyHandler{next: NewServer(store, telemetry.NewRegistry()).Handler()}
+	h.fails.Store(2)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var slept []time.Duration
+	p := &Poster{
+		URL:    ts.URL,
+		Policy: faultsim.RetryPolicy{MaxAttempts: 1}, // zero transient retries
+		Sleep:  func(d time.Duration) { slept = append(slept, d) },
+	}
+	id, attempts, err := p.PostProfile(SyntheticProfile(9, 0), "", nil)
+	if err != nil {
+		t.Fatalf("post through read-only window failed: %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (two 503s then success)", attempts)
+	}
+	if len(slept) != 2 || slept[0] != 2*time.Second || slept[1] != 2*time.Second {
+		t.Errorf("slept %v, want the advertised [2s 2s]", slept)
+	}
+	if store.Get(id) == nil {
+		t.Error("profile not stored after recovery")
+	}
+	st := p.Stats()
+	if st.Posts != 1 || st.Retries != 2 || st.Failures != 0 {
+		t.Errorf("stats = %+v, want 1 post, 2 retries, 0 failures", st)
+	}
+}
+
+func TestPosterReadOnlyBudgetBounded(t *testing.T) {
+	h := &readonlyHandler{}
+	h.fails.Store(1000) // never recovers
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	sleeps := 0
+	p := &Poster{
+		URL:              ts.URL,
+		Policy:           faultsim.RetryPolicy{MaxAttempts: 1},
+		ReadOnlyAttempts: 3,
+		Sleep:            func(time.Duration) { sleeps++ },
+	}
+	attempts, err := p.PostXML(syntheticXML(t, 9, 1), "", nil)
+	if err == nil {
+		t.Fatal("post against a permanently read-only store succeeded")
+	}
+	if attempts != 3 || sleeps != 2 {
+		t.Errorf("attempts = %d sleeps = %d, want the 3-attempt read-only budget", attempts, sleeps)
+	}
+	if st := p.Stats(); st.Failures != 1 {
+		t.Errorf("failures = %d, want 1", st.Failures)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"":     0,
+		"0":    0,
+		"3":    3 * time.Second,
+		" 7 ":  7 * time.Second,
+		"3600": maxRetryAfter, // capped: don't stall a job epilogue for an hour
+		"soon": 0,
+		"-2":   0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package profstore
+
+import (
+	"errors"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestCloseDuringConcurrentIngest is the lifecycle race test run under
+// `make race`: closing the store while ingest workers hammer it must
+// yield only clean results — every Ingest either succeeds (it beat the
+// close) or returns ErrClosed; never a write to a closed file, never a
+// panic.
+func TestCloseDuringConcurrentIngest(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "store.wal")
+	s, _, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; ; i++ {
+				_, err := s.Ingest(syntheticXML(t, 11, w*1000+i), "", nil)
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, ErrClosed) {
+					t.Errorf("worker %d: ingest error %v, want ErrClosed", w, err)
+				}
+				return
+			}
+		}(w)
+	}
+	close(start)
+	// Let the workers land some ingests, then close under fire.
+	for s.Ingests() < 16 {
+		runtime.Gosched()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close under concurrent ingest: %v", err)
+	}
+	wg.Wait()
+
+	// Idempotent close, and a clean ErrClosed ever after.
+	if err := s.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := s.Ingest(syntheticXML(t, 11, 0), "", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("ingest after close: %v, want ErrClosed", err)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Errorf("snapshot after close: %v, want ErrClosed", err)
+	}
+
+	// Everything acked before the close is on disk.
+	s2, st, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st.Skipped != 0 {
+		t.Errorf("clean close left %d torn record(s)", st.Skipped)
+	}
+	if s2.Len() == 0 {
+		t.Error("acked ingests lost across close/reopen")
+	}
+}
+
+func TestCloseInMemoryStore(t *testing.T) {
+	s := New()
+	if _, err := s.Ingest(syntheticXML(t, 3, 0), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(syntheticXML(t, 3, 1), "", nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("ingest after close: %v, want ErrClosed", err)
+	}
+	// Queries keep answering over the frozen corpus.
+	if s.Len() != 1 {
+		t.Errorf("corpus len %d after close, want 1", s.Len())
+	}
+}

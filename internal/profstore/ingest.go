@@ -399,9 +399,9 @@ func appendJSONBytes[T string | []byte](buf []byte, s T) ([]byte, bool) {
 	return append(buf, '"'), true
 }
 
-// appendWALRecord renders walRecord{id, tags, xml} plus the trailing
-// newline exactly as the json.Marshal path would, without the
-// reflection walk or the intermediate string(xml) copy. ok=false means
+// appendWALRecord renders walRecord{id, tags, xml} exactly as
+// json.Marshal would, without the reflection walk or the intermediate
+// string(xml) copy — the frame payload for finishFrame. ok=false means
 // some field needs encoding/json's full escaping.
 func appendWALRecord(buf []byte, id string, tags []string, xml []byte) ([]byte, bool) {
 	var ok bool
@@ -425,5 +425,5 @@ func appendWALRecord(buf []byte, id string, tags []string, xml []byte) ([]byte, 
 	if buf, ok = appendJSONBytes(buf, xml); !ok {
 		return buf, false
 	}
-	return append(buf, '}', '\n'), true
+	return append(buf, '}'), true
 }

@@ -4,11 +4,15 @@
 // the value comes from aggregating thousands of XML logs).
 //
 // The store is sharded for concurrent ingest (per-shard RWMutex keyed by
-// job id hash) and durable via an append-only JSONL write-ahead log: a
-// restarted server replays the WAL and recovers its exact corpus, and
-// because every query output is deterministically ordered, the recovered
-// store answers /agg and /regress byte-identically to the pre-restart
-// one.
+// job id hash) and durable via a checksummed write-ahead log: a
+// restarted server loads the newest snapshot, replays the WAL and
+// recovers its exact corpus, and because every query output is
+// deterministically ordered, the recovered store answers /agg and
+// /regress byte-identically to the pre-restart one. Torn or corrupt
+// records are detected by the frame CRC, skipped and counted; a WAL
+// write or fsync failure degrades the store to an observable read-only
+// mode instead of crashing or acking data that never reached disk (see
+// DESIGN.md "Durability & recovery").
 //
 // Profiles enter through the tolerant parser (internal/ipmparse
 // semantics): a truncated or corrupt log from a crashed job is salvaged
@@ -17,11 +21,12 @@
 package profstore
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -35,6 +40,25 @@ import (
 // index is a mask of the id hash; 16 comfortably exceeds the core counts
 // the ingest benchmarks run on.
 const numShards = 16
+
+// Store lifecycle errors. Both are sentinel-wrapped so callers (the
+// HTTP layer, the soak harness) can map them with errors.Is.
+var (
+	// ErrClosed is returned by Ingest and Snapshot after Close.
+	ErrClosed = errors.New("profstore: store is closed")
+	// ErrReadOnly is returned once a WAL append or fsync has failed:
+	// the corpus stays queryable, but nothing further is acknowledged.
+	ErrReadOnly = errors.New("profstore: store is read-only")
+)
+
+// WriteSyncer is the append surface of the WAL: writes plus fsync.
+// *os.File satisfies it, and so does faultsim.FaultyWriter — the
+// disk-fault injection seam plugs in through StoreOptions.WrapWAL
+// without either package importing the other's interface.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+}
 
 // Job is one ingested profile with its store metadata.
 type Job struct {
@@ -90,11 +114,44 @@ type shard struct {
 type Store struct {
 	shards [numShards]shard
 
+	// lifeMu is the lifecycle lock: every logged ingest holds it shared
+	// for the whole WAL-append + shard-insert sequence, while Close and
+	// Snapshot hold it exclusive — so closing can never yank the WAL
+	// file out from under an in-flight Add (it waits, then later Adds
+	// get ErrClosed), and a snapshot sees a frozen corpus/WAL pair.
+	lifeMu sync.RWMutex
+	closed bool
+
 	// wal guards the append-only log; nil when the store is in-memory
 	// only. Appends are serialised independently of the shard locks so
 	// ingests into different shards only contend on the file write.
-	walMu sync.Mutex
-	wal   *os.File
+	// walW is the append path — the raw file, or the fault-injection
+	// wrapper from StoreOptions.WrapWAL.
+	walMu     sync.Mutex
+	wal       *os.File
+	walW      WriteSyncer
+	walPath   string
+	syncEvery int // appends per fsync; 1 = fsync every append
+	unsynced  int // appends since the last fsync (guarded by walMu)
+
+	// Read-only degradation: a failed WAL append or fsync flips the
+	// store read-only rather than crashing or acknowledging data that
+	// never became durable. Queries keep working.
+	readonly atomic.Bool
+	roReason atomic.Value // string
+
+	// Snapshot + compaction state (snapshot.go).
+	snapSeq      atomic.Uint64 // seq of the live snapshot (0 = none)
+	snapshots    atomic.Int64  // snapshots completed by this process
+	snapErrors   atomic.Int64  // background compactions that failed
+	walAppends   atomic.Int64  // WAL records since the last snapshot
+	walErrors    atomic.Int64  // failed WAL writes/fsyncs/truncates
+	compactEvery int
+	compacting   atomic.Bool
+	onSnapshot   func(SnapshotInfo, error)
+
+	recoveredAtOpen int
+	skippedAtOpen   int
 
 	jobs     atomic.Int64 // corpus size (gauge)
 	ranks    atomic.Int64 // total rank snapshots held (gauge)
@@ -125,40 +182,152 @@ func New() *Store {
 	return s
 }
 
-// Open returns a store backed by the append-only WAL at path, replaying
-// any existing log first. A torn final record (a crash mid-append) is
-// skipped, mirroring how the tolerant parser treats a torn XML log; the
-// number of records recovered and skipped is returned.
-func Open(path string) (s *Store, recovered, skipped int, err error) {
-	s = New()
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("profstore: opening WAL: %w", err)
-	}
-	recovered, skipped, err = s.replay(f)
-	if err != nil {
-		f.Close()
-		return nil, 0, 0, err
-	}
-	if _, err := f.Seek(0, 2); err != nil {
-		f.Close()
-		return nil, 0, 0, fmt.Errorf("profstore: seeking WAL end: %w", err)
-	}
-	s.wal = f
-	return s, recovered, skipped, nil
+// StoreOptions configures a durable store opened with OpenStore.
+type StoreOptions struct {
+	// WrapWAL, when non-nil, wraps the WAL append path — the disk-fault
+	// injection seam. faultsim.(*DiskPlan).Wrap satisfies it
+	// structurally.
+	WrapWAL func(WriteSyncer) WriteSyncer
+	// SyncEvery is the fsync cadence in appends. Values <= 1 (including
+	// the zero value) fsync every append: an acknowledged ingest is on
+	// disk before the response leaves. Larger values trade the tail of
+	// durability against machine crashes for append throughput; process
+	// kills (SIGKILL) lose nothing either way, the page cache survives.
+	SyncEvery int
+	// CompactEvery, when > 0, snapshots the corpus and truncates the
+	// WAL in the background once that many records have accumulated
+	// since the last snapshot, bounding replay cost at restart.
+	CompactEvery int
+	// OnSnapshot observes completed (or failed) background compactions.
+	OnSnapshot func(SnapshotInfo, error)
 }
 
-// Close releases the WAL file, if any.
+// RecoveryStats describes what Open/OpenStore rebuilt the corpus from.
+type RecoveryStats struct {
+	Recovered    int    // records re-ingested (snapshot + WAL)
+	Skipped      int    // torn, corrupt or unparseable records dropped
+	SnapshotSeq  uint64 // snapshot recovery started from (0 = none)
+	SnapshotJobs int    // records recovered from that snapshot
+	WALRecords   int    // structurally valid records seen in the WAL
+}
+
+// Open returns a store backed by the write-ahead log at path, loading
+// the newest snapshot and replaying the log first. A torn final record
+// (a crash mid-append) is skipped, mirroring how the tolerant parser
+// treats a torn XML log; the number of records recovered and skipped is
+// returned.
+func Open(path string) (s *Store, recovered, skipped int, err error) {
+	s, st, err := OpenStore(path, StoreOptions{})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return s, st.Recovered, st.Skipped, nil
+}
+
+// OpenStore opens the durable store at path with explicit durability,
+// compaction and fault-injection options.
+func OpenStore(path string, opts StoreOptions) (*Store, RecoveryStats, error) {
+	s := New()
+	s.walPath = path
+	s.syncEvery = opts.SyncEvery
+	if s.syncEvery < 1 {
+		s.syncEvery = 1
+	}
+	s.compactEvery = opts.CompactEvery
+	s.onSnapshot = opts.OnSnapshot
+	var st RecoveryStats
+
+	// Newest intact snapshot first: it holds everything the WAL no
+	// longer does.
+	if seq, snapPath := latestSnapshot(path); snapPath != "" {
+		data, err := os.ReadFile(snapPath)
+		if err != nil {
+			return nil, st, fmt.Errorf("profstore: reading snapshot: %w", err)
+		}
+		rec, skip, _ := s.replayImage(data)
+		st.SnapshotSeq, st.SnapshotJobs = seq, rec
+		st.Recovered += rec
+		st.Skipped += skip
+		s.snapSeq.Store(seq)
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, st, fmt.Errorf("profstore: opening WAL: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, st, fmt.Errorf("profstore: reading WAL: %w", err)
+	}
+	rec, skip, records := s.replayImage(data)
+	st.Recovered += rec
+	st.Skipped += skip
+	st.WALRecords = records
+	// io.ReadAll left the offset at EOF — exactly where appends resume.
+	s.wal = f
+	s.walW = f
+	if opts.WrapWAL != nil {
+		s.walW = opts.WrapWAL(f)
+	}
+	// Replayed records count toward the compaction threshold: a server
+	// that restarts mid-interval still compacts on schedule.
+	s.walAppends.Store(int64(records))
+	s.recoveredAtOpen, s.skippedAtOpen = st.Recovered, st.Skipped
+	return s, st, nil
+}
+
+// Close flushes and releases the WAL file, if any. Concurrent ingests
+// in flight finish first; later ones return ErrClosed. Idempotent.
 func (s *Store) Close() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.wal == nil {
 		return nil
 	}
-	err := s.wal.Close()
+	var err error
+	if !s.readonly.Load() {
+		err = s.walW.Sync()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
 	s.wal = nil
+	s.walW = nil
 	return err
 }
 
-// walRecord is one JSONL line of the write-ahead log. The raw XML is the
+// setReadOnly degrades the store after a WAL failure; the first reason
+// wins.
+func (s *Store) setReadOnly(reason string) {
+	if s.readonly.CompareAndSwap(false, true) {
+		s.roReason.Store(reason)
+	}
+}
+
+func (s *Store) readOnlyErr() error {
+	if reason, _ := s.roReason.Load().(string); reason != "" {
+		return fmt.Errorf("%w (%s)", ErrReadOnly, reason)
+	}
+	return ErrReadOnly
+}
+
+// ReadOnly reports whether the store has degraded to read-only mode,
+// and the triggering failure.
+func (s *Store) ReadOnly() (bool, string) {
+	if !s.readonly.Load() {
+		return false, ""
+	}
+	reason, _ := s.roReason.Load().(string)
+	return true, reason
+}
+
+// walRecord is one record of the write-ahead log (the JSON payload of a
+// frame, or one line of the legacy JSONL format). The raw XML is the
 // durable form: replay re-ingests it through the same tolerant parse, so
 // a recovered store is bit-for-bit the store that wrote the log.
 type walRecord struct {
@@ -167,31 +336,29 @@ type walRecord struct {
 	XML  string   `json:"xml"`
 }
 
-// replay re-ingests every complete WAL record.
-func (s *Store) replay(f *os.File) (recovered, skipped int, err error) {
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 64<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(bytes.TrimSpace(line)) == 0 {
-			continue
-		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// Torn or corrupt record: only trust what parsed cleanly.
-			skipped++
-			continue
-		}
-		if _, err := s.ingest([]byte(rec.XML), rec.ID, rec.Tags, false); err != nil {
-			skipped++
-			continue
-		}
-		recovered++
+// walAppend writes one framed record and applies the fsync policy. Any
+// write or sync failure flips the store read-only: the record may be
+// torn on disk (replay detects and skips it via the CRC) and nothing
+// further gets acknowledged against a log that can no longer hold it.
+func (s *Store) walAppend(rec []byte) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if _, err := s.walW.Write(rec); err != nil {
+		s.walErrors.Add(1)
+		s.setReadOnly(fmt.Sprintf("WAL append failed: %v", err))
+		return fmt.Errorf("profstore: appending WAL: %v: %w", err, ErrReadOnly)
 	}
-	if err := sc.Err(); err != nil {
-		return recovered, skipped, fmt.Errorf("profstore: reading WAL: %w", err)
+	s.unsynced++
+	if s.unsynced >= s.syncEvery {
+		if err := s.walW.Sync(); err != nil {
+			s.walErrors.Add(1)
+			s.setReadOnly(fmt.Sprintf("WAL fsync failed: %v", err))
+			return fmt.Errorf("profstore: syncing WAL: %v: %w", err, ErrReadOnly)
+		}
+		s.unsynced = 0
 	}
-	return recovered, skipped, nil
+	s.walAppends.Add(1)
+	return nil
 }
 
 // DeriveID returns the deterministic content-derived job id used when
@@ -233,10 +400,38 @@ func (s *Store) shardFor(id string) *shard {
 
 // Ingest parses one IPM XML document tolerantly and adds it to the
 // corpus (and WAL). An empty id derives one from the content. Returns
-// the stored job; the only error is an unrecoverable parse (no ipm_log
-// root at all) or a WAL write failure.
+// the stored job; the errors are an unrecoverable parse (no ipm_log
+// root at all), ErrClosed after Close, and ErrReadOnly once a WAL
+// failure has degraded the store.
 func (s *Store) Ingest(xml []byte, id string, tags []string) (*Job, error) {
-	return s.ingest(xml, id, tags, true)
+	job, err := s.ingest(xml, id, tags, true)
+	if err == nil {
+		s.maybeCompact()
+	}
+	return job, err
+}
+
+// maybeCompact triggers one background snapshot when the WAL has grown
+// past the compaction threshold. At most one snapshot runs at a time;
+// failures are counted and surfaced through OnSnapshot, never fatal to
+// the triggering ingest.
+func (s *Store) maybeCompact() {
+	if s.compactEvery <= 0 || s.walAppends.Load() < int64(s.compactEvery) {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		info, err := s.Snapshot()
+		if err != nil {
+			s.snapErrors.Add(1)
+		}
+		if s.onSnapshot != nil {
+			s.onSnapshot(info, err)
+		}
+	}()
 }
 
 // ingest is the one-pass streaming write path: a prescan settles the
@@ -248,6 +443,19 @@ func (s *Store) Ingest(xml []byte, id string, tags []string) (*Job, error) {
 // which is the semantic reference the scanner must agree with
 // (FuzzScanVsParse enforces exactly that).
 func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, error) {
+	if logIt {
+		// Shared lifecycle lock for the WAL-append + insert sequence;
+		// replay (logIt=false) runs single-threaded inside OpenStore.
+		s.lifeMu.RLock()
+		defer s.lifeMu.RUnlock()
+		if s.closed {
+			return nil, ErrClosed
+		}
+		if s.readonly.Load() {
+			return nil, s.readOnlyErr()
+		}
+	}
+
 	sc := scratchPool.Get().(*ingestScratch)
 	defer scratchPool.Put(sc)
 
@@ -318,20 +526,23 @@ func (s *Store) ingest(xml []byte, id string, tags []string, logIt bool) (*Job, 
 	// WAL before store: a record that made it to the log is the ingest;
 	// the in-memory insert is recoverable from it but not vice versa.
 	if logIt && s.wal != nil {
-		rec, fastOK := appendWALRecord(sc.walBuf[:0], id, job.Tags, xml)
-		sc.walBuf = rec[:0] // keep the grown buffer for the next ingest
-		if !fastOK {
+		var hdr [walHeaderSize]byte
+		buf := append(sc.walBuf[:0], hdr[:]...)
+		buf, fastOK := appendWALRecord(buf, id, job.Tags, xml)
+		sc.walBuf = buf[:0] // keep the grown buffer for the next ingest
+		var rec []byte
+		if fastOK {
+			rec = finishFrame(buf)
+			sc.walBuf = rec[:0]
+		} else {
 			m, err := json.Marshal(walRecord{ID: id, Tags: job.Tags, XML: string(xml)})
 			if err != nil {
 				return nil, fmt.Errorf("profstore: encoding WAL record: %w", err)
 			}
-			rec = append(m, '\n')
+			rec = appendFrame(nil, m)
 		}
-		s.walMu.Lock()
-		_, werr := s.wal.Write(rec)
-		s.walMu.Unlock()
-		if werr != nil {
-			return nil, fmt.Errorf("profstore: appending WAL: %w", werr)
+		if err := s.walAppend(rec); err != nil {
+			return nil, err
 		}
 	}
 
@@ -379,6 +590,21 @@ func (s *Store) Ingests() int64       { return s.ingests.Load() }
 func (s *Store) Salvaged() int64      { return s.salvaged.Load() }
 func (s *Store) Replaced() int64      { return s.replaced.Load() }
 func (s *Store) IngestedBytes() int64 { return s.bytesIn.Load() }
+
+// Durability counters for metrics and the soak harness.
+func (s *Store) WALErrors() int64      { return s.walErrors.Load() }
+func (s *Store) Snapshots() int64      { return s.snapshots.Load() }
+func (s *Store) SnapshotErrors() int64 { return s.snapErrors.Load() }
+func (s *Store) SnapshotSeq() uint64   { return s.snapSeq.Load() }
+
+// PendingWALRecords is the number of WAL records a restart would replay
+// (records appended or replayed since the last snapshot).
+func (s *Store) PendingWALRecords() int64 { return s.walAppends.Load() }
+
+// RecoveryCounts reports what Open rebuilt this store from.
+func (s *Store) RecoveryCounts() (recovered, skipped int) {
+	return s.recoveredAtOpen, s.skippedAtOpen
+}
 
 // Select resolves a job selector to the matching jobs, sorted by id —
 // the deterministic iteration order every aggregate is computed in.

@@ -2,6 +2,7 @@ package profstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"io"
@@ -23,6 +24,10 @@ type Server struct {
 	reg   *telemetry.Registry
 	lat   *telemetry.Histogram
 
+	// draining flips /readyz to 503 during graceful shutdown so a load
+	// balancer stops routing before the listener closes.
+	draining atomic.Bool
+
 	parseErrors atomic.Int64
 	httpErrors  atomic.Int64
 	queries     [qCount]atomic.Int64
@@ -35,10 +40,11 @@ const (
 	qJob
 	qAgg
 	qRegress
+	qCompact
 	qCount
 )
 
-var queryNames = [qCount]string{"ingest", "jobs", "job", "agg", "regress"}
+var queryNames = [qCount]string{"ingest", "jobs", "job", "agg", "regress", "compact"}
 
 // Metric family names served on /metrics.
 const (
@@ -52,7 +58,19 @@ const (
 	MetricRanks       = "profstore_ranks"
 	MetricQueries     = "profstore_queries_total"
 	MetricQuerySecs   = "profstore_query_seconds"
+	MetricReadonly    = "ipm_store_readonly"
+	MetricWALErrors   = "profstore_wal_errors_total"
+	MetricSnapshots   = "profstore_snapshots_total"
+	MetricSnapErrors  = "profstore_snapshot_errors_total"
+	MetricWALPending  = "profstore_wal_appends_since_snapshot"
+	MetricRecovered   = "profstore_wal_recovered_records"
+	MetricSkipped     = "profstore_wal_skipped_records"
 )
+
+// retryAfterSeconds is the backoff hint sent with every 503: long
+// enough to shed load from a degraded store, short enough that clients
+// notice an operator remount quickly.
+const retryAfterSeconds = 5
 
 // NewServer builds the HTTP layer over store, registering its query
 // latency histogram with reg (which also serves /metrics).
@@ -69,6 +87,8 @@ func NewServer(store *Store, reg *telemetry.Registry) *Server {
 // registry; called before every /metrics render so scrapes always see
 // current values.
 func (s *Server) publishMetrics() {
+	readonly, _ := s.store.ReadOnly()
+	recovered, skipped := s.store.RecoveryCounts()
 	samples := []telemetry.Sample{
 		{Name: MetricIngest, Help: "Profiles ingested (including re-ingests).", Type: "counter", Value: float64(s.store.Ingests())},
 		{Name: MetricIngestBytes, Help: "XML bytes ingested (including re-ingests).", Type: "counter", Value: float64(s.store.IngestedBytes())},
@@ -78,6 +98,13 @@ func (s *Server) publishMetrics() {
 		{Name: MetricHTTPErrors, Help: "Requests answered with a 4xx/5xx status.", Type: "counter", Value: float64(s.httpErrors.Load())},
 		{Name: MetricJobs, Help: "Jobs in the corpus.", Type: "gauge", Value: float64(s.store.Len())},
 		{Name: MetricRanks, Help: "Rank snapshots in the corpus.", Type: "gauge", Value: float64(s.store.RankCount())},
+		{Name: MetricReadonly, Help: "1 when a WAL failure degraded the store to read-only.", Type: "gauge", Value: boolGauge(readonly)},
+		{Name: MetricWALErrors, Help: "WAL write, fsync or truncate failures.", Type: "counter", Value: float64(s.store.WALErrors())},
+		{Name: MetricSnapshots, Help: "Snapshot compactions completed.", Type: "counter", Value: float64(s.store.Snapshots())},
+		{Name: MetricSnapErrors, Help: "Background snapshot compactions that failed.", Type: "counter", Value: float64(s.store.SnapshotErrors())},
+		{Name: MetricWALPending, Help: "WAL records a restart would replay (since last snapshot).", Type: "gauge", Value: float64(s.store.PendingWALRecords())},
+		{Name: MetricRecovered, Help: "Records recovered from snapshot+WAL at open.", Type: "gauge", Value: float64(recovered)},
+		{Name: MetricSkipped, Help: "Torn or corrupt records skipped at open.", Type: "gauge", Value: float64(skipped)},
 	}
 	for q := 0; q < qCount; q++ {
 		samples = append(samples, telemetry.Sample{
@@ -88,6 +115,18 @@ func (s *Server) publishMetrics() {
 	}
 	s.reg.Publish("profstore", samples)
 }
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SetDraining marks the server as shutting down: /readyz answers 503 so
+// load balancers drain, while in-flight and follow-up queries still
+// complete against the live mux.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
 
 // observe records one served query in the counters and the latency
 // histogram.
@@ -104,7 +143,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /job/{id}", s.handleJob)
 	mux.HandleFunc("GET /agg", s.handleAgg)
 	mux.HandleFunc("GET /regress", s.handleRegress)
+	mux.HandleFunc("POST /compact", s.handleCompact)
+	// /healthz: liveness — the process is up and serving queries.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	// /readyz: readiness to accept writes — 503 while draining for
+	// shutdown or degraded to read-only, so ingest clients and load
+	// balancers route away while dashboards keep reading.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if ro, reason := s.store.ReadOnly(); ro {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			http.Error(w, "read-only: "+reason, http.StatusServiceUnavailable)
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /{$}", s.handleIndex)
@@ -162,6 +219,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.store.Ingest(body, r.URL.Query().Get("id"), tags)
 	if err != nil {
+		// Lifecycle errors are the store's problem, not the client's:
+		// answer 503 with a retry hint instead of blaming the document.
+		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrClosed) {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+			s.fail(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		s.parseErrors.Add(1)
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -289,6 +353,24 @@ func (s *Server) handleRegress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, rep)
+}
+
+// handleCompact is the admin trigger for Snapshot(): fold snapshot+WAL
+// into a new snapshot and truncate the log, synchronously.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request) {
+	start := time.Now()
+	defer s.observe(qCompact, start)
+	info, err := s.store.Snapshot()
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrReadOnly) || errors.Is(err, ErrClosed) {
+			code = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		}
+		s.fail(w, code, "%v", err)
+		return
+	}
+	s.writeJSON(w, info)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {

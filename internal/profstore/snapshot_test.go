@@ -1,0 +1,242 @@
+package profstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// ingestN ingests n synthetic docs and returns their content ids.
+func ingestN(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		xml := syntheticXML(t, 7, i)
+		j, err := s.Ingest(xml, "", []string{"snap"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+func TestSnapshotCompactsAndRecovers(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "store.wal")
+	s, _, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ingestN(t, s, 5)
+	// Replace one job (same id, same bytes): the duplicate WAL record
+	// must compact away.
+	if _, err := s.Ingest(syntheticXML(t, 7, 0), ids[0], []string{"snap"}); err != nil {
+		t.Fatal(err)
+	}
+	before := aggJSON(t, s)
+
+	info, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 || info.Jobs != 5 || info.Dropped != 1 {
+		t.Errorf("snapshot info = %+v, want seq 1, 5 jobs, 1 dropped duplicate", info)
+	}
+	if st, err := os.Stat(wal); err != nil || st.Size() != 0 {
+		t.Errorf("WAL not truncated after snapshot: %v, %d bytes", err, st.Size())
+	}
+	if s.PendingWALRecords() != 0 || s.SnapshotSeq() != 1 {
+		t.Errorf("pending=%d seq=%d after snapshot", s.PendingWALRecords(), s.SnapshotSeq())
+	}
+
+	// The store stays writable after compaction; new appends land in the
+	// truncated WAL (re-ingesting doc 0 replaces, so the corpus stays 5).
+	ingestN(t, s, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st.SnapshotSeq != 1 || st.SnapshotJobs != 5 || st.WALRecords != 1 || st.Skipped != 0 {
+		t.Errorf("recovery stats = %+v, want snapshot 1 with 5 jobs + 1 WAL record", st)
+	}
+	if s2.Len() != 5 {
+		t.Fatalf("recovered %d jobs, want 5", s2.Len())
+	}
+	if got := s2.Get(ids[0]); got == nil || len(got.Tags) != 1 || got.Tags[0] != "snap" {
+		t.Fatalf("job metadata lost through compaction: %+v", got)
+	}
+	if !bytes.Equal(before, aggJSON(t, s2)) {
+		t.Error("aggregate differs after snapshot+WAL recovery")
+	}
+}
+
+// TestSnapshotCrashWindows replays the on-disk states a crash can leave
+// at each step of the snapshot protocol and requires recovery to land
+// on the same corpus every time.
+func TestSnapshotCrashWindows(t *testing.T) {
+	const jobs = 4
+	// canonical renders the corpus a clean store derives from the docs.
+	canonical := func(t *testing.T) []byte {
+		s := New()
+		ingestN(t, s, jobs)
+		return aggJSON(t, s)
+	}
+
+	cases := []struct {
+		name string
+		// mangle simulates the crash given the WAL path, the pre-snapshot
+		// WAL image and the live snapshot path.
+		mangle      func(t *testing.T, wal string, preWAL []byte, snap string)
+		wantSkipped int
+		wantJobs    int
+	}{
+		{
+			// Crash before the rename: only a .tmp exists alongside the
+			// intact WAL. It must be ignored (and cleaned up).
+			name: "tmp-left-behind",
+			mangle: func(t *testing.T, wal string, preWAL []byte, snap string) {
+				if err := os.Rename(snap, snap+".tmp"); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(wal, preWAL, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantJobs: jobs,
+		},
+		{
+			// Crash between rename and WAL truncate: snapshot AND the full
+			// pre-snapshot WAL both present. Replay must be idempotent.
+			name: "rename-before-truncate",
+			mangle: func(t *testing.T, wal string, preWAL []byte, snap string) {
+				if err := os.WriteFile(wal, preWAL, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantJobs: jobs,
+		},
+		{
+			// Bit rot inside the snapshot: the damaged record is detected
+			// and counted, the rest of the corpus survives.
+			name: "corrupt-snapshot-record",
+			mangle: func(t *testing.T, wal string, preWAL []byte, snap string) {
+				img, err := os.ReadFile(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				img[walHeaderSize+8] ^= 0xff
+				if err := os.WriteFile(snap, img, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantSkipped: 1,
+			wantJobs:    jobs - 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wal := filepath.Join(t.TempDir(), "store.wal")
+			s, _, err := OpenStore(wal, StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ingestN(t, s, jobs)
+			preWAL, err := os.ReadFile(wal)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, wal, preWAL, snapshotPath(wal, 1))
+
+			s2, st, err := OpenStore(wal, StoreOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			if st.Skipped != tc.wantSkipped {
+				t.Errorf("skipped %d record(s), want %d", st.Skipped, tc.wantSkipped)
+			}
+			if s2.Len() != tc.wantJobs {
+				t.Fatalf("recovered %d jobs, want %d", s2.Len(), tc.wantJobs)
+			}
+			if tc.wantJobs == jobs && !bytes.Equal(canonical(t), aggJSON(t, s2)) {
+				t.Error("aggregate differs from the clean-corpus answer")
+			}
+			if tc.name == "tmp-left-behind" {
+				if _, err := os.Stat(snapshotPath(wal, 1) + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+					t.Error("stray snapshot .tmp not cleaned up at open")
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotSeqAdvancesAndPrunes(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "store.wal")
+	s, _, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ingestN(t, s, 2)
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(syntheticXML(t, 7, 99), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 || info.Jobs != 3 {
+		t.Errorf("second snapshot = %+v, want seq 2 covering 3 jobs", info)
+	}
+	if _, err := os.Stat(snapshotPath(wal, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("superseded snapshot 1 not pruned")
+	}
+	if _, err := os.Stat(snapshotPath(wal, 2)); err != nil {
+		t.Errorf("live snapshot 2 missing: %v", err)
+	}
+	if s.Snapshots() != 2 {
+		t.Errorf("Snapshots() = %d, want 2", s.Snapshots())
+	}
+}
+
+func TestCompactEveryTriggersInBackground(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "store.wal")
+	snapc := make(chan error, 4)
+	s, _, err := OpenStore(wal, StoreOptions{
+		CompactEvery: 3,
+		OnSnapshot:   func(_ SnapshotInfo, err error) { snapc <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ingestN(t, s, 3)
+	select {
+	case err := <-snapc:
+		if err != nil {
+			t.Fatalf("background compaction failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("compaction did not trigger at CompactEvery appends")
+	}
+	if s.Snapshots() != 1 || s.SnapshotSeq() != 1 {
+		t.Errorf("snapshots=%d seq=%d after auto-compaction", s.Snapshots(), s.SnapshotSeq())
+	}
+}

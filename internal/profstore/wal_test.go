@@ -1,0 +1,174 @@
+package profstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// tinyDoc renders a minimal ingestable profile for WAL-structure tests,
+// where record framing — not profile content — is under test.
+func tinyDoc(i int) []byte {
+	return []byte(`<ipm_log ntasks="1" cmd="doc` + string(rune('a'+i)) + `"><task rank="0"></task></ipm_log>`)
+}
+
+// framedWAL renders n framed records with deterministic ids and returns
+// the image plus each record's [start, end) byte range.
+func framedWAL(n int) (data []byte, bounds [][2]int) {
+	for i := 0; i < n; i++ {
+		m, err := json.Marshal(walRecord{ID: DeriveID(tinyDoc(i)), XML: string(tinyDoc(i))})
+		if err != nil {
+			panic(err)
+		}
+		start := len(data)
+		data = appendFrame(data, m)
+		bounds = append(bounds, [2]int{start, len(data)})
+	}
+	return data, bounds
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"id":"a","xml":"<ipm_log/>"}`)
+	frame := appendFrame(nil, payload)
+	if len(frame) != walHeaderSize+len(payload)+1 {
+		t.Fatalf("frame length %d, want header+payload+newline", len(frame))
+	}
+	// finishFrame over [placeholder][payload] must agree byte for byte
+	// with appendFrame: they are the pooled and unpooled encoders of the
+	// same format.
+	buf := append(make([]byte, walHeaderSize), payload...)
+	if got := finishFrame(buf); !bytes.Equal(got, frame) {
+		t.Errorf("finishFrame diverges from appendFrame:\n%x\n%x", got, frame)
+	}
+	var decoded []walRecord
+	skipped := walScan(frame, func(rec *walRecord, _ []byte) {
+		decoded = append(decoded, *rec)
+	})
+	if skipped != 0 || len(decoded) != 1 || decoded[0].ID != "a" {
+		t.Errorf("round trip: skipped=%d decoded=%+v", skipped, decoded)
+	}
+}
+
+// TestWALTruncationEveryOffset cuts a framed WAL at every byte offset —
+// the space of crashes mid-append — and requires that replay never
+// panics, never over-recovers, and always recovers every record whose
+// bytes fully survived the cut.
+func TestWALTruncationEveryOffset(t *testing.T) {
+	data, bounds := framedWAL(3)
+	for cut := 0; cut <= len(data); cut++ {
+		whole := 0
+		for _, b := range bounds {
+			// The trailing newline is cosmetic: a record is complete
+			// once header+payload survived.
+			if cut >= b[1]-1 {
+				whole++
+			}
+		}
+		s := New()
+		recovered, _, _ := s.replayImage(data[:cut])
+		if recovered < whole {
+			t.Fatalf("cut at %d: recovered %d, want at least the %d complete records", cut, recovered, whole)
+		}
+		if recovered > len(bounds) {
+			t.Fatalf("cut at %d: recovered %d from a %d-record WAL", cut, recovered, len(bounds))
+		}
+	}
+}
+
+// TestWALBitFlips corrupts every in-frame byte in turn: the damage must
+// always be detected and counted, at most the damaged record may be
+// lost, and neighbours survive. (Occasionally even the damaged record
+// survives: the resync scan can land on its JSON payload and salvage it
+// through the CRC-less legacy-line path — detected, not lost.)
+func TestWALBitFlips(t *testing.T) {
+	data, bounds := framedWAL(3)
+	for _, b := range bounds {
+		for off := b[0]; off < b[1]-1; off++ { // skip the uncommitted '\n'
+			mut := append([]byte(nil), data...)
+			mut[off] ^= 0x40
+			s := New()
+			recovered, skipped, _ := s.replayImage(mut)
+			if recovered < len(bounds)-1 || recovered > len(bounds) {
+				t.Fatalf("flip at %d: recovered %d of %d, want all but at most the damaged record",
+					off, recovered, len(bounds))
+			}
+			if skipped < 1 {
+				t.Fatalf("flip at %d: damage not counted (skipped=%d)", off, skipped)
+			}
+		}
+	}
+}
+
+// TestWALLegacyFramedInterleave replays a WAL that mixes the PR 4–7
+// JSONL format with framed records — an old corpus appended to by a new
+// server — including a torn legacy tail.
+func TestWALLegacyFramedInterleave(t *testing.T) {
+	var data []byte
+	legacy := func(i int) []byte {
+		m, err := json.Marshal(walRecord{ID: DeriveID(tinyDoc(i)), Tags: []string{"old"}, XML: string(tinyDoc(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(m, '\n')
+	}
+	data = append(data, legacy(0)...)
+	m1, _ := json.Marshal(walRecord{ID: DeriveID(tinyDoc(1)), XML: string(tinyDoc(1))})
+	data = appendFrame(data, m1)
+	data = append(data, legacy(2)...)
+	data = append(data, `{"id":"torn","xml":"<ipm_`...) // crash mid-append, old format
+
+	s := New()
+	recovered, skipped, records := s.replayImage(data)
+	if recovered != 3 || skipped != 1 || records != 3 {
+		t.Fatalf("interleaved replay: recovered=%d skipped=%d records=%d, want 3/1/3",
+			recovered, skipped, records)
+	}
+	if j := s.Get(DeriveID(tinyDoc(0))); j == nil || len(j.Tags) != 1 || j.Tags[0] != "old" {
+		t.Errorf("legacy record metadata lost: %+v", j)
+	}
+}
+
+// FuzzWALReplay throws arbitrary bytes at the replay path: it must
+// never panic, its accounting must be internally consistent, and a
+// second replay of the same image must land on the identical corpus.
+func FuzzWALReplay(f *testing.F) {
+	framed, _ := framedWAL(2)
+	f.Add(framed)
+	f.Add(framed[:len(framed)/2])
+	legacy, _ := json.Marshal(walRecord{ID: "l", XML: `<ipm_log/>`})
+	f.Add(append(legacy, '\n'))
+	f.Add(append(append([]byte{}, legacy...), framed...))
+	bitrot := append([]byte(nil), framed...)
+	bitrot[walHeaderSize+3] ^= 0xff
+	f.Add(bitrot)
+	f.Add([]byte{walMagic0, 'I', 'P', 'W', walVersion, 0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		s := New()
+		recovered, skipped, records := s.replayImage(data)
+		if recovered > records {
+			t.Fatalf("recovered %d of %d structurally valid records", recovered, records)
+		}
+		if skipped < records-recovered {
+			t.Fatalf("lost records unaccounted: recovered=%d records=%d skipped=%d",
+				recovered, records, skipped)
+		}
+		// recovered = corpus + replacements, exactly.
+		if got := int64(s.Len()) + s.Replaced(); got != int64(recovered) {
+			t.Fatalf("recovered=%d but len+replaced=%d", recovered, got)
+		}
+		s2 := New()
+		r2, sk2, rec2 := s2.replayImage(data)
+		if r2 != recovered || sk2 != skipped || rec2 != records || s2.Len() != s.Len() {
+			t.Fatalf("replay is not deterministic: (%d,%d,%d,len %d) vs (%d,%d,%d,len %d)",
+				recovered, skipped, records, s.Len(), r2, sk2, rec2, s2.Len())
+		}
+		if s.Len() > 0 {
+			if !bytes.Equal(aggJSON(t, s), aggJSON(t, s2)) {
+				t.Fatal("two replays of the same image aggregate differently")
+			}
+		}
+	})
+}
