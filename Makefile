@@ -6,8 +6,8 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr7.json
-BENCH_BASE ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr9.json
+BENCH_BASE ?= BENCH_pr7.json
 BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord|BenchmarkQueueSubmit
 
 .PHONY: build vet test race race-faults serve serve-load serve-e2e soak soak-short fuzz verify bench bench-check profile experiments trace faults clean
@@ -92,7 +92,7 @@ bench:
 # because shared CI boxes jitter; the min-of-BENCH_COUNT noise floor
 # (see cmd/benchjson) absorbs most of it.
 BENCH_THRESHOLD ?= 30
-BENCH_CHECK_BASE ?= BENCH_pr7.json
+BENCH_CHECK_BASE ?= BENCH_pr9.json
 bench-check:
 	mkdir -p results
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o results/bench_check.json -compare $(BENCH_CHECK_BASE) -threshold $(BENCH_THRESHOLD)

@@ -16,6 +16,7 @@ import (
 
 	"ipmgo/internal/cluster"
 	"ipmgo/internal/cudart"
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/experiments"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
@@ -355,6 +356,21 @@ func BenchmarkEnsembleParallel(b *testing.B) {
 		// batching and submit-stall accounting.
 		b.Run(fmt.Sprintf("queue-j%d", j), func(b *testing.B) {
 			o := experiments.Options{Quick: true, Seed: 2011, Workers: j, Queue: true}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig8(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The same ensemble on each registered device backend: the delta
+	// prices the power model's per-observation energy folds plus the
+	// backend's own machine balance (the A100 finishes kernels faster, so
+	// its trials simulate fewer virtual-time events).
+	for _, d := range devmodel.List() {
+		d := d
+		b.Run("device-"+d.Name+"-j4", func(b *testing.B) {
+			o := experiments.Options{Quick: true, Seed: 2011, Workers: 4, Device: d}
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Fig8(o); err != nil {
 					b.Fatal(err)

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/experiments"
 	"ipmgo/internal/parallel"
 	"ipmgo/internal/telemetry"
@@ -41,7 +42,23 @@ func main() {
 	queue := flag.Bool("queue", false, "model the driver command-submission queue in every job")
 	queueFlush := flag.Int("queue-flush", 0, "queue flush depth in commands (implies -queue; 0 = default)")
 	queueFlushUS := flag.Int("queue-flush-us", 0, "queue flush timer in virtual microseconds (implies -queue; 0 = default, negative disables)")
+	device := flag.String("device", "", "device backend for every job's GPUs (default: the Dirac C2050; see -list-devices)")
+	listDevices := flag.Bool("list-devices", false, "list the registered device backends and exit")
 	flag.Parse()
+
+	if *listDevices {
+		devmodel.WriteList(os.Stdout)
+		return
+	}
+	var dev devmodel.Spec
+	if *device != "" {
+		var ok bool
+		if dev, ok = devmodel.Lookup(*device); !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown device %q; registered backends:\n", *device)
+			devmodel.WriteList(os.Stderr)
+			os.Exit(2)
+		}
+	}
 
 	q := queueSettings{
 		enabled:  *queue || *queueFlush != 0 || *queueFlushUS != 0,
@@ -63,7 +80,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
 	}
 
-	if err := run(*quick, *seed, *out, *only, *jobs, reg, q); err != nil {
+	if err := run(*quick, *seed, *out, *only, *jobs, reg, q, dev); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -79,7 +96,7 @@ type queueSettings struct {
 // writeFn persists one named artifact and logs the path.
 type writeFn func(name, content string) error
 
-func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.Registry, q queueSettings) error {
+func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.Registry, q queueSettings, dev devmodel.Spec) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -89,6 +106,7 @@ func run(quick bool, seed int64, outDir, only string, jobs int, reg *telemetry.R
 	o := experiments.Options{
 		Quick: quick, Seed: seed, Workers: jobs, Metrics: reg,
 		Queue: q.enabled, QueueFlushDepth: q.depth, QueueFlushInterval: q.interval,
+		Device: dev,
 	}
 
 	type exp struct {

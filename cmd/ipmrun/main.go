@@ -16,6 +16,11 @@
 // deaths, monitor panics. The faultdemo workload is written to degrade
 // gracefully under any of them.
 //
+// With -device NAME every node's GPU uses the named device backend from
+// the devmodel registry (-list-devices prints them); the default is the
+// Dirac cluster's Tesla C2050. Backends with a power model attribute
+// per-call-site energy into the profile.
+//
 // With -ingest URL the finished profile is additionally POSTed to a
 // running ipmserve (cmd/ipmserve) with capped-backoff retry; a dead or
 // flaky server degrades to a warning and never fails the run.
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"ipmgo/internal/cluster"
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/faultsim"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
@@ -44,6 +50,8 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 1, "number of cluster nodes")
 	rpn := flag.Int("ranks-per-node", 1, "MPI ranks per node (share the node's GPU)")
+	device := flag.String("device", "c2050", "device backend for every node's GPU (see -list-devices)")
+	listDevices := flag.Bool("list-devices", false, "list the registered device backends and exit")
 	kernelTiming := flag.Bool("kernel-timing", true, "enable GPU kernel timing (KTT)")
 	hostIdle := flag.Bool("host-idle", true, "enable implicit host blocking measurement")
 	fullBanner := flag.Bool("full", false, "write the full parallel banner")
@@ -65,6 +73,17 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	if *listDevices {
+		devmodel.WriteList(os.Stdout)
+		return
+	}
+	dev, ok := devmodel.Lookup(*device)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ipmrun: unknown device %q; registered backends:\n", *device)
+		devmodel.WriteList(os.Stderr)
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -107,6 +126,8 @@ func main() {
 	name := strings.ToLower(flag.Arg(0))
 
 	cfg := cluster.Dirac(*nodes, *rpn)
+	cfg.Device = dev
+	cfg.GPU = dev.GPU
 	cfg.Monitor = true
 	cfg.CUDA = ipmcuda.Options{KernelTiming: *kernelTiming, HostIdle: *hostIdle}
 	cfg.NoiseSeed = *seed

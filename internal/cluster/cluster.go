@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"ipmgo/internal/cmdqueue"
@@ -16,6 +17,7 @@ import (
 	"ipmgo/internal/cudart"
 	"ipmgo/internal/cufft"
 	"ipmgo/internal/des"
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/faultsim"
 	"ipmgo/internal/gpucounters"
 	"ipmgo/internal/gpusim"
@@ -42,7 +44,15 @@ type Config struct {
 	RanksPerNode int
 
 	GPU perfmodel.GPUSpec
-	Net perfmodel.NetSpec
+	// Device selects a device backend from the devmodel registry:
+	// copy-engine count and the power model layered on top of the GPU
+	// performance spec. The zero value keeps the pre-registry behaviour
+	// (one copy engine per direction, no energy attribution). When both
+	// Device and GPU are set, GPU remains the performance-model
+	// authority, so callers can still tune individual parameters after
+	// picking a backend.
+	Device devmodel.Spec
+	Net    perfmodel.NetSpec
 	// FS models the shared parallel filesystem.
 	FS iosim.Spec
 	// Runtime tunes the CUDA runtime's host-side costs.
@@ -113,10 +123,12 @@ type Config struct {
 // Dirac returns the evaluation platform's configuration for a job on the
 // given number of nodes.
 func Dirac(nodes, ranksPerNode int) Config {
+	dev, _ := devmodel.Lookup("c2050")
 	return Config{
 		Nodes:        nodes,
 		RanksPerNode: ranksPerNode,
 		GPU:          perfmodel.TeslaC2050(),
+		Device:       dev,
 		Net:          perfmodel.QDRInfiniBand(),
 		FS:           iosim.GPFSScratch(),
 		Command:      "./a.out",
@@ -268,6 +280,34 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 	if cfg.Horizon == 0 {
 		cfg.Horizon = 10 * time.Hour
 	}
+	// Compose the effective device backend. Ad-hoc Configs (zero Device)
+	// keep the pre-registry behaviour: one copy engine per direction and
+	// no power model, so their output is byte-identical to older
+	// releases. With a backend selected, cfg.GPU stays the
+	// performance-model authority — callers tune it after Dirac() — and
+	// a backend-only Config inherits the backend's GPU spec.
+	dev := cfg.Device
+	switch {
+	case !dev.Defined():
+		dev = devmodel.Custom(cfg.GPU)
+	case cfg.GPU != (perfmodel.GPUSpec{}):
+		dev.GPU = cfg.GPU
+	default:
+		cfg.GPU = dev.GPU
+	}
+	if cfg.Monitor && !dev.Power.Zero() {
+		// Unset watts inherit the backend's power model; explicit values
+		// win, so an experiment can override one engine class.
+		if cfg.CUDA.KernelWatts == 0 {
+			cfg.CUDA.KernelWatts = dev.Power.KernelWatts
+		}
+		if cfg.CUDA.CopyWatts == 0 {
+			cfg.CUDA.CopyWatts = dev.Power.CopyWatts
+		}
+		if cfg.CUDA.MemsetWatts == 0 {
+			cfg.CUDA.MemsetWatts = dev.Power.MemsetWatts
+		}
+	}
 	size := cfg.Nodes * cfg.RanksPerNode
 	eng := des.NewEngine()
 
@@ -275,7 +315,7 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 	profilers := make([]*cudaprof.Profiler, 0, cfg.Nodes)
 	counters := make([]*gpucounters.Component, 0, cfg.Nodes)
 	for i := range devices {
-		devices[i] = gpusim.NewDevice(eng, cfg.GPU)
+		devices[i] = gpusim.NewDeviceSpec(eng, dev)
 		if cfg.CUDAProfile {
 			profilers = append(profilers, cudaprof.Attach(devices[i]))
 		}
@@ -315,6 +355,22 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			"ipm_submit_stall_ns",
 			"Virtual time a command waited in the submission queue before device hand-off, in nanoseconds.",
 			telemetry.ExpBuckets(64, 2, 16),
+		)
+	}
+
+	// Power metric families exist only when the backend carries a power
+	// model, so legacy runs expose no zero-valued energy series.
+	var powerVec, energyVec *telemetry.Vec
+	if cfg.Metrics != nil && !dev.Power.Zero() {
+		powerVec = cfg.Metrics.GaugeVec(
+			"ipm_power_watts",
+			"Modeled instantaneous device power draw (idle floor plus active engines), averaged over the last sample interval.",
+			"gpu",
+		)
+		energyVec = cfg.Metrics.CounterVec(
+			"ipm_energy_joules_total",
+			"Modeled cumulative device energy: idle floor for the device lifetime plus per-engine-class active draw.",
+			"gpu",
 		)
 	}
 
@@ -534,6 +590,58 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 		eng.ScheduleAfter(interval, tick)
 	}
 
+	// The power tick samples each device's modeled energy counter on the
+	// metrics cadence: the per-interval delta becomes the instantaneous
+	// watts gauge and a Perfetto counter point on the device's track, the
+	// cumulative total feeds the joules counter. Like every aggregation
+	// downstream, it works in integer nanojoules, so the published values
+	// are independent of worker count and wall-clock scheduling.
+	var powerFinal func()
+	if !dev.Power.Zero() && (powerVec != nil || cfg.Telemetry != nil) {
+		interval := cfg.MetricsInterval
+		if interval <= 0 {
+			interval = 50 * time.Millisecond
+		}
+		lastNJ := make([]int64, len(devices))
+		var lastAt time.Duration
+		sample := func() {
+			now := eng.Now()
+			idleNJ := devmodel.EnergyNJ(dev.Power.IdleWatts, now)
+			for i, d := range devices {
+				totalNJ := idleNJ + d.ActiveEnergyNJ()
+				watts := 0.0
+				if dt := now - lastAt; dt > 0 {
+					// nJ per ns is exactly watts.
+					watts = float64(totalNJ-lastNJ[i]) / float64(dt)
+				}
+				lastNJ[i] = totalNJ
+				if powerVec != nil {
+					gpu := strconv.Itoa(i)
+					powerVec.With(gpu).Set(watts)
+					energyVec.With(gpu).Set(devmodel.Joules(totalNJ))
+				}
+				if cfg.Telemetry != nil {
+					cfg.Telemetry.RecordCounter(telemetry.CounterPoint{
+						Track: fmt.Sprintf("gpu%d", i),
+						Name:  "power_watts",
+						Time:  now,
+						Value: watts,
+					})
+				}
+			}
+			lastAt = now
+		}
+		var tick func()
+		tick = func() {
+			sample()
+			if ranksDone < size {
+				eng.ScheduleAfter(interval, tick)
+			}
+		}
+		eng.ScheduleAfter(interval, tick)
+		powerFinal = sample
+	}
+
 	if cfg.Metrics != nil {
 		// Publish from inside the event loop so sampling the monitor
 		// tables never races with the ranks mutating them. The tick stops
@@ -574,6 +682,11 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			}
 		}
 	}
+	if powerFinal != nil {
+		// Final power sample at end-of-job time, so the energy counter
+		// covers the whole run.
+		powerFinal()
+	}
 	if cfg.Metrics != nil {
 		// Final publish with the end-of-job state.
 		cfg.Metrics.Publish(cfg.Command, collectSamples(st))
@@ -600,6 +713,12 @@ func Run(cfg Config, app func(env *Env)) (*Result, error) {
 			// Guarded: a snapshot of a rank that died mid-update must
 			// degrade to an empty profile, not take down the job report.
 			m.Guard("snapshot", func() { rp = ipm.Snapshot(m) })
+			if cfg.Device.Defined() {
+				// Device attribution is stamped only for runs that picked
+				// a backend, so ad-hoc Configs keep their pre-registry
+				// logs byte-identical.
+				rp.Device = dev.GPU.Name
+			}
 			if l := st.lost[i]; l != nil {
 				rp.Lost = true
 				rp.LostAt = l.At

@@ -21,12 +21,13 @@ import (
 // Profiler accumulates exact kernel execution records from one device.
 type Profiler struct {
 	records []gpusim.KernelRecord
+	device  string
 }
 
 // Attach registers the profiler on the device, chaining any previously
 // installed completion callback.
 func Attach(dev *gpusim.Device) *Profiler {
-	p := &Profiler{}
+	p := &Profiler{device: dev.Model().GPU.Name}
 	prev := dev.OnKernelComplete
 	dev.OnKernelComplete = func(r gpusim.KernelRecord) {
 		if prev != nil {
@@ -100,7 +101,13 @@ func (p *Profiler) WriteLog(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "# CUDA_PROFILE_LOG_VERSION 2.0"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "# CUDA_DEVICE 0 Tesla C2050 (simulated)"); err != nil {
+	// The device line names the attached backend; a zero-value Profiler
+	// (tests constructing one directly) keeps the historical default.
+	device := p.device
+	if device == "" {
+		device = "Tesla C2050"
+	}
+	if _, err := fmt.Fprintf(w, "# CUDA_DEVICE 0 %s (simulated)\n", device); err != nil {
 		return err
 	}
 	for _, r := range p.records {

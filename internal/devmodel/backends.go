@@ -1,0 +1,88 @@
+package devmodel
+
+import (
+	"time"
+
+	"ipmgo/internal/perfmodel"
+)
+
+// Built-in backends. c2050 reproduces the paper's Dirac-cluster device
+// exactly (the default everywhere); a100 is a modern data-center
+// profile with more SMs, faster clocks and a second copy engine per
+// direction; cl-generic is the AMD/OpenCL-flavoured device the clsim
+// frontend targets. Power figures are board-level estimates split idle
+// vs active per engine class — the model parameters, like the
+// perfmodel peaks, come from published datasheets.
+
+func init() {
+	Register("c2050", Spec{
+		GPU:         perfmodel.TeslaC2050(),
+		CopyEngines: 1,
+		Power: PowerSpec{
+			IdleWatts:   45,
+			KernelWatts: 190,
+			CopyWatts:   70,
+			MemsetWatts: 120,
+		},
+	})
+
+	Register("a100", Spec{
+		GPU: perfmodel.GPUSpec{
+			Name:            "A100-SXM4-40GB",
+			MultiProcessors: 108,
+			CoresPerMP:      64,
+			ClockGHz:        1.41,
+			PeakDPGFlops:    9700,
+			PeakSPGFlops:    19500,
+			MemBandwidthGBs: 1555,
+			MemBytes:        40 << 30,
+			PCIeH2DGBs:      24.5,
+			PCIeD2HGBs:      26.1,
+			PCIeLatency:     5 * time.Microsecond,
+			PinnedFactor:    1.25,
+			KernelLaunch:    4 * time.Microsecond,
+			KernelDispatch:  2 * time.Microsecond,
+			EventRecordCost: 1 * time.Microsecond,
+			ContextInit:     300 * time.Millisecond,
+			MaxConcurrent:   128,
+			APICallCost:     150 * time.Nanosecond,
+		},
+		CopyEngines: 2,
+		Power: PowerSpec{
+			IdleWatts:   55,
+			KernelWatts: 330,
+			CopyWatts:   90,
+			MemsetWatts: 250,
+		},
+	})
+
+	Register("cl-generic", Spec{
+		GPU: perfmodel.GPUSpec{
+			Name:            "Generic CL Device",
+			MultiProcessors: 20,
+			CoresPerMP:      80,
+			ClockGHz:        0.85,
+			PeakDPGFlops:    544,
+			PeakSPGFlops:    2720,
+			MemBandwidthGBs: 154,
+			MemBytes:        1 << 30,
+			PCIeH2DGBs:      5.5,
+			PCIeD2HGBs:      5.9,
+			PCIeLatency:     12 * time.Microsecond,
+			PinnedFactor:    1.3,
+			KernelLaunch:    8 * time.Microsecond,
+			KernelDispatch:  4 * time.Microsecond,
+			EventRecordCost: 3 * time.Microsecond,
+			ContextInit:     600 * time.Millisecond,
+			MaxConcurrent:   1,
+			APICallCost:     250 * time.Nanosecond,
+		},
+		CopyEngines: 1,
+		Power: PowerSpec{
+			IdleWatts:   27,
+			KernelWatts: 150,
+			CopyWatts:   55,
+			MemsetWatts: 95,
+		},
+	})
+}

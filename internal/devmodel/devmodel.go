@@ -1,0 +1,157 @@
+// Package devmodel is the device-backend registry: everything gpusim
+// used to hard-code about one GPU — SM count, concurrent-kernel limit,
+// copy-engine count, clocks, context-creation cost — captured as a
+// named Spec, plus a power model that turns device busy time into
+// attributable energy (idle vs active watts per engine class,
+// per-kernel energy = power × device busy time).
+//
+// Backends register under a short flag-friendly name ("c2050", "a100",
+// "cl-generic"); `ipmrun -device` and the experiments driver look them
+// up here. The registry makes adding a device a data entry, not a
+// simulator rewrite.
+package devmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ipmgo/internal/perfmodel"
+)
+
+// PowerSpec models device power draw per engine class, split idle vs
+// active in the style of per-process energy attributors: IdleWatts
+// draws for the device's whole lifetime; each active class draws its
+// rate only while the corresponding engine is busy, so busy time is
+// what gets charged back to call sites, ranks and jobs.
+type PowerSpec struct {
+	// IdleWatts is the floor draw of a powered, idle device.
+	IdleWatts float64
+	// KernelWatts is the additional draw while SMs execute a kernel.
+	KernelWatts float64
+	// CopyWatts is the additional draw of a busy DMA engine.
+	CopyWatts float64
+	// MemsetWatts is the additional draw of the memory system during
+	// device-side fills.
+	MemsetWatts float64
+}
+
+// Zero reports whether the power model is absent, which disables
+// energy attribution entirely.
+func (p PowerSpec) Zero() bool {
+	return p.IdleWatts == 0 && p.KernelWatts == 0 && p.CopyWatts == 0 && p.MemsetWatts == 0
+}
+
+// ActiveEnergyNJ converts per-class device busy time into nanojoules.
+func (p PowerSpec) ActiveEnergyNJ(kernel, copy, memset time.Duration) int64 {
+	return EnergyNJ(p.KernelWatts, kernel) +
+		EnergyNJ(p.CopyWatts, copy) +
+		EnergyNJ(p.MemsetWatts, memset)
+}
+
+// Spec describes one device backend: the perfmodel GPU parameters plus
+// what perfmodel does not capture — DMA engine count and the power
+// model.
+type Spec struct {
+	// Name is the registry key ("c2050"); empty for ad-hoc specs built
+	// straight from a perfmodel.GPUSpec.
+	Name string
+	// GPU is the simulator's performance model (SM count, clocks,
+	// concurrent-kernel limit, context-creation cost, ...). GPU.Name is
+	// the display string reports carry ("Tesla C2050").
+	GPU perfmodel.GPUSpec
+	// CopyEngines is the number of DMA engines per transfer direction;
+	// values < 1 mean 1, the C2050 arrangement.
+	CopyEngines int
+	// Power is the device power model; the zero value disables energy
+	// attribution.
+	Power PowerSpec
+}
+
+// EffectiveCopyEngines normalises CopyEngines to at least one engine
+// per direction.
+func (s Spec) EffectiveCopyEngines() int {
+	if s.CopyEngines < 1 {
+		return 1
+	}
+	return s.CopyEngines
+}
+
+// Defined reports whether the spec names a device. Zero-value Specs
+// (ad-hoc Configs built in tests) skip the devmodel path entirely.
+func (s Spec) Defined() bool { return s.Name != "" || s.GPU.Name != "" }
+
+// Custom wraps a bare perfmodel spec as an unregistered backend with
+// one copy engine per direction and no power model — exactly the
+// pre-registry gpusim behaviour.
+func Custom(g perfmodel.GPUSpec) Spec { return Spec{GPU: g, CopyEngines: 1} }
+
+// EnergyNJ converts a power draw sustained for d into integer
+// nanojoules (1 W for 1 ns is 1 nJ). The float→integer rounding
+// happens exactly once, here, so every downstream aggregation is an
+// integer sum and therefore independent of ingest order and ensemble
+// parallelism.
+func EnergyNJ(watts float64, d time.Duration) int64 {
+	if watts <= 0 || d <= 0 {
+		return 0
+	}
+	return int64(math.Round(watts * float64(d)))
+}
+
+// Joules renders an integer nanojoule total as joules for reports.
+func Joules(nj int64) float64 { return float64(nj) / 1e9 }
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a backend under name; the stored spec's Name field is
+// set to name. Re-registering a name panics: backends are wired at
+// init time, and a silent overwrite would change simulation results.
+func Register(name string, spec Spec) {
+	if name == "" {
+		panic("devmodel: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("devmodel: backend %q already registered", name))
+	}
+	spec.Name = name
+	registry[name] = spec
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Spec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered backend names, sorted, so -list-devices
+// and fail-fast error messages are deterministic.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// List returns the registered specs in Name order.
+func List() []Spec {
+	names := Names()
+	specs := make([]Spec, 0, len(names))
+	for _, n := range names {
+		s, _ := Lookup(n)
+		specs = append(specs, s)
+	}
+	return specs
+}

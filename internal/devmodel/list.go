@@ -1,0 +1,27 @@
+package devmodel
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteList renders the registry for -list-devices: one block per
+// backend with the performance and power parameters a user needs to
+// pick between them. Backends print in name order, so the output is
+// stable for scripts and fail-fast error messages.
+func WriteList(w io.Writer) {
+	for _, s := range List() {
+		fmt.Fprintf(w, "%-12s %s\n", s.Name, s.GPU.Name)
+		fmt.Fprintf(w, "%-12s %d SMs x %d cores @ %.2f GHz, %.0f/%.0f GFlop/s DP/SP, %.0f GB/s, %d MiB\n",
+			"", s.GPU.MultiProcessors, s.GPU.CoresPerMP, s.GPU.ClockGHz,
+			s.GPU.PeakDPGFlops, s.GPU.PeakSPGFlops, s.GPU.MemBandwidthGBs, s.GPU.MemBytes>>20)
+		fmt.Fprintf(w, "%-12s %d concurrent kernel(s), %d copy engine(s)/direction, context init %v\n",
+			"", s.GPU.MaxConcurrent, s.EffectiveCopyEngines(), s.GPU.ContextInit)
+		if s.Power.Zero() {
+			fmt.Fprintf(w, "%-12s power model: none (no energy attribution)\n", "")
+		} else {
+			fmt.Fprintf(w, "%-12s power: %.0f W idle + %.0f W kernel / %.0f W copy / %.0f W memset (active)\n",
+				"", s.Power.IdleWatts, s.Power.KernelWatts, s.Power.CopyWatts, s.Power.MemsetWatts)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ipmgo/internal/cluster"
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/ipm"
 	"ipmgo/internal/ipmcuda"
 	"ipmgo/internal/telemetry"
@@ -41,13 +42,21 @@ type Options struct {
 	Queue              bool
 	QueueFlushDepth    int
 	QueueFlushInterval time.Duration
+	// Device overrides the device backend of every job an experiment
+	// runs (see devmodel); the zero value keeps the Dirac default.
+	Device devmodel.Spec
 }
 
-// applyQueue copies the queue settings onto one job's cluster config.
+// applyQueue copies the queue and device-backend settings onto one
+// job's cluster config.
 func (o Options) applyQueue(cfg *cluster.Config) {
 	cfg.Queue = o.Queue
 	cfg.QueueFlushDepth = o.QueueFlushDepth
 	cfg.QueueFlushInterval = o.QueueFlushInterval
+	if o.Device.Defined() {
+		cfg.Device = o.Device
+		cfg.GPU = o.Device.GPU
+	}
 }
 
 // workers returns the effective pool size (serial unless set).

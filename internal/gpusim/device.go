@@ -27,26 +27,30 @@ import (
 	"time"
 
 	"ipmgo/internal/des"
+	"ipmgo/internal/devmodel"
 	"ipmgo/internal/perfmodel"
 	"ipmgo/internal/telemetry"
 )
 
-// Device is a simulated GPU. Create devices with NewDevice. A Device is
-// driven from DES process context (the simulated host); it is not safe for
-// use outside the owning engine.
+// Device is a simulated GPU. Create devices with NewDevice (bare
+// perfmodel spec, one copy engine per direction, no power model) or
+// NewDeviceSpec (a devmodel backend). A Device is driven from DES
+// process context (the simulated host); it is not safe for use outside
+// the owning engine.
 type Device struct {
-	eng  *des.Engine
-	spec perfmodel.GPUSpec
+	eng   *des.Engine
+	model devmodel.Spec
+	spec  perfmodel.GPUSpec // == model.GPU, kept unindirected for hot paths
 
 	streams      map[int]*Stream
 	nextStreamID int
 
-	h2dTail  time.Duration // copy engine availability, host-to-device
-	d2hTail  time.Duration // copy engine availability, device-to-host
-	active   endHeap       // end times of scheduled kernels (concurrency limit)
-	allTail  time.Duration // completion of the latest op on any stream
-	nullTail time.Duration // completion of the latest NULL-stream op
-	lastOp   *Op           // op with the latest completion time
+	h2dTails []time.Duration // copy engine availability, host-to-device
+	d2hTails []time.Duration // copy engine availability, device-to-host
+	active   endHeap         // end times of scheduled kernels (concurrency limit)
+	allTail  time.Duration   // completion of the latest op on any stream
+	nullTail time.Duration   // completion of the latest NULL-stream op
+	lastOp   *Op             // op with the latest completion time
 
 	mem *memPool
 
@@ -57,6 +61,8 @@ type Device struct {
 	slab []Op
 
 	busyKernel time.Duration // accumulated kernel execution time
+	busyCopy   time.Duration // accumulated copy-engine busy time
+	busyMemset time.Duration // accumulated device-side memset time
 	nOps       int
 
 	// lost marks the device as failed (cudaErrorDeviceLost). Completion
@@ -78,8 +84,8 @@ type Device struct {
 	tel     *telemetry.Recorder
 	telName string
 	telGen  int // bumped on AttachTelemetry; invalidates Stream.telTrack
-	telH2D  string
-	telD2H  string
+	telH2D  []string // per-copy-engine track names, host-to-device
+	telD2H  []string // per-copy-engine track names, device-to-host
 }
 
 // opSlabSize is the Op chunk size; see Device.slab.
@@ -111,14 +117,25 @@ type KernelRecord struct {
 // Duration returns the exact kernel execution time.
 func (r KernelRecord) Duration() time.Duration { return r.End - r.Start }
 
-// NewDevice creates a device with the given specification attached to the
-// engine.
+// NewDevice creates a device from a bare performance spec: one copy
+// engine per direction and no power model, exactly the pre-registry
+// behaviour. Backend-aware callers use NewDeviceSpec.
 func NewDevice(eng *des.Engine, spec perfmodel.GPUSpec) *Device {
+	return NewDeviceSpec(eng, devmodel.Custom(spec))
+}
+
+// NewDeviceSpec creates a device from a devmodel backend spec, sizing
+// the per-direction copy-engine pools from the spec.
+func NewDeviceSpec(eng *des.Engine, model devmodel.Spec) *Device {
+	engines := model.EffectiveCopyEngines()
 	d := &Device{
-		eng:     eng,
-		spec:    spec,
-		streams: make(map[int]*Stream),
-		mem:     newMemPool(spec.MemBytes),
+		eng:      eng,
+		model:    model,
+		spec:     model.GPU,
+		streams:  make(map[int]*Stream),
+		mem:      newMemPool(model.GPU.MemBytes),
+		h2dTails: make([]time.Duration, engines),
+		d2hTails: make([]time.Duration, engines),
 	}
 	d.streams[0] = &Stream{id: 0, dev: d}
 	d.nextStreamID = 1
@@ -132,8 +149,19 @@ func (d *Device) AttachTelemetry(rec *telemetry.Recorder, name string) {
 	d.tel = rec
 	d.telName = name
 	d.telGen++ // drop track names cached under the previous attachment
-	d.telH2D = name + "/copyH2D"
-	d.telD2H = name + "/copyD2H"
+	engines := len(d.h2dTails)
+	d.telH2D = make([]string, engines)
+	d.telD2H = make([]string, engines)
+	for i := 0; i < engines; i++ {
+		if engines == 1 {
+			// Single-engine devices keep the historical track names.
+			d.telH2D[i] = name + "/copyH2D"
+			d.telD2H[i] = name + "/copyD2H"
+		} else {
+			d.telH2D[i] = fmt.Sprintf("%s/copyH2D%d", name, i)
+			d.telD2H[i] = fmt.Sprintf("%s/copyD2H%d", name, i)
+		}
+	}
 }
 
 // streamTrack returns the track name of a stream, cached on the Stream
@@ -160,8 +188,15 @@ func (d *Device) recordStreamSpan(s *Stream, class telemetry.SpanClass, op *Op, 
 	})
 }
 
-// Spec returns the device specification.
+// Spec returns the device's performance specification.
 func (d *Device) Spec() perfmodel.GPUSpec { return d.spec }
+
+// Model returns the full backend spec the device was built from (for a
+// NewDevice device, an ad-hoc spec wrapping the perfmodel parameters).
+func (d *Device) Model() devmodel.Spec { return d.model }
+
+// Power returns the device's power model (zero when absent).
+func (d *Device) Power() devmodel.PowerSpec { return d.model.Power }
 
 // Engine returns the owning DES engine.
 func (d *Device) Engine() *des.Engine { return d.eng }
@@ -198,6 +233,20 @@ func (d *Device) LastOp() *Op { return d.lastOp }
 // BusyKernelTime returns the accumulated kernel execution time (summed per
 // kernel, so overlapping kernels count multiply).
 func (d *Device) BusyKernelTime() time.Duration { return d.busyKernel }
+
+// BusyCopyTime returns the accumulated copy-engine busy time across all
+// engines and directions (including intra-device copies).
+func (d *Device) BusyCopyTime() time.Duration { return d.busyCopy }
+
+// BusyMemsetTime returns the accumulated device-side memset time.
+func (d *Device) BusyMemsetTime() time.Duration { return d.busyMemset }
+
+// ActiveEnergyNJ returns the device's attributable active energy so far
+// in nanojoules: per-class busy time priced by the power model. Idle
+// draw is time-based and left to the observer (it knows the wallclock).
+func (d *Device) ActiveEnergyNJ() int64 {
+	return d.model.Power.ActiveEnergyNJ(d.busyKernel, d.busyCopy, d.busyMemset)
+}
 
 // Ops returns the number of operations enqueued so far.
 func (d *Device) Ops() int { return d.nOps }

@@ -187,37 +187,55 @@ func memcpyOpName(dir perfmodel.TransferDir) string {
 	return "memcpy(" + dir.String() + ")"
 }
 
+// pickEngine returns the index of the engine from tails that can start
+// soonest (first index on ties, so a single-engine pool behaves exactly
+// like the old scalar tail).
+func pickEngine(tails []time.Duration) int {
+	ei := 0
+	for i := 1; i < len(tails); i++ {
+		if tails[i] < tails[ei] {
+			ei = i
+		}
+	}
+	return ei
+}
+
 // EnqueueCopy enqueues a PCIe (or intra-device) copy of n bytes. The copy
-// contends for the per-direction copy engine. fn runs at completion (the
-// functional data movement).
+// contends for the per-direction copy-engine pool (the C2050 has one DMA
+// engine per direction; A100-class devices have more). fn runs at
+// completion (the functional data movement).
 func (d *Device) EnqueueCopy(s *Stream, dir perfmodel.TransferDir, n int64, pinned bool, fn func()) *Op {
 	ready := d.earliest(s)
+	engine := -1
 	switch dir {
 	case perfmodel.HostToDevice:
-		if d.h2dTail > ready {
-			ready = d.h2dTail
+		engine = pickEngine(d.h2dTails)
+		if d.h2dTails[engine] > ready {
+			ready = d.h2dTails[engine]
 		}
 	case perfmodel.DeviceToHost:
-		if d.d2hTail > ready {
-			ready = d.d2hTail
+		engine = pickEngine(d.d2hTails)
+		if d.d2hTails[engine] > ready {
+			ready = d.d2hTails[engine]
 		}
 	}
 	dur := perfmodel.TransferCost(d.spec, dir, n, pinned)
 	op := d.enqueue(s, OpCopy, memcpyOpName(dir), ready, dur, fn)
+	d.busyCopy += dur
 	switch dir {
 	case perfmodel.HostToDevice:
-		d.h2dTail = op.End
+		d.h2dTails[engine] = op.End
 	case perfmodel.DeviceToHost:
-		d.d2hTail = op.End
+		d.d2hTails[engine] = op.End
 	}
 	if d.tel != nil {
 		// One track per copy engine; same-device copies stay on the stream.
 		track := ""
 		switch dir {
 		case perfmodel.HostToDevice:
-			track = d.telH2D
+			track = d.telH2D[engine]
 		case perfmodel.DeviceToHost:
-			track = d.telD2H
+			track = d.telD2H[engine]
 		default:
 			track = d.streamTrack(s)
 		}
@@ -239,6 +257,7 @@ func (d *Device) EnqueueMemset(s *Stream, n int64, fn func()) *Op {
 		dur = time.Microsecond
 	}
 	op := d.enqueue(s, OpMemset, "memset", ready, dur, fn)
+	d.busyMemset += dur
 	d.recordStreamSpan(s, telemetry.ClassGPU, op, n)
 	return op
 }

@@ -107,8 +107,17 @@ func writeFullHeader(bw io.Writer, jp *JobProfile) {
 	fmt.Fprintf(bw, "# stop      : %-24s wallclock : %.2f\n", jp.Stop, sec(jp.Wallclock()))
 	fmt.Fprintf(bw, "# mpi_tasks : %-24s %%comm     : %.2f\n",
 		fmt.Sprintf("%d on %d nodes", jp.NTasks(), jp.Nodes), jp.CommPercent())
-	fmt.Fprintf(bw, "# gpu       : %-24s %%gpu      : %.2f\n",
-		fmt.Sprintf("%d devices", jp.Nodes), jp.GPUPercent())
+	// The gpu line names the active device backend when the profile
+	// recorded one; profiles from before device attribution keep the
+	// bare count, so their banners stay byte-identical.
+	gpuLabel := fmt.Sprintf("%d devices", jp.Nodes)
+	if name := jp.DeviceName(); name != "" {
+		gpuLabel = fmt.Sprintf("%d x %s", jp.Nodes, name)
+	}
+	fmt.Fprintf(bw, "# gpu       : %-24s %%gpu      : %.2f\n", gpuLabel, jp.GPUPercent())
+	if e := jp.TotalEnergyJoules(); e > 0 {
+		fmt.Fprintf(bw, "# energy    : %.2f J\n", e)
+	}
 	fmt.Fprintln(bw, "#")
 
 	fmt.Fprintf(bw, "# %-10s: %12s %12s %12s %12s\n", "", "[total]", "<avg>", "min", "max")

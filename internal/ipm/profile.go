@@ -38,7 +38,17 @@ type RankProfile struct {
 	// commands spent queued between enqueue and driver flush. Zero when
 	// the run did not use command queues.
 	SubmitStall time.Duration
+
+	// Device names the GPU backend the rank ran against ("Tesla C2050");
+	// empty in profiles recorded before device attribution existed.
+	Device string
+	// Energy sums per-signature attributed device energy in integer
+	// nanojoules. Zero when the active device had no power model.
+	Energy int64
 }
+
+// EnergyJoules renders the rank's attributed energy in joules.
+func (rp RankProfile) EnergyJoules() float64 { return float64(rp.Energy) / 1e9 }
 
 // Snapshot freezes a monitor into a RankProfile.
 func Snapshot(m *Monitor) RankProfile {
@@ -55,6 +65,7 @@ func Snapshot(m *Monitor) RankProfile {
 	for _, e := range rp.Entries {
 		rp.Errors += e.Stats.Errors
 		rp.SubmitStall += e.Stats.SubmitStall
+		rp.Energy += e.Stats.Energy
 	}
 	return rp
 }
@@ -310,6 +321,32 @@ func (jp *JobProfile) TotalSubmitStall() time.Duration {
 		t += r.SubmitStall
 	}
 	return t
+}
+
+// TotalEnergy sums attributed device energy across ranks, in integer
+// nanojoules.
+func (jp *JobProfile) TotalEnergy() int64 {
+	var n int64
+	for _, r := range jp.Ranks {
+		n += r.Energy
+	}
+	return n
+}
+
+// TotalEnergyJoules renders the job's attributed energy in joules.
+func (jp *JobProfile) TotalEnergyJoules() float64 {
+	return float64(jp.TotalEnergy()) / 1e9
+}
+
+// DeviceName returns the GPU backend the job ran against: the first
+// non-empty per-rank device string ("" for pre-attribution profiles).
+func (jp *JobProfile) DeviceName() string {
+	for _, r := range jp.Ranks {
+		if r.Device != "" {
+			return r.Device
+		}
+	}
+	return ""
 }
 
 // MonitorErrors sums monitoring-internal recovered panics across ranks.

@@ -65,6 +65,8 @@ type ScanTask struct {
 	Probes        uint64
 	Errors        int64
 	SubmitStall   time.Duration
+	Energy        int64 // nanojoules, converted like joulesToEnergy
+	Device        []byte
 	MonitorErrors int64
 	Lost          bool
 	LostAt        time.Duration
@@ -83,6 +85,7 @@ type ScanEntry struct {
 	Errors      int64
 	Submits     int64
 	SubmitStall time.Duration
+	Energy      int64 // nanojoules
 }
 
 // ScanSink receives the event stream of one document. Slices passed in
@@ -553,6 +556,10 @@ func (s *scanner) attr(kind int, name, val []byte) {
 			s.task.Errors = s.attrInt("task", name, val)
 		case "submit_stall_total":
 			s.task.SubmitStall = secsToDuration(s.attrFloat("task", name, val))
+		case "energy_total":
+			s.task.Energy = joulesToEnergy(s.attrFloat("task", name, val))
+		case "device":
+			s.task.Device = val
 		case "monitor_errors":
 			s.task.MonitorErrors = s.attrInt("task", name, val)
 		case "status":
@@ -586,6 +593,8 @@ func (s *scanner) attr(kind int, name, val []byte) {
 			s.entry.Submits = s.funcInt(name, val)
 		case "submit_stall":
 			s.entry.SubmitStall = secsToDuration(s.funcFloat(name, val))
+		case "energy":
+			s.entry.Energy = joulesToEnergy(s.funcFloat(name, val))
 		}
 	}
 }

@@ -11,7 +11,10 @@
 // production machine.
 package ipm
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // Stats accumulates the per-signature statistics IPM stores in each hash
 // table entry: the number of calls and the total, minimum and maximum
@@ -32,6 +35,13 @@ type Stats struct {
 	// layer can fold stall time into an entry the timing update created.
 	Submits     int64
 	SubmitStall time.Duration
+	// Energy is the device energy attributed to this call site, in
+	// integer nanojoules (1 W sustained for 1 ns). The watts→nanojoule
+	// rounding happens once per observation (see EnergyNJ); every
+	// aggregation from there on is an integer sum, so totals are
+	// independent of merge order and ensemble parallelism. Zero when the
+	// active device has no power model.
+	Energy int64
 }
 
 // Add folds one observation into the statistics.
@@ -60,6 +70,11 @@ func (s *Stats) Merge(o Stats) {
 		s.Submits += o.Submits
 		s.SubmitStall += o.SubmitStall
 	}
+	// Energy, like Errors, can be folded into an entry after the timing
+	// update created it (e.g. kernel energy at KTT flush time).
+	if o.Energy != 0 {
+		s.Energy += o.Energy
+	}
 	if o.Count == 0 {
 		return
 	}
@@ -72,6 +87,20 @@ func (s *Stats) Merge(o Stats) {
 	s.Count += o.Count
 	s.Total += o.Total
 }
+
+// EnergyNJ converts a power draw sustained for d into integer
+// nanojoules (1 W for 1 ns is 1 nJ). This is the only float→integer
+// rounding point of the energy pipeline: observers call it once per
+// observation, and everything downstream sums integers.
+func EnergyNJ(watts float64, d time.Duration) int64 {
+	if watts <= 0 || d <= 0 {
+		return 0
+	}
+	return int64(math.Round(watts * float64(d)))
+}
+
+// EnergyJoules renders the accumulated energy in joules for reports.
+func (s Stats) EnergyJoules() float64 { return float64(s.Energy) / 1e9 }
 
 // Avg returns the mean duration, or zero when empty.
 func (s Stats) Avg() time.Duration {

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"ipmgo/internal/devmodel"
 )
 
 func obs(d time.Duration) Stats { return Stats{Count: 1, Total: d, Min: d, Max: d} }
@@ -390,4 +392,19 @@ func BenchmarkObserveHot(b *testing.B) {
 			m.ObserveRef(ref, 1<<20, time.Microsecond)
 		}
 	})
+	// Per-backend energy attribution: the same hot path with each
+	// registered device backend's copy-engine wattage priced into the
+	// observation. The energy fold must stay allocation-free too.
+	for _, d := range devmodel.List() {
+		d := d
+		b.Run("energy-"+d.Name, func(b *testing.B) {
+			m := NewMonitor(0, "host", "bench", clock, 1024)
+			ref := NewSigRef("cudaMemcpy(D2H)")
+			nj := devmodel.EnergyNJ(d.Power.CopyWatts, time.Microsecond)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.ObserveNRef(ref, 1<<20, Stats{Count: 1, Total: time.Microsecond, Min: time.Microsecond, Max: time.Microsecond, Energy: nj})
+			}
+		})
+	}
 }

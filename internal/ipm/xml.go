@@ -48,6 +48,8 @@ type XMLTask struct {
 	HashProbes   uint64      `xml:"hashtable_probes,attr,omitempty"`
 	Errors       int64       `xml:"error_total,attr,omitempty"`
 	SubmitStall  float64     `xml:"submit_stall_total,attr,omitempty"`
+	Energy       float64     `xml:"energy_total,attr,omitempty"` // joules
+	Device       string      `xml:"device,attr,omitempty"`
 	MonitorErrs  int64       `xml:"monitor_errors,attr,omitempty"`
 	Status       string      `xml:"status,attr,omitempty"` // "lost" for a dead rank
 	LostAt       float64     `xml:"lost_at,attr,omitempty"`
@@ -75,6 +77,7 @@ type XMLFunc struct {
 	Errors      int64   `xml:"error_count,attr,omitempty"`
 	SubmitN     int64   `xml:"submit_count,attr,omitempty"`
 	SubmitStall float64 `xml:"submit_stall,attr,omitempty"`
+	Energy      float64 `xml:"energy,attr,omitempty"` // joules
 }
 
 // globalRegionName is how the implicit whole-program region appears in the
@@ -111,6 +114,7 @@ func ToXML(jp *JobProfile) *XMLLog {
 			Rank: r.Rank, Host: r.Host, Wallclock: r.Wallclock.Seconds(),
 			HashLoad: r.LoadFactor, HashOverflow: r.Overflow, HashProbes: r.Probes,
 			Errors: r.Errors, SubmitStall: r.SubmitStall.Seconds(), MonitorErrs: r.MonitorErrors,
+			Energy: energyToJoules(r.Energy), Device: r.Device,
 		}
 		if r.Lost {
 			task.Status = "lost"
@@ -137,6 +141,7 @@ func ToXML(jp *JobProfile) *XMLLog {
 				Errors:      e.Stats.Errors,
 				SubmitN:     e.Stats.Submits,
 				SubmitStall: e.Stats.SubmitStall.Seconds(),
+				Energy:      energyToJoules(e.Stats.Energy),
 			})
 		}
 		doc.Tasks = append(doc.Tasks, task)
@@ -165,6 +170,13 @@ func secsToDuration(s float64) time.Duration {
 	return time.Duration(math.Round(s * float64(time.Second)))
 }
 
+// energyToJoules / joulesToEnergy convert between the internal integer
+// nanojoule representation and the joule-valued energy_* XML attributes,
+// the exact counterparts of Seconds()/secsToDuration for durations.
+func energyToJoules(nj int64) float64 { return float64(nj) / 1e9 }
+
+func joulesToEnergy(j float64) int64 { return int64(math.Round(j * 1e9)) }
+
 // FromXML converts a parsed XML document back to a JobProfile.
 func FromXML(doc *XMLLog) *JobProfile {
 	ranks := make([]RankProfile, 0, len(doc.Tasks))
@@ -173,6 +185,7 @@ func FromXML(doc *XMLLog) *JobProfile {
 			Rank: t.Rank, Host: t.Host, Wallclock: secsToDuration(t.Wallclock),
 			LoadFactor: t.HashLoad, Overflow: t.HashOverflow, Probes: t.HashProbes,
 			Errors: t.Errors, SubmitStall: secsToDuration(t.SubmitStall), MonitorErrors: t.MonitorErrs,
+			Energy: joulesToEnergy(t.Energy), Device: t.Device,
 			Lost: t.Status == "lost", LostAt: secsToDuration(t.LostAt), LostReason: t.LostReason,
 		}
 		for _, reg := range t.Regions {
@@ -187,6 +200,7 @@ func FromXML(doc *XMLLog) *JobProfile {
 						Errors:      f.Errors,
 						Submits:     f.SubmitN,
 						SubmitStall: secsToDuration(f.SubmitStall),
+						Energy:      joulesToEnergy(f.Energy),
 					},
 				})
 			}
@@ -201,6 +215,12 @@ func FromXML(doc *XMLLog) *JobProfile {
 			// Likewise for logs predating submit_stall_total.
 			for _, e := range rp.Entries {
 				rp.SubmitStall += e.Stats.SubmitStall
+			}
+		}
+		if rp.Energy == 0 {
+			// Likewise for logs predating energy_total.
+			for _, e := range rp.Entries {
+				rp.Energy += e.Stats.Energy
 			}
 		}
 		ranks = append(ranks, rp)

@@ -155,6 +155,10 @@ loop:
 					cur.Errors = attrInt(where, a)
 				case "submit_stall_total":
 					cur.SubmitStall = attrFloat(where, a)
+				case "energy_total":
+					cur.Energy = attrFloat(where, a)
+				case "device":
+					cur.Device = a.Value
 				case "monitor_errors":
 					cur.MonitorErrs = attrInt(where, a)
 				case "status":
@@ -209,6 +213,8 @@ loop:
 					f.SubmitN = attrInt(where, a)
 				case "submit_stall":
 					f.SubmitStall = attrFloat(where, a)
+				case "energy":
+					f.Energy = attrFloat(where, a)
 				}
 			}
 			curRegion.Funcs = append(curRegion.Funcs, f)

@@ -39,7 +39,7 @@ func (m *Monitor) CuMemFree(p cudart.DevPtr) error {
 func (m *Monitor) CuMemcpyHtoD(dst cudart.DevPtr, src []byte) error {
 	m.hostIdle(0)
 	var err error
-	m.timed(refCuMemcpyHtoD, int64(len(src)), func() { err = m.driver().CuMemcpyHtoD(dst, src) })
+	m.timedW(refCuMemcpyHtoD, int64(len(src)), m.opts.CopyWatts, func() { err = m.driver().CuMemcpyHtoD(dst, src) })
 	return err
 }
 
@@ -49,7 +49,7 @@ func (m *Monitor) CuMemcpyHtoD(dst cudart.DevPtr, src []byte) error {
 func (m *Monitor) CuMemcpyDtoH(dst []byte, src cudart.DevPtr) error {
 	m.hostIdle(0)
 	var err error
-	m.timed(refCuMemcpyDtoH, int64(len(dst)), func() { err = m.driver().CuMemcpyDtoH(dst, src) })
+	m.timedW(refCuMemcpyDtoH, int64(len(dst)), m.opts.CopyWatts, func() { err = m.driver().CuMemcpyDtoH(dst, src) })
 	if m.opts.KernelTiming {
 		m.checkKTT()
 	}
@@ -60,7 +60,7 @@ func (m *Monitor) CuMemcpyDtoH(dst []byte, src cudart.DevPtr) error {
 // measurement.
 func (m *Monitor) CuMemsetD8(p cudart.DevPtr, value byte, n int64) error {
 	var err error
-	m.timed(refCuMemsetD8, n, func() { err = m.driver().CuMemsetD8(p, value, n) })
+	m.timedW(refCuMemsetD8, n, m.opts.MemsetWatts, func() { err = m.driver().CuMemsetD8(p, value, n) })
 	return err
 }
 

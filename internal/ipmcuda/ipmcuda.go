@@ -52,6 +52,16 @@ type Options struct {
 	// WrapperOverhead is the host-side cost charged per intercepted call
 	// (default 150 ns, of the order IPM reports).
 	WrapperOverhead time.Duration
+	// KernelWatts, CopyWatts and MemsetWatts are the active power draws
+	// of the device's engine classes (from the devmodel backend's power
+	// model), used to attribute joules per call site: kernel energy is
+	// priced over the event-measured device busy time at KTT flush,
+	// copy/memset energy over the host-timed call interval. All three
+	// zero (the default) disables attribution entirely — the legacy
+	// no-power behaviour.
+	KernelWatts float64
+	CopyWatts   float64
+	MemsetWatts float64
 	// Trace, if non-nil, receives the monitoring-step timeline used to
 	// reproduce the paper's Fig. 7 schematic.
 	Trace func(TraceEvent)
@@ -202,6 +212,15 @@ func (m *Monitor) timed(ref ipm.SigRef, bytes int64, fn func()) {
 // cudaErrorNotReady is a polling result, not a failure, and is never
 // counted.
 func (m *Monitor) timedE(ref ipm.SigRef, bytes int64, fn func() error) error {
+	return m.timedEW(ref, bytes, 0, fn)
+}
+
+// timedEW is timedE plus energy attribution: watts priced over the
+// measured interval folds into the same hash entry as a
+// zero-observation merge, so the timing statistics and telemetry spans
+// stay byte-identical to the unpowered path. watts <= 0 charges
+// nothing.
+func (m *Monitor) timedEW(ref ipm.SigRef, bytes int64, watts float64, fn func() error) error {
 	m.overhead()
 	begin := m.mon.Now()
 	err := fn()
@@ -211,10 +230,32 @@ func (m *Monitor) timedE(ref ipm.SigRef, bytes int64, fn func() error) error {
 	} else {
 		m.mon.ObserveRef(ref, bytes, d)
 	}
+	m.foldEnergy(ref, bytes, watts, d)
 	if m.opts.CheckEveryCall {
 		m.checkKTT()
 	}
 	return err
+}
+
+// timedW is the energy-attributing form of timed (driver-API wrappers,
+// which surface errors by value rather than by return).
+func (m *Monitor) timedW(ref ipm.SigRef, bytes int64, watts float64, fn func()) {
+	m.overhead()
+	begin := m.mon.Now()
+	fn()
+	d := m.mon.Now() - begin
+	m.mon.ObserveRef(ref, bytes, d)
+	m.foldEnergy(ref, bytes, watts, d)
+	if m.opts.CheckEveryCall {
+		m.checkKTT()
+	}
+}
+
+// foldEnergy attributes watts sustained over d to ref's hash entry.
+func (m *Monitor) foldEnergy(ref ipm.SigRef, bytes int64, watts float64, d time.Duration) {
+	if nj := ipm.EnergyNJ(watts, d); nj != 0 {
+		m.mon.ObserveNRef(ref, bytes, ipm.Stats{Energy: nj})
+	}
 }
 
 // ---- Kernel timing table (Section III-B) ----
@@ -293,6 +334,10 @@ func (m *Monitor) checkKTT() {
 		}
 		stat := ipm.Stats{Count: 1, Total: d, Min: d, Max: d}
 		m.mon.ObserveNRef(m.execStreamRef(s.stream), 0, stat)
+		// Kernel energy (power × event-measured device busy time) goes on
+		// the per-kernel entry only: rank totals sum every entry's energy,
+		// so pricing the per-stream summary too would double-count.
+		stat.Energy = ipm.EnergyNJ(m.opts.KernelWatts, d)
 		m.mon.ObserveNRef(m.execKernelRef(s.stream, s.kernel), 0, stat)
 		m.trace("ipm", "KTT flush "+s.kernel+" (h)")
 	}

@@ -1,0 +1,70 @@
+package ipmparse
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEnergyFixture pins the parser's side of the power model: the
+// energy_* attributes round-trip through the tolerant loader with the
+// task-attribute-wins fold, and the banner and HTML renderings surface
+// the device name and attributed joules.
+func TestEnergyFixture(t *testing.T) {
+	jp, rep := loadFixture(t, "energy.xml")
+	if len(rep.Warnings) != 0 {
+		t.Errorf("warnings = %q", rep.Warnings)
+	}
+	if got := jp.DeviceName(); got != "Tesla C2050" {
+		t.Errorf("DeviceName = %q", got)
+	}
+	// Rank 0 carries a task-level total (76.5 J) that wins over its entry
+	// sum (97 J); rank 1 has no task attribute and falls back to the sum
+	// of its entry attributes (15.4 + 7.7 + 72.2 J).
+	if got := jp.Ranks[0].EnergyJoules(); math.Abs(got-76.5) > 1e-9 {
+		t.Errorf("rank 0 energy = %v J, want 76.5", got)
+	}
+	if got := jp.Ranks[1].EnergyJoules(); math.Abs(got-95.3) > 1e-9 {
+		t.Errorf("rank 1 energy = %v J, want 95.3", got)
+	}
+	if got := jp.TotalEnergyJoules(); math.Abs(got-171.8) > 1e-9 {
+		t.Errorf("total energy = %v J, want 171.8", got)
+	}
+
+	// The full banner derives its gpu line and energy row from the
+	// recorded device, not a baked-in string.
+	var banner bytes.Buffer
+	if err := WriteBanner(&banner, jp, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "energy.banner.golden")
+	if *update {
+		if err := os.WriteFile(golden, banner.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(banner.Bytes(), want) {
+		t.Errorf("banner differs from %s:\ngot:\n%s\nwant:\n%s", golden, banner.Bytes(), want)
+	}
+
+	// The HTML report grows a device row, a job-wide energy row, and a
+	// per-function joules column.
+	var html bytes.Buffer
+	if err := WriteHTML(&html, jp); err != nil {
+		t.Fatal(err)
+	}
+	// 148.20 is the kernel call site's joules (76 + 72.2 from the two
+	// ranks' entry attributes).
+	for _, want := range []string{"Tesla C2050", "171.80 J", "energy [J]", "<td>148.20</td>"} {
+		if !strings.Contains(html.String(), want) {
+			t.Errorf("HTML report missing %q", want)
+		}
+	}
+}

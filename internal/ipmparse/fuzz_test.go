@@ -45,6 +45,11 @@ func seedCorpus(f *testing.F) {
 	f.Add([]byte(`<ipm_log ntasks="99999999"><task mpi_rank="-5" wallclock="nan">`))
 	f.Add([]byte(`<ipm_log><task><region><func name="a" count="9223372036854775807" ttot="1e308"/></region></task></ipm_log>`))
 	f.Add([]byte("<ipm_log>\xff\xfe<task"))
+	// Energy-attributed profiles: a task-level total with a device stamp,
+	// an entry-level fallback, and hostile energy values.
+	f.Add([]byte(`<ipm_log ntasks="1"><task mpi_rank="0" energy_total="76.5" device="Tesla C2050"><region><func name="@CUDA_EXEC_STRM00" count="3" ttot="0.4" energy="76.5"/></region></task></ipm_log>`))
+	f.Add([]byte(`<ipm_log ntasks="1"><task mpi_rank="0" device="A100-SXM4-40GB"><region><func name="cudaMemcpy(H2D)" count="2" ttot="0.1" energy="1.25"/><func name="square" count="2" ttot="0.2" energy="8.5"/></region></task></ipm_log>`))
+	f.Add([]byte(`<ipm_log ntasks="1"><task energy_total="-1e308" device="&#0;"><region><func name="k" energy="nan"/></region></task></ipm_log>`))
 }
 
 func FuzzParse(f *testing.F) {

@@ -48,9 +48,14 @@ type htmlReport struct {
 	// SubmitStall is the job-wide command-queue submit stall; empty when
 	// the run did not model the queue layer, which drops the row.
 	SubmitStall string
-	Funcs       []htmlFunc
-	Ranks       []htmlRank
-	Balance     []htmlBalance
+	// Device names the device backend the profile recorded; Energy is
+	// the job-wide attributed energy. Both are empty — dropping their
+	// rows — for profiles from unpowered or pre-registry runs.
+	Device  string
+	Energy  string
+	Funcs   []htmlFunc
+	Ranks   []htmlRank
+	Balance []htmlBalance
 }
 
 type htmlFunc struct {
@@ -60,6 +65,7 @@ type htmlFunc struct {
 	PctWall string
 	Submits int64
 	Stall   string
+	Energy  string
 }
 
 type htmlRank struct {
@@ -96,11 +102,13 @@ td.l, th.l { text-align: left; }
 <tr><th class="l">%gpu</th><td>{{.GPUPct}}</td></tr>
 <tr><th class="l">%host idle</th><td>{{.IdlePct}}</td></tr>
 {{if .SubmitStall}}<tr><th class="l">submit stall</th><td>{{.SubmitStall}}</td></tr>
+{{end}}{{if .Device}}<tr><th class="l">device</th><td class="l">{{.Device}}</td></tr>
+{{end}}{{if .Energy}}<tr><th class="l">energy</th><td>{{.Energy}}</td></tr>
 {{end}}</table>
 <h2>Events</h2>
 <table>
-<tr><th class="l">name</th><th>time [s]</th><th>count</th><th>%wall</th><th>submits</th><th>stall [s]</th></tr>
-{{range .Funcs}}<tr><td class="l">{{.Name}}</td><td>{{.Time}}</td><td>{{.Count}}</td><td>{{.PctWall}}</td><td>{{.Submits}}</td><td>{{.Stall}}</td></tr>
+<tr><th class="l">name</th><th>time [s]</th><th>count</th><th>%wall</th><th>submits</th><th>stall [s]</th><th>energy [J]</th></tr>
+{{range .Funcs}}<tr><td class="l">{{.Name}}</td><td>{{.Time}}</td><td>{{.Count}}</td><td>{{.PctWall}}</td><td>{{.Submits}}</td><td>{{.Stall}}</td><td>{{.Energy}}</td></tr>
 {{end}}</table>
 <h2>Tasks</h2>
 <table>
@@ -132,6 +140,10 @@ func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
 	if st := jp.TotalSubmitStall(); st > 0 {
 		rep.SubmitStall = secs(st) + " s"
 	}
+	rep.Device = jp.DeviceName()
+	if e := jp.TotalEnergyJoules(); e > 0 {
+		rep.Energy = fmt.Sprintf("%.2f J", e)
+	}
 	fts := jp.FuncTotals()
 	for _, ft := range fts {
 		pct := 0.0
@@ -145,6 +157,7 @@ func WriteHTML(w io.Writer, jp *ipm.JobProfile) error {
 			PctWall: fmt.Sprintf("%.2f", pct),
 			Submits: ft.Stats.Submits,
 			Stall:   secs(ft.Stats.SubmitStall),
+			Energy:  fmt.Sprintf("%.2f", ft.Stats.EnergyJoules()),
 		})
 	}
 	for _, r := range jp.Ranks {

@@ -37,6 +37,9 @@ type CallSiteAgg struct {
 	// and the total virtual time they waited before device hand-off.
 	Submits            int64   `json:"submits,omitempty"`
 	SubmitStallSeconds float64 `json:"submit_stall_seconds,omitempty"`
+	// EnergyJoules is the device energy attributed to this call site by
+	// the power model (zero when the producing runs were unpowered).
+	EnergyJoules float64 `json:"energy_joules,omitempty"`
 }
 
 // KernelAgg is one GPU kernel rolled up across streams, ranks and jobs.
@@ -52,6 +55,15 @@ type ImbalanceAgg struct {
 	Name       string  `json:"name"`
 	MaxOverAvg float64 `json:"max_over_avg"`
 	WorstJob   string  `json:"worst_job"`
+}
+
+// JobEnergyAgg is the per-job energy rollup: total attributed joules and
+// the per-rank average. Jobs without energy attribution are omitted.
+type JobEnergyAgg struct {
+	Job           string  `json:"job"`
+	Ranks         int     `json:"ranks"`
+	EnergyJoules  float64 `json:"energy_joules"`
+	PerRankJoules float64 `json:"per_rank_joules"`
 }
 
 // AggReport is the GET /agg response body.
@@ -70,6 +82,9 @@ type AggReport struct {
 	// SubmitStallSeconds sums command-queue submit stall over every rank
 	// of every selected job (zero when no job modelled the queue layer).
 	SubmitStallSeconds float64 `json:"submit_stall_seconds,omitempty"`
+	// EnergyJoules sums attributed device energy over every rank of
+	// every selected job (zero when no job carried a power model).
+	EnergyJoules float64 `json:"energy_joules,omitempty"`
 
 	// Fleet fractions of total rank wallclock: how busy the GPUs were
 	// and how long hosts sat blocked behind them.
@@ -79,6 +94,10 @@ type AggReport struct {
 	CallSites  []CallSiteAgg  `json:"call_sites"`
 	TopKernels []KernelAgg    `json:"top_kernels"`
 	Imbalance  []ImbalanceAgg `json:"imbalance"`
+	// JobEnergy lists the selected jobs carrying energy attribution, in
+	// job-id order (the Select order), so the table is deterministic for
+	// any ingest order.
+	JobEnergy []JobEnergyAgg `json:"job_energy,omitempty"`
 }
 
 // isTransfer classifies a host call site as a host<->device transfer.
@@ -144,6 +163,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	worst := make(map[string]ImbalanceAgg)
 
 	var wall, gpu, xfer, idle, mpi, stall time.Duration
+	var energyNJ int64
 	for _, job := range jobs {
 		ro := job.roll()
 		rep.Ranks += job.Ranks
@@ -157,6 +177,17 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 		idle += ro.idle
 		mpi += ro.mpi
 		stall += ro.stall
+		if ro.energy != 0 {
+			energyNJ += ro.energy
+			je := JobEnergyAgg{
+				Job: job.ID, Ranks: job.Ranks,
+				EnergyJoules: float64(ro.energy) / 1e9,
+			}
+			if job.Ranks > 0 {
+				je.PerRankJoules = je.EnergyJoules / float64(job.Ranks)
+			}
+			rep.JobEnergy = append(rep.JobEnergy, je)
+		}
 		for name, st := range ro.sites {
 			acc, ok := sites[name]
 			if !ok {
@@ -190,6 +221,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 	rep.HostIdleSeconds = idle.Seconds()
 	rep.MPISeconds = mpi.Seconds()
 	rep.SubmitStallSeconds = stall.Seconds()
+	rep.EnergyJoules = float64(energyNJ) / 1e9
 	if wall > 0 {
 		rep.GPUBusyFraction = float64(gpu) / float64(wall)
 		rep.HostBlockedFraction = float64(idle) / float64(wall)
@@ -207,6 +239,7 @@ func aggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
 			Submits:  acc.Submits,
 		}
 		row.SubmitStallSeconds = acc.SubmitStall.Seconds()
+		row.EnergyJoules = acc.EnergyJoules()
 		if acc.Count > 0 {
 			row.PerCall = acc.Avg().Seconds()
 		}

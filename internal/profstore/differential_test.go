@@ -107,7 +107,7 @@ func diffScan(t testing.TB, data []byte) bool {
 func rollupEqual(a, b *rollup) bool {
 	if a.wall != b.wall || a.gpu != b.gpu || a.xfer != b.xfer ||
 		a.idle != b.idle || a.mpi != b.mpi || a.stall != b.stall ||
-		a.lostRanks != b.lostRanks {
+		a.energy != b.energy || a.lostRanks != b.lostRanks {
 		return false
 	}
 	if len(a.sites) != len(b.sites) || len(a.kernels) != len(b.kernels) ||
@@ -246,6 +246,8 @@ func FuzzScanVsParse(f *testing.F) {
 	f.Add([]byte(`<?xml version="1.0" encoding="UTF-8"?><ipm_log/>`))
 	f.Add([]byte(`<ipm_log><task rank="0"><task rank="1"></task></ipm_log>`))
 	f.Add([]byte(`<ipm_log cmd="a b"><func name="x"/><region></region></ipm_log>`))
+	f.Add([]byte(`<ipm_log ntasks="1"><task energy_total="1.5" device="X"><region><func name="k" t="1" energy="0.5"/></region></task></ipm_log>`))
+	f.Add([]byte(`<ipm_log ntasks="1"><task><region><func name="k" t="1" energy="2.25"/></region></task></ipm_log>`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 16<<10 {
 			return

@@ -152,6 +152,11 @@ type rollupSink struct {
 	stall          time.Duration
 	taskStall      time.Duration
 	taskEntryStall time.Duration
+
+	// Energy fold, same task-attribute-wins contract as submit stall.
+	energy          int64
+	taskEnergy      int64
+	taskEntryEnergy int64
 }
 
 func newRollupSink() *rollupSink {
@@ -172,6 +177,7 @@ func (k *rollupSink) reset() {
 	k.wall, k.gpu, k.xfer, k.idle, k.mpi = 0, 0, 0, 0, 0
 	k.lostRanks = 0
 	k.stall, k.taskStall, k.taskEntryStall = 0, 0, 0
+	k.energy, k.taskEnergy, k.taskEntryEnergy = 0, 0, 0
 	if len(k.accs) > maxAccCache {
 		k.accs = make(map[string]*nameAcc)
 	}
@@ -194,6 +200,8 @@ func (k *rollupSink) TaskStart(t *ipm.ScanTask) {
 	k.wall += t.Wallclock
 	k.taskStall = t.SubmitStall
 	k.taskEntryStall = 0
+	k.taskEnergy = t.Energy
+	k.taskEntryEnergy = 0
 	if t.Lost {
 		k.lostRanks++
 	}
@@ -207,6 +215,12 @@ func (k *rollupSink) TaskEnd() {
 		k.stall += k.taskEntryStall
 	}
 	k.taskStall, k.taskEntryStall = 0, 0
+	if k.taskEnergy != 0 {
+		k.energy += k.taskEnergy
+	} else {
+		k.energy += k.taskEntryEnergy
+	}
+	k.taskEnergy, k.taskEntryEnergy = 0, 0
 }
 
 // lookup returns the accumulator for name, interning it on first sight
@@ -254,9 +268,10 @@ func (k *rollupSink) Entry(e *ipm.ScanEntry) {
 	acc.curSum += total
 	acc.raw += total
 	k.taskEntryStall += e.SubmitStall
+	k.taskEntryEnergy += e.Energy
 	acc.merged.Merge(ipm.Stats{
 		Count: e.Count, Total: e.Total, Min: e.Min, Max: e.Max, Errors: e.Errors,
-		Submits: e.Submits, SubmitStall: e.SubmitStall,
+		Submits: e.Submits, SubmitStall: e.SubmitStall, Energy: e.Energy,
 	})
 }
 
@@ -290,6 +305,7 @@ func (k *rollupSink) build(jobID string) *rollup {
 	ro := &rollup{
 		wall: k.wall, gpu: k.gpu, xfer: k.xfer, idle: k.idle, mpi: k.mpi,
 		stall:     k.stall,
+		energy:    k.energy,
 		lostRanks: k.lostRanks,
 		sites:     make(map[string]ipm.Stats),
 		kernels:   make(map[string]ipm.Stats),

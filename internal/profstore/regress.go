@@ -28,6 +28,10 @@ type RegressRow struct {
 	HeadSeconds float64 `json:"head_seconds"`
 	BasePerCall float64 `json:"base_per_call_seconds"`
 	HeadPerCall float64 `json:"head_per_call_seconds"`
+	// Base/HeadEnergyJoules compare attributed device energy per side;
+	// zero (and omitted) for signatures from unpowered runs.
+	BaseEnergyJoules float64 `json:"base_energy_joules,omitempty"`
+	HeadEnergyJoules float64 `json:"head_energy_joules,omitempty"`
 	// DeltaPct is the per-call time change in percent; meaningful only
 	// when the signature appears on both sides with base time > 0.
 	DeltaPct  float64 `json:"delta_pct"`
@@ -116,6 +120,9 @@ func (s *Store) regressCold(opts RegressOptions) *RegressReport {
 			HeadSeconds: h.Total.Seconds(),
 			BasePerCall: b.Avg().Seconds(),
 			HeadPerCall: h.Avg().Seconds(),
+
+			BaseEnergyJoules: b.EnergyJoules(),
+			HeadEnergyJoules: h.EnergyJoules(),
 		}
 		switch {
 		case !inBase:

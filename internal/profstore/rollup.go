@@ -24,6 +24,10 @@ type rollup struct {
 	mpi   time.Duration // DomainMPI call sites
 	stall time.Duration // command-queue submit stall summed over ranks
 
+	// energy is the job's attributed device energy in integer
+	// nanojoules, summed over ranks; zero for jobs from unpowered runs.
+	energy int64
+
 	lostRanks int
 
 	// sites accumulates per call-site stats with per-kernel pseudo
@@ -48,6 +52,7 @@ func computeRollup(jp *ipm.JobProfile, jobID string) *rollup {
 	for _, r := range jp.Ranks {
 		ro.wall += r.Wallclock
 		ro.stall += r.SubmitStall
+		ro.energy += r.Energy
 		if r.Lost {
 			ro.lostRanks++
 		}

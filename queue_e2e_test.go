@@ -255,12 +255,24 @@ func TestQueueSubmitStallSurfaces(t *testing.T) {
 	}
 	pts := rec.CounterSnapshot()
 	if len(pts) == 0 {
-		t.Fatal("no queue-depth counter points recorded")
+		t.Fatal("no counter points recorded")
 	}
+	var depthPts, powerPts int
 	for _, p := range pts {
-		if p.Track != "ctx0/q0" || p.Name != "depth" {
-			t.Errorf("counter point = %+v, want depth on ctx0/q0", p)
+		switch {
+		case p.Track == "ctx0/q0" && p.Name == "depth":
+			depthPts++
+		case p.Track == "gpu0" && p.Name == "power_watts":
+			powerPts++
+		default:
+			t.Errorf("counter point = %+v, want queue depth or device power", p)
 		}
+	}
+	if depthPts == 0 {
+		t.Error("no queue-depth counter points recorded")
+	}
+	if powerPts == 0 {
+		t.Error("no device power counter points recorded")
 	}
 
 	// Surface 4: the Prometheus registry exposes the queue families.
