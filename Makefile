@@ -6,11 +6,11 @@
 # allocation counts) into a JSON snapshot for cross-PR comparison.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr9.json
-BENCH_BASE ?= BENCH_pr7.json
-BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord|BenchmarkQueueSubmit
+BENCH_OUT ?= BENCH_pr10.json
+BENCH_BASE ?= BENCH_pr9.json
+BENCH_PATTERN ?= BenchmarkObserveHot|BenchmarkTableUpdate|BenchmarkMapUpdateManyKeys|BenchmarkAblationHashTable|BenchmarkEnsembleParallel|BenchmarkObserveTelemetry|BenchmarkProfstoreIngest|BenchmarkProfstoreAgg|BenchmarkDESScheduleRun|BenchmarkSpanRecord|BenchmarkQueueSubmit|BenchmarkClusterIngest|BenchmarkClusterAgg
 
-.PHONY: build vet test race race-faults serve serve-load serve-e2e soak soak-short fuzz verify bench bench-check profile experiments trace faults clean
+.PHONY: build vet test race race-faults serve serve-load serve-e2e soak soak-short soak-cluster soak-cluster-short fuzz verify bench bench-check profile experiments trace faults clean
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,7 @@ test:
 # and the core packages those simulations exercise (including the DES
 # event pool the whole simulator schedules through).
 race:
-	$(GO) test -race ./internal/des ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore ./internal/cmdqueue
+	$(GO) test -race ./internal/des ./internal/parallel ./internal/experiments ./internal/cluster ./internal/ipm ./internal/telemetry ./internal/profstore ./internal/cmdqueue ./internal/storecluster
 
 # Race-enabled pass over the fault-injection machinery: the end-to-end
 # fault scenarios (rank death, hung-device watchdog, straggler skew,
@@ -63,6 +63,19 @@ soak:
 soak-short:
 	$(GO) run ./cmd/ipmserve -soak -soak-jobs 80 -soak-cycles 3 -soak-timeout 30s
 
+# Cluster kill/restart soak: N ipmserve members in cluster mode, each
+# over its own WAL, with rotating members SIGKILLed mid-ingest while
+# workers retry through the surviving routers. Gates on zero lost
+# acknowledged jobs and /agg + /jobs + /regress byte-identical from
+# EVERY member to a never-killed single-node reference.
+# `soak-cluster-short` is the bounded CI variant wired into `make
+# verify` (3 members, one kill cycle, well under 30s).
+soak-cluster:
+	$(GO) run ./cmd/ipmserve -soak-cluster -soak-members 3 -soak-replicas 2 -soak-jobs 240 -soak-cycles 4 -soak-timeout 120s
+
+soak-cluster-short:
+	$(GO) run ./cmd/ipmserve -soak-cluster -soak-members 3 -soak-replicas 2 -soak-jobs 60 -soak-cycles 1 -soak-timeout 30s
+
 # Short native-fuzz pass over both parser entry points (strict and
 # tolerant), the streaming-scanner differential, and the framed-WAL
 # replay path; longer sessions:
@@ -73,8 +86,9 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTolerant -fuzztime $(FUZZTIME) ./internal/ipmparse
 	$(GO) test -run '^$$' -fuzz FuzzScanVsParse -fuzztime $(FUZZTIME) ./internal/profstore
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) ./internal/profstore
+	$(GO) test -run '^$$' -fuzz FuzzRollupWire -fuzztime $(FUZZTIME) ./internal/profstore
 
-verify: build vet test race-faults serve-e2e soak-short fuzz bench-check
+verify: build vet test race-faults serve-e2e soak-short soak-cluster-short fuzz bench-check
 
 # -p 1 serialises the per-package test binaries: the ensemble benchmarks
 # saturate all cores, and letting them run beside the nanosecond-scale
@@ -87,12 +101,12 @@ bench:
 
 # Like bench, but a CI gate: fail (exit 3) if any benchmark regressed
 # more than BENCH_THRESHOLD percent in ns/op or allocs/op against the
-# committed PR-7 snapshot. Writes its measurements to results/ so it
+# committed PR-10 snapshot. Writes its measurements to results/ so it
 # never clobbers the committed baseline. The threshold is forgiving
 # because shared CI boxes jitter; the min-of-BENCH_COUNT noise floor
 # (see cmd/benchjson) absorbs most of it.
 BENCH_THRESHOLD ?= 30
-BENCH_CHECK_BASE ?= BENCH_pr9.json
+BENCH_CHECK_BASE ?= BENCH_pr10.json
 bench-check:
 	mkdir -p results
 	$(GO) test -p 1 -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) ./... | $(GO) run ./cmd/benchjson -o results/bench_check.json -compare $(BENCH_CHECK_BASE) -threshold $(BENCH_THRESHOLD)

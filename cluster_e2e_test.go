@@ -1,0 +1,162 @@
+package ipmgo
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/profstore"
+	"ipmgo/internal/storecluster"
+	"ipmgo/internal/telemetry"
+)
+
+// The cluster e2e scenario extends `make serve-e2e` to cluster mode: a
+// real 3-member ipmserve cluster over loopback HTTP, WAL-backed like
+// production, ingesting through rotating routers — then every member
+// must answer /agg, /jobs and /regress byte-identically to a single
+// never-sharded store, including after one member is torn down and
+// recovered from its WAL. Run with -race; `make verify` does.
+
+// clusterMembersOn stands up n WAL-backed cluster members on loopback
+// listeners and returns their base URLs, stores and HTTP servers.
+func clusterMembersOn(t *testing.T, n, replicas int, dir string) ([]string, []*profstore.Store, []*http.Server) {
+	t.Helper()
+	urls := make([]string, n)
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	stores := make([]*profstore.Store, n)
+	servers := make([]*http.Server, n)
+	for i := 0; i < n; i++ {
+		store, _, err := profstore.OpenStore(
+			filepath.Join(dir, fmt.Sprintf("member%d.wal", i)),
+			profstore.StoreOptions{SyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = store
+		reg := telemetry.NewRegistry()
+		cl, err := storecluster.New(storecluster.Config{
+			Self:     urls[i],
+			Members:  urls,
+			Replicas: replicas,
+			Store:    store,
+			Local:    profstore.NewServer(store, reg).Handler(),
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: cl.Handler()}
+		servers[i] = hs
+		go hs.Serve(listeners[i])
+		t.Cleanup(func() {
+			hs.Close()
+			store.Close()
+		})
+	}
+	return urls, stores, servers
+}
+
+// TestServeE2EClusterByteIdentity ingests a synthetic corpus through
+// rotating routers of a 3-member R=2 cluster and demands every member
+// answer the full query surface byte-identically to a single-node
+// store holding the whole corpus — then reopens one member's WAL into
+// a fresh store and demands the same again, proving a shard restart
+// preserves the cluster-wide bytes.
+func TestServeE2EClusterByteIdentity(t *testing.T) {
+	// Reference: one plain store, same documents.
+	ref := profstore.New()
+	defer ref.Close()
+	refURL := serveOn(t, profstore.NewServer(ref, telemetry.NewRegistry()))
+
+	dir := t.TempDir()
+	urls, stores, servers := clusterMembersOn(t, 3, 2, dir)
+
+	const nDocs = 9
+	for i := 0; i < nDocs; i++ {
+		var buf bytes.Buffer
+		if err := ipm.WriteXML(&buf, profstore.SyntheticProfile(2011, i)); err != nil {
+			t.Fatal(err)
+		}
+		xml := buf.Bytes()
+		tags := []string{"e2e", fmt.Sprintf("batch:%d", i%2)}
+		if _, err := ref.Ingest(xml, profstore.DeriveID(xml), tags); err != nil {
+			t.Fatal(err)
+		}
+		poster := &profstore.Poster{URL: urls[i%len(urls)]}
+		if _, err := poster.PostXML(xml, "", tags); err != nil {
+			t.Fatalf("cluster ingest %d: %v", i, err)
+		}
+	}
+
+	queries := []string{
+		"/agg",
+		"/agg?sel=tag:e2e&top=4",
+		"/jobs",
+		"/regress?base=tag:batch:0&head=tag:batch:1&threshold=5",
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, q := range queries {
+			want := mustGet(t, refURL+q)
+			for m, u := range urls {
+				if got := mustGet(t, u+q); !bytes.Equal(got, want) {
+					t.Errorf("%s: %s via member %d differs from single-node reference:\ngot:\n%s\nwant:\n%s", stage, q, m, got, want)
+				}
+			}
+		}
+	}
+	check("live cluster")
+
+	// Restart member 0: recover its shard from the WAL into a fresh
+	// store served at the same ring position. The pre-restart memo
+	// epoch is unreachable by construction (boot-stamped), so the
+	// recovered member cannot serve a stale cached rollup.
+	before := stores[0].Len()
+	servers[0].Close() // free the address before the rebind below
+	if err := stores[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	recovered, st, err := profstore.OpenStore(
+		filepath.Join(dir, "member0.wal"), profstore.StoreOptions{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if st.Recovered != before {
+		t.Fatalf("member 0 recovered %d job(s), want %d", st.Recovered, before)
+	}
+	// Rebind the member's listener with the recovered store.
+	reg := telemetry.NewRegistry()
+	cl, err := storecluster.New(storecluster.Config{
+		Self:     urls[0],
+		Members:  urls,
+		Replicas: 2,
+		Store:    recovered,
+		Local:    profstore.NewServer(recovered, reg).Handler(),
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", urls[0][len("http://"):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: cl.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	check("after member restart")
+}

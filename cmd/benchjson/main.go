@@ -9,7 +9,11 @@
 //
 //	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op
 //
-// The -N GOMAXPROCS suffix is stripped from the name. B/op and allocs/op
+// The -N GOMAXPROCS suffix is stripped from the name. Sub-benchmark
+// segments of the form key=value (BenchmarkClusterIngest/shards=4) are
+// additionally lifted into a "labels" map on the record; the full name
+// remains the snapshot key, so every variant is gated independently by
+// -threshold. B/op and allocs/op
 // are present only when the run used -benchmem; absent metrics are
 // omitted from the JSON (encoded as null via pointers would be noise —
 // they are simply left at zero with "hasMem": false).
@@ -53,6 +57,12 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	HasMem      bool    `json:"has_mem"` // true when -benchmem metrics were present
+	// Labels are the key=value sub-benchmark segments of the name
+	// (BenchmarkClusterIngest/shards=4 → {"shards": "4"}), so snapshot
+	// consumers can select variants without re-parsing names. The full
+	// name, labels included, stays the map key: each variant is compared
+	// and gated separately.
+	Labels map[string]string `json:"labels,omitempty"`
 }
 
 func main() {
@@ -185,6 +195,16 @@ func parseLine(line string) (string, Result, bool) {
 	if i := strings.LastIndexByte(name, '-'); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
+		}
+	}
+	// Lift key=value sub-benchmark segments (b.Run("shards=4", ...))
+	// into structured labels.
+	for _, seg := range strings.Split(name, "/")[1:] {
+		if k, v, ok := strings.Cut(seg, "="); ok && k != "" {
+			if r.Labels == nil {
+				r.Labels = make(map[string]string)
+			}
+			r.Labels[k] = v
 		}
 	}
 	seen := false

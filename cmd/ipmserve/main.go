@@ -26,10 +26,19 @@
 // flight requests drain, the WAL is flushed and fsynced, and with
 // -snapshot-on-exit the corpus is compacted before exit.
 //
+// With -peers the member joins a cluster: ingest is routed to the R
+// consistent-hash owners of each job id (acked at majority quorum) and
+// /agg, /regress and /jobs are answered by parallel scatter-gather over
+// compact per-job rollups, byte-identical to a single node holding the
+// whole corpus. Every member is a router; -self names this member's own
+// base URL within -peers.
+//
 // With -selftest the command runs the built-in load generator instead
 // of serving; with -soak it runs the kill/restart durability harness,
 // re-executing itself as the server child and repeatedly SIGKILLing it
-// mid-ingest. Both exit non-zero on any violation.
+// mid-ingest; with -soak-cluster it does the same to a whole cluster,
+// SIGKILLing rotating members mid-ingest while workers retry through
+// the surviving routers. All exit non-zero on any violation.
 package main
 
 import (
@@ -47,6 +56,7 @@ import (
 
 	"ipmgo/internal/faultsim"
 	"ipmgo/internal/profstore"
+	"ipmgo/internal/storecluster"
 	"ipmgo/internal/telemetry"
 )
 
@@ -66,6 +76,14 @@ func main() {
 	soakWorkers := flag.Int("soak-workers", 4, "soak: concurrent ingest workers")
 	soakCycles := flag.Int("soak-cycles", 3, "soak: SIGKILL/restart cycles")
 	soakTimeout := flag.Duration("soak-timeout", 120*time.Second, "soak: wall-clock budget")
+	peersFlag := flag.String("peers", "", "comma-separated member base URLs; non-empty enables cluster mode")
+	selfFlag := flag.String("self", "", "this member's base URL within -peers (default http://<addr> when addr names a host)")
+	replicas := flag.Int("replicas", 2, "cluster: copies per job (acked at majority quorum)")
+	peerFaults := flag.String("peer-faults", "", "JSON peer-fault plan injected into the peer transport (see testdata/faults/)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of cluster scatter/forward spans here on shutdown")
+	soakCluster := flag.Bool("soak-cluster", false, "run the cluster kill/restart soak harness and exit")
+	soakMembers := flag.Int("soak-members", 3, "soak-cluster: cluster size")
+	soakReplicas := flag.Int("soak-replicas", 2, "soak-cluster: copies per job")
 	flag.Parse()
 
 	logf := func(format string, args ...any) {
@@ -102,6 +120,27 @@ func main() {
 		}
 		fmt.Printf("soak ok: %d jobs acked (%d retried through kill windows), %d kills, %d restarts, /agg byte-identical (%d bytes), %v\n",
 			rep.Acked, rep.Retried, rep.Kills, rep.Restarts, rep.AggBytes, rep.Elapsed.Round(time.Millisecond))
+		return
+	}
+
+	if *soakCluster {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve:", err)
+			os.Exit(1)
+		}
+		rep, err := storecluster.SoakCluster(storecluster.SoakClusterOptions{
+			ServerCmd: []string{exe},
+			Members:   *soakMembers, Replicas: *soakReplicas,
+			Jobs: *soakJobs, Workers: *soakWorkers, Cycles: *soakCycles,
+			CompactEvery: *compactEvery, Timeout: *soakTimeout, Logf: logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve: soak-cluster FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("soak-cluster ok: %d members (R=%d), %d jobs acked (%d retried through kill windows), %d kills, %d restarts, queries byte-identical on all members (/agg %d bytes), %v\n",
+			rep.Members, rep.Replicas, rep.Acked, rep.Retried, rep.Kills, rep.Restarts, rep.AggBytes, rep.Elapsed.Round(time.Millisecond))
 		return
 	}
 
@@ -149,8 +188,55 @@ func main() {
 	}
 	defer store.Close()
 
-	srv := profstore.NewServer(store, telemetry.NewRegistry())
+	reg := telemetry.NewRegistry()
+	srv := profstore.NewServer(store, reg)
 	handler := srv.Handler()
+
+	// Cluster mode: wrap the single-node surface with the router. Routed
+	// endpoints (/ingest, /agg, /regress, /jobs, /job/{id}) fan out to
+	// the ring owners; everything else still hits the local handler.
+	var recorder *telemetry.Recorder
+	if *peersFlag != "" {
+		members := strings.Split(*peersFlag, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		self := *selfFlag
+		if self == "" && !strings.HasPrefix(*addr, ":") {
+			self = "http://" + *addr
+		}
+		if self == "" {
+			fmt.Fprintln(os.Stderr, "ipmserve: cluster mode needs -self (or an -addr with an explicit host)")
+			os.Exit(1)
+		}
+		var transport http.RoundTripper
+		if *peerFaults != "" {
+			plan, err := faultsim.LoadPeerPlan(*peerFaults)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ipmserve:", err)
+				os.Exit(1)
+			}
+			transport = plan.Wrap(nil)
+			logf("ipmserve: peer-fault injection armed from %s (%d fault(s))", *peerFaults, len(plan.Faults))
+		}
+		recorder = telemetry.NewRecorder(4096)
+		cl, err := storecluster.New(storecluster.Config{
+			Self:      self,
+			Members:   members,
+			Replicas:  *replicas,
+			Store:     store,
+			Local:     handler,
+			Registry:  reg,
+			Recorder:  recorder,
+			Transport: transport,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ipmserve:", err)
+			os.Exit(1)
+		}
+		handler = cl.Handler()
+		logf("ipmserve: cluster member %s of %d (replicas=%d)", self, len(cl.Ring().Members()), *replicas)
+	}
 	if *withPprof {
 		// The store handler owns "/"; route only the pprof subtree past it
 		// so profiling a live server never shadows a query endpoint.
@@ -208,6 +294,19 @@ func main() {
 				logf("ipmserve: snapshot on exit failed: %v", err)
 			} else {
 				logf("ipmserve: compacted %d job(s) into %s", info.Jobs, info.Path)
+			}
+		}
+		if *tracePath != "" && recorder != nil {
+			if f, err := os.Create(*tracePath); err != nil {
+				logf("ipmserve: trace: %v", err)
+			} else {
+				spans := recorder.Snapshot()
+				if err := telemetry.WriteChromeTrace(f, spans); err != nil {
+					logf("ipmserve: writing trace: %v", err)
+				} else {
+					logf("ipmserve: wrote %d span(s) to %s", len(spans), *tracePath)
+				}
+				f.Close()
 			}
 		}
 		if err := store.Close(); err != nil {

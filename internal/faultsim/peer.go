@@ -1,0 +1,149 @@
+package faultsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// Peer-fault injection: the network twin of the disk plan. A PeerPlan
+// wraps the http.RoundTripper a cluster router reaches its members
+// through and fails deterministic requests to chosen hosts — the
+// connection-refused shape a SIGKILLed or partitioned ipmserve member
+// presents. Plans are keyed by per-host request index, not wall time, so
+// a test injects the same outage at the same fan-out step every run.
+
+// Peer fault kinds.
+const (
+	// PeerUnreachable fails the request before it leaves: connection
+	// refused, as from a dead member.
+	PeerUnreachable = "unreachable"
+)
+
+// PeerFault is one injected peer outage.
+type PeerFault struct {
+	// Host selects the request stream by URL host ("127.0.0.1:9001");
+	// "*" matches every host.
+	Host string `json:"host"`
+	// At is the 1-based index of the request to Host at (and, while the
+	// occurrence budget lasts, after) which the fault fires.
+	At int `json:"at"`
+	// Kind is the failure mode; only "unreachable" today.
+	Kind string `json:"kind"`
+	// Count bounds the occurrences: 0 means one, -1 means sticky (the
+	// member stays dead rather than blipping).
+	Count int `json:"count,omitempty"`
+}
+
+// PeerPlan is a deterministic schedule of peer outages.
+type PeerPlan struct {
+	Comment string      `json:"comment,omitempty"`
+	Faults  []PeerFault `json:"faults"`
+}
+
+// ParsePeerPlan decodes and validates a JSON peer-fault plan.
+func ParsePeerPlan(data []byte) (*PeerPlan, error) {
+	var p PeerPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faultsim: parsing peer plan: %w", err)
+	}
+	for i, f := range p.Faults {
+		if f.Host == "" {
+			return nil, fmt.Errorf("faultsim: peer fault %d: empty host", i)
+		}
+		if f.Kind != PeerUnreachable {
+			return nil, fmt.Errorf("faultsim: peer fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.At < 1 {
+			return nil, fmt.Errorf("faultsim: peer fault %d: at must be >= 1 (request index)", i)
+		}
+		if f.Count < -1 {
+			return nil, fmt.Errorf("faultsim: peer fault %d: bad count %d", i, f.Count)
+		}
+	}
+	return &p, nil
+}
+
+// LoadPeerPlan reads a peer-fault plan from a JSON file.
+func LoadPeerPlan(path string) (*PeerPlan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: reading peer plan: %w", err)
+	}
+	return ParsePeerPlan(data)
+}
+
+// armedPeer is one peer fault with its remaining occurrence budget.
+type armedPeer struct {
+	f    PeerFault
+	left int // -1 = sticky
+}
+
+// FaultyTransport injects the plan's outages into an inner RoundTripper.
+// Safe for concurrent use: routers fan out to peers in parallel.
+type FaultyTransport struct {
+	inner http.RoundTripper
+
+	mu       sync.Mutex
+	armed    []armedPeer
+	requests map[string]int // per-host request count, 1-based
+	injected int64
+}
+
+// Wrap builds the fault-injecting wrapper around inner (nil means
+// http.DefaultTransport).
+func (p *PeerPlan) Wrap(inner http.RoundTripper) *FaultyTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	ft := &FaultyTransport{inner: inner, requests: make(map[string]int)}
+	for _, f := range p.Faults {
+		left := f.Count
+		if left == 0 {
+			left = 1
+		}
+		ft.armed = append(ft.armed, armedPeer{f: f, left: left})
+	}
+	return ft
+}
+
+// Injected returns the number of faults delivered so far.
+func (ft *FaultyTransport) Injected() int64 {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.injected
+}
+
+// pick consumes one occurrence of the first armed fault eligible for the
+// n-th request to host.
+func (ft *FaultyTransport) pick(host string, n int) *PeerFault {
+	for i := range ft.armed {
+		a := &ft.armed[i]
+		if (a.f.Host != host && a.f.Host != "*") || a.left == 0 || n < a.f.At {
+			continue
+		}
+		if a.left > 0 {
+			a.left--
+		}
+		ft.injected++
+		return &a.f
+	}
+	return nil
+}
+
+// RoundTrip passes the request to the inner transport unless an outage
+// is due for its host.
+func (ft *FaultyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	ft.mu.Lock()
+	ft.requests[host]++
+	f := ft.pick(host, ft.requests[host])
+	ft.mu.Unlock()
+	if f != nil {
+		return nil, fmt.Errorf("faultsim: injected peer outage for %s: %w", host, syscall.ECONNREFUSED)
+	}
+	return ft.inner.RoundTrip(req)
+}

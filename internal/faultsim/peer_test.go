@@ -1,0 +1,88 @@
+package faultsim
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+)
+
+func TestParsePeerPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		ok   bool
+	}{
+		{"valid", `{"faults":[{"host":"127.0.0.1:9001","at":1,"kind":"unreachable"}]}`, true},
+		{"wildcard sticky", `{"faults":[{"host":"*","at":3,"kind":"unreachable","count":-1}]}`, true},
+		{"empty host", `{"faults":[{"host":"","at":1,"kind":"unreachable"}]}`, false},
+		{"bad kind", `{"faults":[{"host":"h","at":1,"kind":"slow"}]}`, false},
+		{"bad at", `{"faults":[{"host":"h","at":0,"kind":"unreachable"}]}`, false},
+		{"bad count", `{"faults":[{"host":"h","at":1,"kind":"unreachable","count":-2}]}`, false},
+		{"bad json", `{`, false},
+	}
+	for _, tc := range cases {
+		_, err := ParsePeerPlan([]byte(tc.json))
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+		}
+	}
+}
+
+func TestFaultyTransportInjectsByHostAndIndex(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	plan, err := ParsePeerPlan([]byte(`{"faults":[
+		{"host":"` + host + `","at":2,"kind":"unreachable"},
+		{"host":"other:1","at":1,"kind":"unreachable","count":-1}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := plan.Wrap(nil)
+	client := &http.Client{Transport: ft}
+
+	// Request 1 to the server passes, request 2 is refused, request 3
+	// passes again (single occurrence consumed).
+	for i, wantErr := range []bool{false, true, false} {
+		resp, err := client.Get(srv.URL + "/x")
+		if wantErr {
+			if err == nil {
+				resp.Body.Close()
+				t.Fatalf("request %d: expected injected outage", i+1)
+			}
+			if !errors.Is(err, syscall.ECONNREFUSED) {
+				t.Fatalf("request %d: error = %v, want ECONNREFUSED", i+1, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+		resp.Body.Close()
+	}
+	if got := ft.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1 (the other:1 fault must not fire)", got)
+	}
+}
+
+func TestFaultyTransportStickyWildcard(t *testing.T) {
+	plan, err := ParsePeerPlan([]byte(`{"faults":[{"host":"*","at":1,"kind":"unreachable","count":-1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: plan.Wrap(nil)}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Get("http://192.0.2.1:1/x"); err == nil {
+			t.Fatalf("request %d: sticky wildcard outage did not fire", i+1)
+		}
+	}
+}

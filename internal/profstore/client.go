@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"net/url"
 	"strconv"
 	"strings"
@@ -33,10 +34,73 @@ import (
 
 // Client metric names (published when Poster.Reg is set).
 const (
-	MetricIngestPosts    = "ipm_ingest_posts_total"
-	MetricIngestRetries  = "ipm_ingest_retries_total"
-	MetricIngestFailures = "ipm_ingest_failures_total"
+	MetricIngestPosts     = "ipm_ingest_posts_total"
+	MetricIngestRetries   = "ipm_ingest_retries_total"
+	MetricIngestFailures  = "ipm_ingest_failures_total"
+	MetricIngestConnReuse = "ipm_ingest_conn_reuse_total"
 )
+
+// sharedTransport is the one pooled keep-alive transport every Poster
+// and cluster peer client in the process rides on. A run epilogue posts
+// one document and exits, but ipmserve routers, the soak harness and the
+// benches post thousands — without a shared pool each Poster value
+// (historically constructed per post site) dialed fresh connections.
+// The pool is sized for a small cluster fan-out, not a browser: many
+// concurrent posts to the same few member URLs.
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 16,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// connReuses counts connections handed out of the shared pool that had
+// already served a request (httptrace GotConn with Reused set).
+var connReuses atomic.Int64
+
+// ConnReuseTotal returns how many requests on the shared transport were
+// served over a reused keep-alive connection.
+func ConnReuseTotal() int64 { return connReuses.Load() }
+
+// reuseCountingTransport wraps a RoundTripper with an httptrace hook
+// that increments connReuses whenever the connection was pooled.
+type reuseCountingTransport struct {
+	inner http.RoundTripper
+}
+
+func (t reuseCountingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	trace := &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			if info.Reused {
+				connReuses.Add(1)
+			}
+		},
+	}
+	req = req.WithContext(httptrace.WithClientTrace(req.Context(), trace))
+	return t.inner.RoundTrip(req)
+}
+
+// SharedClient returns an HTTP client on the process-wide pooled
+// keep-alive transport, with connection reuse counted into
+// ipm_ingest_conn_reuse_total. The default for Poster and the cluster
+// peer clients.
+func SharedClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: reuseCountingTransport{inner: sharedTransport},
+	}
+}
+
+// CountingTransport wraps an explicit RoundTripper (a test server's
+// client transport, a faultsim peer plan) with the same reuse counting
+// SharedClient applies to the shared pool; nil wraps the shared pooled
+// transport itself.
+func CountingTransport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = sharedTransport
+	}
+	return reuseCountingTransport{inner: inner}
+}
 
 // maxRetryAfter caps how long the client believes a Retry-After header;
 // a degraded store advertising an hour should not stall a job epilogue.
@@ -95,6 +159,7 @@ func (p *Poster) publish() {
 		{Name: MetricIngestPosts, Help: "Profiles posted to the store (success or final failure).", Type: "counter", Value: float64(st.Posts)},
 		{Name: MetricIngestRetries, Help: "Ingest attempts beyond the first.", Type: "counter", Value: float64(st.Retries)},
 		{Name: MetricIngestFailures, Help: "Profiles that exhausted every ingest attempt.", Type: "counter", Value: float64(st.Failures)},
+		{Name: MetricIngestConnReuse, Help: "Requests on the shared transport served over a reused keep-alive connection.", Type: "counter", Value: float64(ConnReuseTotal())},
 	})
 }
 
@@ -131,13 +196,21 @@ func retryableStatus(code int) bool {
 // degraded store. It returns the attempts made alongside the final
 // error, so the caller can log how hard the post had to try.
 func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, err error) {
+	attempts, _, err = p.PostXMLResult(xml, id, tags)
+	return attempts, err
+}
+
+// PostXMLResult is PostXML returning the server's response body as well
+// — the cluster router forwards a replica's IngestResponse verbatim so
+// a routed ingest answers byte-identically to a direct one.
+func (p *Poster) PostXMLResult(xml []byte, id string, tags []string) (attempts int, body []byte, err error) {
 	target, err := p.ingestURL(id, tags)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	client := p.Client
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = SharedClient(10 * time.Second)
 	}
 	sleep := p.Sleep
 	if sleep == nil {
@@ -160,9 +233,9 @@ func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, er
 	}
 	for attempt, roAttempt := 0, 0; ; {
 		attempts++
-		err = postOnce(client, target, xml)
+		body, err = postOnce(client, target, xml)
 		if err == nil {
-			return attempts, nil
+			return attempts, body, nil
 		}
 		var se *statusError
 		if errors.As(err, &se) {
@@ -171,18 +244,18 @@ func (p *Poster) PostXML(xml []byte, id string, tags []string) (attempts int, er
 				// degradation or shutdown drain): wait as told, on the
 				// patient budget.
 				if p.Policy.Disable || roAttempt >= roBudget-1 {
-					return attempts, err
+					return attempts, nil, err
 				}
 				roAttempt++
 				sleep(se.retryAfter)
 				continue
 			}
 			if !retryableStatus(se.code) {
-				return attempts, err // permanent rejection
+				return attempts, nil, err // permanent rejection
 			}
 		}
 		if p.Policy.Disable || attempt >= budget-1 {
-			return attempts, err
+			return attempts, nil, err
 		}
 		sleep(p.Policy.BackoffFor(attempt))
 		attempt++
@@ -201,6 +274,25 @@ func (p *Poster) PostProfile(jp *ipm.JobProfile, id string, tags []string) (stri
 	}
 	attempts, err := p.PostXML(xml, id, tags)
 	return id, attempts, err
+}
+
+// HTTPStatus returns the HTTP status a PostXML failure carried, or 0
+// when the failure never got a response (transport error). Cluster
+// routers use it to tell a permanent peer rejection (relay the 4xx)
+// from a retryable outage (answer 503).
+func HTTPStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
+
+// IsLifecycleErr reports whether an ingest failure is the store's fault
+// (closed or degraded read-only — retryable against a replica or after
+// an operator fix) rather than the document's.
+func IsLifecycleErr(err error) bool {
+	return errors.Is(err, ErrReadOnly) || errors.Is(err, ErrClosed)
 }
 
 // statusError is a non-2xx ingest response.
@@ -232,20 +324,23 @@ func parseRetryAfter(h string) time.Duration {
 	return d
 }
 
-func postOnce(client *http.Client, target string, xml []byte) error {
+func postOnce(client *http.Client, target string, xml []byte) ([]byte, error) {
 	resp, err := client.Post(target, "application/xml", bytes.NewReader(xml))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return &statusError{
+		return nil, &statusError{
 			code:       resp.StatusCode,
 			body:       strings.TrimSpace(string(body)),
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return body, nil
 }

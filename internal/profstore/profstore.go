@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ipmgo/internal/ipm"
 )
@@ -274,8 +275,36 @@ func OpenStore(path string, opts StoreOptions) (*Store, RecoveryStats, error) {
 	// that restarts mid-interval still compacts on schedule.
 	s.walAppends.Store(int64(records))
 	s.recoveredAtOpen, s.skippedAtOpen = st.Recovered, st.Skipped
+
+	// Boot-stamp the epoch and drop any memoised rollups. After replay
+	// the epoch counter equals the record count — the exact value the
+	// pre-restart store reached after ingesting the same records — so any
+	// (epoch, rollup) pair that crosses the restart boundary (a cluster
+	// router validating member epochs, a memo rebuilt from a loaded
+	// snapshot) would wrongly validate against the recovered corpus.
+	// Mixing wall-clock nanoseconds with a per-process open counter makes
+	// every store generation's epoch space disjoint.
+	s.epoch.Store(uint64(time.Now().UnixNano())<<8 | bootEpochs.Add(1)&0xff)
+	s.invalidateMemo()
 	return s, st, nil
 }
+
+// bootEpochs distinguishes stores opened by the same process within one
+// clock tick (see the boot-stamp in OpenStore).
+var bootEpochs atomic.Uint64
+
+// invalidateMemo unconditionally drops every cached /agg and /regress
+// report. The next query recomputes from the live corpus.
+func (s *Store) invalidateMemo() {
+	s.memoMu.Lock()
+	s.memoEpoch = 0
+	s.memo = nil
+	s.memoMu.Unlock()
+}
+
+// Epoch returns the store's current corpus epoch: it changes after every
+// insert and never repeats across restarts or reopens.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
 
 // Close flushes and releases the WAL file, if any. Concurrent ingests
 // in flight finish first; later ones return ErrClosed. Idempotent.
@@ -606,22 +635,16 @@ func (s *Store) RecoveryCounts() (recovered, skipped int) {
 	return s.recoveredAtOpen, s.skippedAtOpen
 }
 
-// Select resolves a job selector to the matching jobs, sorted by id —
-// the deterministic iteration order every aggregate is computed in.
-// Selectors:
-//
-//	""          every job
-//	"tag:T"     jobs carrying tag T
-//	"cmd:C"     jobs whose command is C
-//	anything    the single job with that id (empty result if absent)
-func (s *Store) Select(sel string) []*Job {
-	var match func(*Job) bool
+// matcherFor compiles a job selector (see Select) into a predicate.
+// Shared by Store.Select and the router-side FilterJobs so cluster
+// scatter-gather filters jobs exactly the way a single node would.
+func matcherFor(sel string) func(*Job) bool {
 	switch {
 	case sel == "":
-		match = func(*Job) bool { return true }
+		return func(*Job) bool { return true }
 	case strings.HasPrefix(sel, "tag:"):
 		want := strings.TrimPrefix(sel, "tag:")
-		match = func(j *Job) bool {
+		return func(j *Job) bool {
 			for _, t := range j.Tags {
 				if t == want {
 					return true
@@ -631,13 +654,29 @@ func (s *Store) Select(sel string) []*Job {
 		}
 	case strings.HasPrefix(sel, "cmd:"):
 		want := strings.TrimPrefix(sel, "cmd:")
-		match = func(j *Job) bool { return j.Command == want }
+		return func(j *Job) bool { return j.Command == want }
 	default:
+		return func(j *Job) bool { return j.ID == sel }
+	}
+}
+
+// Select resolves a job selector to the matching jobs, sorted by id —
+// the deterministic iteration order every aggregate is computed in.
+// Selectors:
+//
+//	""          every job
+//	"tag:T"     jobs carrying tag T
+//	"cmd:C"     jobs whose command is C
+//	anything    the single job with that id (empty result if absent)
+func (s *Store) Select(sel string) []*Job {
+	if sel != "" && !strings.HasPrefix(sel, "tag:") && !strings.HasPrefix(sel, "cmd:") {
+		// Single-id selector: direct shard lookup instead of a scan.
 		if j := s.Get(sel); j != nil {
 			return []*Job{j}
 		}
 		return nil
 	}
+	match := matcherFor(sel)
 	var out []*Job
 	for i := range s.shards {
 		sh := &s.shards[i]

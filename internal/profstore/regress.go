@@ -87,8 +87,13 @@ func (s *Store) Regress(opts RegressOptions) *RegressReport {
 
 // regressCold is the uncached comparison path.
 func (s *Store) regressCold(opts RegressOptions) *RegressReport {
-	baseJobs := s.Select(opts.Base)
-	headJobs := s.Select(opts.Head)
+	return regressFrom(s.Select(opts.Base), s.Select(opts.Head), opts)
+}
+
+// regressFrom compares two explicit job lists. Split from the Store so a
+// cluster router can run the identical comparison over jobs merged from
+// shard rollups (see RegressJobs in wire.go).
+func regressFrom(baseJobs, headJobs []*Job, opts RegressOptions) *RegressReport {
 	base := siteTotals(baseJobs)
 	head := siteTotals(headJobs)
 

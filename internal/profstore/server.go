@@ -261,14 +261,23 @@ func metaOf(j *Job) JobMeta {
 	}
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	defer s.observe(qJobs, start)
-	jobs := s.store.Select(r.URL.Query().Get("sel"))
+// JobMetas returns the GET /jobs rows for a selector — the member-side
+// payload of the cluster /shard/jobs scatter (metadata requires the
+// owning member's raw documents, so the router gathers rows rather than
+// recomputing them).
+func (s *Store) JobMetas(sel string) []JobMeta {
+	jobs := s.Select(sel)
 	metas := make([]JobMeta, 0, len(jobs))
 	for _, j := range jobs {
 		metas = append(metas, metaOf(j))
 	}
+	return metas
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer s.observe(qJobs, start)
+	metas := s.store.JobMetas(r.URL.Query().Get("sel"))
 	if wantsHTML(r) {
 		renderHTML(w, jobsTmpl, metas)
 		return
@@ -385,6 +394,13 @@ func renderHTML(w http.ResponseWriter, t *template.Template, data any) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	t.Execute(w, data)
 }
+
+// WriteJobsHTML, WriteAggHTML and WriteRegressHTML render the same HTML
+// table views the single-node handlers serve with format=html — shared
+// with the cluster router so a scattered query's HTML matches too.
+func WriteJobsHTML(w http.ResponseWriter, metas []JobMeta)       { renderHTML(w, jobsTmpl, metas) }
+func WriteAggHTML(w http.ResponseWriter, rep *AggReport)         { renderHTML(w, aggTmpl, rep) }
+func WriteRegressHTML(w http.ResponseWriter, rep *RegressReport) { renderHTML(w, regressTmpl, rep) }
 
 const htmlStyle = `<style>
 body { font-family: sans-serif; margin: 2em; }

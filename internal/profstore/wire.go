@@ -1,0 +1,256 @@
+package profstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"ipmgo/internal/ipm"
+)
+
+// The shard rollup wire format: how a cluster member ships its local
+// per-job pre-aggregations to a scatter-gather router without ever
+// putting raw XML on the wire. One WireJob is the exact image of a
+// (*Job, *rollup) pair — every duration an integer nanosecond count,
+// every energy an integer nanojoule count, maps flattened to
+// name-sorted slices — so encode/decode round-trips losslessly and a
+// router that merges decoded WireJobs with AggregateJobs/RegressJobs
+// produces byte-identical output to a single node holding the whole
+// corpus (FuzzRollupWire enforces exactly that).
+//
+// Because job ids are content hashes, replicas of the same job on
+// different members serialise to identical WireJobs; the router dedups
+// by id, which makes the merge independent of replication factor,
+// member count and which replica answered first.
+
+// WireStats is ipm.Stats on the wire: field-for-field, durations as
+// integer nanoseconds. Short keys keep a member's rollup payload small
+// next to the XML it summarises.
+type WireStats struct {
+	Count       int64 `json:"c,omitempty"`
+	Total       int64 `json:"t,omitempty"`
+	Min         int64 `json:"mn,omitempty"`
+	Max         int64 `json:"mx,omitempty"`
+	Errors      int64 `json:"e,omitempty"`
+	Submits     int64 `json:"s,omitempty"`
+	SubmitStall int64 `json:"ss,omitempty"`
+	Energy      int64 `json:"en,omitempty"`
+}
+
+func toWireStats(st ipm.Stats) WireStats {
+	return WireStats{
+		Count: st.Count, Total: int64(st.Total),
+		Min: int64(st.Min), Max: int64(st.Max),
+		Errors: st.Errors, Submits: st.Submits,
+		SubmitStall: int64(st.SubmitStall), Energy: st.Energy,
+	}
+}
+
+func (w WireStats) stats() ipm.Stats {
+	return ipm.Stats{
+		Count: w.Count, Total: time.Duration(w.Total),
+		Min: time.Duration(w.Min), Max: time.Duration(w.Max),
+		Errors: w.Errors, Submits: w.Submits,
+		SubmitStall: time.Duration(w.SubmitStall), Energy: w.Energy,
+	}
+}
+
+// WireSite is one named stats row (a call site or a kernel).
+type WireSite struct {
+	Name string `json:"n"`
+	WireStats
+}
+
+// WireImb is one per-job imbalance row.
+type WireImb struct {
+	Name       string  `json:"n"`
+	MaxOverAvg float64 `json:"m"`
+	WorstJob   string  `json:"j"`
+}
+
+// WireJob is one job's store metadata plus its ingest-time rollup.
+type WireJob struct {
+	ID       string   `json:"id"`
+	Command  string   `json:"cmd,omitempty"`
+	Tags     []string `json:"tags,omitempty"`
+	Ranks    int      `json:"ranks,omitempty"`
+	Salvaged bool     `json:"salv,omitempty"`
+	Warnings int      `json:"warn,omitempty"`
+	Bytes    int      `json:"bytes,omitempty"`
+	Lost     int      `json:"lost,omitempty"`
+
+	Wall   int64 `json:"w,omitempty"`
+	GPU    int64 `json:"g,omitempty"`
+	Xfer   int64 `json:"x,omitempty"`
+	Idle   int64 `json:"i,omitempty"`
+	MPI    int64 `json:"mpi,omitempty"`
+	Stall  int64 `json:"st,omitempty"`
+	Energy int64 `json:"en,omitempty"`
+
+	// Sites and Kernels are the rollup maps flattened in name order (so
+	// the encoding of a job is canonical); Imb preserves the rollup's
+	// FuncTotals row order.
+	Sites   []WireSite `json:"sites,omitempty"`
+	Kernels []WireSite `json:"kern,omitempty"`
+	Imb     []WireImb  `json:"imb,omitempty"`
+}
+
+func wireSites(m map[string]ipm.Stats) []WireSite {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]WireSite, 0, len(m))
+	for name, st := range m {
+		out = append(out, WireSite{Name: name, WireStats: toWireStats(st)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func sitesMap(ws []WireSite) map[string]ipm.Stats {
+	m := make(map[string]ipm.Stats, len(ws))
+	for _, w := range ws {
+		m[w.Name] = w.stats()
+	}
+	return m
+}
+
+// Wire converts the job to its wire image.
+func (j *Job) Wire() WireJob {
+	ro := j.roll()
+	w := WireJob{
+		ID: j.ID, Command: j.Command, Tags: j.Tags,
+		Ranks: j.Ranks, Salvaged: j.Salvaged, Warnings: j.Warnings,
+		Bytes: j.Bytes, Lost: ro.lostRanks,
+		Wall: int64(ro.wall), GPU: int64(ro.gpu), Xfer: int64(ro.xfer),
+		Idle: int64(ro.idle), MPI: int64(ro.mpi), Stall: int64(ro.stall),
+		Energy:  ro.energy,
+		Sites:   wireSites(ro.sites),
+		Kernels: wireSites(ro.kernels),
+	}
+	if len(ro.imb) > 0 {
+		w.Imb = make([]WireImb, len(ro.imb))
+		for i, ia := range ro.imb {
+			w.Imb[i] = WireImb{Name: ia.Name, MaxOverAvg: ia.MaxOverAvg, WorstJob: ia.WorstJob}
+		}
+	}
+	return w
+}
+
+// Job reconstructs the (*Job, rollup) pair from the wire image. The
+// reconstructed job carries no raw document: it can be selected,
+// aggregated and regressed, but Profile() yields an empty profile —
+// exactly what a router needs and nothing more.
+func (w WireJob) Job() *Job {
+	ro := &rollup{
+		wall: time.Duration(w.Wall), gpu: time.Duration(w.GPU),
+		xfer: time.Duration(w.Xfer), idle: time.Duration(w.Idle),
+		mpi: time.Duration(w.MPI), stall: time.Duration(w.Stall),
+		energy:    w.Energy,
+		lostRanks: w.Lost,
+		sites:     sitesMap(w.Sites),
+		kernels:   sitesMap(w.Kernels),
+	}
+	if len(w.Imb) > 0 {
+		ro.imb = make([]ImbalanceAgg, len(w.Imb))
+		for i, ia := range w.Imb {
+			ro.imb[i] = ImbalanceAgg{Name: ia.Name, MaxOverAvg: ia.MaxOverAvg, WorstJob: ia.WorstJob}
+		}
+	}
+	j := &Job{
+		ID: w.ID, Command: w.Command, Tags: w.Tags,
+		Ranks: w.Ranks, Salvaged: w.Salvaged, Warnings: w.Warnings,
+		Bytes: w.Bytes, rollup: ro,
+	}
+	// Pre-arm the lazy DOM with an empty profile so a stray Profile()
+	// call on a wire job degrades instead of parsing nil bytes.
+	j.prof = ipm.NewJobProfile(w.Command, w.Ranks, nil)
+	return j
+}
+
+// WireJobs returns the wire image of the whole corpus, sorted by job id.
+// Repeated calls on an unchanged store are served from the epoch-keyed
+// memo cache; the returned slice is shared and must not be mutated.
+func (s *Store) WireJobs() []WireJob {
+	key := memoKey{kind: "wire"}
+	ep := s.epoch.Load()
+	if v, ok := s.memoLookup(ep, key); ok {
+		return v.([]WireJob)
+	}
+	jobs := s.Select("")
+	out := make([]WireJob, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Wire()
+	}
+	s.memoStore(ep, key, out)
+	return out
+}
+
+// EncodeWireJobs renders the compact one-line JSON body of a
+// /shard/rollups response.
+func EncodeWireJobs(jobs []WireJob) ([]byte, error) {
+	return json.Marshal(jobs)
+}
+
+// DecodeWireJobs parses a /shard/rollups body.
+func DecodeWireJobs(data []byte) ([]WireJob, error) {
+	var out []WireJob
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("profstore: decoding wire rollups: %w", err)
+	}
+	return out, nil
+}
+
+// MergeWireJobs dedups wire jobs by id (first occurrence wins — replicas
+// of a content-addressed job are identical) and returns the
+// reconstructed jobs sorted by id: the same job list, in the same
+// order, that a single store holding the union corpus would Select.
+func MergeWireJobs(shards ...[]WireJob) []*Job {
+	n := 0
+	for _, sh := range shards {
+		n += len(sh)
+	}
+	seen := make(map[string]bool, n)
+	out := make([]*Job, 0, n)
+	for _, sh := range shards {
+		for _, w := range sh {
+			if seen[w.ID] {
+				continue
+			}
+			seen[w.ID] = true
+			out = append(out, w.Job())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AggregateJobs computes the cross-job rollup over an explicit job list
+// — the router-side merge of MergeWireJobs output. Byte-for-byte the
+// same report a single store over the same jobs would produce.
+func AggregateJobs(jobs []*Job, opts AggOptions) *AggReport {
+	return aggregateJobs(jobs, opts)
+}
+
+// RegressJobs compares two explicit job lists — the router-side twin of
+// Store.Regress.
+func RegressJobs(baseJobs, headJobs []*Job, opts RegressOptions) *RegressReport {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 10
+	}
+	return regressFrom(baseJobs, headJobs, opts)
+}
+
+// FilterJobs applies a job selector (see Store.Select) to an explicit
+// job list, preserving order.
+func FilterJobs(jobs []*Job, sel string) []*Job {
+	match := matcherFor(sel)
+	out := make([]*Job, 0, len(jobs))
+	for _, j := range jobs {
+		if match(j) {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package profstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ipmgo/internal/ipm"
+)
+
+// fixedSyntheticXML renders one deterministic synthetic profile — the
+// second shard's corpus in the wire fuzz target.
+func fixedSyntheticXML(t testing.TB, i int) []byte {
+	var buf bytes.Buffer
+	if err := ipm.WriteXML(&buf, SyntheticProfile(2011, i)); err != nil {
+		t.Fatalf("rendering synthetic profile: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func reportJSON(t testing.TB, v any) string {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// FuzzRollupWire proves the shard rollup wire format faithful: for any
+// ingestible document, splitting the corpus across two stores, shipping
+// both halves through EncodeWireJobs/DecodeWireJobs and merging at a
+// router produces the identical /agg (and /regress) reports as one
+// store holding everything — the byte-identity contract cluster mode
+// rests on.
+func FuzzRollupWire(f *testing.F) {
+	for _, name := range []string{"base.xml", "head.xml", "energy.xml", "submit.xml"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", name)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add(fixedSyntheticXML(f, 7))
+	f.Add([]byte("<ipm_log><job username=\"u\" nhosts=\"1\"></job></ipm_log>"))
+
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		// Reference: one store with the fuzz doc and a fixed companion.
+		companion := fixedSyntheticXML(t, 3)
+		single := New()
+		if _, err := single.Ingest(doc, "", []string{"fuzz"}); err != nil {
+			t.Skip() // unparseable either way; nothing to compare
+		}
+		if _, err := single.Ingest(companion, "", []string{"fixed"}); err != nil {
+			t.Fatalf("companion ingest: %v", err)
+		}
+		wantAgg := reportJSON(t, single.Aggregate(AggOptions{}))
+		wantRegress := reportJSON(t, single.Regress(RegressOptions{Base: "tag:fuzz", Head: "tag:fixed"}))
+
+		// Cluster: the two documents on separate shards, rollups shipped
+		// over the wire and merged router-side.
+		s1, s2 := New(), New()
+		if _, err := s1.Ingest(doc, "", []string{"fuzz"}); err != nil {
+			t.Fatalf("shard ingest diverged from reference: %v", err)
+		}
+		if _, err := s2.Ingest(companion, "", []string{"fixed"}); err != nil {
+			t.Fatalf("companion ingest: %v", err)
+		}
+		var shards [][]WireJob
+		for _, s := range []*Store{s1, s2} {
+			enc, err := EncodeWireJobs(s.WireJobs())
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			dec, err := DecodeWireJobs(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			// The wire format must be a fixed point: re-encoding the
+			// decoded jobs yields the same bytes.
+			re, err := EncodeWireJobs(dec)
+			if err != nil || !bytes.Equal(enc, re) {
+				t.Fatalf("wire encoding is not canonical (err=%v)", err)
+			}
+			shards = append(shards, dec)
+		}
+		merged := MergeWireJobs(shards...)
+		if got := reportJSON(t, AggregateJobs(merged, AggOptions{})); got != wantAgg {
+			t.Errorf("merged /agg differs from single-store aggregation\ngot:  %s\nwant: %s", got, wantAgg)
+		}
+		base := FilterJobs(merged, "tag:fuzz")
+		head := FilterJobs(merged, "tag:fixed")
+		if got := reportJSON(t, RegressJobs(base, head, RegressOptions{Base: "tag:fuzz", Head: "tag:fixed"})); got != wantRegress {
+			t.Errorf("merged /regress differs from single-store comparison\ngot:  %s\nwant: %s", got, wantRegress)
+		}
+	})
+}
+
+// TestWireJobsMemoized: repeated WireJobs on a quiet store returns the
+// cached slice; an ingest invalidates it.
+func TestWireJobsMemoized(t *testing.T) {
+	s := New()
+	if _, err := s.Ingest(fixedSyntheticXML(t, 0), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	a := s.WireJobs()
+	b := s.WireJobs()
+	if len(a) != 1 || len(b) != 1 || &a[0] != &b[0] {
+		t.Error("WireJobs not served from the epoch memo on a quiet store")
+	}
+	if _, err := s.Ingest(fixedSyntheticXML(t, 1), "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if c := s.WireJobs(); len(c) != 2 {
+		t.Errorf("WireJobs after ingest = %d jobs, want 2", len(c))
+	}
+}
+
+// TestWireJobRoundTripFields: the reconstructed job preserves the store
+// metadata /jobs-independent queries read.
+func TestWireJobRoundTripFields(t *testing.T) {
+	s := New()
+	job, err := s.Ingest(fixedSyntheticXML(t, 4), "", []string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := job.Wire().Job()
+	if got.ID != job.ID || got.Command != job.Command || got.Ranks != job.Ranks ||
+		got.Salvaged != job.Salvaged || got.Warnings != job.Warnings || got.Bytes != job.Bytes {
+		t.Errorf("round-tripped job metadata differs: %+v vs %+v", got, job)
+	}
+	if len(got.Tags) != 2 || got.Tags[0] != "a" || got.Tags[1] != "b" {
+		t.Errorf("round-tripped tags = %v", got.Tags)
+	}
+}
+
+// TestReopenBootstampsEpoch is the restart-cache regression test: a
+// store reopened over the same WAL must never report an epoch any
+// earlier store generation used, so no (epoch, rollup) pair can
+// validate across a restart; and the memo still works within one
+// generation.
+func TestReopenBootstampsEpoch(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "profiles.wal")
+	s1, _, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Ingest(fixedSyntheticXML(t, 0), "", []string{"boot"}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := s1.Epoch()
+	rep1 := s1.Aggregate(AggOptions{})
+	if s1.Aggregate(AggOptions{}) != rep1 {
+		t.Error("memo miss on a quiet store (same generation)")
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st, err := OpenStore(wal, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st.Recovered != 1 {
+		t.Fatalf("recovered %d records, want 1", st.Recovered)
+	}
+	e2 := s2.Epoch()
+	if e2 == e1 {
+		t.Fatalf("reopened store reuses epoch %d: a pre-restart cached rollup would validate", e1)
+	}
+	// The recovered corpus still aggregates correctly and memoizes.
+	rep2 := s2.Aggregate(AggOptions{})
+	if reportJSON(t, rep2) != reportJSON(t, rep1) {
+		t.Error("recovered aggregation differs from pre-restart one")
+	}
+	if s2.Aggregate(AggOptions{}) != rep2 {
+		t.Error("memo miss on recovered store")
+	}
+}

@@ -1,0 +1,169 @@
+package storecluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// splitmix64 mirrors the loadgen generator: a tiny deterministic PRNG
+// for synthesising job-id corpora without seeding dependence.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// corpus returns n content-hash-shaped job ids ("j%016x").
+func corpus(n int) []string {
+	ids := make([]string, n)
+	x := uint64(2011)
+	for i := range ids {
+		x = splitmix64(x)
+		ids[i] = fmt.Sprintf("j%016x", x)
+	}
+	return ids
+}
+
+func membersN(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9001+i)
+	}
+	return out
+}
+
+func mustRing(t *testing.T, members []string) *Ring {
+	t.Helper()
+	r, err := NewRing(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestRingRemapBound is the consistent-hashing contract: growing or
+// shrinking the membership by one remaps only the keys whose arc moved —
+// about 1/N of the corpus, never a wholesale reshuffle.
+func TestRingRemapBound(t *testing.T) {
+	ids := corpus(10000)
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("members=%d", n), func(t *testing.T) {
+			before := mustRing(t, membersN(n))
+			grown := mustRing(t, membersN(n+1))
+			// Shrink: drop the first member instead of the last so the test
+			// doesn't just undo the growth case.
+			shrunk := mustRing(t, membersN(n)[1:])
+
+			movedGrow, movedShrink := 0, 0
+			for _, id := range ids {
+				b := before.Owners(id, 1)[0]
+				if grown.Owners(id, 1)[0] != b {
+					movedGrow++
+				}
+				if n > 1 && shrunk.Owners(id, 1)[0] != b {
+					movedShrink++
+				}
+			}
+			// Ideal is len(ids)/(n+1) on growth and len(ids)/n on shrink;
+			// 64 vnodes keeps the deviation small. Allow 1.5x.
+			maxGrow := 3 * len(ids) / (2 * (n + 1))
+			if movedGrow > maxGrow {
+				t.Errorf("adding 1 member to %d remapped %d/%d ids (max %d)", n, movedGrow, len(ids), maxGrow)
+			}
+			if n > 1 {
+				maxShrink := 3 * len(ids) / (2 * n)
+				if movedShrink > maxShrink {
+					t.Errorf("removing 1 member from %d remapped %d/%d ids (max %d)", n, movedShrink, len(ids), maxShrink)
+				}
+			}
+			if movedGrow == 0 {
+				t.Error("growth remapped nothing; ring is not consistent-hashing")
+			}
+		})
+	}
+}
+
+// TestRingOrderInvariance: placement depends on the member SET only.
+func TestRingOrderInvariance(t *testing.T) {
+	ids := corpus(10000)
+	ms := membersN(4)
+	permutations := [][]string{
+		{ms[0], ms[1], ms[2], ms[3]},
+		{ms[3], ms[2], ms[1], ms[0]},
+		{ms[2], ms[0], ms[3], ms[1]},
+		{ms[1], ms[3], ms[0], ms[2], ms[1], ms[0]}, // duplicates collapse too
+	}
+	want := mustRing(t, permutations[0]).PlacementHash(ids)
+	for i, perm := range permutations[1:] {
+		if got := mustRing(t, perm).PlacementHash(ids); got != want {
+			t.Errorf("permutation %d: placement hash %#x, want %#x", i+1, got, want)
+		}
+	}
+}
+
+// TestRingPlacementGolden pins the placement fingerprint of a fixed
+// corpus on a fixed membership. The constant was computed once and must
+// never drift: a changed value means every already-placed job in a real
+// cluster would move, and that a ring built in another process (or a
+// future refactor) would disagree with this one.
+func TestRingPlacementGolden(t *testing.T) {
+	const want = uint64(0xc3174bc76bd5ec15)
+	got := mustRing(t, membersN(3)).PlacementHash(corpus(10000))
+	if got != want {
+		t.Fatalf("placement hash = %#x, want %#x (placement is no longer process-stable)", got, want)
+	}
+}
+
+// TestRingBalance: 64 vnodes must keep the per-member share of a 10k
+// corpus within 2x of ideal — a loose bound, but one a broken hash or a
+// sorted-points bug blows through immediately.
+func TestRingBalance(t *testing.T) {
+	ids := corpus(10000)
+	r := mustRing(t, membersN(4))
+	counts := map[string]int{}
+	for _, id := range ids {
+		counts[r.Owners(id, 1)[0]]++
+	}
+	ideal := len(ids) / r.Len()
+	for m, c := range counts {
+		if c > 2*ideal || c < ideal/2 {
+			t.Errorf("member %s owns %d of %d ids (ideal %d)", m, c, len(ids), ideal)
+		}
+	}
+	if len(counts) != r.Len() {
+		t.Errorf("only %d of %d members own anything", len(counts), r.Len())
+	}
+}
+
+// TestRingOwners: distinct owners, clamping, and determinism of the
+// replica walk.
+func TestRingOwners(t *testing.T) {
+	r := mustRing(t, membersN(3))
+	for _, id := range corpus(100) {
+		owners := r.Owners(id, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%s, 2) = %v", id, owners)
+		}
+		// The primary is the first element of every wider walk.
+		if r.Owners(id, 1)[0] != owners[0] {
+			t.Fatalf("primary of %s unstable across replica counts", id)
+		}
+		if got := r.Owners(id, 99); len(got) != 3 {
+			t.Fatalf("Owners(%s, 99) = %v, want all 3 members", id, got)
+		}
+		if !r.Owns(id, owners[1], 2) || r.Owns(id, owners[1], 1) {
+			t.Fatalf("Owns disagrees with Owners for %s", id)
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := NewRing([]string{"http://a", ""}); err == nil {
+		t.Error("empty member URL accepted")
+	}
+}

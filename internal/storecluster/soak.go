@@ -1,0 +1,470 @@
+package storecluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"ipmgo/internal/faultsim"
+	"ipmgo/internal/ipm"
+	"ipmgo/internal/profstore"
+	"ipmgo/internal/telemetry"
+)
+
+// This file is the cluster twin of the single-node kill/restart soak
+// (`ipmserve -soak`): it launches N real ipmserve children in cluster
+// mode over per-member WALs, sustains concurrent ingest through
+// rotating routers, and SIGKILLs a member mid-ingest each cycle —
+// restarting it and letting WAL recovery rebuild the shard — before a
+// final graceful SIGTERM of the whole fleet. The run is gated on the
+// cluster durability contract:
+//
+//   - zero lost acknowledged jobs: every profile any router acked with
+//     a 2xx is present in /jobs after the last recovery;
+//   - byte-identical queries from EVERY member: the recovered cluster
+//     answers /agg, /jobs and /regress exactly like a never-killed
+//     in-process single-node store over the same documents.
+//
+// Quorum writes make the first gate honest: an ack means R/2+1 owners
+// persisted the document before the kill, so any single member's death
+// cannot lose it. Content-derived ids make the second gate exact even
+// for documents re-posted through a different router after a kill.
+
+// SoakClusterOptions sizes a cluster kill/restart soak run.
+type SoakClusterOptions struct {
+	// ServerCmd is the argv of the child server; the harness appends
+	// -addr, -wal, -peers, -self and -replicas. Typically the running
+	// ipmserve binary itself (os.Executable).
+	ServerCmd []string
+	Members   int // cluster size (default 3)
+	Replicas  int // copies per job (default 2)
+	Jobs      int // synthetic profiles to ingest (default 120)
+	Workers   int // concurrent ingest workers (default 4)
+	Cycles    int // SIGKILL/restart cycles (default 3)
+	// CompactEvery is forwarded to the children so snapshots and WAL
+	// truncation happen under fire (default 32 appends; -1 disables).
+	CompactEvery int
+	Timeout      time.Duration // wall-clock budget (default 120s)
+	Seed         uint64        // corpus seed (default 2011)
+	Dir          string        // scratch dir (default: fresh temp, removed)
+	Logf         func(format string, args ...any)
+}
+
+// SoakClusterReport summarises a cluster soak run.
+type SoakClusterReport struct {
+	Members  int
+	Replicas int
+	Jobs     int
+	Kills    int
+	Restarts int
+	Acked    int   // jobs acknowledged with a 2xx by some router
+	Retried  int64 // posts that needed more than one round
+	AggBytes int   // size of the (verified identical) /agg body
+	Elapsed  time.Duration
+}
+
+// clusterChild is one managed ipmserve cluster member subprocess.
+type clusterChild struct {
+	argv []string // full child argv including cluster flags
+	addr string
+	cmd  *exec.Cmd
+}
+
+func (c *clusterChild) start() error {
+	cmd := exec.Command(c.argv[0], c.argv[1:]...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("soak-cluster: starting member %s: %w", c.addr, err)
+	}
+	c.cmd = cmd
+	return nil
+}
+
+// waitReady polls /readyz until the member accepts writes.
+func (c *clusterChild) waitReady(deadline time.Time) error {
+	url := "http://" + c.addr + "/readyz"
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("soak-cluster: member %s not ready before deadline", c.addr)
+}
+
+// kill SIGKILLs the member — the crash being simulated — and reaps it.
+func (c *clusterChild) kill() {
+	c.cmd.Process.Kill()
+	c.cmd.Wait()
+	c.cmd = nil
+}
+
+// terminate sends SIGTERM and requires a clean exit.
+func (c *clusterChild) terminate(deadline time.Time) error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("soak-cluster: SIGTERM %s: %w", c.addr, err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.cmd.Wait() }()
+	select {
+	case err := <-done:
+		c.cmd = nil
+		if err != nil {
+			return fmt.Errorf("soak-cluster: member %s exited uncleanly after SIGTERM: %w", c.addr, err)
+		}
+		return nil
+	case <-time.After(time.Until(deadline)):
+		c.cmd.Process.Kill()
+		<-done
+		c.cmd = nil
+		return fmt.Errorf("soak-cluster: member %s did not exit within deadline after SIGTERM", c.addr)
+	}
+}
+
+// soakGet fetches one URL body, demanding a 200.
+func soakGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// SoakCluster runs the cluster kill/restart soak. Any lost acknowledged
+// job, query divergence from the single-node reference on any member,
+// or unclean shutdown is an error.
+func SoakCluster(opts SoakClusterOptions) (*SoakClusterReport, error) {
+	if len(opts.ServerCmd) == 0 {
+		return nil, fmt.Errorf("soak-cluster: ServerCmd is required")
+	}
+	if opts.Members <= 0 {
+		opts.Members = 3
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > opts.Members {
+		opts.Replicas = opts.Members
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = 120
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Cycles <= 0 {
+		opts.Cycles = 3
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 32
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 120 * time.Second
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 2011
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	dir := opts.Dir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "storecluster-soak")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	start := time.Now()
+	deadline := start.Add(opts.Timeout)
+	rep := &SoakClusterReport{Members: opts.Members, Replicas: opts.Replicas, Jobs: opts.Jobs}
+
+	// Reserve one port per member by binding and releasing it; Go
+	// listeners set SO_REUSEADDR, so the rebinds race nothing but our
+	// own dead children.
+	addrs := make([]string, opts.Members)
+	urls := make([]string, opts.Members)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return rep, err
+		}
+		addrs[i] = ln.Addr().String()
+		urls[i] = "http://" + addrs[i]
+		ln.Close()
+	}
+	peers := strings.Join(urls, ",")
+
+	// Render the corpus once: the same bytes go to the cluster and the
+	// in-process single-node reference store.
+	type doc struct {
+		xml  []byte
+		id   string
+		tags []string
+	}
+	docs := make([]doc, opts.Jobs)
+	ref := profstore.New()
+	for i := range docs {
+		var buf bytes.Buffer
+		if err := ipm.WriteXML(&buf, profstore.SyntheticProfile(opts.Seed, i)); err != nil {
+			return rep, fmt.Errorf("soak-cluster: encoding job %d: %w", i, err)
+		}
+		xml := append([]byte(nil), buf.Bytes()...)
+		d := doc{xml: xml, id: profstore.DeriveID(xml), tags: []string{"soak", fmt.Sprintf("batch:%d", i%2)}}
+		docs[i] = d
+		if _, err := ref.Ingest(d.xml, d.id, d.tags); err != nil {
+			return rep, fmt.Errorf("soak-cluster: reference ingest %d: %w", i, err)
+		}
+	}
+
+	// Launch the fleet. Every member gets the full membership and its
+	// own WAL; restarts reuse the same argv so recovery replays the
+	// member's snapshot + WAL into the same ring position.
+	children := make([]*clusterChild, opts.Members)
+	for i := range children {
+		argv := append(append([]string{}, opts.ServerCmd...),
+			"-addr", addrs[i],
+			"-wal", filepath.Join(dir, fmt.Sprintf("member%d.wal", i)),
+			"-peers", peers,
+			"-self", urls[i],
+			"-replicas", fmt.Sprint(opts.Replicas),
+			"-compact-every", fmt.Sprint(opts.CompactEvery),
+			"-snapshot-on-exit")
+		children[i] = &clusterChild{argv: argv, addr: addrs[i]}
+	}
+	defer func() {
+		for _, c := range children {
+			if c.cmd != nil {
+				c.kill()
+			}
+		}
+	}()
+	for _, c := range children {
+		if err := c.start(); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range children {
+		if err := c.waitReady(deadline); err != nil {
+			return rep, err
+		}
+	}
+	logf("soak-cluster: %d member(s) on %s (replicas=%d), %d jobs, %d workers, %d kill cycles",
+		opts.Members, peers, opts.Replicas, opts.Jobs, opts.Workers, opts.Cycles)
+
+	// Ingest workers: each owns a shard of the corpus and retries every
+	// document until some router acks it, rotating the router per round
+	// so a dead member never wedges a worker. Acked ids are recorded
+	// only on a 2xx: the zero-loss gate below is exactly "acked implies
+	// present after recovery".
+	var (
+		acked   atomic.Int64
+		retried atomic.Int64
+		ackMu   sync.Mutex
+		ackedID = make(map[string]bool, opts.Jobs)
+	)
+	errc := make(chan error, opts.Workers+1)
+	var workers sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		workers.Add(1)
+		go func(w int) {
+			defer workers.Done()
+			posters := make([]*profstore.Poster, opts.Members)
+			for m := range posters {
+				posters[m] = &profstore.Poster{
+					URL: urls[m],
+					Policy: faultsim.RetryPolicy{
+						MaxAttempts: 2,
+						Backoff:     faultsim.Dur(10 * time.Millisecond),
+						MaxBackoff:  faultsim.Dur(100 * time.Millisecond),
+					},
+					Client: &http.Client{Timeout: 5 * time.Second},
+				}
+			}
+			for i := w; i < len(docs); i += opts.Workers {
+				d := docs[i]
+				rounds := 0
+				for {
+					if time.Now().After(deadline) {
+						errc <- fmt.Errorf("soak-cluster: deadline while ingesting job %d", i)
+						return
+					}
+					_, err := posters[(i+rounds)%opts.Members].PostXML(d.xml, d.id, d.tags)
+					if err == nil {
+						break
+					}
+					rounds++
+					time.Sleep(25 * time.Millisecond) // a member is restarting
+				}
+				if rounds > 0 {
+					retried.Add(1)
+				}
+				ackMu.Lock()
+				ackedID[d.id] = true
+				ackMu.Unlock()
+				acked.Add(1)
+			}
+		}(w)
+	}
+
+	// Killer: SIGKILL a rotating victim each time the ack stream
+	// crosses the next threshold — evenly spaced so every cycle lands
+	// mid-ingest — then restart it and let recovery replay its WAL.
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for c := 1; c <= opts.Cycles; c++ {
+			threshold := int64(c * opts.Jobs / (opts.Cycles + 1))
+			for acked.Load() < threshold {
+				if time.Now().After(deadline) {
+					errc <- fmt.Errorf("soak-cluster: deadline waiting for kill threshold %d", threshold)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			victim := (c - 1) % opts.Members
+			logf("soak-cluster: cycle %d/%d: SIGKILL member %d at %d acked job(s)", c, opts.Cycles, victim, acked.Load())
+			children[victim].kill()
+			rep.Kills++
+			if err := children[victim].start(); err != nil {
+				errc <- err
+				return
+			}
+			if err := children[victim].waitReady(deadline); err != nil {
+				errc <- err
+				return
+			}
+			rep.Restarts++
+		}
+	}()
+
+	workers.Wait()
+	<-killerDone
+	rep.Acked = int(acked.Load())
+	rep.Retried = retried.Load()
+	select {
+	case err := <-errc:
+		return rep, err
+	default:
+	}
+
+	// Graceful exit of the whole fleet under SIGTERM, then one more
+	// cold recovery of every member: the verified corpus below has
+	// survived both crash and clean shutdown on every shard.
+	for _, c := range children {
+		if err := c.terminate(deadline); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range children {
+		if err := c.start(); err != nil {
+			return rep, err
+		}
+	}
+	for _, c := range children {
+		if err := c.waitReady(deadline); err != nil {
+			return rep, err
+		}
+	}
+	rep.Restarts += opts.Members
+
+	// Gate 1: zero lost acknowledged jobs, asked through every router
+	// (scatter-gather reads are strict, so a 200 also proves every
+	// member answered).
+	for m, u := range urls {
+		jobsBody, err := soakGet(u + "/jobs")
+		if err != nil {
+			return rep, fmt.Errorf("soak-cluster: member %d: %w", m, err)
+		}
+		var metas []profstore.JobMeta
+		if err := json.Unmarshal(jobsBody, &metas); err != nil {
+			return rep, fmt.Errorf("soak-cluster: decoding /jobs from member %d: %w", m, err)
+		}
+		present := make(map[string]bool, len(metas))
+		for _, meta := range metas {
+			present[meta.ID] = true
+		}
+		lost := 0
+		for id := range ackedID {
+			if !present[id] {
+				lost++
+			}
+		}
+		if lost > 0 {
+			return rep, fmt.Errorf("soak-cluster: member %d: %d acknowledged job(s) lost across %d kill(s)", m, lost, rep.Kills)
+		}
+		if len(metas) != opts.Jobs {
+			return rep, fmt.Errorf("soak-cluster: member %d sees %d jobs, want %d", m, len(metas), opts.Jobs)
+		}
+	}
+
+	// Gate 2: byte-identical queries from every member versus the
+	// never-killed single-node reference.
+	refSrv := profstore.NewServer(ref, telemetry.NewRegistry())
+	refLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	refHS := &http.Server{Handler: refSrv.Handler()}
+	go refHS.Serve(refLn)
+	defer refHS.Close()
+	refBase := "http://" + refLn.Addr().String()
+	for _, q := range []string{
+		"/agg?sel=tag:soak",
+		"/jobs",
+		"/regress?base=tag:batch:0&head=tag:batch:1&threshold=5",
+	} {
+		want, err := soakGet(refBase + q)
+		if err != nil {
+			return rep, err
+		}
+		for m, u := range urls {
+			got, err := soakGet(u + q)
+			if err != nil {
+				return rep, fmt.Errorf("soak-cluster: member %d: %w", m, err)
+			}
+			if !bytes.Equal(got, want) {
+				return rep, fmt.Errorf("soak-cluster: %s from member %d differs from the never-killed reference (%d vs %d bytes)", q, m, len(got), len(want))
+			}
+		}
+		if strings.HasPrefix(q, "/agg") && rep.AggBytes == 0 {
+			rep.AggBytes = len(want)
+		}
+	}
+
+	for _, c := range children {
+		if err := c.terminate(deadline); err != nil {
+			return rep, err
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	logf("soak-cluster: ok — %d jobs acked (%d retried through kill windows), %d kills, %d restarts, queries byte-identical on all %d members, in %v",
+		rep.Acked, rep.Retried, rep.Kills, rep.Restarts, opts.Members, rep.Elapsed.Round(time.Millisecond))
+	return rep, nil
+}

@@ -41,10 +41,11 @@ type Sample struct {
 // Registry collects published samples and histograms and renders them as
 // Prometheus text. Safe for concurrent use.
 type Registry struct {
-	mu      sync.RWMutex
-	sources map[string][]Sample
-	hists   map[string]*Histogram
-	vecs    map[string]*Vec
+	mu       sync.RWMutex
+	sources  map[string][]Sample
+	hists    map[string]*Histogram
+	vecs     map[string]*Vec
+	histvecs map[string]*HistogramVec
 
 	publishes atomic.Uint64
 }
@@ -52,9 +53,10 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		sources: make(map[string][]Sample),
-		hists:   make(map[string]*Histogram),
-		vecs:    make(map[string]*Vec),
+		sources:  make(map[string][]Sample),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*Vec),
+		histvecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -167,6 +169,60 @@ func (g *Registry) GaugeVec(name, help, labelKey string) *Vec {
 	return g.vec(name, help, "gauge", labelKey)
 }
 
+// HistogramVec is a labeled histogram family: one metric name, one label
+// key, and a lazily created Histogram per label value — the shape the
+// cluster router's per-peer request-latency metric needs
+// (`ipm_peer_latency_ns{peer="http://..."}`). Cells share one bucket
+// layout so the family renders as a single coherent Prometheus
+// histogram family. Safe for concurrent use; callers memoize the cell
+// like they do with Vec.
+type HistogramVec struct {
+	name   string
+	help   string
+	key    string // label key
+	bounds []float64
+
+	mu    sync.RWMutex
+	cells map[string]*Histogram
+}
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.cells[labelValue]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.cells[labelValue]; ok {
+		return h
+	}
+	h = NewHistogram(v.name, "", v.bounds)
+	v.cells[labelValue] = h
+	return h
+}
+
+// HistogramVec returns the labeled histogram family with the given name,
+// creating it on first use (help/labelKey/bounds are ignored when it
+// already exists, like Histogram).
+func (g *Registry) HistogramVec(name, help, labelKey string, bounds []float64) *HistogramVec {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v, ok := g.histvecs[name]; ok {
+		return v
+	}
+	v := &HistogramVec{
+		name: name, help: help, key: labelKey,
+		bounds: append([]float64(nil), bounds...),
+		cells:  make(map[string]*Histogram),
+	}
+	g.histvecs[name] = v
+	return v
+}
+
 // fnum renders a metric value in the shortest exact form.
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
@@ -216,9 +272,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	for _, v := range g.vecs {
 		vecs = append(vecs, v)
 	}
+	hvecs := make([]*HistogramVec, 0, len(g.histvecs))
+	for _, v := range g.histvecs {
+		hvecs = append(hvecs, v)
+	}
 	g.mu.RUnlock()
 
-	names := make([]string, 0, len(byFamily)+len(hists)+len(vecs))
+	names := make([]string, 0, len(byFamily)+len(hists)+len(vecs)+len(hvecs))
 	for n := range byFamily {
 		names = append(names, n)
 	}
@@ -232,12 +292,21 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 		vecByName[v.name] = v
 		names = append(names, v.name)
 	}
+	hvecByName := make(map[string]*HistogramVec, len(hvecs))
+	for _, v := range hvecs {
+		hvecByName[v.name] = v
+		names = append(names, v.name)
+	}
 	sort.Strings(names)
 
 	bw := bufio.NewWriter(w)
 	for _, name := range names {
 		if h, ok := histByName[name]; ok {
 			writeHistogram(bw, h)
+			continue
+		}
+		if v, ok := hvecByName[name]; ok {
+			writeHistogramVec(bw, v)
 			continue
 		}
 		if v, ok := vecByName[name]; ok {
@@ -280,6 +349,37 @@ func writeHistogram(bw *bufio.Writer, h *Histogram) {
 	bw.WriteString(h.name + `_bucket{le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
 	bw.WriteString(h.name + "_sum " + fnum(h.Sum()) + "\n")
 	bw.WriteString(h.name + "_count " + strconv.FormatUint(cum, 10) + "\n")
+}
+
+// writeHistogramVec renders a labeled histogram family: each cell's
+// bucket/sum/count lines carry the vec label ahead of le, cells sorted
+// by label value for deterministic output.
+func writeHistogramVec(bw *bufio.Writer, v *HistogramVec) {
+	if v.help != "" {
+		bw.WriteString("# HELP " + v.name + " " + v.help + "\n")
+	}
+	bw.WriteString("# TYPE " + v.name + " histogram\n")
+	v.mu.RLock()
+	labels := make([]string, 0, len(v.cells))
+	for l := range v.cells {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		h := v.cells[l]
+		lp := v.key + `="` + escapeLabel(l) + `"`
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			bw.WriteString(v.name + `_bucket{` + lp + `,le="` + fnum(bound) + `"} ` +
+				strconv.FormatUint(cum, 10) + "\n")
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		bw.WriteString(v.name + `_bucket{` + lp + `,le="+Inf"} ` + strconv.FormatUint(cum, 10) + "\n")
+		bw.WriteString(v.name + "_sum{" + lp + "} " + fnum(h.Sum()) + "\n")
+		bw.WriteString(v.name + "_count{" + lp + "} " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	v.mu.RUnlock()
 }
 
 // writeVec renders a labeled family, one line per cell sorted by label
